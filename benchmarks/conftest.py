@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure at full scale and
+asserts the paper's qualitative shape (who wins, direction of the
+factors). A simulation run is deterministic, so one round is a faithful
+measurement of the harness cost; pedantic mode keeps wall time sane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,56 @@
+"""Bench: regenerate fig 10 (multistage BLAST — the headline table).
+
+Asserts the paper's core claims:
+* HPA ramps to the capacity limit and stays there until the end;
+* HTA follows the stage structure (mid-workflow dip, stage-3 bump,
+  tail drain) and cuts accumulated waste by a large factor;
+* HTA pays a modest runtime increase.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+
+from repro.experiments import fig10
+from repro.metrics.summary import comparison_factors
+
+
+def test_fig10_multistage_blast(benchmark, capsys):
+    results = run_once(benchmark, fig10.run, 0)
+    with capsys.disabled():
+        print()
+        print(fig10.report(results))
+
+    hpa20 = results["HPA(20% CPU)"]
+    hpa50 = results["HPA(50% CPU)"]
+    hta = results["HTA"]
+
+    total = sum(fig10.STAGES)
+    assert all(r.tasks_completed == total for r in results.values())
+
+    # --- HPA pins the cluster at the 60-core cap until the workload ends.
+    for r in (hpa20, hpa50):
+        t0, t1 = r.accountant.window()
+        supply = r.series("supply")
+        assert supply.maximum(t0, t1) >= 57.0
+        # Still at (near) the cap at 90% of the runtime.
+        assert supply.value_at(t0 + 0.9 * (t1 - t0)) >= 50.0
+
+    # --- HTA dips mid-workflow (the stage-2 valley) and drains the tail.
+    t0, t1 = hta.accountant.window()
+    hta_supply = hta.series("supply")
+    peak = hta_supply.maximum(t0, t1)
+    mid_min = min(
+        hta_supply.value_at(t0 + f * (t1 - t0)) for f in (0.45, 0.5, 0.55, 0.6, 0.65)
+    )
+    assert peak >= 50.0
+    assert mid_min < 0.7 * peak  # visible dip
+    assert hta_supply.value_at(t1) <= 3.0  # drained at the end
+
+    # --- Headline factors (paper: 5.6x / 4.3x waste cut, +12.5/16.6% time).
+    f20 = comparison_factors(hta.accounting, hpa20.accounting)
+    f50 = comparison_factors(hta.accounting, hpa50.accounting)
+    assert f20["waste_reduction"] > 1.8
+    assert f50["waste_reduction"] > 1.8
+    assert -0.05 < f20["runtime_increase"] < 0.45
+    assert hta.accounting.utilization > hpa20.accounting.utilization

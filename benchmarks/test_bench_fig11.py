@@ -1,0 +1,45 @@
+"""Bench: regenerate fig 11 (I/O-bound workload — HPA blind spot)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+
+from repro.experiments import fig11
+from repro.metrics.summary import comparison_factors
+
+
+def test_fig11_io_bound(benchmark, capsys):
+    results = run_once(benchmark, fig11.run, 0)
+    with capsys.disabled():
+        print()
+        print(fig11.report(results))
+
+    hpa20 = results["HPA(20% CPU)"]
+    hpa50 = results["HPA(50% CPU)"]
+    hta = results["HTA"]
+
+    assert all(r.tasks_completed == fig11.N_TASKS for r in results.values())
+
+    # --- HPA never scales: CPU stays under every target (paper: the
+    # cluster size never grows).
+    for r in (hpa20, hpa50):
+        t0, t1 = r.accountant.window()
+        assert r.series("workers_connected").maximum(t0, t1) <= 3.0
+
+    # --- HTA scales to the cap and is several times faster
+    # (paper: 3.66x vs HPA-20).
+    t0, t1 = hta.accountant.window()
+    assert hta.series("workers_connected").maximum(t0, t1) >= 18.0
+    f20 = comparison_factors(hta.accounting, hpa20.accounting)
+    assert f20["speedup"] > 2.5
+
+    # --- Shortage collapses under HTA; HPA's waste is near zero but its
+    # queue starves (the paper's waste/shortage trade-off).
+    assert (
+        hta.accounting.accumulated_shortage_core_s
+        < 0.5 * hpa20.accounting.accumulated_shortage_core_s
+    )
+    assert (
+        hpa20.accounting.accumulated_waste_core_s
+        < hta.accounting.accumulated_waste_core_s * 5
+    )

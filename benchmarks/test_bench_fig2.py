@@ -1,0 +1,37 @@
+"""Bench: regenerate fig 2 (HPA target-CPU sweep on 200-job BLAST).
+
+Prints the same series/rows the paper reports and asserts the shape:
+Config-10 ≈ Config-50 ≪ Config-99; the ideal schedule is fastest; the
+99 % target never scales the pool.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_hpa_target_sweep(benchmark, capsys):
+    results = run_once(benchmark, fig2.run, 0)
+    with capsys.disabled():
+        print()
+        print(fig2.report(results))
+
+    c10, c50, c99 = results["Config-10"], results["Config-50"], results["Config-99"]
+    ideal = results["ideal"]
+
+    # Everyone finishes the workload.
+    assert all(r.tasks_completed == fig2.N_TASKS for r in (c10, c50, c99))
+
+    # Config-10 and Config-50 land close together (paper: 1294 vs 1304 s).
+    assert abs(c10.makespan_s - c50.makespan_s) / c50.makespan_s < 0.25
+
+    # Config-99 never scales up and is several times slower (paper: 3.6x).
+    t0, t1 = c99.accountant.window()
+    assert c99.series("workers_connected").maximum(t0, t1) <= 3.0
+    assert c99.makespan_s > 3.0 * c10.makespan_s
+
+    # The ideal schedule beats every HPA configuration (paper: 240 s).
+    assert ideal.makespan_s < c10.makespan_s
+    assert ideal.makespan_s < 1.5 * fig2.PAPER["runtime_ideal_s"]

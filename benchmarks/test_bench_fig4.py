@@ -1,0 +1,37 @@
+"""Bench: regenerate fig 4 (worker-pod sizing study)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4_worker_sizing(benchmark, capsys):
+    results = run_once(benchmark, fig4.run, 0)
+    with capsys.disabled():
+        print()
+        print(fig4.report(results))
+
+    fine = results["fine-grained"]
+    unknown = results["coarse-unknown"]
+    known = results["coarse-known"]
+
+    assert all(r.tasks_completed == fig4.N_TASKS for r in results.values())
+
+    # Runtime ordering (paper: 330 < 411 < 632 s).
+    assert known.makespan_s < fine.makespan_s < unknown.makespan_s
+
+    # Bandwidth: coarse configurations beat fine-grained (fewer streams
+    # share the master egress; paper: 452/466 vs 278 MB/s).
+    assert fine.extras["mean_bandwidth_mbps"] < known.extras["mean_bandwidth_mbps"]
+    assert fine.extras["mean_bandwidth_mbps"] < unknown.extras["mean_bandwidth_mbps"]
+
+    # CPU utilization: one-job-per-node wastes ~2/3 of each node
+    # (paper: 32.4% vs 87.2%/85.7%).
+    assert unknown.accounting.utilization < 0.45
+    assert known.accounting.utilization > 0.6
+    assert fine.accounting.utilization > 0.55
+
+    # Data volume: fine-grained moves 3x the input bytes (15 caches vs 5).
+    assert fine.extras["bytes_moved_mb"] > 2.5 * known.extras["bytes_moved_mb"]

@@ -1,0 +1,23 @@
+"""Bench: regenerate fig 6 (resource-initialization latency, 10 trials)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_init_latency(benchmark, capsys):
+    result = run_once(benchmark, fig6.run, 0, 10)
+    with capsys.disabled():
+        print()
+        print(fig6.report(result))
+
+    # Paper: mean 157.4 s, std 4.2 s — "the resource initialization
+    # latency alters little".
+    assert abs(result.mean_s - fig6.PAPER["mean_s"]) < 10.0
+    assert result.std_s < 3 * fig6.PAPER["std_s"]
+    assert len(result.samples) == 10
+    # Stability claim: spread under 10% of the mean.
+    spread = max(result.samples) - min(result.samples)
+    assert spread < 0.15 * result.mean_s

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Drive a workflow written in the Makeflow dialect end-to-end.
+
+Writes a Makeflow file (GNU-Make-like rules with category/resource
+directives), parses it into a DAG, and executes it under HTA — the exact
+pipeline of the paper's fig 8 (Makeflow → HTA → Work Queue → Kubernetes).
+
+    python examples/makeflow_file.py
+"""
+
+import tempfile
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.node import N1_STANDARD_4_RESERVED
+from repro.experiments.runner import StackConfig, run_hta_experiment
+from repro.makeflow.parser import parse_makeflow_file
+
+MAKEFLOW_TEXT = """\
+# A split / align / reduce workflow in the Makeflow dialect.
+# .SIZE declares file sizes (MB); CACHE marks worker-cacheable files.
+.SIZE genome.db 1400 CACHE
+
+CATEGORY=split
+CORES=1
+MEMORY=1000
+RUNTIME=30
+
+chunk.0 chunk.1 chunk.2 chunk.3: reads.fastq
+\tsplit-reads reads.fastq 4
+
+CATEGORY=align
+MEMORY=2500
+RUNTIME=120
+
+hits.0: genome.db chunk.0
+\tblastall -d genome.db -i chunk.0 -o hits.0
+hits.1: genome.db chunk.1
+\tblastall -d genome.db -i chunk.1 -o hits.1
+hits.2: genome.db chunk.2
+\tblastall -d genome.db -i chunk.2 -o hits.2
+hits.3: genome.db chunk.3
+\tblastall -d genome.db -i chunk.3 -o hits.3
+
+CATEGORY=reduce
+MEMORY=1500
+RUNTIME=45
+
+report.txt: hits.0 hits.1 hits.2 hits.3
+\tmerge-hits -o report.txt hits.*
+"""
+
+
+def main() -> None:
+    with tempfile.NamedTemporaryFile("w", suffix=".mf", delete=False) as fh:
+        fh.write(MAKEFLOW_TEXT)
+        path = fh.name
+
+    graph = parse_makeflow_file(path)
+    print(f"Parsed {path}:")
+    print(f"  tasks            : {len(graph)}")
+    print(f"  categories       : {graph.category_counts()}")
+    print(f"  DAG depth        : {graph.depth()}")
+    print(f"  initial files    : {sorted(graph.initial_files())}")
+    print(f"  final outputs    : {sorted(graph.final_outputs())}")
+    print(f"  critical path    : {graph.critical_path_seconds():.0f}s")
+
+    result = run_hta_experiment(
+        graph,
+        stack_config=StackConfig(
+            cluster=ClusterConfig(
+                machine_type=N1_STANDARD_4_RESERVED, min_nodes=2, max_nodes=4
+            ),
+            seed=1,
+        ),
+    )
+    print()
+    print(result.summary())
+    lower_bound = graph.critical_path_seconds()
+    print(f"  (critical-path lower bound: {lower_bound:.0f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — reproduction of *Autoscaling High-Throughput Workloads on
+Container Orchestrators* (Zheng, Kremer-Herman, Shaffer, Thain; IEEE
+CLUSTER 2020).
+
+The package implements the paper's contribution — **HTA, the
+High-Throughput Autoscaler** (:mod:`repro.hta`) — together with every
+substrate it runs on, rebuilt from scratch as a deterministic
+discrete-event simulation:
+
+* :mod:`repro.sim` — the discrete-event kernel (engine, processes, seeded
+  RNG streams, exact step-function metric traces);
+* :mod:`repro.cluster` — a Kubernetes-like orchestrator (API server +
+  watches, scheduler, kubelets, cloud-controller node autoscaling,
+  metrics-server, and the HPA baseline);
+* :mod:`repro.wq` — a Work Queue-like master/worker scheduler with a
+  fair-share master-egress network link and per-worker input caches;
+* :mod:`repro.makeflow` — a Makeflow-like DAG workflow manager with a
+  GNU-Make-style parser;
+* :mod:`repro.workloads` — the paper's workloads (multistage BLAST,
+  I/O-bound `dd`, CPU-bound synthetics);
+* :mod:`repro.metrics` — RIU/RSH/RD/RS/RW accounting and core×s integrals;
+* :mod:`repro.experiments` — one harness per paper figure/table.
+
+Quickstart::
+
+    from repro import run_hta_experiment
+    from repro.workloads import blast_multistage
+
+    result = run_hta_experiment(blast_multistage(), seed=7)
+    print(result.summary())
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ExperimentResult",
+    "run_hpa_experiment",
+    "run_hta_experiment",
+    "run_queue_scaler_experiment",
+    "run_static_experiment",
+]
+
+_RUNNER_EXPORTS = {
+    "ExperimentResult",
+    "run_hpa_experiment",
+    "run_hta_experiment",
+    "run_queue_scaler_experiment",
+    "run_static_experiment",
+}
+
+
+def __getattr__(name: str):
+    # Lazy re-export: keeps `import repro` cheap and avoids importing the
+    # whole experiment stack for users who only need a substrate.
+    if name in _RUNNER_EXPORTS:
+        from repro.experiments import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

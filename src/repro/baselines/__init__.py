@@ -1,0 +1,12 @@
+"""Additional autoscaling baselines beyond the paper's HPA.
+
+The paper's related work (§VII) discusses queue-driven autoscalers;
+today's canonical open-source implementation is KEDA's queue-length
+scaler. :mod:`~repro.baselines.queue_scaler` implements that control law
+on our substrates so HTA can be compared against a stronger baseline
+than CPU-reactive HPA — see ``benchmarks/test_bench_baselines.py``.
+"""
+
+from repro.baselines.queue_scaler import QueueLengthAutoscaler, QueueScalerConfig
+
+__all__ = ["QueueLengthAutoscaler", "QueueScalerConfig"]

@@ -1,0 +1,85 @@
+"""A Kubernetes-like container-orchestrator substrate (simulated).
+
+The paper runs on GKE; this package rebuilds the pieces of Kubernetes its
+evaluation actually exercises, as cooperating control loops on the
+discrete-event engine:
+
+* :mod:`~repro.cluster.api` — an API server with typed object stores and
+  watch streams (ADDED/MODIFIED/DELETED), consumed by informers;
+* :mod:`~repro.cluster.pod` / :mod:`~repro.cluster.node` — the objects,
+  including the fig-9 worker-pod lifecycle (``No Available Node`` →
+  ``No Container Image`` → ``Running`` → ``Stopped``) surfaced as pod
+  events exactly as HTA's informer expects;
+* :mod:`~repro.cluster.scheduler` — a kube-scheduler binding pending pods
+  to nodes with sufficient allocatable resources;
+* :mod:`~repro.cluster.kubelet` — per-node agent pulling images (with a
+  node-local image cache) and starting/stopping containers;
+* :mod:`~repro.cluster.cloud` — the cloud-controller-manager / cluster
+  autoscaler provisioning nodes for unschedulable pods (with the measured
+  GKE reservation latency) and reclaiming idle nodes;
+* :mod:`~repro.cluster.metrics_server` — windowed per-pod CPU averages;
+* :mod:`~repro.cluster.replicaset` — a replica controller for worker pods
+  (what HPA scales);
+* :mod:`~repro.cluster.hpa` — the Horizontal Pod Autoscaler baseline:
+  ratio control with tolerance, sync period, scale-up rate caps, and the
+  scale-down stabilization window the paper discusses;
+* :mod:`~repro.cluster.cluster` — a facade wiring all of the above.
+"""
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.images import ContainerImage, ImageRegistry
+from repro.cluster.objects import KubeObject, ObjectMeta, Service, StatefulSet
+from repro.cluster.pod import Pod, PodPhase, PodSpec, PodEvent
+from repro.cluster.node import (
+    MachineType,
+    Node,
+    N1_STANDARD_4,
+    N1_STANDARD_4_RESERVED,
+    GKE_SMALL_3CPU,
+)
+from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
+from repro.cluster.informer import Informer
+from repro.cluster.scheduler import KubeScheduler
+from repro.cluster.kubelet import Kubelet
+from repro.cluster.cloud import CloudController, CloudControllerConfig
+from repro.cluster.metrics_server import MetricsServer
+from repro.cluster.replicaset import WorkerReplicaSet
+from repro.cluster.hpa import HorizontalPodAutoscaler, HpaConfig
+from repro.cluster.statefulset import StatefulSetController
+from repro.cluster.chaos import ChaosInjector
+from repro.cluster.cluster import Cluster, ClusterConfig
+
+__all__ = [
+    "ResourceVector",
+    "ContainerImage",
+    "ImageRegistry",
+    "KubeObject",
+    "ObjectMeta",
+    "Service",
+    "StatefulSet",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "PodEvent",
+    "MachineType",
+    "Node",
+    "N1_STANDARD_4",
+    "N1_STANDARD_4_RESERVED",
+    "GKE_SMALL_3CPU",
+    "KubeApiServer",
+    "WatchEvent",
+    "WatchEventType",
+    "Informer",
+    "KubeScheduler",
+    "Kubelet",
+    "CloudController",
+    "CloudControllerConfig",
+    "MetricsServer",
+    "WorkerReplicaSet",
+    "HorizontalPodAutoscaler",
+    "HpaConfig",
+    "StatefulSetController",
+    "ChaosInjector",
+    "Cluster",
+    "ClusterConfig",
+]

@@ -1,0 +1,182 @@
+"""The API server: typed object stores plus watch streams.
+
+Control loops in this package (scheduler, cloud controller, HPA) and in
+:mod:`repro.hta` never hold references to each other; they interact the
+Kubernetes way — by reading and writing objects through the API server and
+subscribing to watch events. This keeps each loop independently testable
+and mirrors the real system's architecture (HTA's informer cache is a
+client of exactly this watch interface).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Type
+
+from repro.cluster.node import Node
+from repro.cluster.objects import KubeObject, Service, StatefulSet
+from repro.cluster.pod import Pod, PodPhase, REASON_KILLED
+from repro.sim.engine import Engine
+
+
+class WatchEventType(enum.Enum):
+    ADDED = "ADDED"
+    MODIFIED = "MODIFIED"
+    DELETED = "DELETED"
+
+
+@dataclass(frozen=True, slots=True)
+class WatchEvent:
+    """A change notification delivered to watchers of a kind."""
+
+    type: WatchEventType
+    obj: KubeObject
+    time: float
+
+
+WatchHandler = Callable[[WatchEvent], None]
+
+
+class ConflictError(RuntimeError):
+    """Create of an object whose name already exists."""
+
+
+class NotFoundError(KeyError):
+    """Get/delete of an object that does not exist."""
+
+
+class KubeApiServer:
+    """Stores objects by kind and name; fans out watch events.
+
+    Watch delivery is *asynchronous* (scheduled ``call_soon``), like real
+    watch streams: a handler that mutates objects cannot re-enter another
+    handler mid-notification, which keeps control-loop interleavings
+    well-defined.
+    """
+
+    KINDS: Dict[str, Type[KubeObject]] = {
+        "Pod": Pod,
+        "Node": Node,
+        "Service": Service,
+        "StatefulSet": StatefulSet,
+    }
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._stores: Dict[str, Dict[str, KubeObject]] = {k: {} for k in self.KINDS}
+        self._watchers: Dict[str, List[WatchHandler]] = {k: [] for k in self.KINDS}
+        self.writes = 0  # diagnostic: API write volume
+
+    # ---------------------------------------------------------------- CRUD
+    def _store(self, kind: str) -> Dict[str, KubeObject]:
+        try:
+            return self._stores[kind]
+        except KeyError:
+            raise KeyError(f"unknown kind {kind!r}; known: {sorted(self._stores)}") from None
+
+    def create(self, obj: KubeObject) -> KubeObject:
+        store = self._store(obj.kind)
+        if obj.name in store:
+            raise ConflictError(f"{obj.kind} {obj.name!r} already exists")
+        obj.meta.creation_time = self.engine.now
+        store[obj.name] = obj
+        self.writes += 1
+        self._notify(WatchEventType.ADDED, obj)
+        return obj
+
+    def get(self, kind: str, name: str) -> KubeObject:
+        store = self._store(kind)
+        try:
+            return store[name]
+        except KeyError:
+            raise NotFoundError(f"{kind} {name!r} not found") from None
+
+    def try_get(self, kind: str, name: str) -> Optional[KubeObject]:
+        return self._store(kind).get(name)
+
+    def list(self, kind: str, selector: Optional[Dict[str, str]] = None) -> List[KubeObject]:
+        objs: Iterable[KubeObject] = self._store(kind).values()
+        if selector:
+            objs = (o for o in objs if o.meta.matches(selector))
+        return sorted(objs, key=lambda o: (o.meta.creation_time, o.name))
+
+    def mark_modified(self, obj: KubeObject) -> None:
+        """Record an in-place status update and notify watchers.
+
+        Objects are mutated directly (pods change phase, nodes turn ready);
+        callers announce the change here, mirroring a status PATCH.
+        """
+        store = self._store(obj.kind)
+        if store.get(obj.name) is not obj:
+            return  # already deleted; late status updates are dropped
+        self.writes += 1
+        self._notify(WatchEventType.MODIFIED, obj)
+
+    def delete(self, kind: str, name: str) -> KubeObject:
+        store = self._store(kind)
+        try:
+            obj = store.pop(name)
+        except KeyError:
+            raise NotFoundError(f"{kind} {name!r} not found") from None
+        self.writes += 1
+        if isinstance(obj, Pod):
+            self._teardown_pod(obj)
+        self._notify(WatchEventType.DELETED, obj)
+        return obj
+
+    def try_delete(self, kind: str, name: str) -> Optional[KubeObject]:
+        try:
+            return self.delete(kind, name)
+        except NotFoundError:
+            return None
+
+    def _teardown_pod(self, pod: Pod) -> None:
+        """Deleting a pod kills its container (the disruptive path the
+        paper's pod-per-worker design avoids for scale-down)."""
+        pod.deletion_requested = True
+        if pod.phase is PodPhase.RUNNING:
+            pod.add_event(self.engine.now, REASON_KILLED, "pod deleted")
+            if pod.on_stop is not None:
+                pod.on_stop(pod)
+            pod.mark_finished(self.engine.now, succeeded=False)
+        elif not pod.phase.terminal:
+            pod.mark_finished(self.engine.now, succeeded=False)
+        if pod.node is not None:
+            pod.node.unbind(pod)
+
+    # --------------------------------------------------------------- watch
+    def watch(self, kind: str, handler: WatchHandler, *, replay_existing: bool = True) -> None:
+        """Subscribe to changes of ``kind``.
+
+        With ``replay_existing`` (informer semantics) the handler first
+        receives ADDED for every object already in the store.
+        """
+        self._watchers[kind].append(handler)
+        if replay_existing:
+            for obj in self.list(kind):
+                self.engine.call_soon(handler, WatchEvent(WatchEventType.ADDED, obj, self.engine.now))
+
+    def unwatch(self, kind: str, handler: WatchHandler) -> None:
+        try:
+            self._watchers[kind].remove(handler)
+        except ValueError:
+            pass
+
+    def _notify(self, event_type: WatchEventType, obj: KubeObject) -> None:
+        event = WatchEvent(event_type, obj, self.engine.now)
+        for handler in list(self._watchers[obj.kind]):
+            self.engine.call_soon(handler, event)
+
+    # ------------------------------------------------------------- helpers
+    def pods(self, selector: Optional[Dict[str, str]] = None) -> List[Pod]:
+        return [p for p in self.list("Pod", selector) if isinstance(p, Pod)]
+
+    def nodes(self) -> List[Node]:
+        return [n for n in self.list("Node") if isinstance(n, Node)]
+
+    def ready_nodes(self) -> List[Node]:
+        return [n for n in self.nodes() if n.ready and not n.deleted]
+
+    def pending_pods(self) -> List[Pod]:
+        return [p for p in self.pods() if p.phase is PodPhase.PENDING and p.node is None]

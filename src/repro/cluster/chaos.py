@@ -1,0 +1,117 @@
+"""Failure injection: node crashes and pod evictions.
+
+Pods are "disposable object[s] which might fail or restart" (§II-C);
+this module makes that concrete for tests and robustness experiments.
+A node crash takes every pod on it down with it — worker pods lose their
+tasks back to the master's queue, a StatefulSet-wrapped master pod gets
+a sticky replacement — and the cloud controller heals the pool.
+
+All scheduling of failures draws from a named RNG stream, so chaos runs
+replay deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cluster.api import KubeApiServer
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod
+from repro.sim.engine import Engine, PeriodicTask
+from repro.sim.rng import RngRegistry
+
+
+class ChaosInjector:
+    """Kills nodes/pods on demand or on a seeded random schedule."""
+
+    def __init__(self, engine: Engine, api: KubeApiServer, rng: RngRegistry) -> None:
+        self.engine = engine
+        self.api = api
+        self.rng = rng
+        self.nodes_killed = 0
+        self.pods_killed = 0
+        self._schedules: List[PeriodicTask] = []
+
+    # ------------------------------------------------------------- directed
+    def kill_node(self, node: Node) -> List[Pod]:
+        """Crash a node: every pod on it fails, then the node vanishes."""
+        victims = list(node.active_pods())
+        node.ready = False
+        node.deleted = True
+        for pod in victims:
+            self.api.try_delete("Pod", pod.name)
+        self.api.try_delete("Node", node.name)
+        self.nodes_killed += 1
+        return victims
+
+    def kill_node_named(self, name: str) -> List[Pod]:
+        node = self.api.try_get("Node", name)
+        if not isinstance(node, Node):
+            raise KeyError(f"no such node {name!r}")
+        return self.kill_node(node)
+
+    def kill_random_node(self) -> Optional[Node]:
+        nodes = self.api.ready_nodes()
+        if not nodes:
+            return None
+        idx = int(self.rng.stream("chaos.node").integers(0, len(nodes)))
+        node = nodes[idx]
+        self.kill_node(node)
+        return node
+
+    def evict_pod(self, pod: Pod) -> None:
+        """Delete one pod (voluntary disruption / preemption)."""
+        self.api.try_delete("Pod", pod.name)
+        self.pods_killed += 1
+
+    def evict_random_pod(self, selector: Optional[dict] = None) -> Optional[Pod]:
+        pods = [p for p in self.api.pods(selector) if not p.phase.terminal]
+        if not pods:
+            return None
+        idx = int(self.rng.stream("chaos.pod").integers(0, len(pods)))
+        pod = pods[idx]
+        self.evict_pod(pod)
+        return pod
+
+    # ------------------------------------------------------------ scheduled
+    def schedule_node_failures(
+        self,
+        mean_interval_s: float,
+        *,
+        start_after: Optional[float] = None,
+        predicate: Optional[Callable[[Node], bool]] = None,
+    ) -> PeriodicTask:
+        """Crash a random (predicate-matching) node roughly every
+        ``mean_interval_s`` seconds (exponential gaps, seeded)."""
+        if mean_interval_s <= 0:
+            raise ValueError("mean_interval_s must be positive")
+
+        def strike() -> float:
+            nodes = [
+                n
+                for n in self.api.ready_nodes()
+                if predicate is None or predicate(n)
+            ]
+            if nodes:
+                idx = int(self.rng.stream("chaos.node").integers(0, len(nodes)))
+                self.kill_node(nodes[idx])
+            gap = float(
+                self.rng.stream("chaos.schedule").exponential(mean_interval_s)
+            )
+            return max(1.0, gap)
+
+        first = (
+            start_after
+            if start_after is not None
+            else max(1.0, float(self.rng.stream("chaos.schedule").exponential(mean_interval_s)))
+        )
+        task = PeriodicTask(
+            self.engine, mean_interval_s, strike, start_after=first, use_return_delay=True
+        )
+        self._schedules.append(task)
+        return task
+
+    def stop(self) -> None:
+        for task in self._schedules:
+            task.stop()
+        self._schedules.clear()

@@ -1,0 +1,66 @@
+"""Container images and the (private) registry nodes pull from.
+
+The paper sets up a private registry on Google Cloud "to avoid network
+speed variations between a public Docker registry and the daemons"; we
+model a registry with a stable per-node pull bandwidth plus a small
+per-pull fixed overhead (manifest resolution, layer unpack), with optional
+jitter from a named RNG stream. Pull time is part of the fig-6 resource-
+initialization latency breakdown ("machine reservation and container
+pulling time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class ContainerImage:
+    """An image identified by name with a compressed transfer size."""
+
+    name: str
+    size_mb: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError(f"image {self.name!r}: negative size {self.size_mb}")
+
+
+class ImageRegistry:
+    """Computes pull durations for (image, node) pairs.
+
+    ``pull_bandwidth_mbps`` is per-node (a private regional registry is not
+    the bottleneck when a handful of nodes pull concurrently, which matches
+    the paper's stable fig-6 latencies). ``jitter_cv`` adds lognormal noise
+    with the given coefficient of variation; 0 disables it.
+    """
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        *,
+        pull_bandwidth_mbps: float = 100.0,
+        fixed_overhead_s: float = 2.0,
+        jitter_cv: float = 0.02,
+    ) -> None:
+        if pull_bandwidth_mbps <= 0:
+            raise ValueError("pull_bandwidth_mbps must be positive")
+        if fixed_overhead_s < 0:
+            raise ValueError("fixed_overhead_s must be non-negative")
+        self.rng = rng
+        self.pull_bandwidth_mbps = pull_bandwidth_mbps
+        self.fixed_overhead_s = fixed_overhead_s
+        self.jitter_cv = jitter_cv
+        self.pulls_started = 0
+
+    def pull_duration(self, image: ContainerImage) -> float:
+        """Seconds to pull ``image`` onto a node that doesn't cache it."""
+        self.pulls_started += 1
+        base = self.fixed_overhead_s + image.size_mb / self.pull_bandwidth_mbps
+        return self.rng.lognormal_around("registry.pull", base, self.jitter_cv)
+
+    def mean_pull_duration(self, image: ContainerImage) -> float:
+        """Expected pull time without jitter (used by calibration tests)."""
+        return self.fixed_overhead_s + image.size_mb / self.pull_bandwidth_mbps

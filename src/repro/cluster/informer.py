@@ -1,0 +1,74 @@
+"""A client-go-style shared informer: local cache + event handlers.
+
+HTA's *Informer Cache* component "receives a notice when registered
+objects are created, updated, or deleted" and uses it to track worker-pod
+lifecycles. This class is the same abstraction: it subscribes to the API
+server watch for one kind, maintains a read-only local cache, and fans
+events out to registered add/update/delete handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
+from repro.cluster.objects import KubeObject
+
+AddHandler = Callable[[KubeObject], None]
+UpdateHandler = Callable[[KubeObject], None]
+DeleteHandler = Callable[[KubeObject], None]
+
+
+class Informer:
+    """Watches one kind; caches objects; dispatches to handlers.
+
+    Handlers registered after events have flowed still see a consistent
+    picture via :meth:`items` (the cache), like a real informer's lister.
+    """
+
+    def __init__(self, api: KubeApiServer, kind: str) -> None:
+        self.api = api
+        self.kind = kind
+        self.cache: Dict[str, KubeObject] = {}
+        self._on_add: List[AddHandler] = []
+        self._on_update: List[UpdateHandler] = []
+        self._on_delete: List[DeleteHandler] = []
+        self.events_seen = 0
+        api.watch(kind, self._handle, replay_existing=True)
+
+    # ------------------------------------------------------------ handlers
+    def on_add(self, fn: AddHandler) -> None:
+        self._on_add.append(fn)
+
+    def on_update(self, fn: UpdateHandler) -> None:
+        self._on_update.append(fn)
+
+    def on_delete(self, fn: DeleteHandler) -> None:
+        self._on_delete.append(fn)
+
+    # --------------------------------------------------------------- cache
+    def items(self) -> List[KubeObject]:
+        return sorted(self.cache.values(), key=lambda o: (o.meta.creation_time, o.name))
+
+    def get(self, name: str) -> Optional[KubeObject]:
+        return self.cache.get(name)
+
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    # ------------------------------------------------------------ internal
+    def _handle(self, event: WatchEvent) -> None:
+        self.events_seen += 1
+        obj = event.obj
+        if event.type is WatchEventType.ADDED:
+            self.cache[obj.name] = obj
+            for fn in list(self._on_add):
+                fn(obj)
+        elif event.type is WatchEventType.MODIFIED:
+            self.cache[obj.name] = obj
+            for fn in list(self._on_update):
+                fn(obj)
+        elif event.type is WatchEventType.DELETED:
+            self.cache.pop(obj.name, None)
+            for fn in list(self._on_delete):
+                fn(obj)

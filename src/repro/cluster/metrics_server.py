@@ -1,0 +1,93 @@
+"""Metrics server: windowed per-pod CPU usage, as HPA consumes it.
+
+Kubernetes' metrics-server scrapes kubelets every ``sample_period``
+seconds and reports a short sliding-window average per pod. HPA then
+computes *utilization* = usage / request, averaged across the pods behind
+the scaled object. We reproduce that pipeline: instantaneous usage comes
+from each pod's attached ``cpu_usage_fn`` (set by the Work Queue worker),
+and consumers read :meth:`pod_usage` / :meth:`average_utilization`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional, Tuple
+
+from repro.cluster.api import KubeApiServer
+from repro.cluster.pod import Pod, PodPhase
+from repro.sim.engine import Engine, PeriodicTask
+
+
+class MetricsServer:
+    """Scrapes running pods on a fixed cadence; serves window averages."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        api: KubeApiServer,
+        *,
+        sample_period: float = 15.0,
+        window: float = 60.0,
+    ) -> None:
+        if sample_period <= 0 or window < sample_period:
+            raise ValueError(
+                f"need 0 < sample_period <= window, got {sample_period}, {window}"
+            )
+        self.engine = engine
+        self.api = api
+        self.sample_period = sample_period
+        self.window = window
+        self._samples: Dict[str, Deque[Tuple[float, float]]] = {}
+        self.scrapes = 0
+        self._loop = PeriodicTask(engine, sample_period, self.scrape, start_after=0.0)
+
+    def stop(self) -> None:
+        self._loop.stop()
+
+    # --------------------------------------------------------------- scrape
+    def scrape(self) -> None:
+        self.scrapes += 1
+        now = self.engine.now
+        live = set()
+        for pod in self.api.pods():
+            if pod.phase is not PodPhase.RUNNING:
+                continue
+            live.add(pod.name)
+            q = self._samples.setdefault(pod.name, deque())
+            q.append((now, pod.current_cpu_usage()))
+            cutoff = now - self.window
+            while q and q[0][0] < cutoff:
+                q.popleft()
+        # Forget pods no longer running so usage doesn't linger after exit.
+        for name in list(self._samples):
+            if name not in live:
+                del self._samples[name]
+
+    # ---------------------------------------------------------------- reads
+    def pod_usage(self, pod: Pod) -> Optional[float]:
+        """Window-averaged CPU usage (cores), or None if never scraped."""
+        q = self._samples.get(pod.name)
+        if not q:
+            return None
+        return sum(v for _, v in q) / len(q)
+
+    def average_utilization(self, pods: Iterable[Pod]) -> Optional[float]:
+        """HPA's metric: total windowed usage / total CPU request (0..1+).
+
+        Pods without samples yet are excluded (matching HPA's treatment of
+        not-yet-ready pods). Returns None when no pod has samples or the
+        request total is zero.
+        """
+        usage = 0.0
+        request = 0.0
+        counted = 0
+        for pod in pods:
+            u = self.pod_usage(pod)
+            if u is None:
+                continue
+            usage += u
+            request += pod.spec.request.cores
+            counted += 1
+        if counted == 0 or request <= 0:
+            return None
+        return usage / request

@@ -1,0 +1,133 @@
+"""Base Kubernetes-style API objects.
+
+Every object stored in the API server derives from :class:`KubeObject`:
+it has an :class:`ObjectMeta` (name, uid, labels, creation time) and a
+``kind``. The paper uses three object kinds beyond Pod and Node —
+StatefulSet (wrapping the Work Queue master for sticky identity +
+persistent volume), and Services (master access from inside/outside the
+cluster) — which we model structurally so HTA's deployment and clean-up
+stages manipulate the same objects the real middleware would.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+_uid_counter = itertools.count(1)
+
+
+def _next_uid(kind: str) -> str:
+    return f"{kind.lower()}-{next(_uid_counter):06d}"
+
+
+class ObjectMeta:
+    """Name, uid, labels and creation timestamp of an API object."""
+
+    __slots__ = ("name", "uid", "labels", "creation_time")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        labels: Optional[Dict[str, str]] = None,
+        creation_time: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.uid = _next_uid(kind)
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.creation_time = creation_time
+
+    def matches(self, selector: Dict[str, str]) -> bool:
+        """True iff every key/value in ``selector`` is present in labels."""
+        return all(self.labels.get(k) == v for k, v in selector.items())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ObjectMeta {self.name!r} uid={self.uid}>"
+
+
+class KubeObject:
+    """Base class for objects stored in the API server."""
+
+    kind: str = "Object"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        creation_time: float = 0.0,
+    ) -> None:
+        self.meta = ObjectMeta(name, self.kind, labels, creation_time)
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    @property
+    def uid(self) -> str:
+        return self.meta.uid
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.kind} {self.name!r}>"
+
+
+class Service(KubeObject):
+    """A stable network endpoint selecting pods by label.
+
+    ``cluster_ip`` services expose the master to worker pods inside the
+    cluster; ``load_balancer`` services expose it to Makeflow/HTA running
+    outside (the paper's "dedicated services ... from outside and inside
+    of the cluster").
+    """
+
+    kind = "Service"
+
+    def __init__(
+        self,
+        name: str,
+        selector: Dict[str, str],
+        *,
+        service_type: str = "ClusterIP",
+        port: int = 9123,
+        labels: Optional[Dict[str, str]] = None,
+        creation_time: float = 0.0,
+    ) -> None:
+        super().__init__(name, labels, creation_time)
+        if service_type not in ("ClusterIP", "LoadBalancer", "NodePort"):
+            raise ValueError(f"unknown service type {service_type!r}")
+        self.selector = dict(selector)
+        self.service_type = service_type
+        self.port = port
+
+
+class StatefulSet(KubeObject):
+    """A set of pods with sticky identity and stable storage.
+
+    The paper encapsulates the Work Queue master in a single-replica
+    StatefulSet with a persistent volume so a restarted master keeps its
+    identity and intermediate data. We track the template reference and
+    replica count; the actual pod lifecycle is driven by the controller in
+    :mod:`repro.cluster.cluster`.
+    """
+
+    kind = "StatefulSet"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        replicas: int = 1,
+        selector: Optional[Dict[str, str]] = None,
+        volume_gb: float = 100.0,
+        template: Optional[object] = None,  # PodSpec; untyped to avoid a cycle
+        labels: Optional[Dict[str, str]] = None,
+        creation_time: float = 0.0,
+    ) -> None:
+        super().__init__(name, labels, creation_time)
+        if replicas < 0:
+            raise ValueError("replicas must be non-negative")
+        self.replicas = replicas
+        self.selector = dict(selector or {})
+        self.volume_gb = volume_gb
+        self.template = template
+        self.ready_replicas = 0

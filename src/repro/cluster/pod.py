@@ -1,0 +1,178 @@
+"""Pods: the primary deployment unit, with the fig-9 lifecycle.
+
+The paper's HTA measures resource-initialization time by watching each
+worker-pod's lifecycle through the informer cache:
+
+1. **No Available Node** — the pod is ``Pending`` with a
+   ``FailedScheduling`` / *Insufficient Resource* event while the cloud
+   controller reserves a machine;
+2. **No Container Image** — scheduled, ``Pending`` with a *Pulling Image*
+   event while the kubelet pulls;
+3. **Worker-Pod Running** — container started;
+4. **Worker-Pod Stopped** — HTA drained the worker, the worker process
+   exited, and the pod turned ``Succeeded``.
+
+We keep a timestamped event log on each pod so the init-time tracker in
+:mod:`repro.hta.inittime` can replay exactly this state machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.cluster.images import ContainerImage
+from repro.cluster.objects import KubeObject
+from repro.cluster.resources import ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.node import Node
+
+
+class PodPhase(enum.Enum):
+    """Kubernetes pod phases (we do not model Unknown)."""
+
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+    FAILED = "Failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (PodPhase.SUCCEEDED, PodPhase.FAILED)
+
+
+# Event reasons surfaced to informers; names follow kubectl output.
+REASON_FAILED_SCHEDULING = "FailedScheduling"
+REASON_SCHEDULED = "Scheduled"
+REASON_PULLING = "Pulling"
+REASON_PULLED = "Pulled"
+REASON_STARTED = "Started"
+REASON_COMPLETED = "Completed"
+REASON_KILLED = "Killing"
+
+
+@dataclass(frozen=True, slots=True)
+class PodEvent:
+    """A timestamped lifecycle event, as the informer would observe it."""
+
+    time: float
+    reason: str
+    message: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class PodSpec:
+    """What a pod asks for: an image and a resource request.
+
+    ``request`` follows Kubernetes semantics: the scheduler reserves this
+    much on a node; the container may then subdivide it among tasks (Work
+    Queue workers do exactly that).
+    """
+
+    image: ContainerImage
+    request: ResourceVector
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.request.is_nonnegative():
+            raise ValueError(f"pod request must be non-negative, got {self.request}")
+
+
+class Pod(KubeObject):
+    """A pod object with phase, node binding, and event log.
+
+    ``cpu_usage_fn`` is attached by the container's workload (the Work
+    Queue worker) and polled by the metrics server; it returns the current
+    CPU usage in cores. ``on_stop`` is invoked when the pod is deleted
+    while running, letting the container react (a deleted worker-pod kills
+    its worker and the tasks on it — the behaviour the paper avoids by
+    draining through Work Queue instead).
+    """
+
+    kind = "Pod"
+
+    def __init__(self, name: str, spec: PodSpec, creation_time: float = 0.0) -> None:
+        super().__init__(name, dict(spec.labels), creation_time)
+        self.spec = spec
+        self.phase = PodPhase.PENDING
+        self.node: Optional["Node"] = None
+        self.events: List[PodEvent] = []
+        self.scheduled_time: Optional[float] = None
+        self.started_time: Optional[float] = None
+        self.finished_time: Optional[float] = None
+        self.deletion_requested = False
+        self.cpu_usage_fn: Optional[Callable[[], float]] = None
+        self.on_stop: Optional[Callable[["Pod"], None]] = None
+
+    # -------------------------------------------------------------- events
+    def add_event(self, time: float, reason: str, message: str = "") -> PodEvent:
+        ev = PodEvent(time, reason, message)
+        self.events.append(ev)
+        return ev
+
+    def last_event(self, reason: str) -> Optional[PodEvent]:
+        for ev in reversed(self.events):
+            if ev.reason == reason:
+                return ev
+        return None
+
+    def had_event(self, reason: str) -> bool:
+        return any(ev.reason == reason for ev in self.events)
+
+    # ------------------------------------------------------------- phases
+    def mark_scheduled(self, time: float, node: "Node") -> None:
+        if self.phase is not PodPhase.PENDING:
+            raise RuntimeError(f"pod {self.name}: cannot schedule in phase {self.phase}")
+        self.node = node
+        self.scheduled_time = time
+        self.add_event(time, REASON_SCHEDULED, f"assigned to {node.name}")
+
+    def mark_running(self, time: float) -> None:
+        if self.phase is not PodPhase.PENDING or self.node is None:
+            raise RuntimeError(f"pod {self.name}: cannot start in phase {self.phase}")
+        self.phase = PodPhase.RUNNING
+        self.started_time = time
+        self.add_event(time, REASON_STARTED, "container started")
+
+    def mark_finished(self, time: float, succeeded: bool = True) -> None:
+        if self.phase.terminal:
+            return
+        self.phase = PodPhase.SUCCEEDED if succeeded else PodPhase.FAILED
+        self.finished_time = time
+        self.add_event(time, REASON_COMPLETED if succeeded else REASON_KILLED)
+
+    # ------------------------------------------------------------- derived
+    @property
+    def ready(self) -> bool:
+        return self.phase is PodPhase.RUNNING
+
+    def current_cpu_usage(self) -> float:
+        """Instantaneous CPU usage in cores (0 when no workload attached)."""
+        if self.phase is not PodPhase.RUNNING or self.cpu_usage_fn is None:
+            return 0.0
+        return self.cpu_usage_fn()
+
+    def initialization_interval(self) -> Optional[float]:
+        """Creation-to-ready duration, or None if never started.
+
+        HTA uses this (for pods that experienced *No Available Node*) as
+        the latest resource-initialization time.
+        """
+        if self.started_time is None:
+            return None
+        return self.started_time - self.meta.creation_time
+
+    def experienced_cold_start(self) -> bool:
+        """True iff this pod went through the full fig-9 path: waited for a
+        node (FailedScheduling) and for an image pull before starting."""
+        return (
+            self.had_event(REASON_FAILED_SCHEDULING)
+            and self.had_event(REASON_PULLING)
+            and self.started_time is not None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = self.node.name if self.node else "unbound"
+        return f"<Pod {self.name!r} {self.phase.value} on {where}>"

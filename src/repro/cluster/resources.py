@@ -1,0 +1,140 @@
+"""Resource vectors shared by Kubernetes scheduling and Work Queue placement.
+
+A :class:`ResourceVector` carries the three dimensions the paper's systems
+reason about — CPU cores, memory (MB), and disk (MB). Both the
+kube-scheduler ("does this pod fit on this node?") and the Work Queue
+master ("does this task fit in this worker's remaining capacity?") use the
+same component-wise *fits* partial order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceVector:
+    """An immutable (cores, memory_mb, disk_mb) triple.
+
+    Arithmetic is component-wise; comparisons use the *fits* partial order
+    (``a.fits_in(b)`` iff every component of ``a`` is ≤ the corresponding
+    component of ``b``). Python's rich comparisons are deliberately not
+    overloaded with the partial order, since ``not (a <= b)`` does not
+    imply ``b <= a`` for vectors.
+    """
+
+    cores: float = 0.0
+    memory_mb: float = 0.0
+    disk_mb: float = 0.0
+
+    # ---------------------------------------------------------- constructors
+    @staticmethod
+    def zero() -> "ResourceVector":
+        return ResourceVector(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def of_cores(cores: float) -> "ResourceVector":
+        """A vector with only the CPU dimension set (common in tests)."""
+        return ResourceVector(cores=cores)
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cores + other.cores,
+            self.memory_mb + other.memory_mb,
+            self.disk_mb + other.disk_mb,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cores - other.cores,
+            self.memory_mb - other.memory_mb,
+            self.disk_mb - other.disk_mb,
+        )
+
+    def scale(self, factor: float) -> "ResourceVector":
+        return ResourceVector(
+            self.cores * factor, self.memory_mb * factor, self.disk_mb * factor
+        )
+
+    def clamp_floor(self, floor: float = 0.0) -> "ResourceVector":
+        """Component-wise max with ``floor`` (used after subtraction)."""
+        return ResourceVector(
+            max(self.cores, floor),
+            max(self.memory_mb, floor),
+            max(self.disk_mb, floor),
+        )
+
+    def max_with(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            max(self.cores, other.cores),
+            max(self.memory_mb, other.memory_mb),
+            max(self.disk_mb, other.disk_mb),
+        )
+
+    # ------------------------------------------------------------ predicates
+    def fits_in(self, capacity: "ResourceVector", epsilon: float = 1e-9) -> bool:
+        """True iff this request fits within ``capacity`` component-wise.
+
+        A small epsilon absorbs float drift from repeated add/subtract of
+        allocations (e.g. 3 × 1/3-core tasks on a 1-core worker).
+        """
+        return (
+            self.cores <= capacity.cores + epsilon
+            and self.memory_mb <= capacity.memory_mb + epsilon
+            and self.disk_mb <= capacity.disk_mb + epsilon
+        )
+
+    def is_zero(self, epsilon: float = 1e-9) -> bool:
+        return (
+            abs(self.cores) <= epsilon
+            and abs(self.memory_mb) <= epsilon
+            and abs(self.disk_mb) <= epsilon
+        )
+
+    def is_nonnegative(self, epsilon: float = 1e-9) -> bool:
+        return (
+            self.cores >= -epsilon
+            and self.memory_mb >= -epsilon
+            and self.disk_mb >= -epsilon
+        )
+
+    def any_positive(self, epsilon: float = 1e-9) -> bool:
+        """True iff at least one component is strictly positive."""
+        return self.cores > epsilon or self.memory_mb > epsilon or self.disk_mb > epsilon
+
+    # --------------------------------------------------------------- derived
+    def dominant_fraction_of(self, capacity: "ResourceVector") -> float:
+        """Largest per-dimension fraction of ``capacity`` this vector uses.
+
+        This is the *dominant share*: how many copies of this request fit
+        in ``capacity`` is ``floor(1 / dominant_fraction)``. Dimensions with
+        zero capacity and zero request are ignored; a positive request
+        against zero capacity yields ``inf``.
+        """
+        fractions = []
+        for need, cap in zip(self, capacity):
+            if need <= 0:
+                continue
+            if cap <= 0:
+                return float("inf")
+            fractions.append(need / cap)
+        return max(fractions) if fractions else 0.0
+
+    def copies_fitting_in(self, capacity: "ResourceVector") -> int:
+        """How many whole copies of this request fit in ``capacity``."""
+        frac = self.dominant_fraction_of(capacity)
+        if frac == 0.0:
+            return 0 if capacity.is_zero() else 10**9  # a zero request "fits" unboundedly
+        if frac == float("inf"):
+            return 0
+        return int(1.0 / frac + 1e-9)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.cores
+        yield self.memory_mb
+        yield self.disk_mb
+
+    def __str__(self) -> str:
+        return f"(cores={self.cores:g}, mem={self.memory_mb:g}MB, disk={self.disk_mb:g}MB)"

@@ -1,0 +1,98 @@
+"""The kube-scheduler: binds pending pods to nodes.
+
+Runs as a periodic control loop (plus an immediate kick whenever a pod is
+added or a node becomes ready, so small experiments aren't dominated by
+sync latency). Pods that fit nowhere get a ``FailedScheduling`` event with
+an *Insufficient Resource* message — the fig-9 "No Available Node" state
+that both the cloud controller and HTA's init-time tracker key off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod, PodPhase, REASON_FAILED_SCHEDULING
+from repro.sim.engine import Engine, PeriodicTask
+
+
+class KubeScheduler:
+    """First-fit / spread scheduler over ready nodes.
+
+    ``strategy`` selects the node-scoring policy among candidates that fit:
+
+    * ``"least-requested"`` (default, mirrors kube-scheduler's spreading):
+      pick the node with the most free CPU;
+    * ``"binpack"``: pick the node with the least free CPU (used by the
+      ablation benchmarks to show HTA is policy-agnostic).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        api: KubeApiServer,
+        *,
+        sync_period: float = 1.0,
+        strategy: str = "least-requested",
+    ) -> None:
+        if strategy not in ("least-requested", "binpack"):
+            raise ValueError(f"unknown scheduling strategy {strategy!r}")
+        self.engine = engine
+        self.api = api
+        self.strategy = strategy
+        self.binds = 0
+        self._loop = PeriodicTask(engine, sync_period, self.sync, start_after=0.0)
+        api.watch("Pod", self._on_pod_event, replay_existing=False)
+        api.watch("Node", self._on_node_event, replay_existing=False)
+
+    def stop(self) -> None:
+        self._loop.stop()
+
+    # --------------------------------------------------------------- events
+    def _on_pod_event(self, event: WatchEvent) -> None:
+        if event.type is WatchEventType.ADDED:
+            self.sync()
+
+    def _on_node_event(self, event: WatchEvent) -> None:
+        if event.type in (WatchEventType.ADDED, WatchEventType.MODIFIED):
+            node = event.obj
+            if isinstance(node, Node) and node.ready:
+                self.sync()
+
+    # ----------------------------------------------------------------- sync
+    def sync(self) -> int:
+        """One scheduling pass; returns the number of pods bound."""
+        bound = 0
+        for pod in self.api.pending_pods():
+            node = self._select_node(pod)
+            if node is None:
+                self._record_unschedulable(pod)
+                continue
+            pod.mark_scheduled(self.engine.now, node)
+            node.bind(pod)
+            self.api.mark_modified(pod)
+            self.binds += 1
+            bound += 1
+        return bound
+
+    def _select_node(self, pod: Pod) -> Optional[Node]:
+        candidates: List[Node] = [
+            n for n in self.api.ready_nodes() if n.can_fit(pod.spec.request)
+        ]
+        if not candidates:
+            return None
+        if self.strategy == "least-requested":
+            return max(candidates, key=lambda n: (n.free().cores, n.name))
+        return min(candidates, key=lambda n: (n.free().cores, n.name))
+
+    def _record_unschedulable(self, pod: Pod) -> None:
+        if pod.phase is not PodPhase.PENDING:
+            return
+        # Emit once per pod per unschedulable episode (a fresh event is
+        # appended again only after the pod has been scheduled and somehow
+        # returned; for our lifecycle, once is exactly right).
+        if pod.events and pod.events[-1].reason == REASON_FAILED_SCHEDULING:
+            return
+        pod.add_event(self.engine.now, REASON_FAILED_SCHEDULING, "Insufficient Resource")
+        self.api.mark_modified(pod)

@@ -1,0 +1,33 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+The entry points:
+
+* :mod:`~repro.experiments.runner` — the shared machinery: builds the
+  full stack (cluster + Work Queue + workflow manager) under an HTA,
+  HPA, or static-pool policy and returns an
+  :class:`~repro.experiments.runner.ExperimentResult`;
+* ``fig2`` / ``fig4`` / ``fig5`` / ``fig6`` / ``fig10`` / ``fig11`` —
+  the per-figure harnesses, each printing the same rows/series the paper
+  reports (and the paper's own numbers alongside);
+* ``python -m repro.experiments <figN|all>`` — the CLI.
+"""
+
+from repro.experiments import sweeps
+from repro.experiments.runner import (
+    ExperimentResult,
+    StackConfig,
+    run_hpa_experiment,
+    run_hta_experiment,
+    run_queue_scaler_experiment,
+    run_static_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "StackConfig",
+    "run_hpa_experiment",
+    "run_hta_experiment",
+    "run_queue_scaler_experiment",
+    "run_static_experiment",
+    "sweeps",
+]

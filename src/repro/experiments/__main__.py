@@ -1,0 +1,57 @@
+"""CLI: regenerate any of the paper's figures/tables.
+
+Usage::
+
+    python -m repro.experiments fig2        # one figure
+    python -m repro.experiments all         # everything
+    python -m repro.experiments fig10 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import fig2, fig4, fig5, fig6, fig9, fig10, fig11
+
+FIGURES: Dict[str, Callable[[int], str]] = {
+    "fig2": fig2.main,
+    "fig4": fig4.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "fig9": fig9.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation figures/tables of 'Autoscaling "
+            "High-Throughput Workloads on Container Orchestrators' "
+            "(CLUSTER 2020) on the simulated substrate."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    args = parser.parse_args(argv)
+
+    targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in targets:
+        started = time.time()
+        print(f"\n=== {name} (seed={args.seed}) ===\n")
+        FIGURES[name](args.seed)
+        print(f"\n[{name} regenerated in {time.time() - started:.1f}s wall time]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

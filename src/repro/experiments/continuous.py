@@ -1,0 +1,225 @@
+"""Continuous-operation experiments: a stream of workflows on one stack.
+
+One master / one autoscaler, many workflow instances arriving over time
+(the paper's "long period of time" facility scenario). The autoscaler
+never sees a clean start or end — demand is a superposition of
+overlapping DAGs — which stresses exactly the feedback structure HTA
+builds: category statistics persist across workflow instances, so later
+arrivals skip the probing cost entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.hpa import HorizontalPodAutoscaler, HpaConfig
+from repro.cluster.pod import PodSpec
+from repro.cluster.replicaset import WorkerReplicaSet
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentTimeout,
+    StackConfig,
+    _collect,
+    _make_accountant,
+    _Stack,
+)
+from repro.hta.inittime import InitTimeTracker
+from repro.hta.operator import HtaConfig, HtaOperator
+from repro.hta.provisioner import WorkerProvisioner
+from repro.makeflow.manager import WorkflowManager
+from repro.workloads.arrivals import WorkflowArrival, total_tasks
+
+
+@dataclass
+class ContinuousResult:
+    """An :class:`ExperimentResult` plus stream-level statistics."""
+
+    result: ExperimentResult
+    workflows: int
+    workflow_makespans: List[float]
+    last_finish_s: float
+
+    @property
+    def mean_workflow_makespan_s(self) -> float:
+        if not self.workflow_makespans:
+            return 0.0
+        return sum(self.workflow_makespans) / len(self.workflow_makespans)
+
+    @property
+    def throughput_tasks_per_hour(self) -> float:
+        if self.last_finish_s <= 0:
+            return 0.0
+        return self.result.tasks_completed / (self.last_finish_s / 3600.0)
+
+    def summary(self) -> str:
+        return (
+            f"{self.result.summary()} | {self.workflows} workflows, "
+            f"mean makespan {self.mean_workflow_makespan_s:.0f}s, "
+            f"{self.throughput_tasks_per_hour:.0f} tasks/h"
+        )
+
+
+class _StreamDriver:
+    """Starts each workflow at its arrival time; tracks completion."""
+
+    def __init__(self, stack: _Stack, submitter, arrivals: Sequence[WorkflowArrival]):
+        if not arrivals:
+            raise ValueError("need at least one arrival")
+        self.stack = stack
+        self.submitter = submitter
+        self.managers: List[WorkflowManager] = []
+        self.remaining = len(arrivals)
+        self.on_all_done = None
+        for arrival in sorted(arrivals, key=lambda a: a.time_s):
+            manager = WorkflowManager(
+                stack.engine, arrival.graph, submitter, recorder=stack.recorder
+            )
+            manager.done_signal.add_waiter(self._one_done)
+            self.managers.append(manager)
+            stack.engine.call_at(arrival.time_s, manager.start)
+
+    def _one_done(self, _manager) -> None:
+        self.remaining -= 1
+        if self.remaining == 0 and self.on_all_done is not None:
+            self.on_all_done()
+
+    @property
+    def all_done(self) -> bool:
+        return self.remaining == 0
+
+    @property
+    def any_failed(self) -> bool:
+        return any(m.failed for m in self.managers)
+
+    def drive(self, accountant, limit: float) -> None:
+        engine = self.stack.engine
+        accountant.start()
+        while not self.all_done:
+            if self.any_failed:
+                raise ExperimentTimeout("a workflow in the stream failed")
+            if engine.now >= limit:
+                raise ExperimentTimeout(
+                    f"stream incomplete at t={engine.now:.0f}s "
+                    f"({self.remaining} workflows outstanding)"
+                )
+            if engine.peek() is None:
+                raise ExperimentTimeout("event queue drained mid-stream")
+            engine.run(until=min(limit, engine.now + 60.0))
+        accountant.stop()
+
+    def stream_stats(self) -> Dict[str, float]:
+        makespans = [m.makespan for m in self.managers if m.makespan is not None]
+        finishes = [m.finish_time for m in self.managers if m.finish_time is not None]
+        return {
+            "makespans": makespans,  # type: ignore[dict-item]
+            "last_finish": max(finishes) if finishes else 0.0,
+        }
+
+
+def run_continuous_hta(
+    arrivals: Sequence[WorkflowArrival],
+    *,
+    stack_config: Optional[StackConfig] = None,
+    hta_config: Optional[HtaConfig] = None,
+    seed: Optional[int] = None,
+    name: str = "HTA-stream",
+) -> ContinuousResult:
+    """Run an arrival stream under HTA (shared monitor across workflows)."""
+    cfg = stack_config if stack_config is not None else StackConfig()
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    stack = _Stack(cfg, estimator_kind="monitor")
+    if hta_config is None:
+        hta_config = HtaConfig(
+            initial_workers=cfg.cluster.min_nodes, max_workers=cfg.cluster.max_nodes
+        )
+    provisioner = WorkerProvisioner(
+        stack.engine,
+        stack.cluster.api,
+        stack.runtime,
+        image=cfg.image,
+        worker_request=stack.worker_request,
+    )
+    tracker = InitTimeTracker(stack.cluster.api, prior_s=160.0, selector_label="wq-worker")
+    operator = HtaOperator(
+        stack.engine, stack.master, provisioner, tracker, hta_config, stack.recorder
+    )
+    driver = _StreamDriver(stack, operator, arrivals)
+    driver.on_all_done = operator.notify_no_more_jobs
+    accountant = _make_accountant(stack, shortage_extra=operator.held_cores)
+    operator.start()
+    driver.drive(accountant, cfg.max_sim_time_s)
+    stats = driver.stream_stats()
+    graph_total = total_tasks(arrivals)
+    result = _collect(
+        name,
+        stack,
+        driver.managers[0],
+        accountant,
+        arrivals[0].graph,
+        plans=float(len(operator.plans)),
+    )
+    result.tasks_total = graph_total
+    result.makespan_s = stats["last_finish"]
+    return ContinuousResult(
+        result=result,
+        workflows=len(arrivals),
+        workflow_makespans=stats["makespans"],
+        last_finish_s=stats["last_finish"],
+    )
+
+
+def run_continuous_hpa(
+    arrivals: Sequence[WorkflowArrival],
+    *,
+    target_cpu: float = 0.2,
+    stack_config: Optional[StackConfig] = None,
+    min_replicas: Optional[int] = None,
+    max_replicas: Optional[int] = None,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> ContinuousResult:
+    """Run an arrival stream under the HPA baseline."""
+    cfg = stack_config if stack_config is not None else StackConfig()
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    stack = _Stack(cfg, estimator_kind="monitor")
+    request = stack.worker_request
+
+    def pod_spec(pod_name: str) -> PodSpec:
+        return PodSpec(cfg.image, request, labels={"app": "wq-worker"})
+
+    replicaset = WorkerReplicaSet(stack.engine, stack.cluster.api, "wq-workers", pod_spec)
+    hpa = HorizontalPodAutoscaler(
+        stack.engine,
+        stack.cluster.metrics,
+        replicaset,
+        HpaConfig(
+            target_cpu_utilization=target_cpu,
+            min_replicas=min_replicas if min_replicas is not None else cfg.cluster.min_nodes,
+            max_replicas=max_replicas if max_replicas is not None else cfg.cluster.max_nodes,
+        ),
+        stack.recorder,
+    )
+    driver = _StreamDriver(stack, stack.master, arrivals)
+    accountant = _make_accountant(stack)
+    driver.drive(accountant, cfg.max_sim_time_s)
+    hpa.stop()
+    stats = driver.stream_stats()
+    result = _collect(
+        name if name is not None else f"HPA-{int(target_cpu * 100)}%-stream",
+        stack,
+        driver.managers[0],
+        accountant,
+        arrivals[0].graph,
+        scale_events=float(hpa.scale_events),
+    )
+    result.tasks_total = total_tasks(arrivals)
+    result.makespan_s = stats["last_finish"]
+    return ContinuousResult(
+        result=result,
+        workflows=len(arrivals),
+        workflow_makespans=stats["makespans"],
+        last_finish_s=stats["last_finish"],
+    )

@@ -1,0 +1,95 @@
+"""Fig 6 — GKE resource-initialization latency.
+
+§IV-B: "we measure the resource initialization time (including machine
+reservation and container pulling time) by creating pods that have
+resource requirements which cannot be met by existing nodes. We ran the
+benchmark 10 times on GKE and found that the resource initialization
+latency alters little (mean: 157.4 seconds, standard deviation: 4.2
+seconds)."
+
+Each trial uses a fresh simulated cluster with zero spare nodes, creates
+a pod that cannot fit, and measures creation→ready through the same
+informer-based tracker HTA uses in production — so this doubles as an
+integration test of the fig-9 lifecycle plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.images import ContainerImage
+from repro.cluster.node import N1_STANDARD_4
+from repro.cluster.pod import Pod, PodSpec
+from repro.experiments.report import paper_vs_measured
+from repro.hta.inittime import InitTimeTracker
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+PAPER = {"mean_s": 157.4, "std_s": 4.2, "trials": 10}
+
+
+@dataclass(frozen=True, slots=True)
+class InitLatencyResult:
+    samples: List[float]
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std_s(self) -> float:
+        m = self.mean_s
+        return math.sqrt(sum((x - m) ** 2 for x in self.samples) / len(self.samples))
+
+
+def run_trial(seed: int) -> float:
+    """One cold-start: a pod that forces a node reservation + image pull."""
+    engine = Engine()
+    rng = RngRegistry(seed)
+    cluster = Cluster(
+        engine,
+        rng,
+        ClusterConfig(machine_type=N1_STANDARD_4, min_nodes=0, max_nodes=1),
+    )
+    tracker = InitTimeTracker(cluster.api, prior_s=1.0)
+    pod = Pod(
+        "probe",
+        PodSpec(ContainerImage("wq-worker", 500.0), N1_STANDARD_4.allocatable),
+    )
+    cluster.api.create(pod)
+    engine.run(until=1200.0)
+    if tracker.latest_s is None:
+        raise RuntimeError("probe pod never became ready within 1200 s")
+    return tracker.latest_s
+
+
+def run(seed: int = 0, trials: int = 10) -> InitLatencyResult:
+    return InitLatencyResult([run_trial(seed * 1000 + i) for i in range(trials)])
+
+
+def report(result: InitLatencyResult) -> str:
+    lines = [
+        "Fig 6: resource initialization latency "
+        f"({len(result.samples)} trials)",
+        "  " + "  ".join(f"{s:6.1f}" for s in result.samples),
+    ]
+    rows = [
+        ("init latency mean (s)", PAPER["mean_s"], result.mean_s),
+        ("init latency std (s)", PAPER["std_s"], result.std_s),
+    ]
+    lines.append("")
+    lines.append(paper_vs_measured(rows, title="Fig 6: paper vs measured"))
+    return "\n".join(lines)
+
+
+def main(seed: int = 0) -> str:
+    out = report(run(seed))
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,121 @@
+"""Fig 9 — the lifecycle of a worker-pod, observed live.
+
+Fig 9 is a state diagram: **No Available Node → No Container Image →
+Worker-Pod Running → Worker-Pod Stopped**. This harness regenerates it
+as an event trace from an actual cold start on the simulated cluster: a
+worker pod is created with no node free, the cloud controller reserves a
+machine, the kubelet pulls the image, the worker runs one task, is
+drained, and the pod completes — every fig-9 state crossed, with the
+timestamps HTA's init-time tracker extracts from the same events.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.images import ContainerImage
+from repro.cluster.node import N1_STANDARD_4_RESERVED
+from repro.cluster.pod import (
+    Pod,
+    REASON_FAILED_SCHEDULING,
+    REASON_PULLING,
+    REASON_SCHEDULED,
+    REASON_STARTED,
+)
+from repro.cluster.resources import ResourceVector
+from repro.hta.inittime import InitTimeTracker
+from repro.hta.provisioner import WorkerProvisioner
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.wq.estimator import DeclaredResourceEstimator
+from repro.wq.link import Link
+from repro.wq.master import Master
+from repro.wq.runtime import WorkerPodRuntime
+from repro.wq.task import Task
+
+#: The fig-9 states mapped to the pod events that mark their entry.
+STATE_MARKERS = (
+    ("No Available Node", REASON_FAILED_SCHEDULING),
+    ("Scheduled", REASON_SCHEDULED),
+    ("No Container Image", REASON_PULLING),
+    ("Worker-Pod Running", REASON_STARTED),
+)
+
+
+def run(seed: int = 0) -> Tuple[Pod, float]:
+    """Drive one worker pod through the full lifecycle; returns the pod
+    (with its event log) and the measured initialization time."""
+    engine = Engine()
+    rng = RngRegistry(seed)
+    cluster = Cluster(
+        engine,
+        rng,
+        ClusterConfig(machine_type=N1_STANDARD_4_RESERVED, min_nodes=1, max_nodes=2),
+    )
+    link = Link(engine, 500.0)
+    master = Master(engine, link, estimator=DeclaredResourceEstimator())
+    runtime = WorkerPodRuntime(engine, cluster.api, cluster.kubelets, master)
+    provisioner = WorkerProvisioner(
+        engine,
+        cluster.api,
+        runtime,
+        image=ContainerImage("wq-worker", 500.0),
+        worker_request=N1_STANDARD_4_RESERVED.allocatable,
+    )
+    tracker = InitTimeTracker(cluster.api, prior_s=160.0, selector_label="wq-worker")
+
+    # Fill the base node so the worker pod experiences "No Available Node".
+    filler = provisioner.create_workers(1)[0]
+    engine.run(until=30.0)
+    subject = provisioner.create_workers(1)[0]
+    engine.run(until=400.0)
+
+    # One task, then a drain → Worker-Pod Stopped.
+    foot = ResourceVector(1, 1024, 512)
+    master.submit(Task("probe", execute_s=30.0, footprint=foot, declared=foot))
+    engine.run(until=500.0)
+    provisioner.drain_all()
+    engine.run(until=600.0)
+    if tracker.latest_s is None:
+        raise RuntimeError("cold start never completed")
+    return subject, tracker.latest_s
+
+
+def lifecycle_trace(pod: Pod) -> List[Tuple[float, str, str]]:
+    """(time, fig-9 state, detail) rows from the pod's event log."""
+    rows: List[Tuple[float, str, str]] = []
+    for state, reason in STATE_MARKERS:
+        ev = pod.last_event(reason)
+        if ev is not None:
+            rows.append((ev.time, state, ev.message))
+    if pod.finished_time is not None:
+        rows.append((pod.finished_time, "Worker-Pod Stopped", pod.phase.value))
+    # Stable sort on time only: ties keep the fig-9 state order (a pod is
+    # Scheduled and starts Pulling at the same instant).
+    return sorted(rows, key=lambda r: r[0])
+
+
+def report(pod: Pod, init_time: float) -> str:
+    lines = [f"Fig 9: lifecycle of worker-pod {pod.name!r} (cold start)"]
+    created = pod.meta.creation_time
+    for t, state, detail in lifecycle_trace(pod):
+        suffix = f"  ({detail})" if detail else ""
+        lines.append(f"  t=+{t - created:7.1f}s  {state}{suffix}")
+    lines.append("")
+    lines.append(
+        f"Initialization time extracted by the informer tracker: "
+        f"{init_time:.1f}s (creation -> Running; fig-6's measured quantity)"
+    )
+    return "\n".join(lines)
+
+
+def main(seed: int = 0) -> str:
+    pod, init_time = run(seed)
+    out = report(pod, init_time)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""Rendering helpers for experiment output: ASCII charts and tables.
+
+The paper's figures are line charts of step series (cluster size, supply
+vs demand); in a terminal we render them as compact ASCII charts plus
+downsampled numeric tables so the series are both eyeballable and
+machine-checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.tracing import StepSeries
+
+
+def ascii_chart(
+    series: Mapping[str, StepSeries],
+    t0: float,
+    t1: float,
+    *,
+    width: int = 72,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Plot one or more step series on a shared time axis.
+
+    Each series gets a marker character; collisions show the later
+    series' marker. Y axis is linear from 0 to the global maximum.
+    """
+    if t1 <= t0:
+        raise ValueError("t1 must exceed t0")
+    markers = "*o+x#@%&"
+    names = list(series)
+    if len(names) > len(markers):
+        raise ValueError(f"too many series ({len(names)}) for one chart")
+
+    dt = (t1 - t0) / width
+    sampled: Dict[str, List[float]] = {}
+    for name in names:
+        sampled[name] = [series[name].value_at(t0 + (i + 0.5) * dt) for i in range(width)]
+    ymax = max((max(vals) for vals in sampled.values()), default=0.0)
+    if ymax <= 0:
+        ymax = 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(names):
+        mark = markers[si]
+        for x, v in enumerate(sampled[name]):
+            y = int(round((v / ymax) * (height - 1)))
+            y = min(height - 1, max(0, y))
+            grid[height - 1 - y][x] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{markers[i]}={names[i]}" for i in range(len(names)))
+    lines.append(f"  [{legend}]  y-max={ymax:.0f}")
+    for row_idx, row in enumerate(grid):
+        yval = ymax * (height - 1 - row_idx) / (height - 1)
+        lines.append(f"{yval:>8.0f} |" + "".join(row))
+    axis = f"{'':>8} +" + "-" * width
+    lines.append(axis)
+    lines.append(f"{'':>10}t={t0:.0f}s{'':>{max(1, width - 20)}}t={t1:.0f}s")
+    return "\n".join(lines)
+
+
+def kv_table(rows: Sequence[Tuple[str, str]], *, title: Optional[str] = None) -> str:
+    """Two-column aligned table."""
+    width = max((len(k) for k, _ in rows), default=0)
+    lines = [title] if title else []
+    lines.extend(f"  {k:<{width}}  {v}" for k, v in rows)
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: Sequence[Tuple[str, float, float]],
+    *,
+    title: str = "Paper vs measured",
+    unit: str = "",
+) -> str:
+    """Three-column comparison with the ratio, the core of EXPERIMENTS.md."""
+    lines = [
+        title,
+        f"  {'metric':<38} {'paper':>12} {'measured':>12} {'ratio':>8}",
+    ]
+    for name, paper, measured in rows:
+        ratio = measured / paper if paper else float("inf")
+        lines.append(f"  {name:<38} {paper:>12.1f} {measured:>12.1f} {ratio:>8.2f}")
+    if unit:
+        lines.append(f"  (values in {unit})")
+    return "\n".join(lines)

@@ -1,0 +1,477 @@
+"""Shared experiment machinery: build a stack, run a policy, collect.
+
+Three entry points mirror the paper's three resource-provisioning modes:
+
+* :func:`run_hta_experiment` — the full HTA pipeline (fig 8): workflow
+  manager → HTA operator (warm-up gating) → Work Queue master; HTA
+  creates/drains worker pods directly;
+* :func:`run_hpa_experiment` — the baseline: worker pods held by a
+  replica controller scaled by the Horizontal Pod Autoscaler on CPU;
+* :func:`run_static_experiment` — a fixed worker pool (fig 4's sizing
+  study and fig 2's "ideal" reference).
+
+All three share identical cluster, network, and workload substrates, so
+differences in the result are attributable to the autoscaling policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.hpa import HorizontalPodAutoscaler, HpaConfig
+from repro.cluster.images import ContainerImage
+from repro.cluster.pod import PodSpec
+from repro.cluster.replicaset import WorkerReplicaSet
+from repro.cluster.resources import ResourceVector
+from repro.hta.estimator import EstimatorConfig
+from repro.hta.inittime import FixedInitTime, InitTimeTracker
+from repro.hta.operator import HtaConfig, HtaOperator
+from repro.hta.provisioner import WorkerProvisioner
+from repro.makeflow.dag import WorkflowGraph
+from repro.makeflow.manager import WorkflowManager
+from repro.metrics.accounting import AccountingSummary, ResourceAccountant
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import MetricRecorder
+from repro.wq.estimator import (
+    AllocationEstimator,
+    ConservativeEstimator,
+    DeclaredResourceEstimator,
+    MonitorEstimator,
+)
+from repro.wq.link import Link
+from repro.wq.master import Master
+from repro.wq.monitor import ResourceMonitor
+from repro.wq.runtime import WorkerPodRuntime
+from repro.wq.task import Task
+from repro.wq.worker import WorkerState
+
+Workload = Union[WorkflowGraph, Sequence[Task]]
+
+#: The worker container image (the paper pulls from a private registry).
+DEFAULT_WORKER_IMAGE = ContainerImage("wq-worker", 500.0)
+
+
+def ensure_graph(workload: Workload) -> WorkflowGraph:
+    """Accept either a DAG or a bag of independent tasks."""
+    if isinstance(workload, WorkflowGraph):
+        return workload
+    return WorkflowGraph(list(workload))
+
+
+@dataclass(frozen=True, slots=True)
+class StackConfig:
+    """The substrate shared by every policy."""
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    link_capacity_mbps: float = 500.0
+    per_stream_overhead: float = 0.0
+    image: ContainerImage = DEFAULT_WORKER_IMAGE
+    #: Worker pod resource request; None = the node's full allocatable.
+    worker_request: Optional[ResourceVector] = None
+    seed: int = 0
+    #: Hard wall on simulated time (a run exceeding it raises).
+    max_sim_time_s: float = 100_000.0
+    #: Sampling period of the accountant (1 s = the paper's resolution).
+    accounting_period_s: float = 1.0
+
+    def resolved_worker_request(self) -> ResourceVector:
+        if self.worker_request is not None:
+            return self.worker_request
+        return self.cluster.machine_type.allocatable
+
+
+class _Stack:
+    """Everything instantiated for one run."""
+
+    def __init__(self, config: StackConfig, estimator_kind: str = "monitor"):
+        self.config = config
+        self.engine = Engine()
+        self.rng = RngRegistry(config.seed)
+        self.recorder = MetricRecorder(self.engine)
+        self.cluster = Cluster(self.engine, self.rng, config.cluster, self.recorder)
+        self.link = Link(
+            self.engine,
+            config.link_capacity_mbps,
+            per_stream_overhead=config.per_stream_overhead,
+        )
+        self.monitor = ResourceMonitor()
+        self.master = Master(
+            self.engine, self.link, estimator=self._make_estimator(estimator_kind), monitor=self.monitor
+        )
+        self.runtime = WorkerPodRuntime(
+            self.engine, self.cluster.api, self.cluster.kubelets, self.master
+        )
+        self.worker_request = config.resolved_worker_request()
+
+    def _make_estimator(self, kind: str) -> AllocationEstimator:
+        if kind == "monitor":
+            return MonitorEstimator(self.monitor)
+        if kind == "declared":
+            return DeclaredResourceEstimator()
+        if kind == "conservative":
+            return ConservativeEstimator()
+        raise ValueError(f"unknown estimator kind {kind!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment harness needs to print its figure/table."""
+
+    name: str
+    makespan_s: float
+    accounting: AccountingSummary
+    accountant: ResourceAccountant
+    recorder: MetricRecorder
+    tasks_total: int
+    tasks_completed: int
+    tasks_requeued: int
+    nodes_peak: int
+    workers_started: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        a = self.accounting
+        return (
+            f"{self.name}: runtime {self.makespan_s:.0f}s, "
+            f"waste {a.accumulated_waste_core_s:.0f} core*s, "
+            f"shortage {a.accumulated_shortage_core_s:.0f} core*s, "
+            f"utilization {a.utilization:.1%}, "
+            f"tasks {self.tasks_completed}/{self.tasks_total}"
+        )
+
+    def series(self, name: str):
+        return self.accountant.series(name)
+
+
+class ExperimentTimeout(RuntimeError):
+    """The workload did not finish within ``max_sim_time_s``."""
+
+
+class WorkflowFailed(RuntimeError):
+    """A task was permanently abandoned; the DAG can never complete."""
+
+
+def _drive(stack: _Stack, manager: WorkflowManager, accountant: ResourceAccountant) -> None:
+    """Advance the simulation until the workflow completes."""
+    engine = stack.engine
+    limit = stack.config.max_sim_time_s
+    chunk = 60.0
+    accountant.start()
+    manager.start()
+    while not manager.done:
+        if manager.failed:
+            raise WorkflowFailed(
+                f"task(s) {sorted(manager.failed_task_ids)} permanently "
+                f"abandoned at t={engine.now:.0f}s"
+            )
+        if engine.now >= limit:
+            raise ExperimentTimeout(
+                f"workflow incomplete at t={engine.now:.0f}s "
+                f"({manager.progress():.0%} done)"
+            )
+        if engine.peek() is None:
+            raise ExperimentTimeout(
+                f"event queue drained at t={engine.now:.0f}s with workflow "
+                f"{manager.progress():.0%} done — a control loop stopped early"
+            )
+        engine.run(until=min(limit, engine.now + chunk))
+    accountant.stop()
+
+
+def _collect(
+    name: str,
+    stack: _Stack,
+    manager: WorkflowManager,
+    accountant: ResourceAccountant,
+    graph: WorkflowGraph,
+    **extras: float,
+) -> ExperimentResult:
+    t0, t1 = accountant.window()
+    return ExperimentResult(
+        name=name,
+        makespan_s=manager.makespan or 0.0,
+        accounting=accountant.summarize(),
+        accountant=accountant,
+        recorder=stack.recorder,
+        tasks_total=len(graph),
+        tasks_completed=len(stack.master.done),
+        tasks_requeued=stack.master.tasks_requeued,
+        nodes_peak=int(accountant.series("nodes").maximum(t0, t1)),
+        workers_started=stack.runtime.workers_started,
+        extras=dict(extras),
+    )
+
+
+def _make_accountant(
+    stack: _Stack, *, shortage_extra=None, extra_gauges=None
+) -> ResourceAccountant:
+    master = stack.master
+
+    def shortage() -> float:
+        value = master.cores_waiting()
+        if shortage_extra is not None:
+            value += shortage_extra()
+        return value
+
+    acc = ResourceAccountant(
+        stack.engine,
+        supply=master.supplied_cores,
+        in_use=master.cores_in_use,
+        shortage=shortage,
+        nodes=lambda: float(stack.cluster.node_count()),
+        period=stack.config.accounting_period_s,
+    )
+    acc.sampler.add_gauge(
+        "workers_connected", lambda: float(master.stats().workers_connected)
+    )
+    acc.sampler.add_gauge("workers_idle", lambda: float(master.stats().workers_idle))
+    if extra_gauges:
+        for gname, fn in extra_gauges.items():
+            acc.sampler.add_gauge(gname, fn)
+    return acc
+
+
+# --------------------------------------------------------------------- HTA
+def run_hta_experiment(
+    workload: Workload,
+    *,
+    stack_config: Optional[StackConfig] = None,
+    hta_config: Optional[HtaConfig] = None,
+    seed: Optional[int] = None,
+    name: str = "HTA",
+    fixed_init_time_s: Optional[float] = None,
+) -> ExperimentResult:
+    """Run a workload under the High-Throughput Autoscaler.
+
+    ``fixed_init_time_s`` replaces the live informer-fed initialization
+    estimate with a constant (the init-time-feedback ablation).
+    """
+    cfg = stack_config if stack_config is not None else StackConfig()
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    stack = _Stack(cfg, estimator_kind="monitor")
+    graph = ensure_graph(workload)
+
+    if hta_config is None:
+        hta_config = HtaConfig(
+            initial_workers=cfg.cluster.min_nodes,
+            max_workers=cfg.cluster.max_nodes,
+        )
+    provisioner = WorkerProvisioner(
+        stack.engine,
+        stack.cluster.api,
+        stack.runtime,
+        image=cfg.image,
+        worker_request=stack.worker_request,
+    )
+    if fixed_init_time_s is not None:
+        tracker = FixedInitTime(fixed_init_time_s)
+    else:
+        tracker = InitTimeTracker(
+            stack.cluster.api, prior_s=160.0, selector_label="wq-worker"
+        )
+    operator = HtaOperator(
+        stack.engine, stack.master, provisioner, tracker, hta_config, stack.recorder
+    )
+    manager = WorkflowManager(stack.engine, graph, operator, recorder=stack.recorder)
+    manager.done_signal.add_waiter(lambda _mgr: operator.notify_no_more_jobs())
+
+    accountant = _make_accountant(
+        stack,
+        shortage_extra=operator.held_cores,
+        extra_gauges={
+            "hta_pending_pods": lambda: float(len(provisioner.pending_pods())),
+        },
+    )
+    operator.start()
+    _drive(stack, manager, accountant)
+    return _collect(
+        name,
+        stack,
+        manager,
+        accountant,
+        graph,
+        init_time_samples=float(tracker.sample_count),
+        plans=float(len(operator.plans)),
+        pods_created=float(provisioner.pods_created),
+        drains=float(provisioner.drains_requested),
+    )
+
+
+# --------------------------------------------------------------------- HPA
+def run_hpa_experiment(
+    workload: Workload,
+    *,
+    target_cpu: float = 0.5,
+    stack_config: Optional[StackConfig] = None,
+    hpa_config: Optional[HpaConfig] = None,
+    min_replicas: Optional[int] = None,
+    max_replicas: Optional[int] = None,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> ExperimentResult:
+    """Run a workload under the Horizontal Pod Autoscaler baseline."""
+    cfg = stack_config if stack_config is not None else StackConfig()
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    stack = _Stack(cfg, estimator_kind="monitor")
+    graph = ensure_graph(workload)
+    request = stack.worker_request
+
+    def pod_spec(pod_name: str) -> PodSpec:
+        return PodSpec(cfg.image, request, labels={"app": "wq-worker"})
+
+    replicaset = WorkerReplicaSet(
+        stack.engine, stack.cluster.api, "wq-workers", pod_spec
+    )
+    if hpa_config is None:
+        per_node = max(1, request.copies_fitting_in(cfg.cluster.machine_type.allocatable))
+        hpa_config = HpaConfig(
+            target_cpu_utilization=target_cpu,
+            min_replicas=(
+                min_replicas if min_replicas is not None else cfg.cluster.min_nodes
+            ),
+            max_replicas=(
+                max_replicas
+                if max_replicas is not None
+                else cfg.cluster.max_nodes * per_node
+            ),
+        )
+    hpa = HorizontalPodAutoscaler(
+        stack.engine, stack.cluster.metrics, replicaset, hpa_config, stack.recorder
+    )
+    manager = WorkflowManager(stack.engine, graph, stack.master, recorder=stack.recorder)
+
+    def ideal_workers() -> float:
+        """Workers needed to run every remaining task at once (fig 2)."""
+        backlog = stack.master.cores_waiting() + stack.master.cores_in_use()
+        per_worker = max(request.cores, 1e-9)
+        return float(min(hpa_config.max_replicas, math.ceil(backlog / per_worker)))
+
+    accountant = _make_accountant(
+        stack,
+        extra_gauges={
+            "hpa_desired": lambda: float(hpa.last_desired or 0),
+            "ideal_workers": ideal_workers,
+        },
+    )
+    _drive(stack, manager, accountant)
+    hpa.stop()
+    return _collect(
+        name if name is not None else f"HPA-{int(target_cpu * 100)}%",
+        stack,
+        manager,
+        accountant,
+        graph,
+        scale_events=float(hpa.scale_events),
+        pods_deleted=float(replicaset.pods_deleted),
+    )
+
+
+# --------------------------------------------------------------- queue scaler
+def run_queue_scaler_experiment(
+    workload: Workload,
+    *,
+    stack_config: Optional[StackConfig] = None,
+    scaler_config: Optional["QueueScalerConfig"] = None,
+    tasks_per_replica: float = 3.0,
+    min_replicas: Optional[int] = None,
+    max_replicas: Optional[int] = None,
+    seed: Optional[int] = None,
+    name: str = "KEDA-queue",
+) -> ExperimentResult:
+    """Run a workload under the KEDA-style queue-length baseline."""
+    from repro.baselines.queue_scaler import QueueLengthAutoscaler, QueueScalerConfig
+
+    cfg = stack_config if stack_config is not None else StackConfig()
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    stack = _Stack(cfg, estimator_kind="monitor")
+    graph = ensure_graph(workload)
+    request = stack.worker_request
+
+    def pod_spec(pod_name: str) -> PodSpec:
+        return PodSpec(cfg.image, request, labels={"app": "wq-worker"})
+
+    replicaset = WorkerReplicaSet(
+        stack.engine, stack.cluster.api, "wq-workers", pod_spec
+    )
+    if scaler_config is None:
+        scaler_config = QueueScalerConfig(
+            tasks_per_replica=tasks_per_replica,
+            min_replicas=(
+                min_replicas if min_replicas is not None else cfg.cluster.min_nodes
+            ),
+            max_replicas=(
+                max_replicas if max_replicas is not None else cfg.cluster.max_nodes
+            ),
+        )
+    scaler = QueueLengthAutoscaler(
+        stack.engine, stack.master, replicaset, scaler_config, stack.recorder
+    )
+    manager = WorkflowManager(stack.engine, graph, stack.master, recorder=stack.recorder)
+    accountant = _make_accountant(
+        stack,
+        extra_gauges={"keda_replicas": lambda: float(replicaset.current_count())},
+    )
+    _drive(stack, manager, accountant)
+    scaler.stop()
+    return _collect(
+        name,
+        stack,
+        manager,
+        accountant,
+        graph,
+        scale_events=float(scaler.scale_events),
+        pods_deleted=float(replicaset.pods_deleted),
+    )
+
+
+# ------------------------------------------------------------------- static
+def run_static_experiment(
+    workload: Workload,
+    *,
+    n_workers: int,
+    stack_config: Optional[StackConfig] = None,
+    estimator: str = "monitor",
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> ExperimentResult:
+    """Run a workload on a fixed pool of ``n_workers`` worker pods.
+
+    ``estimator`` selects the dispatch policy: ``"declared"`` (trust
+    declarations), ``"conservative"`` (one task per worker — fig 4(b)),
+    or ``"monitor"`` (category feedback).
+    """
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    cfg = stack_config if stack_config is not None else StackConfig()
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    stack = _Stack(cfg, estimator_kind=estimator)
+    graph = ensure_graph(workload)
+    request = stack.worker_request
+
+    def pod_spec(pod_name: str) -> PodSpec:
+        return PodSpec(cfg.image, request, labels={"app": "wq-worker"})
+
+    replicaset = WorkerReplicaSet(
+        stack.engine, stack.cluster.api, "wq-workers", pod_spec, replicas=n_workers
+    )
+    manager = WorkflowManager(stack.engine, graph, stack.master, recorder=stack.recorder)
+    accountant = _make_accountant(stack)
+    _drive(stack, manager, accountant)
+    t0, t1 = accountant.window()
+    return _collect(
+        name if name is not None else f"static-{n_workers}",
+        stack,
+        manager,
+        accountant,
+        graph,
+        mean_bandwidth_mbps=stack.link.mean_active_throughput(t0, t1),
+        bytes_moved_mb=stack.link.bytes_moved_mb,
+    )

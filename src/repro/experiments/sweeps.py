@@ -1,0 +1,153 @@
+"""Parameter sweeps: sensitivity studies around the paper's experiments.
+
+Each sweep runs one policy across a parameter range on a fixed workload
+and seed, returning ``{parameter: ExperimentResult}`` — the raw material
+for sensitivity tables beyond the paper's single operating points:
+
+* :func:`sweep_hpa_targets` — generalizes fig 2's three-point target-CPU
+  comparison to any grid;
+* :func:`sweep_fixed_init_time` — HTA's sensitivity to a mis-estimated
+  resource-initialization time (what the live informer feedback buys);
+* :func:`sweep_worker_sizes` — generalizes fig 4's two-point sizing
+  study to a worker-granularity curve;
+* :func:`sweep_max_workers` — HTA under different resource quotas (the
+  user-budget cap of §IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.cluster.resources import ResourceVector
+from repro.experiments.runner import (
+    ExperimentResult,
+    StackConfig,
+    Workload,
+    run_hpa_experiment,
+    run_hta_experiment,
+    run_static_experiment,
+)
+from repro.hta.operator import HtaConfig
+
+WorkloadFactory = Callable[[], Workload]
+
+
+def sweep_hpa_targets(
+    workload_factory: WorkloadFactory,
+    targets: Sequence[float],
+    *,
+    stack_config: StackConfig,
+    min_replicas: int = 3,
+    max_replicas: Optional[int] = None,
+) -> Dict[float, ExperimentResult]:
+    """Run HPA across a grid of target CPU utilizations."""
+    out: Dict[float, ExperimentResult] = {}
+    for target in targets:
+        out[target] = run_hpa_experiment(
+            workload_factory(),
+            target_cpu=target,
+            stack_config=stack_config,
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+        )
+    return out
+
+
+def sweep_fixed_init_time(
+    workload_factory: WorkloadFactory,
+    init_times_s: Sequence[float],
+    *,
+    stack_config: StackConfig,
+    include_live: bool = True,
+) -> Dict[object, ExperimentResult]:
+    """HTA with the init-time estimate pinned to each value; the key
+    ``"live"`` (when ``include_live``) is the informer-fed reference."""
+    out: Dict[object, ExperimentResult] = {}
+    if include_live:
+        out["live"] = run_hta_experiment(
+            workload_factory(), stack_config=stack_config, name="HTA-live"
+        )
+    for value in init_times_s:
+        out[value] = run_hta_experiment(
+            workload_factory(),
+            stack_config=stack_config,
+            fixed_init_time_s=value,
+            name=f"HTA-fixed-{value:g}s",
+        )
+    return out
+
+
+def sweep_worker_sizes(
+    workload_factory: WorkloadFactory,
+    worker_cores: Sequence[float],
+    *,
+    stack_config: StackConfig,
+    total_cores: float,
+    memory_per_core_mb: float = 4096.0,
+    disk_mb: float = 30 * 1024,
+    estimator: str = "declared",
+) -> Dict[float, ExperimentResult]:
+    """Static pools holding ``total_cores`` constant while varying the
+    per-worker granularity (fig 4's fine↔coarse axis, as a curve)."""
+    out: Dict[float, ExperimentResult] = {}
+    for cores in worker_cores:
+        if cores <= 0:
+            raise ValueError("worker core sizes must be positive")
+        n_workers = max(1, int(round(total_cores / cores)))
+        request = ResourceVector(
+            cores=cores, memory_mb=memory_per_core_mb * cores, disk_mb=disk_mb
+        )
+        cfg = replace(stack_config, worker_request=request)
+        out[cores] = run_static_experiment(
+            workload_factory(),
+            n_workers=n_workers,
+            stack_config=cfg,
+            estimator=estimator,
+            name=f"workers-{cores:g}core",
+        )
+    return out
+
+
+def sweep_max_workers(
+    workload_factory: WorkloadFactory,
+    quotas: Sequence[int],
+    *,
+    stack_config: StackConfig,
+    initial_workers: int = 3,
+) -> Dict[int, ExperimentResult]:
+    """HTA under different worker quotas (user budgets)."""
+    out: Dict[int, ExperimentResult] = {}
+    for quota in quotas:
+        if quota < initial_workers:
+            raise ValueError(
+                f"quota {quota} below initial pool {initial_workers}"
+            )
+        out[quota] = run_hta_experiment(
+            workload_factory(),
+            stack_config=stack_config,
+            hta_config=HtaConfig(
+                initial_workers=initial_workers,
+                max_workers=quota,
+                min_workers=min(3, initial_workers),
+            ),
+            name=f"HTA-quota-{quota}",
+        )
+    return out
+
+
+def sweep_table(results: Dict[object, ExperimentResult], *, title: str = "") -> str:
+    """Render any sweep as an aligned text table."""
+    header = (
+        f"{'param':>12} {'runtime (s)':>12} {'waste (core*s)':>15} "
+        f"{'shortage':>12} {'util':>7}"
+    )
+    lines = ([title] if title else []) + [header, "-" * len(header)]
+    for key, r in results.items():
+        a = r.accounting
+        lines.append(
+            f"{str(key):>12} {r.makespan_s:>12.0f} "
+            f"{a.accumulated_waste_core_s:>15.0f} "
+            f"{a.accumulated_shortage_core_s:>12.0f} {a.utilization:>6.1%}"
+        )
+    return "\n".join(lines)

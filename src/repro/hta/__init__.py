@@ -1,0 +1,46 @@
+"""HTA — the High-Throughput Autoscaler (the paper's contribution).
+
+HTA is middleware between the workflow manager, the job scheduler, and
+the cluster manager. It resizes the worker-pod pool from three inputs
+(fig 7): the job queue's real-time status, the runtime statistics of
+completed jobs (per category), and the cluster manager's latest
+resource-initialization time.
+
+* :mod:`~repro.hta.inittime` — tracks the fig-9 pod lifecycle through an
+  informer and reports the latest cold-start initialization time;
+* :mod:`~repro.hta.estimator` — Algorithm 1: forward-simulate completions
+  and dispatch over one initialization cycle, returning the scale delta
+  and the time to the next resizing action;
+* :mod:`~repro.hta.provisioner` — creates worker pods (one whole node
+  each, per §IV-A) and drains workers for non-disruptive scale-down;
+* :mod:`~repro.hta.operator` — the Makeflow-Kubernetes operator: accepts
+  jobs from the workflow manager, runs the warm-up / runtime / clean-up
+  stages (§V-C), and applies the estimator's plan each cycle.
+"""
+
+from repro.hta.inittime import InitTimeTracker
+from repro.hta.estimator import (
+    ResourceEstimator,
+    EstimatorConfig,
+    ScalePlan,
+    SimulatedTask,
+    PendingWorker,
+)
+from repro.hta.provisioner import WorkerProvisioner
+from repro.hta.operator import HtaOperator, HtaConfig
+from repro.hta.deployment import MasterDeployment
+from repro.hta.inittime import FixedInitTime
+
+__all__ = [
+    "InitTimeTracker",
+    "ResourceEstimator",
+    "EstimatorConfig",
+    "ScalePlan",
+    "SimulatedTask",
+    "PendingWorker",
+    "WorkerProvisioner",
+    "HtaOperator",
+    "HtaConfig",
+    "MasterDeployment",
+    "FixedInitTime",
+]

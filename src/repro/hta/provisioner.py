@@ -1,0 +1,130 @@
+"""The resource provisioner: creates worker pods and drains workers.
+
+§IV-A's conclusion — "the configuration with larger worker-pod should be
+preferred" — fixes the worker-pod shape: one pod per node, requesting the
+node's full allocatable resources. Scale-up creates such pods through the
+API server (the scheduler/cloud-controller do the rest). Scale-down
+*drains*: the least-loaded live workers stop accepting tasks, finish what
+they run, and exit — never interrupting jobs (§II-C).
+
+The provisioner also garbage-collects Succeeded worker pods, so drained
+nodes go idle and the cloud controller can reclaim them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
+from repro.cluster.images import ContainerImage
+from repro.cluster.pod import Pod, PodPhase, PodSpec
+from repro.cluster.resources import ResourceVector
+from repro.sim.engine import Engine
+from repro.wq.runtime import WorkerPodRuntime
+from repro.wq.worker import Worker, WorkerState
+
+
+class WorkerProvisioner:
+    """Creates/drains HTA worker pods."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        api: KubeApiServer,
+        runtime: WorkerPodRuntime,
+        *,
+        image: ContainerImage,
+        worker_request: ResourceVector,
+        app_label: str = "wq-worker",
+        name_prefix: str = "hta-worker",
+    ) -> None:
+        self.engine = engine
+        self.api = api
+        self.runtime = runtime
+        self.image = image
+        self.worker_request = worker_request
+        self.app_label = app_label
+        self.name_prefix = name_prefix
+        self._seq = itertools.count(1)
+        self.pods_created = 0
+        self.pods_reaped = 0
+        self.drains_requested = 0
+        api.watch("Pod", self._on_pod_event, replay_existing=False)
+
+    # -------------------------------------------------------------- scaling
+    def create_workers(self, count: int) -> List[Pod]:
+        """Create ``count`` worker pods (whole-node sized)."""
+        created: List[Pod] = []
+        for _ in range(count):
+            name = f"{self.name_prefix}-{next(self._seq):04d}"
+            spec = PodSpec(self.image, self.worker_request, labels={"app": self.app_label})
+            pod = Pod(name, spec, creation_time=self.engine.now)
+            self.api.create(pod)
+            self.pods_created += 1
+            created.append(pod)
+        return created
+
+    def drain_workers(self, count: int) -> List[Worker]:
+        """Drain up to ``count`` live workers, idlest first."""
+        candidates = [
+            w
+            for w in self.runtime.live_workers()
+            if w.state in (WorkerState.READY, WorkerState.CONNECTING)
+        ]
+        # Idle first, then fewest running tasks, then youngest.
+        candidates.sort(key=lambda w: (len(w.runs), -(w.connected_time or 0.0)))
+        drained: List[Worker] = []
+        for worker in candidates[:count]:
+            worker.drain()
+            self.drains_requested += 1
+            drained.append(worker)
+        return drained
+
+    def drain_all(self) -> List[Worker]:
+        """Clean-up stage: drain every live worker."""
+        workers = list(self.runtime.live_workers())
+        for worker in workers:
+            worker.drain()
+            self.drains_requested += 1
+        return workers
+
+    # ------------------------------------------------------------- tracking
+    def my_pods(self) -> List[Pod]:
+        return [
+            p
+            for p in self.api.pods({"app": self.app_label})
+            if p.name.startswith(self.name_prefix)
+        ]
+
+    def live_pods(self) -> List[Pod]:
+        return [p for p in self.my_pods() if not p.phase.terminal]
+
+    def pending_pods(self) -> List[Pod]:
+        """Created but not yet running — the estimator's in-flight pods."""
+        return [p for p in self.my_pods() if p.phase is PodPhase.PENDING]
+
+    def running_pods(self) -> List[Pod]:
+        return [p for p in self.my_pods() if p.phase is PodPhase.RUNNING]
+
+    def cancel_pending(self, count: int) -> int:
+        """Delete up to ``count`` not-yet-running pods (over-provisioned
+        before they cost anything); newest first."""
+        pending = sorted(
+            self.pending_pods(), key=lambda p: p.meta.creation_time, reverse=True
+        )
+        removed = 0
+        for pod in pending[:count]:
+            self.api.try_delete("Pod", pod.name)
+            removed += 1
+        return removed
+
+    # --------------------------------------------------------------- events
+    def _on_pod_event(self, event: WatchEvent) -> None:
+        pod = event.obj
+        if not isinstance(pod, Pod) or not pod.name.startswith(self.name_prefix):
+            return
+        if event.type is WatchEventType.MODIFIED and pod.phase is PodPhase.SUCCEEDED:
+            # Reap completed (drained) worker pods so their node frees up.
+            self.api.try_delete("Pod", pod.name)
+            self.pods_reaped += 1

@@ -1,0 +1,128 @@
+"""The workflow manager: releases ready tasks, tracks completion.
+
+Makeflow "dispatches ready jobs to the underlying system" (§I). The
+manager is agnostic to *what* it submits to — anything satisfying
+:class:`Submitter` works: the Work Queue :class:`~repro.wq.master.Master`
+directly, or HTA's operator sitting in between (the paper's architecture,
+fig 8, where Makeflow talks to HTA's TCP server and HTA forwards to the
+master).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Set
+
+from repro.makeflow.dag import WorkflowGraph
+from repro.sim.engine import Engine
+from repro.sim.process import Signal
+from repro.sim.tracing import MetricRecorder
+from repro.wq.task import Task, TaskResult
+
+
+class Submitter(Protocol):
+    """Where the manager sends ready tasks (Master or HTA operator)."""
+
+    def submit(self, task: Task) -> None:
+        ...  # pragma: no cover - protocol signature
+
+    def on_complete(self, fn: Callable[[Task, TaskResult], None]) -> None:
+        ...  # pragma: no cover - protocol signature
+
+
+class WorkflowManager:
+    """Drives one workflow DAG to completion through a submitter."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        graph: WorkflowGraph,
+        submitter: Submitter,
+        *,
+        recorder: Optional[MetricRecorder] = None,
+    ) -> None:
+        self.engine = engine
+        self.graph = graph
+        self.submitter = submitter
+        self.recorder = recorder
+        self._remaining_deps: Dict[int, Set[int]] = {
+            tid: set(deps) for tid, deps in graph.dependencies.items()
+        }
+        self._submitted: Set[int] = set()
+        self._completed: Set[int] = set()
+        self.started = False
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        #: Latched signal fired with the manager when the DAG completes.
+        self.done_signal = Signal(engine, "workflow.done")
+        self.completed_by_category: Dict[str, int] = {}
+        #: Set when a task is permanently abandoned: the DAG can never
+        #: finish, and drivers should stop waiting.
+        self.failed_task_ids: Set[int] = set()
+        submitter.on_complete(self._task_completed)
+        on_abandoned = getattr(submitter, "on_abandoned", None)
+        if callable(on_abandoned):
+            on_abandoned(self._task_abandoned)
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Submit all root tasks; idempotent."""
+        if self.started:
+            return
+        self.started = True
+        self.start_time = self.engine.now
+        self._record_progress()
+        for task in self.graph.roots():
+            self._submit(task)
+
+    @property
+    def done(self) -> bool:
+        return len(self._completed) == len(self.graph)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failed_task_ids)
+
+    @property
+    def makespan(self) -> Optional[float]:
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    def progress(self) -> float:
+        return len(self._completed) / len(self.graph)
+
+    # ------------------------------------------------------------- internal
+    def _submit(self, task: Task) -> None:
+        if task.id in self._submitted:
+            return
+        self._submitted.add(task.id)
+        self.submitter.submit(task)
+
+    def _task_completed(self, task: Task, result: TaskResult) -> None:
+        if task.id not in self._remaining_deps or task.id in self._completed:
+            return  # not ours (several workflows can share a master)
+        self._completed.add(task.id)
+        self.completed_by_category[task.category] = (
+            self.completed_by_category.get(task.category, 0) + 1
+        )
+        self._record_progress()
+        for dependent_id in sorted(self.graph.dependents[task.id]):
+            deps = self._remaining_deps[dependent_id]
+            deps.discard(task.id)
+            if not deps and dependent_id not in self._submitted:
+                self._submit(self.graph.task(dependent_id))
+        if self.done and self.finish_time is None:
+            self.finish_time = self.engine.now
+            self.done_signal.fire_once(self)
+
+    def _task_abandoned(self, task: Task) -> None:
+        if task.id in self._remaining_deps:
+            self.failed_task_ids.add(task.id)
+
+    def _record_progress(self) -> None:
+        if self.recorder is None:
+            return
+        self.recorder.set("workflow.completed", len(self._completed))
+        self.recorder.set("workflow.submitted", len(self._submitted))
+        for category, count in self.completed_by_category.items():
+            self.recorder.set(f"workflow.completed.{category}", count)

@@ -1,0 +1,34 @@
+"""Evaluation metrics: the paper's resource-relationship accounting.
+
+§IV-B defines five quantities — Resource In-Use (RIU), Resource Shortage
+(RSH), Resource Demand (RD = RIU + RSH), Resource Supply (RS), and
+Resource Waste (RW = RS − RIU) — and the evaluation reports their
+integrals over the workload runtime ("accumulated waste/shortage",
+core×seconds). :class:`~repro.metrics.accounting.ResourceAccountant`
+samples these as exact step series and computes the integrals; summaries
+feed the fig 10c / fig 11c tables.
+"""
+
+from repro.metrics.accounting import AccountingSummary, ResourceAccountant
+from repro.metrics.summary import comparison_factors, format_summary_table
+from repro.metrics.cost import CostBreakdown, CostModel, DEFAULT_HOURLY_PRICES
+from repro.metrics.export import (
+    export_series_csv,
+    export_summary_json,
+    series_rows,
+    summary_dict,
+)
+
+__all__ = [
+    "ResourceAccountant",
+    "AccountingSummary",
+    "comparison_factors",
+    "format_summary_table",
+    "CostBreakdown",
+    "CostModel",
+    "DEFAULT_HOURLY_PRICES",
+    "export_series_csv",
+    "export_summary_json",
+    "series_rows",
+    "summary_dict",
+]

@@ -1,0 +1,88 @@
+"""Pay-as-you-go cost accounting.
+
+The paper's motivation is economic: "One of the public cloud platform's
+critical characteristics is the pay-as-you-go pricing model" (§I) — the
+bill is node-hours, so resource waste is literally money. This module
+converts an experiment's node-count series into dollars and expresses
+HTA's waste reduction as cost savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover — avoid a metrics→experiments cycle
+    from repro.experiments.runner import ExperimentResult
+
+#: On-demand us-central1 hourly prices (2019-era, USD), matching the
+#: paper's GCE instance generation. Keys are MachineType names.
+DEFAULT_HOURLY_PRICES: Dict[str, float] = {
+    "n1-standard-4": 0.1900,
+    "n1-standard-4-reserved": 0.1900,  # same VM; reservation is internal
+    "gke-small-3cpu": 0.1420,
+    "gke-3cpu-12gb": 0.1420,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CostBreakdown:
+    """Dollars for one experiment run."""
+
+    node_hours: float
+    hourly_price: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.node_hours * self.hourly_price
+
+    def __str__(self) -> str:
+        return f"${self.total_usd:.2f} ({self.node_hours:.2f} node-hours)"
+
+
+class CostModel:
+    """Prices an experiment's node usage."""
+
+    def __init__(self, hourly_prices: Mapping[str, float] = DEFAULT_HOURLY_PRICES):
+        for name, price in hourly_prices.items():
+            if price < 0:
+                raise ValueError(f"negative price for {name!r}")
+        self.hourly_prices = dict(hourly_prices)
+
+    def price_for(self, machine_type_name: str) -> float:
+        try:
+            return self.hourly_prices[machine_type_name]
+        except KeyError:
+            raise KeyError(
+                f"no price for machine type {machine_type_name!r}; "
+                f"known: {sorted(self.hourly_prices)}"
+            ) from None
+
+    def cost_of(
+        self, result: "ExperimentResult", machine_type_name: str
+    ) -> CostBreakdown:
+        """Integrate the run's node-count series into node-hours × price.
+
+        Uses the accountant's exact step series, so partial-lifetime
+        nodes (provisioned mid-run, reclaimed before the end) are billed
+        for precisely the time they existed.
+        """
+        t0, t1 = result.accountant.window()
+        node_seconds = result.series("nodes").integrate(t0, t1)
+        return CostBreakdown(
+            node_hours=node_seconds / 3600.0,
+            hourly_price=self.price_for(machine_type_name),
+        )
+
+    def savings(
+        self,
+        cheaper: "ExperimentResult",
+        baseline: "ExperimentResult",
+        machine_type_name: str,
+    ) -> float:
+        """Fractional cost saved by ``cheaper`` relative to ``baseline``."""
+        a = self.cost_of(cheaper, machine_type_name).total_usd
+        b = self.cost_of(baseline, machine_type_name).total_usd
+        if b <= 0:
+            return 0.0
+        return 1.0 - a / b

@@ -1,0 +1,86 @@
+"""Tabular rendering and paper-vs-measured comparison helpers.
+
+The experiment harnesses print fig-10c/11c-style tables with these
+functions; the same formatting is reused by EXPERIMENTS.md generation and
+the example scripts, so every surface shows identical numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.metrics.accounting import AccountingSummary
+
+
+def format_summary_table(
+    rows: Mapping[str, AccountingSummary],
+    *,
+    title: str = "Performance Summary",
+) -> str:
+    """Render the paper's summary-table layout (runtime / waste /
+    shortage / utilization) for a set of named autoscaler runs."""
+    header = (
+        f"{'Resource Autoscaler':<22} {'Runtime (s)':>12} "
+        f"{'Waste (core*s)':>16} {'Shortage (core*s)':>18} {'CPU Util':>9}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for name, s in rows.items():
+        lines.append(
+            f"{name:<22} {s.runtime_s:>12.0f} "
+            f"{s.accumulated_waste_core_s:>16.0f} "
+            f"{s.accumulated_shortage_core_s:>18.0f} "
+            f"{s.utilization:>8.1%}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_factors(
+    hta: AccountingSummary, baseline: AccountingSummary
+) -> Dict[str, float]:
+    """The paper's headline ratios, HTA relative to a baseline.
+
+    * ``waste_reduction`` — baseline waste / HTA waste (paper: 5.6×
+      vs HPA-20 on BLAST);
+    * ``runtime_increase`` — HTA runtime / baseline runtime − 1
+      (paper: ~12.5-16.6% on BLAST);
+    * ``speedup`` — baseline runtime / HTA runtime (paper: up to 3.66×
+      on the I/O-bound workload).
+    """
+
+    def ratio(a: float, b: float) -> float:
+        return a / b if b > 0 else float("inf")
+
+    return {
+        "waste_reduction": ratio(
+            baseline.accumulated_waste_core_s, hta.accumulated_waste_core_s
+        ),
+        "runtime_increase": ratio(hta.runtime_s, baseline.runtime_s) - 1.0,
+        "speedup": ratio(baseline.runtime_s, hta.runtime_s),
+        "shortage_ratio": ratio(
+            hta.accumulated_shortage_core_s, baseline.accumulated_shortage_core_s
+        ),
+    }
+
+
+def format_series_table(
+    times: Sequence[float],
+    columns: Mapping[str, Sequence[float]],
+    *,
+    max_rows: int = 24,
+    title: Optional[str] = None,
+) -> str:
+    """Render time series as aligned columns, downsampled to ``max_rows``
+    (the textual stand-in for the paper's supply/demand plots)."""
+    names = list(columns)
+    n = len(times)
+    if any(len(columns[c]) != n for c in names):
+        raise ValueError("all columns must have the same length as times")
+    stride = max(1, n // max_rows)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join([f"{'t(s)':>8}"] + [f"{c:>12}" for c in names]))
+    for i in range(0, n, stride):
+        row = [f"{times[i]:>8.0f}"] + [f"{columns[c][i]:>12.1f}" for c in names]
+        lines.append("  ".join(row))
+    return "\n".join(lines)

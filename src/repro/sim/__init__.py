@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in :mod:`repro` runs on top of this kernel: the Kubernetes-like
+cluster substrate, the Work Queue scheduler, the Makeflow workflow manager,
+and the HTA autoscaler are all state machines advanced by events scheduled
+on a single :class:`~repro.sim.engine.Engine`.
+
+The kernel offers two programming styles:
+
+* **callback scheduling** — ``engine.call_in(delay, fn, *args)`` /
+  ``engine.call_at(time, fn, *args)`` return cancellable
+  :class:`~repro.sim.engine.ScheduledEvent` handles; and
+* **generator processes** — ``engine.spawn(gen)`` runs a generator that
+  yields :class:`~repro.sim.process.Timeout`, :class:`~repro.sim.process.Wait`
+  (on a :class:`~repro.sim.process.Signal`), or other processes.
+
+All randomness goes through named, seeded streams from
+:class:`~repro.sim.rng.RngRegistry` so simulations replay bit-identically
+regardless of module import order or event interleaving.
+"""
+
+from repro.sim.engine import Engine, ScheduledEvent, SimulationError
+from repro.sim.process import Process, Signal, Timeout, Wait, AllOf, AnyOf
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import StepSeries, MetricRecorder, Sampler
+
+__all__ = [
+    "Engine",
+    "ScheduledEvent",
+    "SimulationError",
+    "Process",
+    "Signal",
+    "Timeout",
+    "Wait",
+    "AllOf",
+    "AnyOf",
+    "RngRegistry",
+    "StepSeries",
+    "MetricRecorder",
+    "Sampler",
+]

@@ -1,0 +1,41 @@
+"""Workload generators for the paper's evaluation.
+
+* :mod:`~repro.workloads.blast` — BLAST-like bioinformatics workloads:
+  the single-stage 200-job run (fig 2), the 100-job sizing study
+  (fig 4), and the three-stage 200/34/164 workflow (fig 10);
+* :mod:`~repro.workloads.iobound` — the synthetic ``dd``-style I/O-bound
+  workload of fig 11 (disk-busy, CPU-quiet);
+* :mod:`~repro.workloads.synthetic` — parameterized generators (uniform
+  bags, multi-category mixes, bursty arrival patterns) used by tests,
+  ablations, and examples.
+
+All generators are deterministic given their arguments (any jitter comes
+from an explicitly passed RNG registry), so figures regenerate
+bit-identically.
+"""
+
+from repro.workloads.blast import (
+    BLAST_DB,
+    blast_parallel,
+    blast_multistage,
+    blast_sizing_study,
+)
+from repro.workloads.iobound import iobound_parallel
+from repro.workloads.synthetic import (
+    uniform_bag,
+    multi_category_mix,
+    staged_pipeline,
+    fan_in_out,
+)
+
+__all__ = [
+    "BLAST_DB",
+    "blast_parallel",
+    "blast_multistage",
+    "blast_sizing_study",
+    "iobound_parallel",
+    "uniform_bag",
+    "multi_category_mix",
+    "staged_pipeline",
+    "fan_in_out",
+]

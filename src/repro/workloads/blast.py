@@ -1,0 +1,182 @@
+"""BLAST-like bioinformatics workloads.
+
+The paper uses BLAST (Basic Local Alignment Search Tool) in three
+configurations, all reproduced here:
+
+* :func:`blast_parallel` — N parallel alignment jobs against a shared,
+  cacheable reference database (fig 2: N=200; fig 4: N=100, "each job
+  having a (cacheable) 1.4 GB shareable input and 600 KB output");
+* :func:`blast_sizing_study` — the fig-4 variant with *unknown* resource
+  declarations (drives the conservative one-task-per-worker behaviour);
+* :func:`blast_multistage` — the fig-10 workflow: three stages with 200,
+  34, and 164 tasks ("each stage involves three steps, i.e. splitting an
+  input data, aligning subsequences, and reducing intermediate
+  results"); stage boundaries are real file dependencies, so the middle
+  stage creates the resource-demand dip an optimal autoscaler must track.
+
+Task durations are calibrated so the simulated cluster shapes match the
+paper's (see EXPERIMENTS.md for the paper-vs-measured numbers).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.resources import ResourceVector
+from repro.makeflow.dag import WorkflowGraph
+from repro.sim.rng import RngRegistry
+from repro.wq.task import FileSpec, Task
+
+#: The shared reference database: "a (cacheable) 1.4 GB shareable input".
+BLAST_DB = FileSpec("blast-db.tar", 1400.0, cacheable=True)
+
+#: Per-job query chunk (a slice of the dataset, not cacheable).
+QUERY_CHUNK_MB = 7.0
+#: "600 KB output" per alignment job.
+OUTPUT_MB = 0.6
+
+#: Footprint of one alignment job: one core plus the in-memory database.
+ALIGN_FOOTPRINT = ResourceVector(cores=1, memory_mb=2500, disk_mb=2000)
+
+
+def _jittered(rng: Optional[RngRegistry], stream: str, mean: float, cv: float) -> float:
+    if rng is None or cv <= 0:
+        return mean
+    return rng.lognormal_around(stream, mean, cv)
+
+
+def blast_parallel(
+    n_tasks: int = 200,
+    *,
+    execute_s: float = 60.0,
+    declared: bool = True,
+    category: str = "align",
+    rng: Optional[RngRegistry] = None,
+    runtime_cv: float = 0.0,
+) -> List[Task]:
+    """The single-stage BLAST bag-of-tasks (fig 2 uses 200 jobs).
+
+    With ``declared=True`` every job carries its resource requirement
+    ("we assume that the resource requirements of individual jobs are
+    known in advance", §III-B); otherwise requirements are unknown and
+    the dispatch policy decides.
+    """
+    if n_tasks <= 0:
+        raise ValueError("n_tasks must be positive")
+    tasks = []
+    for i in range(n_tasks):
+        exec_time = _jittered(rng, f"blast.exec.{category}", execute_s, runtime_cv)
+        tasks.append(
+            Task(
+                category,
+                execute_s=exec_time,
+                footprint=ALIGN_FOOTPRINT,
+                declared=ALIGN_FOOTPRINT if declared else None,
+                cpu_fraction=1.0,
+                inputs=(BLAST_DB, FileSpec(f"query.{i:04d}", QUERY_CHUNK_MB)),
+                outputs=(FileSpec(f"hits.{i:04d}", OUTPUT_MB),),
+                command=f"blastall -i query.{i:04d} -d blast-db -o hits.{i:04d}",
+            )
+        )
+    return tasks
+
+
+def blast_sizing_study(
+    n_tasks: int = 100,
+    *,
+    execute_s: float = 40.0,
+    declared: bool = False,
+) -> List[Task]:
+    """The fig-4 workload: 100 parallel jobs, 1.4 GB cacheable input,
+    600 KB outputs. ``declared`` switches between configuration (b)
+    (unknown → one job per worker) and (c) (known requirements)."""
+    return blast_parallel(
+        n_tasks, execute_s=execute_s, declared=declared, category="align"
+    )
+
+
+def blast_multistage(
+    stage_sizes: tuple[int, int, int] = (200, 34, 164),
+    *,
+    execute_s: float = 300.0,
+    declared: bool = False,
+    rng: Optional[RngRegistry] = None,
+    runtime_cv: float = 0.0,
+) -> WorkflowGraph:
+    """The fig-10 three-stage workflow (defaults: 200 / 34 / 164 tasks).
+
+    Structure (each stage's split/align/reduce collapsed into one task
+    per unit of parallelism, which is what the scheduler sees):
+
+    * stage 1 (``align1``): N1 alignment jobs against the shared DB;
+    * stage 2 (``reduce``): N2 reduction jobs, each merging the hits of a
+      contiguous slice of stage-1 jobs — the fan-in creates the paper's
+      mid-workflow demand dip;
+    * stage 3 (``align2``): N3 refinement alignments, each consuming one
+      stage-2 summary (plus the shared DB), fanning back out.
+
+    With ``declared=False`` (the default, matching the paper's monitored
+    runs) resource requirements are discovered per category at runtime —
+    the behaviour HTA's warm-up probing is designed around.
+    """
+    n1, n2, n3 = stage_sizes
+    if min(stage_sizes) <= 0:
+        raise ValueError("all stage sizes must be positive")
+    decl = ALIGN_FOOTPRINT if declared else None
+    tasks: List[Task] = []
+
+    def exec_time(category: str) -> float:
+        return _jittered(rng, f"blast.exec.{category}", execute_s, runtime_cv)
+
+    stage1_outputs: List[FileSpec] = []
+    for i in range(n1):
+        out = FileSpec(f"s1.hits.{i:04d}", OUTPUT_MB)
+        stage1_outputs.append(out)
+        tasks.append(
+            Task(
+                "align1",
+                execute_s=exec_time("align1"),
+                footprint=ALIGN_FOOTPRINT,
+                declared=decl,
+                inputs=(BLAST_DB, FileSpec(f"s1.query.{i:04d}", QUERY_CHUNK_MB)),
+                outputs=(out,),
+                command=f"blastall -stage1 -i s1.query.{i:04d}",
+            )
+        )
+
+    # Fan-in: each reduce job merges a contiguous slice of stage-1 hits.
+    stage2_outputs: List[FileSpec] = []
+    bounds = np.linspace(0, n1, n2 + 1).astype(int)
+    for j in range(n2):
+        inputs = tuple(stage1_outputs[bounds[j] : bounds[j + 1]])
+        out = FileSpec(f"s2.summary.{j:04d}", OUTPUT_MB * 4)
+        stage2_outputs.append(out)
+        tasks.append(
+            Task(
+                "reduce",
+                execute_s=exec_time("reduce"),
+                footprint=ALIGN_FOOTPRINT,
+                declared=decl,
+                inputs=inputs,
+                outputs=(out,),
+                command=f"merge-hits -o s2.summary.{j:04d}",
+            )
+        )
+
+    # Fan-out: stage-3 jobs re-align against summaries round-robin.
+    for k in range(n3):
+        summary = stage2_outputs[k % n2]
+        tasks.append(
+            Task(
+                "align2",
+                execute_s=exec_time("align2"),
+                footprint=ALIGN_FOOTPRINT,
+                declared=decl,
+                inputs=(BLAST_DB, summary),
+                outputs=(FileSpec(f"s3.hits.{k:04d}", OUTPUT_MB),),
+                command=f"blastall -stage3 -i s2.summary.{k % n2:04d}",
+            )
+        )
+    return WorkflowGraph(tasks)

@@ -1,0 +1,182 @@
+"""Parameterized synthetic workload generators.
+
+Used by unit tests, property tests, ablation benchmarks, and the
+examples: shapes that stress specific autoscaler behaviours without the
+full BLAST calibration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.resources import ResourceVector
+from repro.makeflow.dag import WorkflowGraph
+from repro.sim.rng import RngRegistry
+from repro.wq.task import FileSpec, Task
+
+_DEFAULT_FOOTPRINT = ResourceVector(cores=1, memory_mb=1024, disk_mb=1024)
+
+
+def uniform_bag(
+    n_tasks: int,
+    *,
+    execute_s: float = 60.0,
+    footprint: ResourceVector = _DEFAULT_FOOTPRINT,
+    declared: bool = True,
+    cpu_fraction: float = 1.0,
+    category: str = "bag",
+    input_mb: float = 1.0,
+    output_mb: float = 1.0,
+    rng: Optional[RngRegistry] = None,
+    runtime_cv: float = 0.0,
+) -> List[Task]:
+    """A bag of identical independent tasks — the simplest HTC shape."""
+    if n_tasks <= 0:
+        raise ValueError("n_tasks must be positive")
+    tasks = []
+    for i in range(n_tasks):
+        exec_time = execute_s
+        if rng is not None and runtime_cv > 0:
+            exec_time = rng.lognormal_around(f"bag.exec.{category}", execute_s, runtime_cv)
+        tasks.append(
+            Task(
+                category,
+                execute_s=exec_time,
+                footprint=footprint,
+                declared=footprint if declared else None,
+                cpu_fraction=cpu_fraction,
+                inputs=(FileSpec(f"{category}.in.{i:05d}", input_mb),),
+                outputs=(FileSpec(f"{category}.out.{i:05d}", output_mb),),
+            )
+        )
+    return tasks
+
+
+def multi_category_mix(
+    spec: Sequence[Tuple[str, int, float, ResourceVector]],
+    *,
+    declared: bool = False,
+    cpu_fraction: float = 1.0,
+) -> List[Task]:
+    """Independent tasks across several categories.
+
+    ``spec`` is a sequence of ``(category, count, execute_s, footprint)``.
+    With ``declared=False`` this exercises HTA's per-category probing —
+    several categories must be learned concurrently.
+    """
+    tasks: List[Task] = []
+    for category, count, execute_s, footprint in spec:
+        for i in range(count):
+            tasks.append(
+                Task(
+                    category,
+                    execute_s=execute_s,
+                    footprint=footprint,
+                    declared=footprint if declared else None,
+                    cpu_fraction=cpu_fraction,
+                    inputs=(FileSpec(f"{category}.in.{i:05d}", 1.0),),
+                    outputs=(FileSpec(f"{category}.out.{i:05d}", 1.0),),
+                )
+            )
+    return tasks
+
+
+def staged_pipeline(
+    stage_sizes: Sequence[int],
+    *,
+    execute_s: float = 60.0,
+    footprint: ResourceVector = _DEFAULT_FOOTPRINT,
+    declared: bool = True,
+    barrier: bool = False,
+) -> WorkflowGraph:
+    """A linear multi-stage workflow with wide→narrow→wide demand swings.
+
+    Without ``barrier`` (the default), stage ``k`` task ``i`` consumes
+    the output of stage ``k-1`` task ``i % size(k-1)`` — stages overlap
+    as soon as individual predecessors finish (a pipelined workflow).
+    With ``barrier=True`` every stage-``k`` task consumes *all* outputs
+    of stage ``k-1`` — a hard synchronization point per stage, the shape
+    that punishes slow-reacting autoscalers hardest.
+    """
+    if not stage_sizes or min(stage_sizes) <= 0:
+        raise ValueError("stage_sizes must be non-empty and positive")
+    tasks: List[Task] = []
+    prev_outputs: List[FileSpec] = []
+    for stage, size in enumerate(stage_sizes):
+        outputs: List[FileSpec] = []
+        for i in range(size):
+            out = FileSpec(f"s{stage}.out.{i:05d}", 1.0)
+            outputs.append(out)
+            if not prev_outputs:
+                inputs: Tuple[FileSpec, ...] = (FileSpec(f"s0.in.{i:05d}", 1.0),)
+            elif barrier:
+                inputs = tuple(prev_outputs)
+            else:
+                inputs = (prev_outputs[i % len(prev_outputs)],)
+            tasks.append(
+                Task(
+                    f"stage{stage}",
+                    execute_s=execute_s,
+                    footprint=footprint,
+                    declared=footprint if declared else None,
+                    inputs=inputs,
+                    outputs=(out,),
+                )
+            )
+        prev_outputs = outputs
+    return WorkflowGraph(tasks)
+
+
+def fan_in_out(
+    width: int,
+    *,
+    execute_s: float = 30.0,
+    footprint: ResourceVector = _DEFAULT_FOOTPRINT,
+    declared: bool = True,
+) -> WorkflowGraph:
+    """``width`` mappers → 1 reducer → ``width`` finalizers.
+
+    The single mid-workflow reducer forces demand to collapse to one
+    task and re-expand — the hardest shape for a reactive autoscaler.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    decl = footprint if declared else None
+    tasks: List[Task] = []
+    mapper_outs = []
+    for i in range(width):
+        out = FileSpec(f"map.out.{i:05d}", 1.0)
+        mapper_outs.append(out)
+        tasks.append(
+            Task(
+                "map",
+                execute_s=execute_s,
+                footprint=footprint,
+                declared=decl,
+                inputs=(FileSpec(f"map.in.{i:05d}", 1.0),),
+                outputs=(out,),
+            )
+        )
+    reduced = FileSpec("reduce.out", 1.0)
+    tasks.append(
+        Task(
+            "reduce",
+            execute_s=execute_s,
+            footprint=footprint,
+            declared=decl,
+            inputs=tuple(mapper_outs),
+            outputs=(reduced,),
+        )
+    )
+    for i in range(width):
+        tasks.append(
+            Task(
+                "finalize",
+                execute_s=execute_s,
+                footprint=footprint,
+                declared=decl,
+                inputs=(reduced,),
+                outputs=(FileSpec(f"final.out.{i:05d}", 1.0),),
+            )
+        )
+    return WorkflowGraph(tasks)

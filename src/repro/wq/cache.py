@@ -1,0 +1,94 @@
+"""Per-worker file cache with LRU eviction.
+
+Work Queue workers cache files marked cacheable, but a worker's disk is
+finite: when the cache plus new arrivals would exceed its budget, the
+least-recently-used files that no running task needs are evicted (the
+real worker garbage-collects its workspace the same way). Evicting the
+shared BLAST database from a busy worker forces a costly re-fetch — the
+behaviour that makes cache-aware dispatch (the master prefers workers
+that already hold a task's inputs) worth modelling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+
+class WorkerCache:
+    """Size-bounded LRU cache of (file name → size_mb)."""
+
+    def __init__(self, capacity_mb: float):
+        if capacity_mb < 0:
+            raise ValueError("capacity_mb must be non-negative")
+        self.capacity_mb = capacity_mb
+        self._files: Dict[str, float] = {}
+        self._last_use: Dict[str, float] = {}
+        self.evictions = 0
+        self.bytes_evicted_mb = 0.0
+
+    # ------------------------------------------------------------- queries
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    @property
+    def used_mb(self) -> float:
+        return sum(self._files.values())
+
+    def names(self) -> Set[str]:
+        return set(self._files)
+
+    # ------------------------------------------------------------- updates
+    def touch(self, name: str, now: float) -> None:
+        """Record a use (keeps hot files resident)."""
+        if name in self._files:
+            self._last_use[name] = now
+
+    def add(self, name: str, size_mb: float, now: float, *, pinned: Iterable[str] = ()) -> bool:
+        """Insert a file, evicting LRU entries as needed.
+
+        ``pinned`` names (inputs of currently running tasks) are never
+        evicted. Returns False — and caches nothing — if the file cannot
+        fit even after evicting everything evictable (it will simply be
+        re-fetched next time, matching worker behaviour for oversized
+        files).
+        """
+        if size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        if name in self._files:
+            self._last_use[name] = now
+            return True
+        if size_mb > self.capacity_mb:
+            return False
+        self._evict_for(size_mb, set(pinned), now)
+        if self.used_mb + size_mb > self.capacity_mb + 1e-9:
+            return False
+        self._files[name] = size_mb
+        self._last_use[name] = now
+        return True
+
+    def discard(self, name: str) -> None:
+        self._files.pop(name, None)
+        self._last_use.pop(name, None)
+
+    def _evict_for(self, incoming_mb: float, pinned: Set[str], now: float) -> None:
+        if self.used_mb + incoming_mb <= self.capacity_mb:
+            return
+        victims: List[str] = sorted(
+            (n for n in self._files if n not in pinned),
+            key=lambda n: self._last_use[n],
+        )
+        for name in victims:
+            if self.used_mb + incoming_mb <= self.capacity_mb:
+                break
+            self.bytes_evicted_mb += self._files[name]
+            self.evictions += 1
+            self.discard(name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<WorkerCache {len(self._files)} files "
+            f"{self.used_mb:.0f}/{self.capacity_mb:.0f}MB>"
+        )

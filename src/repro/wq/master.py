@@ -1,0 +1,310 @@
+"""The Work Queue master: queue, dispatch, completion plumbing.
+
+"During runtime, the master finds available workers and assigns jobs to
+them" (§II-B). Dispatch policy:
+
+1. Tasks leave the queue in FIFO order (retried tasks re-enter at the
+   front so a worker loss doesn't starve them).
+2. Each task's allocation comes from the installed
+   :class:`~repro.wq.estimator.AllocationEstimator`; ``None`` means the
+   whole worker (the conservative / probing path).
+3. Among workers that fit, prefer one that already caches the task's
+   cacheable inputs, then the one with least available capacity
+   (best-fit, keeping large slots open for whole-worker probes).
+
+The master exposes the live queue statistics HTA's controller consumes
+(:class:`MasterStats`) and fires ``on_complete`` callbacks that both the
+Makeflow manager (to release dependents) and HTA (to refresh category
+estimates) subscribe to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.resources import ResourceVector
+from repro.sim.engine import Engine
+from repro.wq.estimator import AllocationEstimator, MonitorEstimator
+from repro.wq.link import Link
+from repro.wq.monitor import ResourceMonitor
+from repro.wq.task import Task, TaskResult, TaskState
+from repro.wq.worker import Worker, WorkerState
+
+CompletionCallback = Callable[[Task, TaskResult], None]
+
+
+@dataclass(frozen=True, slots=True)
+class MasterStats:
+    """A point-in-time snapshot of queue state (HTA's reference input)."""
+
+    time: float
+    waiting: int
+    running: int
+    done: int
+    workers_connected: int
+    workers_idle: int
+    workers_busy: int
+    workers_draining: int
+
+    @property
+    def backlog(self) -> int:
+        return self.waiting + self.running
+
+
+class Master:
+    """The master process of the Work Queue framework."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        link: Link,
+        *,
+        estimator: Optional[AllocationEstimator] = None,
+        monitor: Optional[ResourceMonitor] = None,
+        name: str = "wq-master",
+        start_available: bool = True,
+        max_retries: int = 5,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.engine = engine
+        self.link = link
+        self.name = name
+        self.max_retries = max_retries
+        self.monitor = monitor if monitor is not None else ResourceMonitor()
+        self.estimator: AllocationEstimator = (
+            estimator if estimator is not None else MonitorEstimator(self.monitor)
+        )
+        self.queue: List[Task] = []
+        self.workers: Dict[str, Worker] = {}
+        self.running: Dict[int, Task] = {}
+        self.done: List[Task] = []
+        #: Tasks given up on after max_retries worker losses.
+        self.abandoned: List[Task] = []
+        self._abandoned_callbacks: List[Callable[[Task], None]] = []
+        self._callbacks: List[CompletionCallback] = []
+        self._dispatch_pending = False
+        self.tasks_submitted = 0
+        self.tasks_requeued = 0
+        #: False while the master process is down (its pod restarting).
+        #: Dispatch pauses and completions buffer at the workers until
+        #: the master resumes — the paper's StatefulSet + persistent
+        #: volume design makes exactly this recovery possible (§V-A).
+        #: Pass ``start_available=False`` when the master is hosted in a
+        #: pod that has not started yet (MasterDeployment does).
+        self.available = start_available
+        self._buffered_completions: List[tuple[Worker, Task]] = []
+        self.outages = 0
+
+    # ------------------------------------------------------------ callbacks
+    def on_complete(self, fn: CompletionCallback) -> None:
+        self._callbacks.append(fn)
+
+    def on_abandoned(self, fn: Callable[[Task], None]) -> None:
+        """Register for tasks permanently given up after max_retries."""
+        self._abandoned_callbacks.append(fn)
+
+    # ------------------------------------------------------------- submit
+    def submit(self, task: Task) -> None:
+        if task.state is not TaskState.WAITING:
+            raise RuntimeError(f"cannot submit task in state {task.state}")
+        if task.submit_time is None:
+            task.submit_time = self.engine.now
+        self.tasks_submitted += 1
+        self.queue.append(task)
+        self._schedule_dispatch()
+
+    def submit_many(self, tasks: List[Task]) -> None:
+        for t in tasks:
+            self.submit(t)
+
+    # -------------------------------------------------------------- workers
+    def register_worker(self, worker: Worker) -> None:
+        self.workers[worker.name] = worker
+        self._schedule_dispatch()
+
+    def unregister_worker(self, worker: Worker) -> None:
+        self.workers.pop(worker.name, None)
+
+    def worker_draining(self, worker: Worker) -> None:
+        """A drain started; nothing to do — dispatch skips non-accepting
+        workers — but the hook keeps the protocol explicit."""
+
+    def worker_lost(self, worker: Worker, lost_tasks: List[Task]) -> None:
+        """A worker died (pod deleted). Requeue its tasks at the front;
+        tasks that have already burned ``max_retries`` attempts are
+        abandoned (reported through ``on_abandoned``)."""
+        self.workers.pop(worker.name, None)
+        for task in reversed(lost_tasks):
+            self.running.pop(task.id, None)
+            task.attempts += 1
+            if task.attempts > self.max_retries:
+                self.abandoned.append(task)
+                for fn in list(self._abandoned_callbacks):
+                    fn(task)
+                continue
+            self.tasks_requeued += 1
+            task.reset_for_retry()
+            self.queue.insert(0, task)
+        if lost_tasks:
+            self._schedule_dispatch()
+
+    # ------------------------------------------------------------- dispatch
+    def _schedule_dispatch(self) -> None:
+        if not self._dispatch_pending:
+            self._dispatch_pending = True
+            self.engine.call_soon(self._dispatch)
+
+    # ----------------------------------------------------------- availability
+    def pause(self) -> None:
+        """The master process went down (pod killed/restarting)."""
+        if not self.available:
+            return
+        self.available = False
+        self.outages += 1
+
+    def resume(self) -> None:
+        """The master is back (sticky identity + persistent volume): the
+        queue survived; buffered worker completions are delivered now."""
+        if self.available:
+            return
+        self.available = True
+        buffered, self._buffered_completions = self._buffered_completions, []
+        for worker, task in buffered:
+            self._finalize_completion(worker, task)
+        self._schedule_dispatch()
+
+    def _dispatch(self) -> None:
+        self._dispatch_pending = False
+        if not self.queue or not self.available:
+            return
+        # Higher priority first; FIFO (stable sort over queue order)
+        # within a priority level. Requeued tasks sit at the queue front
+        # already, keeping retry-first semantics among equal priorities.
+        ordered = sorted(self.queue, key=lambda t: -t.priority)
+        placed_ids = set()
+        for task in ordered:
+            if self._try_place(task):
+                placed_ids.add(task.id)
+        if placed_ids:
+            self.queue = [t for t in self.queue if t.id not in placed_ids]
+
+    def _try_place(self, task: Task) -> bool:
+        candidates = [w for w in self.workers.values() if w.accepting]
+        if not candidates:
+            return False
+        best: Optional[Worker] = None
+        best_alloc: Optional[ResourceVector] = None
+        best_key = None
+        for worker in candidates:
+            alloc = self.estimator.allocation_for(task, worker.capacity)
+            if alloc is None:
+                alloc = worker.capacity  # whole-worker (conservative/probe)
+            else:
+                # Never allocate less than the task actually needs, and
+                # never more than the worker has in total.
+                alloc = alloc.max_with(task.footprint)
+                if not alloc.fits_in(worker.capacity):
+                    continue
+            if not worker.can_fit(alloc):
+                continue
+            # Prefer cache hits; then best-fit by remaining cores.
+            key = (worker.has_cached(task), -worker.available().cores, worker.name)
+            if best_key is None or key > best_key:
+                best, best_alloc, best_key = worker, alloc, key
+        if best is None or best_alloc is None:
+            return False
+        self.running[task.id] = task
+        best.assign(task, best_alloc)
+        return True
+
+    # ----------------------------------------------------------- completion
+    def task_finished(self, worker: Worker, task: Task) -> None:
+        if not self.available:
+            # The worker holds the outputs until the master returns.
+            self._buffered_completions.append((worker, task))
+            return
+        self._finalize_completion(worker, task)
+
+    def _finalize_completion(self, worker: Worker, task: Task) -> None:
+        self.running.pop(task.id, None)
+        task.state = TaskState.DONE
+        task.finish_time = self.engine.now
+        assert task.submit_time is not None
+        assert task.dispatch_time is not None
+        assert task.start_time is not None
+        result = TaskResult(
+            task_id=task.id,
+            category=task.category,
+            worker_name=worker.name,
+            submit_time=task.submit_time,
+            dispatch_time=task.dispatch_time,
+            start_time=task.start_time,
+            finish_time=task.finish_time,
+            execute_seconds=task.execute_s,
+            measured_resources=task.footprint,
+            attempts=task.attempts,
+        )
+        task.result = result
+        self.done.append(task)
+        self.monitor.record(result)
+        for fn in list(self._callbacks):
+            fn(task, result)
+        self._schedule_dispatch()
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> MasterStats:
+        idle = sum(1 for w in self.workers.values() if w.idle)
+        draining = sum(
+            1 for w in self.workers.values() if w.state is WorkerState.DRAINING
+        )
+        busy = sum(
+            1
+            for w in self.workers.values()
+            if w.state in (WorkerState.READY, WorkerState.DRAINING) and w.runs
+        )
+        return MasterStats(
+            time=self.engine.now,
+            waiting=len(self.queue),
+            running=len(self.running),
+            done=len(self.done),
+            workers_connected=len(self.workers),
+            workers_idle=idle,
+            workers_busy=busy,
+            workers_draining=draining,
+        )
+
+    def waiting_tasks(self) -> List[Task]:
+        return list(self.queue)
+
+    def running_tasks(self) -> List[Task]:
+        return list(self.running.values())
+
+    def connected_workers(self) -> List[Worker]:
+        return list(self.workers.values())
+
+    def idle_workers(self) -> List[Worker]:
+        return [w for w in self.workers.values() if w.idle]
+
+    @property
+    def all_done(self) -> bool:
+        return not self.queue and not self.running
+
+    # ----------------------------------------------------------- accounting
+    def cores_in_use(self) -> float:
+        """RIU in cores: footprint cores of currently executing tasks."""
+        return sum(w.cores_in_use() for w in self.workers.values())
+
+    def cores_waiting(self) -> float:
+        """RSH ingredient: cores desired by queued tasks (true footprints;
+        the evaluation measures actual shortage, per §VI)."""
+        return sum(t.footprint.cores for t in self.queue)
+
+    def supplied_cores(self) -> float:
+        """RS in cores: capacity of connected, accepting workers."""
+        return sum(
+            w.capacity.cores
+            for w in self.workers.values()
+            if w.state in (WorkerState.READY, WorkerState.DRAINING)
+        )

@@ -1,0 +1,112 @@
+"""Glue between Kubernetes pods and Work Queue workers.
+
+"We align each worker container with an independent pod and manage the
+life-cycle of each worker container directly through the Work Queue"
+(§II-C). :class:`WorkerPodRuntime` watches pods carrying a label
+(``app=<name>``) and, when one turns Running, starts a :class:`Worker`
+inside it:
+
+* the worker's capacity is the pod's resource request;
+* its transfer rate is capped by the node's NIC;
+* the pod's ``cpu_usage_fn`` is wired to the worker (so metrics-server →
+  HPA observe real usage);
+* deleting the pod **kills** the worker (tasks requeued) — HPA's path;
+* a drained worker exiting gracefully completes its pod — HTA's path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
+from repro.cluster.kubelet import KubeletManager
+from repro.cluster.pod import Pod, PodPhase
+from repro.sim.engine import Engine
+from repro.wq.master import Master
+from repro.wq.worker import Worker, WorkerState
+
+
+class WorkerPodRuntime:
+    """Starts/stops workers as their pods come and go."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        api: KubeApiServer,
+        kubelets: KubeletManager,
+        master: Master,
+        *,
+        app_label: str = "wq-worker",
+        on_worker_started: Optional[Callable[[Worker], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.api = api
+        self.kubelets = kubelets
+        self.master = master
+        self.app_label = app_label
+        self.on_worker_started = on_worker_started
+        self.workers: Dict[str, Worker] = {}  # pod name -> worker
+        self.workers_started = 0
+        self.workers_killed = 0
+        api.watch("Pod", self._on_pod_event, replay_existing=True)
+
+    # --------------------------------------------------------------- events
+    def _on_pod_event(self, event: WatchEvent) -> None:
+        pod = event.obj
+        if not isinstance(pod, Pod) or pod.meta.labels.get("app") != self.app_label:
+            return
+        if event.type is WatchEventType.DELETED:
+            # api._teardown_pod already invoked pod.on_stop → worker.kill();
+            # nothing further needed, but drop our reference.
+            self.workers.pop(pod.name, None)
+            return
+        if pod.phase is PodPhase.RUNNING and pod.name not in self.workers:
+            self._start_worker(pod)
+
+    # --------------------------------------------------------------- worker
+    def _start_worker(self, pod: Pod) -> None:
+        nic = pod.node.machine_type.nic_bandwidth_mbps if pod.node is not None else None
+        worker = Worker(
+            self.engine,
+            self.master,
+            name=f"worker@{pod.name}",
+            capacity=pod.spec.request,
+            pod=pod,
+            nic_bandwidth_mbps=nic,
+            on_exit=self._worker_exited,
+        )
+        self.workers[pod.name] = worker
+        self.workers_started += 1
+        pod.cpu_usage_fn = worker.cpu_usage
+        pod.on_stop = lambda _pod, w=worker: self._pod_stopped(w)
+        if self.on_worker_started is not None:
+            self.on_worker_started(worker)
+
+    def _pod_stopped(self, worker: Worker) -> None:
+        """The pod was deleted while running: hard-kill the worker."""
+        if worker.state not in (WorkerState.STOPPED, WorkerState.KILLED):
+            self.workers_killed += 1
+            worker.kill()
+
+    def _worker_exited(self, worker: Worker) -> None:
+        """Worker process ended. For a graceful stop, complete the pod so
+        Kubernetes sees Succeeded (fig 9's final state)."""
+        pod = worker.pod
+        if pod is None:
+            return
+        self.workers.pop(pod.name, None)
+        if worker.state is WorkerState.STOPPED and not pod.phase.terminal:
+            kubelet = self.kubelets.for_pod(pod)
+            if kubelet is not None:
+                kubelet.stop_container(pod, succeeded=True)
+
+    # ---------------------------------------------------------------- reads
+    def worker_for(self, pod: Pod) -> Optional[Worker]:
+        return self.workers.get(pod.name)
+
+    def live_workers(self) -> List[Worker]:
+        return [
+            w
+            for w in self.workers.values()
+            if w.state in (WorkerState.CONNECTING, WorkerState.READY, WorkerState.DRAINING)
+        ]

@@ -1,0 +1,158 @@
+"""Tasks: the unit of HTC work.
+
+A task carries two resource descriptions, which the paper is careful to
+distinguish:
+
+* ``declared`` — what the user *says* the task needs (often ``None``:
+  unknown, triggering the conservative whole-worker policy of §III-A);
+* ``footprint`` — what the task *actually* uses, observed by the resource
+  monitor when it completes and fed back into category estimates (§IV-A).
+
+Execution is modelled in three phases a worker walks through: fetch
+inputs (over the shared master link, honouring per-worker caches), execute
+(``execute_s`` wall seconds, busying ``cpu_fraction`` of the allocated
+cores — I/O-bound tasks run with low CPU), and return outputs.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.cluster.resources import ResourceVector
+
+_task_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class FileSpec:
+    """A named input/output file.
+
+    ``cacheable`` inputs (reference databases, shared indexes) are kept in
+    the worker's cache after first fetch — the mechanism that makes the
+    paper's coarse-grained worker configuration win once resources are
+    known (one 1.4 GB transfer serves every BLAST task on the node).
+    """
+
+    name: str
+    size_mb: float
+    cacheable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError(f"file {self.name!r}: negative size")
+
+
+class TaskState(enum.Enum):
+    WAITING = "waiting"
+    FETCHING = "fetching"    # inputs in flight to the worker
+    RUNNING = "running"      # executing
+    RETURNING = "returning"  # outputs in flight to the master
+    DONE = "done"
+    FAILED = "failed"        # worker killed mid-run; will be resubmitted
+
+
+@dataclass(frozen=True, slots=True)
+class TaskResult:
+    """Completion record, as Work Queue would report to the manager."""
+
+    task_id: int
+    category: str
+    worker_name: str
+    submit_time: float
+    dispatch_time: float
+    start_time: float      # execution start (inputs fetched)
+    finish_time: float     # outputs delivered to master
+    execute_seconds: float
+    measured_resources: ResourceVector
+    attempts: int
+
+    @property
+    def turnaround(self) -> float:
+        return self.finish_time - self.submit_time
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Non-compute time: queueing plus data movement."""
+        return self.turnaround - self.execute_seconds
+
+
+class Task:
+    """A schedulable job; see module docstring for the execution model."""
+
+    def __init__(
+        self,
+        category: str,
+        *,
+        execute_s: float,
+        footprint: ResourceVector,
+        declared: Optional[ResourceVector] = None,
+        cpu_fraction: float = 1.0,
+        inputs: Tuple[FileSpec, ...] = (),
+        outputs: Tuple[FileSpec, ...] = (),
+        command: str = "",
+        tag: str = "",
+        priority: int = 0,
+    ) -> None:
+        if execute_s < 0:
+            raise ValueError(f"execute_s must be non-negative, got {execute_s}")
+        if not 0.0 <= cpu_fraction <= 1.0:
+            raise ValueError(f"cpu_fraction must be in [0,1], got {cpu_fraction}")
+        if not footprint.is_nonnegative() or footprint.is_zero():
+            raise ValueError(f"footprint must be positive, got {footprint}")
+        if declared is not None and not footprint.fits_in(declared):
+            raise ValueError(
+                f"footprint {footprint} exceeds declared {declared}; "
+                "declare at least what the task uses"
+            )
+        self.id = next(_task_ids)
+        self.category = category
+        self.command = command or f"{category}-{self.id}"
+        self.tag = tag
+        #: Dispatch precedence: higher runs first (Work Queue semantics);
+        #: FIFO among equal priorities.
+        self.priority = priority
+        self.execute_s = execute_s
+        self.cpu_fraction = cpu_fraction
+        self.footprint = footprint
+        self.declared = declared
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+
+        self.state = TaskState.WAITING
+        self.attempts = 0
+        self.submit_time: Optional[float] = None
+        self.dispatch_time: Optional[float] = None
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        #: Resources reserved on the worker for this run (set at dispatch).
+        self.allocation: Optional[ResourceVector] = None
+        self.result: Optional[TaskResult] = None
+
+    # ---------------------------------------------------------------- sizes
+    def input_bytes_mb(self, cached: bool = False) -> float:
+        """Total input volume; with ``cached`` only non-cacheable files."""
+        return sum(f.size_mb for f in self.inputs if not (cached and f.cacheable))
+
+    def output_bytes_mb(self) -> float:
+        return sum(f.size_mb for f in self.outputs)
+
+    def current_cpu_cores(self) -> float:
+        """Instantaneous CPU while in the execute phase, in cores."""
+        if self.state is not TaskState.RUNNING or self.allocation is None:
+            return 0.0
+        # A task burns its *footprint* cores (modulated by cpu_fraction),
+        # not its possibly-padded allocation.
+        return min(self.footprint.cores, self.allocation.cores) * self.cpu_fraction
+
+    def reset_for_retry(self) -> None:
+        """Return the task to the waiting state after a worker loss."""
+        self.state = TaskState.WAITING
+        self.dispatch_time = None
+        self.start_time = None
+        self.allocation = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Task #{self.id} {self.category!r} {self.state.value}>"

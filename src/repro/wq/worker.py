@@ -1,0 +1,301 @@
+"""Workers: fetch inputs, execute tasks concurrently, return outputs.
+
+A worker owns a resource capacity (its pod's request) and runs any number
+of tasks whose allocations fit simultaneously — "a worker may run
+multiple jobs simultaneously, as long as the sum of their declared
+resources does not exceed the machine's capacity" (§II-B). Cacheable
+input files persist in the worker's cache across tasks.
+
+Scale-down paths (the crux of §II-C):
+
+* :meth:`drain` — graceful: accept no new work, finish running tasks,
+  then exit; HTA always uses this;
+* :meth:`kill` — the pod was deleted under the worker (HPA's scale-down
+  does this): in-flight transfers are aborted and running tasks go back
+  to the master's queue, losing their progress.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from repro.cluster.resources import ResourceVector
+from repro.sim.engine import Engine, ScheduledEvent
+from repro.wq.cache import WorkerCache
+from repro.wq.link import Link, Transfer
+from repro.wq.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.pod import Pod
+    from repro.wq.master import Master
+
+
+class WorkerState(enum.Enum):
+    CONNECTING = "connecting"
+    READY = "ready"
+    DRAINING = "draining"
+    STOPPED = "stopped"   # graceful exit (drain complete)
+    KILLED = "killed"     # pod deleted underneath us
+
+
+class _TaskRun:
+    """Book-keeping for one task in flight on this worker."""
+
+    __slots__ = ("task", "allocation", "transfers", "pending_inputs", "exec_event")
+
+    def __init__(self, task: Task, allocation: ResourceVector):
+        self.task = task
+        self.allocation = allocation
+        #: Transfers owned by this run (its own inputs + its outputs).
+        self.transfers: List[Transfer] = []
+        #: Input files (own or joined single-flight) still in flight.
+        self.pending_inputs = 0
+        self.exec_event: Optional[ScheduledEvent] = None
+
+
+class Worker:
+    """One Work Queue worker process (usually hosted in a pod)."""
+
+    #: Seconds between the worker process starting and the master
+    #: accepting its registration (TCP connect + handshake).
+    CONNECT_LATENCY = 1.0
+
+    def __init__(
+        self,
+        engine: Engine,
+        master: "Master",
+        name: str,
+        capacity: ResourceVector,
+        *,
+        pod: Optional["Pod"] = None,
+        nic_bandwidth_mbps: Optional[float] = None,
+        on_exit: Optional[Callable[["Worker"], None]] = None,
+        connect_latency: Optional[float] = None,
+    ) -> None:
+        if not capacity.any_positive():
+            raise ValueError(f"worker {name!r}: capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.master = master
+        self.name = name
+        self.capacity = capacity
+        self.pod = pod
+        self.nic_bandwidth_mbps = nic_bandwidth_mbps
+        self.on_exit = on_exit
+        self.state = WorkerState.CONNECTING
+        #: LRU file cache bounded by the worker's disk capacity.
+        self.cache = WorkerCache(capacity.disk_mb)
+        #: Single-flight table: cacheable file name -> runs waiting for it.
+        #: The first task to need a cacheable file fetches it once; later
+        #: concurrent tasks join the in-flight transfer instead of
+        #: duplicating it (Work Queue's per-worker file semantics).
+        self._inflight_cacheable: Dict[str, List[_TaskRun]] = {}
+        self.runs: Dict[int, _TaskRun] = {}
+        self.tasks_completed = 0
+        self.connected_time: Optional[float] = None
+        latency = self.CONNECT_LATENCY if connect_latency is None else connect_latency
+        engine.call_in(latency, self._connect)
+
+    # ------------------------------------------------------------ lifecycle
+    def _connect(self) -> None:
+        if self.state is not WorkerState.CONNECTING:
+            return  # killed before the handshake finished
+        self.state = WorkerState.READY
+        self.connected_time = self.engine.now
+        self.master.register_worker(self)
+
+    def drain(self) -> None:
+        """Stop accepting tasks; exit once running tasks complete."""
+        if self.state in (WorkerState.STOPPED, WorkerState.KILLED):
+            return
+        if self.state is WorkerState.CONNECTING:
+            # Never registered; just exit.
+            self.state = WorkerState.STOPPED
+            self._exited()
+            return
+        self.state = WorkerState.DRAINING
+        self.master.worker_draining(self)
+        if not self.runs:
+            self._stop()
+
+    def kill(self) -> None:
+        """Abrupt termination: abort transfers, lose running tasks."""
+        if self.state in (WorkerState.STOPPED, WorkerState.KILLED):
+            return
+        was_registered = self.state in (WorkerState.READY, WorkerState.DRAINING)
+        self.state = WorkerState.KILLED
+        lost: List[Task] = []
+        for run in list(self.runs.values()):
+            for transfer in run.transfers:
+                if not transfer.done:
+                    self.master.link.cancel(transfer)
+            if run.exec_event is not None:
+                run.exec_event.cancel()
+            run.task.state = TaskState.FAILED
+            lost.append(run.task)
+        self.runs.clear()
+        self._inflight_cacheable.clear()
+        if was_registered:
+            self.master.worker_lost(self, lost)
+        self._exited()
+
+    def _stop(self) -> None:
+        self.state = WorkerState.STOPPED
+        self.master.unregister_worker(self)
+        self._exited()
+
+    def _exited(self) -> None:
+        if self.on_exit is not None:
+            self.on_exit(self)
+
+    # ------------------------------------------------------------- capacity
+    def allocated(self) -> ResourceVector:
+        total = ResourceVector.zero()
+        for run in self.runs.values():
+            total = total + run.allocation
+        return total
+
+    def available(self) -> ResourceVector:
+        return (self.capacity - self.allocated()).clamp_floor(0.0)
+
+    @property
+    def idle(self) -> bool:
+        return self.state is WorkerState.READY and not self.runs
+
+    @property
+    def accepting(self) -> bool:
+        return self.state is WorkerState.READY
+
+    def can_fit(self, allocation: ResourceVector) -> bool:
+        return self.accepting and allocation.fits_in(self.available())
+
+    def has_cached(self, task: Task) -> bool:
+        """True iff every cacheable input of ``task`` is already here."""
+        return all(f.name in self.cache for f in task.inputs if f.cacheable)
+
+    # ------------------------------------------------------------ execution
+    def assign(self, task: Task, allocation: ResourceVector) -> None:
+        """Called by the master: start the fetch→execute→return pipeline."""
+        if not self.can_fit(allocation):
+            raise RuntimeError(
+                f"worker {self.name}: cannot fit {allocation} "
+                f"(available {self.available()})"
+            )
+        run = _TaskRun(task, allocation)
+        self.runs[task.id] = run
+        task.allocation = allocation
+        task.dispatch_time = self.engine.now
+        task.state = TaskState.FETCHING
+        self._start_fetches(run)
+        if run.pending_inputs == 0:
+            self._begin_execution(run)
+
+    def _start_fetches(self, run: _TaskRun) -> None:
+        """Arrange delivery of every input file, single-flighting
+        cacheable ones shared with concurrent tasks."""
+        noncacheable_mb = 0.0
+        for f in run.task.inputs:
+            if f.name in self.cache:
+                self.cache.touch(f.name, self.engine.now)
+                continue
+            if f.cacheable:
+                waiters = self._inflight_cacheable.get(f.name)
+                if waiters is not None:
+                    waiters.append(run)  # join the in-flight fetch
+                    run.pending_inputs += 1
+                else:
+                    self._inflight_cacheable[f.name] = [run]
+                    run.pending_inputs += 1
+                    t = self.master.link.start_transfer(
+                        f"{self.name}:in:{f.name}",
+                        f.size_mb,
+                        rate_cap_mbps=self.nic_bandwidth_mbps,
+                        on_complete=lambda _t, name=f.name, size=f.size_mb: (
+                            self._cacheable_arrived(name, size)
+                        ),
+                    )
+                    run.transfers.append(t)
+            else:
+                noncacheable_mb += f.size_mb
+        if noncacheable_mb > 0:
+            run.pending_inputs += 1
+            t = self.master.link.start_transfer(
+                f"{self.name}:in:{run.task.id}",
+                noncacheable_mb,
+                rate_cap_mbps=self.nic_bandwidth_mbps,
+                on_complete=lambda _t, r=run: self._input_arrived(r),
+            )
+            run.transfers.append(t)
+
+    def _cacheable_arrived(self, file_name: str, size_mb: float) -> None:
+        self.cache.add(
+            file_name, size_mb, self.engine.now, pinned=self._pinned_files()
+        )
+        waiters = self._inflight_cacheable.pop(file_name, [])
+        for run in waiters:
+            self._input_arrived(run)
+
+    def _pinned_files(self) -> Set[str]:
+        """Cacheable inputs of tasks currently on this worker: never
+        evicted while those tasks might still need them."""
+        return {
+            f.name
+            for run in self.runs.values()
+            for f in run.task.inputs
+            if f.cacheable
+        }
+
+    def _input_arrived(self, run: _TaskRun) -> None:
+        if run.task.id not in self.runs:
+            return  # killed while fetching
+        run.pending_inputs -= 1
+        if run.pending_inputs == 0:
+            self._begin_execution(run)
+
+    def _begin_execution(self, run: _TaskRun) -> None:
+        task = run.task
+        task.state = TaskState.RUNNING
+        task.start_time = self.engine.now
+        run.transfers.clear()
+        run.exec_event = self.engine.call_in(task.execute_s, self._execution_done, run)
+
+    def _execution_done(self, run: _TaskRun) -> None:
+        if run.task.id not in self.runs:
+            return
+        task = run.task
+        task.state = TaskState.RETURNING
+        run.exec_event = None
+        t = self.master.link.start_transfer(
+            f"{self.name}:out:{task.id}",
+            task.output_bytes_mb(),
+            rate_cap_mbps=self.nic_bandwidth_mbps,
+            on_complete=lambda _t, r=run: self._outputs_delivered(r),
+        )
+        run.transfers.append(t)
+
+    def _outputs_delivered(self, run: _TaskRun) -> None:
+        if run.task.id not in self.runs:
+            return
+        task = run.task
+        del self.runs[task.id]
+        self.tasks_completed += 1
+        self.master.task_finished(self, task)
+        if self.state is WorkerState.DRAINING and not self.runs:
+            self._stop()
+
+    # --------------------------------------------------------------- gauges
+    def cpu_usage(self) -> float:
+        """Instantaneous CPU (cores) — what the pod reports to metrics."""
+        return sum(run.task.current_cpu_cores() for run in self.runs.values())
+
+    def cores_in_use(self) -> float:
+        """Cores consumed by *executing* tasks (footprint, not allocation);
+        the RIU ingredient for the evaluation accounting."""
+        return sum(
+            min(run.task.footprint.cores, run.allocation.cores)
+            for run in self.runs.values()
+            if run.task.state is TaskState.RUNNING
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Worker {self.name!r} {self.state.value} tasks={len(self.runs)}>"

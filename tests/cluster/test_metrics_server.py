@@ -1,0 +1,110 @@
+"""Unit tests for the metrics server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.api import KubeApiServer
+from repro.cluster.images import ContainerImage
+from repro.cluster.metrics_server import MetricsServer
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod, PodSpec
+from repro.cluster.resources import ResourceVector
+
+
+@pytest.fixture
+def api(engine):
+    return KubeApiServer(engine)
+
+
+def running_pod(api, name="p", cores=1.0, usage=0.5):
+    pod = Pod(name, PodSpec(ContainerImage("i", 1), ResourceVector(cores, 512, 512)))
+    node = api.try_get("Node", "n1")
+    if node is None:
+        node = Node("n1")
+        node.ready = True
+        api.create(node)
+    api.create(pod)
+    pod.mark_scheduled(api.engine.now, node)
+    node.bind(pod)
+    pod.mark_running(api.engine.now)
+    pod.cpu_usage_fn = lambda: usage
+    return pod
+
+
+class TestScraping:
+    def test_pod_usage_none_before_scrape(self, engine, api):
+        ms = MetricsServer(engine, api, sample_period=15.0)
+        pod = running_pod(api)
+        assert ms.pod_usage(pod) is None
+
+    def test_pod_usage_after_scrape(self, engine, api):
+        ms = MetricsServer(engine, api, sample_period=15.0)
+        pod = running_pod(api, usage=0.8)
+        engine.run(until=16.0)
+        assert ms.pod_usage(pod) == pytest.approx(0.8)
+
+    def test_window_average(self, engine, api):
+        ms = MetricsServer(engine, api, sample_period=10.0, window=30.0)
+        state = {"v": 0.0}
+        pod = running_pod(api)
+        pod.cpu_usage_fn = lambda: state["v"]
+        engine.run(until=15.0)
+        state["v"] = 3.0
+        engine.run(until=35.0)
+        # samples: 0.0 at t=0/10, 3.0 at t=20/30, all inside the 30 s
+        # window at t=30 (cutoff is exclusive) → mean 1.5
+        assert ms.pod_usage(pod) == pytest.approx(1.5)
+
+    def test_samples_forgotten_after_pod_exits(self, engine, api):
+        ms = MetricsServer(engine, api, sample_period=10.0)
+        pod = running_pod(api)
+        engine.run(until=11.0)
+        pod.mark_finished(engine.now)
+        engine.run(until=25.0)
+        assert ms.pod_usage(pod) is None
+
+    def test_pending_pods_not_scraped(self, engine, api):
+        ms = MetricsServer(engine, api, sample_period=10.0)
+        pod = Pod("pending", PodSpec(ContainerImage("i", 1), ResourceVector(1, 1, 1)))
+        api.create(pod)
+        engine.run(until=30.0)
+        assert ms.pod_usage(pod) is None
+
+    def test_invalid_config_rejected(self, engine, api):
+        with pytest.raises(ValueError):
+            MetricsServer(engine, api, sample_period=0)
+        with pytest.raises(ValueError):
+            MetricsServer(engine, api, sample_period=30, window=10)
+
+    def test_stop_halts_scraping(self, engine, api):
+        ms = MetricsServer(engine, api, sample_period=10.0)
+        ms.stop()
+        running_pod(api)
+        engine.run(until=50.0)
+        assert ms.scrapes == 0  # stop() cancelled even the initial scrape
+
+
+class TestUtilization:
+    def test_average_utilization_usage_over_request(self, engine, api):
+        ms = MetricsServer(engine, api, sample_period=10.0)
+        p1 = running_pod(api, "p1", cores=2.0, usage=1.0)
+        p2 = running_pod(api, "p2", cores=2.0, usage=0.5)
+        engine.run(until=11.0)
+        assert ms.average_utilization([p1, p2]) == pytest.approx(1.5 / 4.0)
+
+    def test_average_utilization_excludes_unsampled(self, engine, api):
+        ms = MetricsServer(engine, api, sample_period=10.0)
+        p1 = running_pod(api, "p1", cores=1.0, usage=1.0)
+        engine.run(until=11.0)
+        p2 = running_pod(api, "p2", cores=1.0, usage=0.0)  # not yet scraped
+        assert ms.average_utilization([p1, p2]) == pytest.approx(1.0)
+
+    def test_average_utilization_none_without_samples(self, engine, api):
+        ms = MetricsServer(engine, api, sample_period=10.0)
+        pod = running_pod(api)
+        assert ms.average_utilization([pod]) is None
+
+    def test_average_utilization_empty_list(self, engine, api):
+        ms = MetricsServer(engine, api)
+        assert ms.average_utilization([]) is None

@@ -1,0 +1,169 @@
+"""Fig 9 — the worker-pod lifecycle state machine.
+
+These tests exercise both the Pod object's transitions and the full
+integrated path (scheduler + kubelet + cloud controller) that produces
+the four states: No Available Node → No Container Image → Running →
+Stopped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.images import ContainerImage
+from repro.cluster.node import N1_STANDARD_4, Node
+from repro.cluster.pod import (
+    Pod,
+    PodPhase,
+    PodSpec,
+    REASON_FAILED_SCHEDULING,
+    REASON_PULLED,
+    REASON_PULLING,
+    REASON_SCHEDULED,
+    REASON_STARTED,
+)
+from repro.cluster.resources import ResourceVector
+from repro.sim.rng import RngRegistry
+
+
+def make_pod(name="p", cores=4.0) -> Pod:
+    return Pod(name, PodSpec(ContainerImage("img", 100), ResourceVector(cores, 1024, 1024)))
+
+
+class TestPodObject:
+    def test_initial_phase_pending(self):
+        assert make_pod().phase is PodPhase.PENDING
+
+    def test_mark_scheduled_records_node_and_event(self):
+        pod, node = make_pod(), Node("n1")
+        pod.mark_scheduled(3.0, node)
+        assert pod.node is node
+        assert pod.scheduled_time == 3.0
+        assert pod.last_event(REASON_SCHEDULED) is not None
+
+    def test_cannot_start_before_scheduling(self):
+        with pytest.raises(RuntimeError):
+            make_pod().mark_running(1.0)
+
+    def test_cannot_schedule_twice(self):
+        pod = make_pod()
+        pod.mark_scheduled(1.0, Node("n1"))
+        pod.mark_running(2.0)
+        with pytest.raises(RuntimeError):
+            pod.mark_scheduled(3.0, Node("n2"))
+
+    def test_running_then_succeeded(self):
+        pod = make_pod()
+        pod.mark_scheduled(1.0, Node("n1"))
+        pod.mark_running(2.0)
+        pod.mark_finished(5.0, succeeded=True)
+        assert pod.phase is PodPhase.SUCCEEDED
+        assert pod.phase.terminal
+
+    def test_mark_finished_idempotent(self):
+        pod = make_pod()
+        pod.mark_scheduled(1.0, Node("n1"))
+        pod.mark_running(2.0)
+        pod.mark_finished(5.0)
+        pod.mark_finished(9.0, succeeded=False)
+        assert pod.phase is PodPhase.SUCCEEDED
+        assert pod.finished_time == 5.0
+
+    def test_initialization_interval(self):
+        pod = make_pod()
+        pod.meta.creation_time = 10.0
+        pod.mark_scheduled(100.0, Node("n1"))
+        pod.mark_running(170.0)
+        assert pod.initialization_interval() == pytest.approx(160.0)
+
+    def test_initialization_interval_none_before_start(self):
+        assert make_pod().initialization_interval() is None
+
+    def test_cpu_usage_zero_without_workload(self):
+        pod = make_pod()
+        pod.mark_scheduled(0.0, Node("n1"))
+        pod.mark_running(0.0)
+        assert pod.current_cpu_usage() == 0.0
+
+    def test_cpu_usage_from_attached_fn(self):
+        pod = make_pod()
+        pod.mark_scheduled(0.0, Node("n1"))
+        pod.mark_running(0.0)
+        pod.cpu_usage_fn = lambda: 2.5
+        assert pod.current_cpu_usage() == 2.5
+
+    def test_cpu_usage_fn_ignored_unless_running(self):
+        pod = make_pod()
+        pod.cpu_usage_fn = lambda: 2.5
+        assert pod.current_cpu_usage() == 0.0
+
+    def test_event_log_query_helpers(self):
+        pod = make_pod()
+        pod.add_event(1.0, REASON_FAILED_SCHEDULING, "Insufficient Resource")
+        pod.add_event(2.0, REASON_FAILED_SCHEDULING, "again")
+        assert pod.had_event(REASON_FAILED_SCHEDULING)
+        assert pod.last_event(REASON_FAILED_SCHEDULING).message == "again"
+        assert pod.last_event("Nope") is None
+
+
+class TestIntegratedLifecycle:
+    """The full fig-9 path on a live cluster."""
+
+    @pytest.fixture
+    def cluster(self, engine):
+        return Cluster(
+            engine,
+            RngRegistry(5),
+            ClusterConfig(
+                machine_type=N1_STANDARD_4,
+                min_nodes=1,
+                max_nodes=3,
+                node_reservation_mean_s=100.0,
+                node_reservation_std_s=0.0,
+                registry_jitter_cv=0.0,
+            ),
+        )
+
+    def test_warm_start_skips_failed_scheduling(self, engine, cluster):
+        pod = make_pod("warm", cores=2.0)
+        cluster.api.create(pod)
+        engine.run(until=60.0)
+        assert pod.phase is PodPhase.RUNNING
+        assert not pod.had_event(REASON_FAILED_SCHEDULING)
+        assert pod.had_event(REASON_PULLING)
+        assert not pod.experienced_cold_start()
+
+    def test_cold_start_full_state_sequence(self, engine, cluster):
+        # Fill the only node, then ask for more.
+        filler = make_pod("filler", cores=4.0)
+        cluster.api.create(filler)
+        engine.run(until=30.0)
+        cold = make_pod("cold", cores=4.0)
+        cluster.api.create(cold)
+        engine.run(until=300.0)
+        assert cold.phase is PodPhase.RUNNING
+        reasons = [e.reason for e in cold.events]
+        # The fig-9 sequence, in order:
+        seq = [REASON_FAILED_SCHEDULING, REASON_SCHEDULED, REASON_PULLING, REASON_PULLED, REASON_STARTED]
+        positions = [reasons.index(r) for r in seq]
+        assert positions == sorted(positions)
+        assert cold.experienced_cold_start()
+        assert cold.initialization_interval() > 100.0
+
+    def test_cached_image_skips_pulling(self, engine, cluster):
+        first = make_pod("first", cores=2.0)
+        cluster.api.create(first)
+        engine.run(until=60.0)
+        second = make_pod("second", cores=2.0)
+        cluster.api.create(second)
+        engine.run(until=120.0)
+        assert second.phase is PodPhase.RUNNING
+        assert not second.had_event(REASON_PULLING)
+
+    def test_stopped_state_via_kubelet(self, engine, cluster):
+        pod = make_pod("p", cores=2.0)
+        cluster.api.create(pod)
+        engine.run(until=60.0)
+        cluster.kubelet_for(pod).stop_container(pod, succeeded=True)
+        assert pod.phase is PodPhase.SUCCEEDED

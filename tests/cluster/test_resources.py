@@ -1,0 +1,115 @@
+"""Unit tests for ResourceVector arithmetic and the fits partial order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+
+
+class TestConstruction:
+    def test_zero(self):
+        z = ResourceVector.zero()
+        assert z.is_zero()
+        assert (z.cores, z.memory_mb, z.disk_mb) == (0.0, 0.0, 0.0)
+
+    def test_of_cores(self):
+        v = ResourceVector.of_cores(2.5)
+        assert v.cores == 2.5
+        assert v.memory_mb == 0.0
+
+    def test_immutability(self):
+        v = ResourceVector(1, 2, 3)
+        with pytest.raises(AttributeError):
+            v.cores = 5  # type: ignore[misc]
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert ResourceVector(1, 10, 100) + ResourceVector(2, 20, 200) == ResourceVector(3, 30, 300)
+
+    def test_subtraction_can_go_negative(self):
+        d = ResourceVector(1, 0, 0) - ResourceVector(3, 0, 0)
+        assert d.cores == -2
+
+    def test_scale(self):
+        assert ResourceVector(1, 2, 3).scale(4) == ResourceVector(4, 8, 12)
+
+    def test_clamp_floor(self):
+        v = ResourceVector(-1, 5, -0.5).clamp_floor(0.0)
+        assert v == ResourceVector(0, 5, 0)
+
+    def test_max_with(self):
+        a = ResourceVector(1, 200, 3)
+        b = ResourceVector(2, 100, 3)
+        assert a.max_with(b) == ResourceVector(2, 200, 3)
+
+    def test_iteration_order(self):
+        assert list(ResourceVector(1, 2, 3)) == [1, 2, 3]
+
+
+class TestFits:
+    def test_fits_in_exact(self):
+        v = ResourceVector(2, 100, 50)
+        assert v.fits_in(v)
+
+    def test_fits_in_componentwise(self):
+        small = ResourceVector(1, 100, 10)
+        big = ResourceVector(2, 200, 20)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+
+    def test_fits_is_partial_order(self):
+        a = ResourceVector(2, 100, 10)
+        b = ResourceVector(1, 200, 10)
+        assert not a.fits_in(b)
+        assert not b.fits_in(a)
+
+    def test_fits_epsilon_absorbs_float_drift(self):
+        cap = ResourceVector(1, 0, 0)
+        third = ResourceVector(1 / 3, 0, 0)
+        acc = ResourceVector.zero()
+        for _ in range(3):
+            acc = acc + third
+        assert acc.fits_in(cap)
+
+    def test_is_nonnegative(self):
+        assert ResourceVector(0, 0, 0).is_nonnegative()
+        assert not ResourceVector(-1, 0, 0).is_nonnegative()
+
+    def test_any_positive(self):
+        assert ResourceVector(0, 0, 1).any_positive()
+        assert not ResourceVector(0, 0, 0).any_positive()
+
+
+class TestDominantShare:
+    def test_dominant_fraction_simple(self):
+        need = ResourceVector(1, 100, 0)
+        cap = ResourceVector(4, 200, 100)
+        assert need.dominant_fraction_of(cap) == pytest.approx(0.5)
+
+    def test_dominant_fraction_zero_need(self):
+        assert ResourceVector.zero().dominant_fraction_of(ResourceVector(4, 4, 4)) == 0.0
+
+    def test_dominant_fraction_infinite_when_capacity_missing(self):
+        need = ResourceVector(0, 100, 0)
+        cap = ResourceVector(4, 0, 100)
+        assert need.dominant_fraction_of(cap) == float("inf")
+
+    def test_copies_fitting_in(self):
+        task = ResourceVector(1, 2500, 100)
+        worker = ResourceVector(3, 14 * 1024, 90 * 1024)
+        assert task.copies_fitting_in(worker) == 3
+
+    def test_copies_fitting_in_memory_bound(self):
+        task = ResourceVector(1, 8000, 0)
+        worker = ResourceVector(4, 15 * 1024, 0)
+        assert task.copies_fitting_in(worker) == 1
+
+    def test_copies_zero_when_does_not_fit(self):
+        task = ResourceVector(8, 0, 0)
+        worker = ResourceVector(4, 1024, 1024)
+        assert task.copies_fitting_in(worker) == 0
+
+    def test_str_representation(self):
+        assert "cores=2" in str(ResourceVector(2, 4, 8))

@@ -1,0 +1,181 @@
+"""Tests for the StatefulSet controller and chaos injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.api import KubeApiServer
+from repro.cluster.chaos import ChaosInjector
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.images import ContainerImage
+from repro.cluster.node import N1_STANDARD_4, Node
+from repro.cluster.objects import StatefulSet
+from repro.cluster.pod import Pod, PodPhase, PodSpec
+from repro.cluster.statefulset import StatefulSetController
+from repro.cluster.resources import ResourceVector
+from repro.sim.rng import RngRegistry
+
+
+TEMPLATE = PodSpec(ContainerImage("master", 100), ResourceVector(1, 2048, 2048), labels={"app": "m"})
+
+
+@pytest.fixture
+def api(engine):
+    return KubeApiServer(engine)
+
+
+def add_node(api, name="n1"):
+    node = Node(name, N1_STANDARD_4)
+    node.ready = True
+    api.create(node)
+    return node
+
+
+class TestStatefulSetController:
+    def test_creates_ordinal_pods(self, engine, api):
+        ctl = StatefulSetController(engine, api)
+        api.create(StatefulSet("master", replicas=2, template=TEMPLATE))
+        engine.run(until=1.0)
+        names = {p.name for p in api.pods()}
+        assert names == {"master-0", "master-1"}
+        assert ctl.pods_created == 2
+
+    def test_no_template_no_pods(self, engine, api):
+        StatefulSetController(engine, api)
+        api.create(StatefulSet("empty", replicas=1))
+        engine.run(until=1.0)
+        assert api.pods() == []
+
+    def test_pods_carry_statefulset_label(self, engine, api):
+        StatefulSetController(engine, api)
+        api.create(StatefulSet("master", replicas=1, template=TEMPLATE))
+        engine.run(until=1.0)
+        pod = api.get("Pod", "master-0")
+        assert pod.meta.labels["statefulset"] == "master"
+        assert pod.meta.labels["app"] == "m"
+
+    def test_sticky_replacement_after_deletion(self, engine, api):
+        ctl = StatefulSetController(engine, api)
+        api.create(StatefulSet("master", replicas=1, template=TEMPLATE))
+        engine.run(until=1.0)
+        api.delete("Pod", "master-0")
+        engine.run(until=1.0 + StatefulSetController.RESTART_BACKOFF_S + 2.0)
+        replacement = api.try_get("Pod", "master-0")
+        assert replacement is not None
+        assert replacement.phase is PodPhase.PENDING  # new incarnation
+        assert ctl.pods_replaced == 1
+
+    def test_replacement_waits_for_backoff(self, engine, api):
+        StatefulSetController(engine, api)
+        api.create(StatefulSet("master", replicas=1, template=TEMPLATE))
+        engine.run(until=1.0)
+        api.delete("Pod", "master-0")
+        engine.run(until=5.0)  # inside the 10 s backoff
+        assert api.try_get("Pod", "master-0") is None
+
+    def test_failed_pod_replaced(self, engine, api):
+        ctl = StatefulSetController(engine, api)
+        node = add_node(api)
+        api.create(StatefulSet("master", replicas=1, template=TEMPLATE))
+        engine.run(until=1.0)
+        pod = api.get("Pod", "master-0")
+        pod.mark_scheduled(engine.now, node)
+        node.bind(pod)
+        pod.mark_running(engine.now)
+        pod.mark_finished(engine.now, succeeded=False)
+        api.mark_modified(pod)
+        engine.run(until=20.0)
+        fresh = api.get("Pod", "master-0")
+        assert fresh is not pod
+        assert ctl.pods_replaced == 1
+
+    def test_ready_replicas_tracked(self, engine, api):
+        ctl = StatefulSetController(engine, api)
+        node = add_node(api)
+        sset = StatefulSet("master", replicas=1, template=TEMPLATE)
+        api.create(sset)
+        engine.run(until=1.0)
+        pod = api.get("Pod", "master-0")
+        pod.mark_scheduled(engine.now, node)
+        node.bind(pod)
+        pod.mark_running(engine.now)
+        api.mark_modified(pod)
+        engine.run(until=2.0)
+        assert sset.ready_replicas == 1
+
+    def test_deleted_set_not_reconciled(self, engine, api):
+        StatefulSetController(engine, api)
+        sset = StatefulSet("master", replicas=1, template=TEMPLATE)
+        api.create(sset)
+        engine.run(until=1.0)
+        api.delete("StatefulSet", "master")
+        api.delete("Pod", "master-0")
+        engine.run(until=30.0)
+        assert api.try_get("Pod", "master-0") is None
+
+
+class TestChaos:
+    @pytest.fixture
+    def cluster(self, engine, rng):
+        return Cluster(
+            engine,
+            rng,
+            ClusterConfig(
+                machine_type=N1_STANDARD_4,
+                min_nodes=3,
+                max_nodes=5,
+                node_reservation_mean_s=60.0,
+                node_reservation_std_s=0.0,
+                registry_jitter_cv=0.0,
+            ),
+        )
+
+    def test_kill_node_fails_its_pods(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        pod = Pod("p", PodSpec(ContainerImage("i", 10), ResourceVector(1, 512, 512)))
+        cluster.api.create(pod)
+        engine.run(until=30.0)
+        assert pod.phase is PodPhase.RUNNING
+        victims = chaos.kill_node(pod.node)
+        assert pod in victims
+        assert pod.phase is PodPhase.FAILED
+        assert chaos.nodes_killed == 1
+
+    def test_min_pool_heals_after_crash(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        chaos.kill_random_node()
+        assert cluster.node_count() == 2
+        engine.run(until=120.0)
+        assert cluster.node_count() == 3  # cloud controller healed
+
+    def test_kill_node_named_unknown_raises(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        with pytest.raises(KeyError):
+            chaos.kill_node_named("nope")
+
+    def test_evict_random_pod_with_selector(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        a = Pod("a", PodSpec(ContainerImage("i", 10), ResourceVector(1, 512, 512), labels={"app": "x"}))
+        b = Pod("b", PodSpec(ContainerImage("i", 10), ResourceVector(1, 512, 512), labels={"app": "y"}))
+        cluster.api.create(a)
+        cluster.api.create(b)
+        engine.run(until=30.0)
+        victim = chaos.evict_random_pod({"app": "x"})
+        assert victim is a
+        assert b.phase is PodPhase.RUNNING
+
+    def test_scheduled_failures_are_deterministic(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        chaos.schedule_node_failures(100.0, start_after=50.0)
+        engine.run(until=400.0)
+        killed_first = chaos.nodes_killed
+        assert killed_first >= 1
+        chaos.stop()
+        before = chaos.nodes_killed
+        engine.run(until=1000.0)
+        assert chaos.nodes_killed == before  # stop() halts the schedule
+
+    def test_invalid_interval_rejected(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        with pytest.raises(ValueError):
+            chaos.schedule_node_failures(0.0)

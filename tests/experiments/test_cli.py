@@ -1,0 +1,33 @@
+"""Tests for the `python -m repro.experiments` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import FIGURES, main
+
+
+class TestCli:
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {"fig2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11"}
+
+    def test_runs_a_cheap_figure(self, capsys):
+        rc = main(["fig6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "init latency mean" in out
+        assert "regenerated in" in out
+
+    def test_seed_flag_accepted(self, capsys):
+        rc = main(["fig6", "--seed", "3"])
+        assert rc == 0
+        assert "seed=3" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit) as err:
+            main(["fig99"])
+        assert err.value.code == 2
+
+    def test_figure_argument_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,38 @@
+"""Tests for the fig-9 lifecycle-trace harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig9
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return fig9.run(seed=0)
+
+    def test_all_states_crossed_in_order(self, outcome):
+        pod, _ = outcome
+        rows = fig9.lifecycle_trace(pod)
+        states = [state for _, state, _ in rows]
+        assert states == [
+            "No Available Node",
+            "Scheduled",
+            "No Container Image",
+            "Worker-Pod Running",
+            "Worker-Pod Stopped",
+        ]
+        times = [t for t, _, _ in rows]
+        assert times == sorted(times)
+
+    def test_init_time_in_calibrated_band(self, outcome):
+        _, init_time = outcome
+        assert 140.0 < init_time < 180.0
+
+    def test_report_renders_all_states(self, outcome):
+        pod, init_time = outcome
+        out = fig9.report(pod, init_time)
+        for state in ("No Available Node", "Worker-Pod Running", "Worker-Pod Stopped"):
+            assert state in out
+        assert "Initialization time" in out

@@ -1,0 +1,136 @@
+"""Unit tests for the init-time tracker (fig 9 / §V-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.api import KubeApiServer
+from repro.cluster.images import ContainerImage
+from repro.cluster.node import Node
+from repro.cluster.pod import (
+    Pod,
+    PodSpec,
+    REASON_FAILED_SCHEDULING,
+    REASON_PULLED,
+    REASON_PULLING,
+)
+from repro.cluster.resources import ResourceVector
+from repro.hta.inittime import InitTimeTracker
+
+
+@pytest.fixture
+def api(engine):
+    return KubeApiServer(engine)
+
+
+def cold_start_pod(api, engine, name="p", created=0.0, ready=160.0, label=None):
+    """Simulate the fig-9 event sequence on a pod through the API."""
+    labels = {"app": label} if label else {}
+    pod = Pod(
+        name, PodSpec(ContainerImage("i", 1), ResourceVector(1, 1, 1), labels=labels)
+    )
+    node = api.try_get("Node", "n1")
+    if node is None:
+        node = Node("n1")
+        node.ready = True
+        api.create(node)
+
+    def create():
+        api.create(pod)
+        pod.add_event(engine.now, REASON_FAILED_SCHEDULING, "Insufficient Resource")
+        api.mark_modified(pod)
+
+    def schedule():
+        pod.mark_scheduled(engine.now, node)
+        node.bind(pod)
+        pod.add_event(engine.now, REASON_PULLING, "pulling")
+        api.mark_modified(pod)
+
+    def start():
+        pod.add_event(engine.now, REASON_PULLED, "pulled")
+        pod.mark_running(engine.now)
+        api.mark_modified(pod)
+
+    engine.call_at(created, create)
+    engine.call_at(created + (ready - created) * 0.8, schedule)
+    engine.call_at(ready, start)
+    return pod
+
+
+def warm_start_pod(api, engine, name="warm", created=0.0, ready=5.0):
+    pod = Pod(name, PodSpec(ContainerImage("i", 1), ResourceVector(1, 1, 1)))
+    node = api.try_get("Node", "n1")
+    if node is None:
+        node = Node("n1")
+        node.ready = True
+        api.create(node)
+
+    def create():
+        api.create(pod)
+
+    def start():
+        pod.mark_scheduled(engine.now, node)
+        node.bind(pod)
+        pod.mark_running(engine.now)
+        api.mark_modified(pod)
+
+    engine.call_at(created, create)
+    engine.call_at(ready, start)
+    return pod
+
+
+class TestTracking:
+    def test_prior_served_before_any_sample(self, api):
+        tracker = InitTimeTracker(api, prior_s=160.0)
+        assert tracker.current() == 160.0
+        assert tracker.sample_count == 0
+
+    def test_invalid_prior_rejected(self, api):
+        with pytest.raises(ValueError):
+            InitTimeTracker(api, prior_s=0.0)
+
+    def test_cold_start_recorded(self, engine, api):
+        tracker = InitTimeTracker(api, prior_s=999.0)
+        cold_start_pod(api, engine, ready=160.0)
+        engine.run()
+        assert tracker.sample_count == 1
+        assert tracker.current() == pytest.approx(160.0)
+
+    def test_warm_start_ignored(self, engine, api):
+        tracker = InitTimeTracker(api, prior_s=999.0)
+        warm_start_pod(api, engine, ready=5.0)
+        engine.run()
+        assert tracker.sample_count == 0
+        assert tracker.current() == 999.0
+
+    def test_latest_sample_wins(self, engine, api):
+        tracker = InitTimeTracker(api)
+        cold_start_pod(api, engine, "p1", created=0.0, ready=150.0)
+        cold_start_pod(api, engine, "p2", created=200.0, ready=380.0)
+        engine.run()
+        assert tracker.sample_count == 2
+        assert tracker.current() == pytest.approx(180.0)
+
+    def test_pod_counted_once(self, engine, api):
+        tracker = InitTimeTracker(api)
+        pod = cold_start_pod(api, engine, ready=160.0)
+        engine.run()
+        api.mark_modified(pod)  # later status churn
+        engine.run()
+        assert tracker.sample_count == 1
+
+    def test_mean_over_samples(self, engine, api):
+        tracker = InitTimeTracker(api)
+        cold_start_pod(api, engine, "p1", created=0.0, ready=100.0)
+        cold_start_pod(api, engine, "p2", created=500.0, ready=700.0)
+        engine.run()
+        assert tracker.mean() == pytest.approx(150.0)
+
+    def test_selector_label_filters(self, engine, api):
+        tracker = InitTimeTracker(api, selector_label="wq-worker")
+        cold_start_pod(api, engine, "other", ready=160.0, label="something-else")
+        engine.run()
+        assert tracker.sample_count == 0
+        cold_start_pod(api, engine, "mine", created=300.0, ready=460.0, label="wq-worker")
+        engine.run()
+        assert tracker.sample_count == 1

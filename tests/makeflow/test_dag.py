@@ -1,0 +1,130 @@
+"""Unit tests for the workflow DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.makeflow.dag import CycleError, WorkflowGraph
+from repro.wq.task import FileSpec, Task
+
+FOOT = ResourceVector(1, 512, 128)
+
+
+def task(category, inputs=(), outputs=(), execute_s=10.0):
+    return Task(
+        category,
+        execute_s=execute_s,
+        footprint=FOOT,
+        inputs=tuple(FileSpec(n, 1.0) for n in inputs),
+        outputs=tuple(FileSpec(n, 1.0) for n in outputs),
+    )
+
+
+def diamond():
+    """a → (b, c) → d"""
+    a = task("a", inputs=["in"], outputs=["a.out"])
+    b = task("b", inputs=["a.out"], outputs=["b.out"])
+    c = task("c", inputs=["a.out"], outputs=["c.out"])
+    d = task("d", inputs=["b.out", "c.out"], outputs=["d.out"])
+    return a, b, c, d
+
+
+class TestStructure:
+    def test_dependencies_derived_from_files(self):
+        a, b, c, d = diamond()
+        g = WorkflowGraph([a, b, c, d])
+        assert g.dependencies[d.id] == {b.id, c.id}
+        assert g.dependencies[b.id] == {a.id}
+        assert g.dependencies[a.id] == set()
+        assert g.dependents[a.id] == {b.id, c.id}
+
+    def test_roots(self):
+        a, b, c, d = diamond()
+        g = WorkflowGraph([a, b, c, d])
+        assert g.roots() == [a]
+
+    def test_initial_and_final_files(self):
+        a, b, c, d = diamond()
+        g = WorkflowGraph([a, b, c, d])
+        assert g.initial_files() == {"in"}
+        assert g.final_outputs() == {"d.out"}
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowGraph([])
+
+    def test_duplicate_producer_rejected(self):
+        t1 = task("a", outputs=["x"])
+        t2 = task("b", outputs=["x"])
+        with pytest.raises(ValueError):
+            WorkflowGraph([t1, t2])
+
+    def test_duplicate_task_rejected(self):
+        t = task("a", outputs=["x"])
+        with pytest.raises(ValueError):
+            WorkflowGraph([t, t])
+
+    def test_cycle_detected(self):
+        t1 = task("a", inputs=["y"], outputs=["x"])
+        t2 = task("b", inputs=["x"], outputs=["y"])
+        with pytest.raises(CycleError):
+            WorkflowGraph([t1, t2])
+
+    def test_self_loop_ignored(self):
+        # A task consuming its own output is degenerate but not a cross-
+        # task cycle; the producer map allows it and no edge is created.
+        t = task("a", inputs=["x"], outputs=["x"])
+        g = WorkflowGraph([t])
+        assert g.dependencies[t.id] == set()
+
+
+class TestAnalysis:
+    def test_topological_order_respects_dependencies(self):
+        a, b, c, d = diamond()
+        g = WorkflowGraph([d, c, b, a])  # shuffled input
+        order = [t.id for t in g.topological_order()]
+        assert order.index(a.id) < order.index(b.id) < order.index(d.id)
+        assert order.index(a.id) < order.index(c.id) < order.index(d.id)
+
+    def test_depth(self):
+        a, b, c, d = diamond()
+        assert WorkflowGraph([a, b, c, d]).depth() == 3
+
+    def test_width_by_level(self):
+        a, b, c, d = diamond()
+        assert WorkflowGraph([a, b, c, d]).width_by_level() == {1: 1, 2: 2, 3: 1}
+
+    def test_category_counts_and_order(self):
+        tasks = [task("x", outputs=[f"x{i}"]) for i in range(3)]
+        tasks += [task("y", outputs=[f"y{i}"]) for i in range(2)]
+        g = WorkflowGraph(tasks)
+        assert g.category_counts() == {"x": 3, "y": 2}
+        assert g.categories() == ["x", "y"]
+
+    def test_total_and_critical_path_seconds(self):
+        a, b, c, d = diamond()
+        g = WorkflowGraph([a, b, c, d])
+        assert g.total_execute_seconds() == pytest.approx(40.0)
+        assert g.critical_path_seconds() == pytest.approx(30.0)
+
+    def test_len_and_iter(self):
+        a, b, c, d = diamond()
+        g = WorkflowGraph([a, b, c, d])
+        assert len(g) == 4
+        assert set(g) == {a, b, c, d}
+
+    def test_matches_networkx_topology(self):
+        """Cross-check our Kahn implementation against networkx."""
+        import networkx as nx
+
+        a, b, c, d = diamond()
+        g = WorkflowGraph([a, b, c, d])
+        nxg = nx.DiGraph()
+        for t in g.tasks:
+            nxg.add_node(t.id)
+        for tid, deps in g.dependencies.items():
+            for dep in deps:
+                nxg.add_edge(dep, tid)
+        assert nx.is_directed_acyclic_graph(nxg)
+        assert nx.dag_longest_path_length(nxg) + 1 == g.depth()

@@ -1,0 +1,165 @@
+"""Unit tests for the workflow manager (with a scripted fake submitter)."""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.makeflow.dag import WorkflowGraph
+from repro.makeflow.manager import WorkflowManager
+from repro.sim.tracing import MetricRecorder
+from repro.wq.task import FileSpec, Task, TaskResult
+
+FOOT = ResourceVector(1, 512, 128)
+
+
+class FakeSubmitter:
+    """Records submissions; completes tasks on demand."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.submitted: List[Task] = []
+        self._callbacks: List[Callable] = []
+
+    def submit(self, task: Task) -> None:
+        self.submitted.append(task)
+
+    def on_complete(self, fn) -> None:
+        self._callbacks.append(fn)
+
+    def complete(self, task: Task) -> None:
+        result = TaskResult(
+            task_id=task.id,
+            category=task.category,
+            worker_name="fake",
+            submit_time=0.0,
+            dispatch_time=0.0,
+            start_time=0.0,
+            finish_time=self.engine.now,
+            execute_seconds=task.execute_s,
+            measured_resources=task.footprint,
+            attempts=0,
+        )
+        for fn in self._callbacks:
+            fn(task, result)
+
+
+def task(category, inputs=(), outputs=()):
+    return Task(
+        category,
+        execute_s=10.0,
+        footprint=FOOT,
+        inputs=tuple(FileSpec(n, 1.0) for n in inputs),
+        outputs=tuple(FileSpec(n, 1.0) for n in outputs),
+    )
+
+
+def chain3():
+    a = task("a", inputs=["raw"], outputs=["a.out"])
+    b = task("b", inputs=["a.out"], outputs=["b.out"])
+    c = task("c", inputs=["b.out"], outputs=["c.out"])
+    return a, b, c
+
+
+class TestReleaseOrder:
+    def test_start_submits_only_roots(self, engine):
+        a, b, c = chain3()
+        sub = FakeSubmitter(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([a, b, c]), sub)
+        mgr.start()
+        assert sub.submitted == [a]
+
+    def test_start_is_idempotent(self, engine):
+        a, b, c = chain3()
+        sub = FakeSubmitter(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([a, b, c]), sub)
+        mgr.start()
+        mgr.start()
+        assert sub.submitted == [a]
+
+    def test_completion_releases_dependents(self, engine):
+        a, b, c = chain3()
+        sub = FakeSubmitter(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([a, b, c]), sub)
+        mgr.start()
+        sub.complete(a)
+        assert sub.submitted == [a, b]
+        sub.complete(b)
+        assert sub.submitted == [a, b, c]
+
+    def test_multi_parent_released_once_all_done(self, engine):
+        p1 = task("p", inputs=["raw1"], outputs=["x"])
+        p2 = task("p", inputs=["raw2"], outputs=["y"])
+        join = task("j", inputs=["x", "y"], outputs=["z"])
+        sub = FakeSubmitter(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([p1, p2, join]), sub)
+        mgr.start()
+        sub.complete(p1)
+        assert join not in sub.submitted
+        sub.complete(p2)
+        assert join in sub.submitted
+
+    def test_foreign_completions_ignored(self, engine):
+        a, b, c = chain3()
+        other = task("other", outputs=["other.out"])
+        sub = FakeSubmitter(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([a, b, c]), sub)
+        mgr.start()
+        sub.complete(other)  # not part of the DAG
+        assert sub.submitted == [a]
+        assert not mgr.done
+
+    def test_duplicate_completion_ignored(self, engine):
+        a, b, c = chain3()
+        sub = FakeSubmitter(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([a, b, c]), sub)
+        mgr.start()
+        sub.complete(a)
+        sub.complete(a)
+        assert sub.submitted == [a, b]
+
+
+class TestCompletion:
+    def test_done_and_makespan(self, engine):
+        a, b, c = chain3()
+        sub = FakeSubmitter(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([a, b, c]), sub)
+        mgr.start()
+        for t in (a, b, c):
+            engine.call_in(10.0, sub.complete, t)
+            engine.run(until=engine.now + 10.0)
+        assert mgr.done
+        assert mgr.makespan == pytest.approx(30.0)
+
+    def test_done_signal_fires_once(self, engine):
+        a, b, c = chain3()
+        sub = FakeSubmitter(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([a, b, c]), sub)
+        fired = []
+        mgr.done_signal.add_waiter(fired.append)
+        mgr.start()
+        for t in (a, b, c):
+            sub.complete(t)
+        engine.run()
+        assert fired == [(mgr, None)] or fired == [mgr]  # payload shape
+
+    def test_progress_fraction(self, engine):
+        a, b, c = chain3()
+        sub = FakeSubmitter(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([a, b, c]), sub)
+        mgr.start()
+        assert mgr.progress() == 0.0
+        sub.complete(a)
+        assert mgr.progress() == pytest.approx(1 / 3)
+
+    def test_category_progress_recorded(self, engine):
+        a, b, c = chain3()
+        sub = FakeSubmitter(engine)
+        rec = MetricRecorder(engine)
+        mgr = WorkflowManager(engine, WorkflowGraph([a, b, c]), sub, recorder=rec)
+        mgr.start()
+        sub.complete(a)
+        assert rec.value("workflow.completed") == 1.0
+        assert rec.value("workflow.completed.a") == 1.0

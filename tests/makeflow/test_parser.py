@@ -1,0 +1,152 @@
+"""Unit tests for the Makeflow-dialect parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.makeflow.parser import MakeflowParseError, parse_makeflow
+
+SIMPLE = """
+# A two-rule workflow.
+CATEGORY=align
+CORES=1
+MEMORY=1000
+RUNTIME=40
+
+out.1: db.fa in.1
+\tblastall -i in.1 -d db.fa -o out.1
+
+out.2: db.fa in.2
+\tblastall -i in.2 -d db.fa -o out.2
+"""
+
+
+class TestBasics:
+    def test_parses_rules_into_tasks(self):
+        g = parse_makeflow(SIMPLE)
+        assert len(g) == 2
+        t = g.tasks[0]
+        assert t.category == "align"
+        assert t.execute_s == 40.0
+        assert t.declared.cores == 1
+        assert t.declared.memory_mb == 1000
+        assert {f.name for f in t.inputs} == {"db.fa", "in.1"}
+        assert [f.name for f in t.outputs] == ["out.1"]
+        assert t.command.startswith("blastall")
+
+    def test_comments_and_blank_lines_ignored(self):
+        g = parse_makeflow("# only a comment\nx: y\n\tcmd\n\n# trailing\n")
+        assert len(g) == 1
+
+    def test_no_rules_is_error(self):
+        with pytest.raises(MakeflowParseError):
+            parse_makeflow("CORES=2\n")
+
+    def test_missing_command_is_error(self):
+        with pytest.raises(MakeflowParseError) as err:
+            parse_makeflow("x: y\nz: w\n\tcmd\n")
+        assert "command" in str(err.value)
+
+    def test_command_without_rule_is_error(self):
+        with pytest.raises(MakeflowParseError):
+            parse_makeflow("\tcmd\n")
+
+    def test_rule_without_targets_is_error(self):
+        with pytest.raises(MakeflowParseError):
+            parse_makeflow(": src\n\tcmd\n")
+
+    def test_unrecognized_line_reports_number(self):
+        with pytest.raises(MakeflowParseError) as err:
+            parse_makeflow("x: y\n\tcmd\n???\n")
+        assert err.value.line_no == 3
+
+
+class TestVariables:
+    def test_substitution(self):
+        g = parse_makeflow("DB=db.fa\nout: $(DB)\n\tblast -d $(DB)\n")
+        assert g.tasks[0].inputs[0].name == "db.fa"
+        assert "-d db.fa" in g.tasks[0].command
+
+    def test_nested_substitution(self):
+        text = "A=x\nB=$(A).fa\nout: $(B)\n\tcmd $(B)\n"
+        g = parse_makeflow(text)
+        assert g.tasks[0].inputs[0].name == "x.fa"
+
+    def test_undefined_variable_is_error(self):
+        with pytest.raises(MakeflowParseError) as err:
+            parse_makeflow("out: $(NOPE)\n\tcmd\n")
+        assert "NOPE" in str(err.value)
+
+    def test_attribute_variables_sticky_until_changed(self):
+        text = (
+            "CATEGORY=a\nRUNTIME=10\n"
+            "o1: i1\n\tcmd1\n"
+            "CATEGORY=b\nRUNTIME=20\n"
+            "o2: i2\n\tcmd2\n"
+        )
+        g = parse_makeflow(text)
+        assert g.tasks[0].category == "a"
+        assert g.tasks[0].execute_s == 10
+        assert g.tasks[1].category == "b"
+        assert g.tasks[1].execute_s == 20
+
+    def test_non_numeric_attribute_is_error(self):
+        with pytest.raises(MakeflowParseError):
+            parse_makeflow("CORES=many\no: i\n\tcmd\n")
+
+    def test_quoted_category_unquoted(self):
+        g = parse_makeflow('CATEGORY="align"\no: i\n\tcmd\n')
+        assert g.tasks[0].category == "align"
+
+
+class TestSizesAndContinuation:
+    def test_size_directive_sets_file_size(self):
+        text = ".SIZE db.fa 1400 CACHE\n.SIZE in.1 7\nout: db.fa in.1\n\tcmd\n"
+        g = parse_makeflow(text)
+        by_name = {f.name: f for f in g.tasks[0].inputs}
+        assert by_name["db.fa"].size_mb == 1400
+        assert by_name["db.fa"].cacheable
+        assert by_name["in.1"].size_mb == 7
+        assert not by_name["in.1"].cacheable
+
+    def test_default_file_size(self):
+        g = parse_makeflow("out: in\n\tcmd\n")
+        assert g.tasks[0].inputs[0].size_mb == 1.0
+
+    def test_malformed_size_is_error(self):
+        with pytest.raises(MakeflowParseError):
+            parse_makeflow(".SIZE onlyname\nout: in\n\tcmd\n")
+
+    def test_line_continuation_in_rule(self):
+        text = "out: in1 \\\n in2\n\tcmd\n"
+        g = parse_makeflow(text)
+        assert {f.name for f in g.tasks[0].inputs} == {"in1", "in2"}
+
+
+class TestDagIntegration:
+    def test_dependencies_from_parsed_rules(self):
+        text = (
+            "mid: raw\n\tstep1\n"
+            "final: mid\n\tstep2\n"
+        )
+        g = parse_makeflow(text)
+        order = [t.command for t in g.topological_order()]
+        assert order == ["step1", "step2"]
+
+    def test_cycle_in_rules_reported_as_parse_error(self):
+        text = "a: b\n\tcmd1\nb: a\n\tcmd2\n"
+        with pytest.raises(MakeflowParseError):
+            parse_makeflow(text)
+
+    def test_duplicate_target_reported(self):
+        text = "x: a\n\tcmd1\nx: b\n\tcmd2\n"
+        with pytest.raises(MakeflowParseError):
+            parse_makeflow(text)
+
+    def test_parse_file_roundtrip(self, tmp_path):
+        from repro.makeflow.parser import parse_makeflow_file
+
+        p = tmp_path / "wf.mf"
+        p.write_text(SIMPLE)
+        g = parse_makeflow_file(str(p))
+        assert len(g) == 2

@@ -1,0 +1,133 @@
+"""Unit tests for RIU/RSH/RS/RW accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.accounting import AccountingSummary, ResourceAccountant
+from repro.metrics.summary import comparison_factors, format_summary_table, format_series_table
+
+
+class MutableGauges:
+    def __init__(self):
+        self.supply = 0.0
+        self.in_use = 0.0
+        self.shortage = 0.0
+        self.nodes = 0.0
+
+
+@pytest.fixture
+def gauges():
+    return MutableGauges()
+
+
+@pytest.fixture
+def accountant(engine, gauges):
+    return ResourceAccountant(
+        engine,
+        supply=lambda: gauges.supply,
+        in_use=lambda: gauges.in_use,
+        shortage=lambda: gauges.shortage,
+        nodes=lambda: gauges.nodes,
+        period=1.0,
+    )
+
+
+class TestSampling:
+    def test_derived_series_waste_and_demand(self, engine, gauges, accountant):
+        gauges.supply, gauges.in_use, gauges.shortage = 10.0, 6.0, 3.0
+        accountant.start()
+        engine.run(until=5.0)
+        accountant.stop()
+        assert accountant.series("waste").value_at(2.0) == pytest.approx(4.0)
+        assert accountant.series("demand").value_at(2.0) == pytest.approx(9.0)
+
+    def test_waste_clamped_at_zero(self, engine, gauges, accountant):
+        gauges.supply, gauges.in_use = 5.0, 8.0  # momentary over-use
+        accountant.start()
+        engine.run(until=2.0)
+        accountant.stop()
+        assert accountant.series("waste").value_at(1.0) == 0.0
+
+    def test_accumulated_integrals(self, engine, gauges, accountant):
+        accountant.start()
+        gauges.supply, gauges.in_use = 10.0, 10.0
+
+        def dip():
+            gauges.in_use = 0.0
+
+        engine.call_in(5.0, dip)
+        engine.run(until=10.0)
+        accountant.stop()
+        # waste: 0 for 5s (in_use=10), then 10 for 5s → ~50 core*s.
+        assert accountant.accumulated("waste") == pytest.approx(50.0, rel=0.15)
+
+    def test_window_uses_start_stop(self, engine, gauges, accountant):
+        engine.run(until=3.0)
+        accountant.start()
+        engine.run(until=7.0)
+        accountant.stop()
+        t0, t1 = accountant.window()
+        assert (t0, t1) == (3.0, 7.0)
+
+
+class TestSummary:
+    def test_summary_fields(self, engine, gauges, accountant):
+        gauges.supply, gauges.in_use, gauges.shortage = 8.0, 4.0, 2.0
+        accountant.start()
+        engine.run(until=10.0)
+        accountant.stop()
+        s = accountant.summarize()
+        assert s.runtime_s == pytest.approx(10.0)
+        assert s.mean_supply_cores == pytest.approx(8.0)
+        assert s.mean_in_use_cores == pytest.approx(4.0)
+        assert s.utilization == pytest.approx(0.5)
+        assert s.peak_supply_cores == 8.0
+        assert s.peak_shortage_cores == 2.0
+        assert s.accumulated_waste_core_s == pytest.approx(40.0)
+        assert s.accumulated_shortage_core_s == pytest.approx(20.0)
+
+    def test_zero_supply_utilization(self):
+        s = AccountingSummary(10, 0, 0, 0.0, 0.0, 0, 0)
+        assert s.utilization == 0.0
+
+    def test_row_dict(self):
+        s = AccountingSummary(10, 5, 2, 4.0, 2.0, 8, 3)
+        row = s.row()
+        assert row["runtime_s"] == 10
+        assert row["waste_core_s"] == 5
+
+
+class TestFormatting:
+    def _summary(self, runtime, waste, shortage, supply=10.0, used=5.0):
+        return AccountingSummary(runtime, waste, shortage, supply, used, supply, 0)
+
+    def test_summary_table_contains_rows(self):
+        table = format_summary_table(
+            {"HTA": self._summary(3060, 9146, 40680), "HPA": self._summary(2656, 51324, 34813)}
+        )
+        assert "HTA" in table and "HPA" in table
+        assert "9146" in table
+        assert "Runtime" in table
+
+    def test_comparison_factors_match_paper_math(self):
+        hta = self._summary(3060, 9146, 40680)
+        hpa20 = self._summary(2656, 51324, 34813)
+        f = comparison_factors(hta, hpa20)
+        assert f["waste_reduction"] == pytest.approx(5.61, abs=0.01)
+        assert f["runtime_increase"] == pytest.approx(0.152, abs=0.01)
+        assert f["speedup"] == pytest.approx(2656 / 3060, abs=0.001)
+
+    def test_comparison_handles_zero_baseline(self):
+        f = comparison_factors(self._summary(10, 0, 0), self._summary(10, 0, 0))
+        assert f["waste_reduction"] == float("inf")
+
+    def test_series_table_downsamples(self):
+        times = list(range(100))
+        cols = {"x": [float(i) for i in range(100)]}
+        out = format_series_table(times, cols, max_rows=10)
+        assert out.count("\n") <= 13
+
+    def test_series_table_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series_table([1, 2], {"x": [1.0]})

@@ -1,0 +1,180 @@
+"""Property-based tests for resource vectors, the link, and Algorithm 1."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.resources import ResourceVector
+from repro.hta.estimator import EstimatorConfig, ResourceEstimator, SimulatedTask
+from repro.sim.engine import Engine
+from repro.wq.link import Link
+
+vectors = st.builds(
+    ResourceVector,
+    cores=st.floats(min_value=0.0, max_value=64.0, allow_nan=False),
+    memory_mb=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    disk_mb=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+positive_vectors = st.builds(
+    ResourceVector,
+    cores=st.floats(min_value=0.1, max_value=64.0, allow_nan=False),
+    memory_mb=st.floats(min_value=1.0, max_value=1e5, allow_nan=False),
+    disk_mb=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+)
+
+
+class TestResourceVectorProperties:
+    @given(a=vectors, b=vectors)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(a=vectors, b=vectors, c=vectors)
+    def test_addition_associates(self, a, b, c):
+        left = (a + b) + c
+        right = a + (b + c)
+        for x, y in zip(left, right):
+            assert math.isclose(x, y, rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(a=vectors, b=vectors)
+    def test_sub_then_add_roundtrips(self, a, b):
+        back = (a - b) + b
+        for x, y in zip(back, a):
+            assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(a=vectors, b=vectors)
+    def test_fits_in_transitive_with_max(self, a, b):
+        m = a.max_with(b)
+        assert a.fits_in(m)
+        assert b.fits_in(m)
+
+    @given(a=vectors)
+    def test_fits_in_reflexive(self, a):
+        assert a.fits_in(a)
+
+    @given(a=positive_vectors, cap=positive_vectors)
+    def test_copies_fitting_consistent_with_fits(self, a, cap):
+        n = a.copies_fitting_in(cap)
+        if 0 < n < 10_000:
+            assert a.scale(n).fits_in(cap)
+            assert not a.scale(n + 1).fits_in(cap.scale(1 - 1e-9))
+
+    @given(a=vectors)
+    def test_clamp_floor_is_nonnegative(self, a):
+        assert a.clamp_floor(0.0).is_nonnegative()
+
+
+class TestLinkProperties:
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+        capacity=st.floats(min_value=10.0, max_value=1e3),
+    )
+    @settings(deadline=None)
+    def test_conservation_of_bytes(self, sizes, capacity):
+        """Every byte offered is eventually moved, exactly once."""
+        engine = Engine()
+        link = Link(engine, capacity)
+        for i, size in enumerate(sizes):
+            link.start_transfer(f"t{i}", size)
+        engine.run()
+        assert math.isclose(link.bytes_moved_mb, sum(sizes), rel_tol=1e-6)
+        assert link.transfers_completed == len(sizes)
+
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+        capacity=st.floats(min_value=10.0, max_value=1e3),
+    )
+    @settings(deadline=None)
+    def test_makespan_at_least_total_over_capacity(self, sizes, capacity):
+        """The link can never beat its capacity."""
+        engine = Engine()
+        link = Link(engine, capacity)
+        finish = []
+        for i, size in enumerate(sizes):
+            link.start_transfer(f"t{i}", size, on_complete=lambda t: finish.append(engine.now))
+        engine.run()
+        lower_bound = sum(sizes) / capacity
+        assert max(finish) >= lower_bound - 1e-6
+
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(deadline=None)
+    def test_equal_sizes_finish_together(self, sizes):
+        engine = Engine()
+        link = Link(engine, 100.0)
+        finish = []
+        size = sizes[0]
+        for i in range(len(sizes)):
+            link.start_transfer(f"t{i}", size, on_complete=lambda t: finish.append(engine.now))
+        engine.run()
+        assert max(finish) - min(finish) < 1e-6
+
+
+class TestEstimatorProperties:
+    worker = ResourceVector(4, 8192, 8192)
+
+    task_lists = st.lists(
+        st.builds(
+            SimulatedTask,
+            resources=st.builds(
+                ResourceVector,
+                cores=st.floats(min_value=0.5, max_value=4.0),
+                memory_mb=st.floats(min_value=64, max_value=8192),
+                disk_mb=st.floats(min_value=64, max_value=8192),
+            ),
+            remaining_s=st.floats(min_value=1.0, max_value=500.0),
+        ),
+        max_size=20,
+    )
+
+    @given(waiting=task_lists, running=task_lists, active=st.integers(0, 10))
+    @settings(deadline=None, max_examples=60)
+    def test_plan_delta_respects_quota_and_pool(self, waiting, running, active):
+        est = ResourceEstimator(self.worker, EstimatorConfig())
+        idle = 0 if running else active
+        plan = est.estimate(
+            100.0, running, waiting, active, idle, max_workers=active + 5
+        )
+        assert -active <= plan.delta <= 5
+        assert plan.next_action_s > 0
+
+    @given(waiting=task_lists)
+    @settings(deadline=None, max_examples=60)
+    def test_scale_up_bounded_by_one_worker_per_task(self, waiting):
+        est = ResourceEstimator(self.worker, EstimatorConfig())
+        plan = est.estimate(100.0, [], waiting, 0, 0)
+        assert 0 <= plan.delta <= len(waiting)
+
+    @given(waiting=task_lists, running=task_lists)
+    @settings(deadline=None, max_examples=60)
+    def test_deterministic(self, waiting, running):
+        est = ResourceEstimator(self.worker, EstimatorConfig())
+        idle = 0
+        p1 = est.estimate(100.0, running, waiting, 3, idle)
+        p2 = est.estimate(100.0, running, waiting, 3, idle)
+        assert p1 == p2
+
+    @given(waiting=task_lists)
+    @settings(deadline=None, max_examples=60)
+    def test_more_workers_never_increases_scale_up(self, waiting):
+        """Monotonicity: a larger active pool never asks for more."""
+        est = ResourceEstimator(self.worker, EstimatorConfig())
+        small = est.estimate(100.0, [], waiting, 0, 0)
+        large = est.estimate(100.0, [], waiting, 3, 3)
+        if small.delta > 0 and large.delta > 0:
+            assert large.delta <= small.delta

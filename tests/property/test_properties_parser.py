@@ -1,0 +1,120 @@
+"""Property tests: render→parse round-trip of Makeflow workflows.
+
+For any generated DAG, ``parse(render(g))`` must preserve the structure:
+task count, categories, resource declarations, runtimes, file names and
+sizes, and the dependency relation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.resources import ResourceVector
+from repro.makeflow.dag import WorkflowGraph
+from repro.makeflow.parser import parse_makeflow
+from repro.makeflow.render import render_makeflow
+from repro.wq.task import FileSpec, Task
+
+
+@st.composite
+def workflow_graphs(draw) -> WorkflowGraph:
+    """Random layered DAGs with plain-identifier file names."""
+    n_layers = draw(st.integers(min_value=1, max_value=4))
+    layer_sizes = [draw(st.integers(min_value=1, max_value=5)) for _ in range(n_layers)]
+    tasks = []
+    prev_outputs: list[FileSpec] = []
+    file_id = 0
+    for layer, size in enumerate(layer_sizes):
+        outputs = []
+        category = f"cat{draw(st.integers(min_value=0, max_value=2))}"
+        cores = draw(st.sampled_from([1.0, 2.0, 4.0]))
+        mem = draw(st.sampled_from([512.0, 1024.0, 4096.0]))
+        runtime = draw(st.floats(min_value=1.0, max_value=500.0).map(lambda x: round(x, 2)))
+        for i in range(size):
+            file_id += 1
+            out = FileSpec(
+                f"f{file_id}.out",
+                round(draw(st.floats(min_value=0.1, max_value=2000.0)), 3),
+                cacheable=draw(st.booleans()),
+            )
+            outputs.append(out)
+            if prev_outputs:
+                n_deps = draw(st.integers(min_value=1, max_value=len(prev_outputs)))
+                inputs = tuple(prev_outputs[:n_deps])
+            else:
+                file_id += 1
+                inputs = (FileSpec(f"f{file_id}.in", 1.0),)
+            tasks.append(
+                Task(
+                    category,
+                    execute_s=runtime,
+                    footprint=ResourceVector(cores, mem, 64.0),
+                    declared=ResourceVector(cores, mem, 64.0),
+                    inputs=inputs,
+                    outputs=(out,),
+                    command=f"cmd-{file_id}",
+                )
+            )
+        prev_outputs = outputs
+    return WorkflowGraph(tasks)
+
+
+class TestRoundTrip:
+    @given(graph=workflow_graphs())
+    @settings(deadline=None, max_examples=60)
+    def test_structure_preserved(self, graph):
+        reparsed = parse_makeflow(render_makeflow(graph))
+        assert len(reparsed) == len(graph)
+        assert reparsed.category_counts() == graph.category_counts()
+        assert reparsed.depth() == graph.depth()
+        assert reparsed.initial_files() == graph.initial_files()
+        assert reparsed.final_outputs() == graph.final_outputs()
+
+    @given(graph=workflow_graphs())
+    @settings(deadline=None, max_examples=60)
+    def test_resources_and_runtimes_preserved(self, graph):
+        reparsed = parse_makeflow(render_makeflow(graph))
+        # Match tasks by their (unique) output file name.
+        original = {t.outputs[0].name: t for t in graph.tasks}
+        for t in reparsed.tasks:
+            o = original[t.outputs[0].name]
+            assert t.category == o.category
+            assert t.execute_s == o.execute_s
+            assert t.declared.cores == o.declared.cores
+            assert t.declared.memory_mb == o.declared.memory_mb
+
+    @given(graph=workflow_graphs())
+    @settings(deadline=None, max_examples=60)
+    def test_file_sizes_and_cache_flags_preserved(self, graph):
+        reparsed = parse_makeflow(render_makeflow(graph))
+        spec_by_name = {}
+        for t in graph.tasks:
+            for f in (*t.inputs, *t.outputs):
+                spec_by_name[f.name] = f
+        for t in reparsed.tasks:
+            for f in (*t.inputs, *t.outputs):
+                assert f.size_mb == spec_by_name[f.name].size_mb
+                assert f.cacheable == spec_by_name[f.name].cacheable
+
+    @given(graph=workflow_graphs())
+    @settings(deadline=None, max_examples=40)
+    def test_dependency_relation_preserved(self, graph):
+        reparsed = parse_makeflow(render_makeflow(graph))
+        def edges(g):
+            by_out = {t.outputs[0].name: t for t in g.tasks}
+            result = set()
+            for t in g.tasks:
+                for dep_id in g.dependencies[t.id]:
+                    dep = g.task(dep_id)
+                    result.add((dep.outputs[0].name, t.outputs[0].name))
+            return result
+
+        assert edges(reparsed) == edges(graph)
+
+    def test_render_is_idempotent_modulo_text(self):
+        from repro.workloads.blast import blast_multistage
+
+        g = blast_multistage((6, 2, 4))
+        text1 = render_makeflow(g)
+        text2 = render_makeflow(parse_makeflow(text1))
+        assert text1 == text2

@@ -1,0 +1,254 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine, PeriodicTask, SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, engine):
+        assert engine.now == 0.0
+
+    def test_call_in_advances_clock_to_event_time(self, engine):
+        fired = []
+        engine.call_in(5.0, fired.append, "a")
+        engine.run()
+        assert fired == ["a"]
+        assert engine.now == 5.0
+
+    def test_call_at_absolute_time(self, engine):
+        times = []
+        engine.call_at(3.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [3.0]
+
+    def test_events_fire_in_time_order(self, engine):
+        order = []
+        engine.call_in(10.0, order.append, "late")
+        engine.call_in(1.0, order.append, "early")
+        engine.call_in(5.0, order.append, "mid")
+        engine.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_same_time_events_fire_fifo(self, engine):
+        order = []
+        for i in range(10):
+            engine.call_at(7.0, order.append, i)
+        engine.run()
+        assert order == list(range(10))
+
+    def test_call_soon_fires_at_current_instant(self, engine):
+        stamps = []
+        engine.call_in(2.0, lambda: engine.call_soon(lambda: stamps.append(engine.now)))
+        engine.run()
+        assert stamps == [2.0]
+
+    def test_scheduling_in_the_past_raises(self, engine):
+        engine.call_in(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(1.0, lambda: None)
+
+    def test_negative_delay_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.call_in(-1.0, lambda: None)
+
+    def test_non_finite_time_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.call_at(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            engine.call_at(float("nan"), lambda: None)
+
+    def test_callback_args_are_passed(self, engine):
+        got = []
+        engine.call_in(1.0, lambda a, b: got.append((a, b)), 1, "x")
+        engine.run()
+        assert got == [(1, "x")]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        ev = engine.call_in(1.0, fired.append, "x")
+        ev.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, engine):
+        ev = engine.call_in(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert not ev.pending
+
+    def test_cancel_after_fire_is_safe(self, engine):
+        ev = engine.call_in(1.0, lambda: None)
+        engine.run()
+        ev.cancel()
+        assert ev.fired
+
+    def test_pending_property_lifecycle(self, engine):
+        ev = engine.call_in(1.0, lambda: None)
+        assert ev.pending
+        engine.run()
+        assert not ev.pending
+
+    def test_pending_count_excludes_cancelled(self, engine):
+        ev1 = engine.call_in(1.0, lambda: None)
+        engine.call_in(2.0, lambda: None)
+        ev1.cancel()
+        assert engine.pending_count() == 1
+
+
+class TestRun:
+    def test_run_until_stops_at_horizon(self, engine):
+        fired = []
+        engine.call_in(10.0, fired.append, "later")
+        engine.run(until=5.0)
+        assert fired == []
+        assert engine.now == 5.0
+
+    def test_run_until_fires_events_at_horizon(self, engine):
+        fired = []
+        engine.call_in(5.0, fired.append, "boundary")
+        engine.run(until=5.0)
+        assert fired == ["boundary"]
+
+    def test_run_until_advances_clock_when_queue_drains(self, engine):
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_run_resumes_after_horizon(self, engine):
+        fired = []
+        engine.call_in(10.0, fired.append, "x")
+        engine.run(until=5.0)
+        engine.run()
+        assert fired == ["x"]
+        assert engine.now == 10.0
+
+    def test_max_events_limits_firing(self, engine):
+        fired = []
+        for i in range(10):
+            engine.call_in(float(i + 1), fired.append, i)
+        engine.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_fires_exactly_one(self, engine):
+        fired = []
+        engine.call_in(1.0, fired.append, "a")
+        engine.call_in(2.0, fired.append, "b")
+        assert engine.step()
+        assert fired == ["a"]
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_engine_not_reentrant(self, engine):
+        errors = []
+
+        def reenter():
+            try:
+                engine.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        engine.call_in(1.0, reenter)
+        engine.run()
+        assert len(errors) == 1
+
+    def test_events_can_schedule_more_events(self, engine):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                engine.call_in(1.0, chain, n + 1)
+
+        engine.call_in(1.0, chain, 0)
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert engine.now == 6.0
+
+    def test_events_fired_counter(self, engine):
+        for _ in range(4):
+            engine.call_in(1.0, lambda: None)
+        engine.run()
+        assert engine.events_fired == 4
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self, engine):
+        stamps = []
+        PeriodicTask(engine, 10.0, lambda: stamps.append(engine.now))
+        engine.run(until=35.0)
+        assert stamps == [10.0, 20.0, 30.0]
+
+    def test_start_after_overrides_first_delay(self, engine):
+        stamps = []
+        PeriodicTask(engine, 10.0, lambda: stamps.append(engine.now), start_after=0.0)
+        engine.run(until=25.0)
+        assert stamps == [0.0, 10.0, 20.0]
+
+    def test_stop_prevents_further_firing(self, engine):
+        stamps = []
+        task = PeriodicTask(engine, 5.0, lambda: stamps.append(engine.now))
+        engine.run(until=12.0)
+        task.stop()
+        engine.run(until=100.0)
+        assert stamps == [5.0, 10.0]
+        assert not task.running
+
+    def test_returning_false_stops_loop(self, engine):
+        stamps = []
+
+        def once():
+            stamps.append(engine.now)
+            return False
+
+        PeriodicTask(engine, 5.0, once)
+        engine.run(until=100.0)
+        assert stamps == [5.0]
+
+    def test_return_delay_ignored_by_default(self, engine):
+        stamps = []
+
+        def body():
+            stamps.append(engine.now)
+            return 100.0  # must NOT be treated as a delay
+
+        PeriodicTask(engine, 5.0, body)
+        engine.run(until=16.0)
+        assert stamps == [5.0, 10.0, 15.0]
+
+    def test_return_delay_honoured_when_enabled(self, engine):
+        stamps = []
+
+        def body():
+            stamps.append(engine.now)
+            return 20.0
+
+        PeriodicTask(engine, 5.0, body, use_return_delay=True)
+        engine.run(until=50.0)
+        assert stamps == [5.0, 25.0, 45.0]
+
+    def test_non_positive_returned_delay_raises(self, engine):
+        PeriodicTask(engine, 5.0, lambda: 0.0, use_return_delay=True)
+        with pytest.raises(SimulationError):
+            engine.run(until=10.0)
+
+    def test_non_positive_period_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            PeriodicTask(engine, 0.0, lambda: None)
+
+    def test_stop_inside_callback(self, engine):
+        stamps = []
+        holder = {}
+
+        def body():
+            stamps.append(engine.now)
+            holder["task"].stop()
+
+        holder["task"] = PeriodicTask(engine, 5.0, body)
+        engine.run(until=100.0)
+        assert stamps == [5.0]

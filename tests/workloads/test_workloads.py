@@ -1,0 +1,155 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.makeflow.dag import WorkflowGraph
+from repro.sim.rng import RngRegistry
+from repro.workloads.blast import (
+    ALIGN_FOOTPRINT,
+    BLAST_DB,
+    blast_multistage,
+    blast_parallel,
+    blast_sizing_study,
+)
+from repro.workloads.iobound import IO_CPU_FRACTION, iobound_parallel
+from repro.workloads.synthetic import (
+    fan_in_out,
+    multi_category_mix,
+    staged_pipeline,
+    uniform_bag,
+)
+
+
+class TestBlastParallel:
+    def test_default_shape(self):
+        tasks = blast_parallel()
+        assert len(tasks) == 200
+        assert all(t.category == "align" for t in tasks)
+        assert all(t.declared == ALIGN_FOOTPRINT for t in tasks)
+
+    def test_shared_cacheable_input(self):
+        tasks = blast_parallel(5)
+        for t in tasks:
+            assert BLAST_DB in t.inputs
+        assert BLAST_DB.cacheable
+        assert BLAST_DB.size_mb == 1400.0
+
+    def test_outputs_600kb(self):
+        t = blast_parallel(1)[0]
+        assert t.output_bytes_mb() == pytest.approx(0.6)
+
+    def test_undeclared_variant(self):
+        tasks = blast_parallel(3, declared=False)
+        assert all(t.declared is None for t in tasks)
+
+    def test_runtime_jitter_reproducible(self):
+        a = blast_parallel(10, rng=RngRegistry(1), runtime_cv=0.1)
+        b = blast_parallel(10, rng=RngRegistry(1), runtime_cv=0.1)
+        assert [t.execute_s for t in a] == [t.execute_s for t in b]
+        assert len({t.execute_s for t in a}) > 1
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            blast_parallel(0)
+
+    def test_sizing_study_defaults_unknown(self):
+        tasks = blast_sizing_study()
+        assert len(tasks) == 100
+        assert all(t.declared is None for t in tasks)
+
+
+class TestBlastMultistage:
+    def test_paper_stage_sizes(self):
+        g = blast_multistage()
+        counts = g.category_counts()
+        assert counts == {"align1": 200, "reduce": 34, "align2": 164}
+        assert len(g) == 398
+
+    def test_is_a_three_level_dag(self):
+        g = blast_multistage((20, 4, 16))
+        assert g.depth() == 3
+
+    def test_stage2_depends_on_stage1(self):
+        g = blast_multistage((10, 2, 4))
+        reduce_tasks = [t for t in g.tasks if t.category == "reduce"]
+        for t in reduce_tasks:
+            assert g.dependencies[t.id]  # non-empty
+
+    def test_every_stage1_output_consumed(self):
+        g = blast_multistage((10, 2, 4))
+        consumed = {f.name for t in g.tasks for f in t.inputs}
+        stage1_outputs = {
+            f.name for t in g.tasks if t.category == "align1" for f in t.outputs
+        }
+        assert stage1_outputs <= consumed
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            blast_multistage((0, 1, 1))
+
+    def test_declared_variant(self):
+        g = blast_multistage((4, 2, 2), declared=True)
+        assert all(t.declared is not None for t in g.tasks)
+
+
+class TestIoBound:
+    def test_low_cpu_fraction(self):
+        tasks = iobound_parallel(10)
+        assert all(t.cpu_fraction == IO_CPU_FRACTION for t in tasks)
+        # One task on a 4-core pod: usage if allocated whole pod
+        assert IO_CPU_FRACTION < 0.2  # "rarely over 20%"
+
+    def test_paper_count(self):
+        assert len(iobound_parallel()) == 200
+
+    def test_tiny_io_files(self):
+        t = iobound_parallel(1)[0]
+        assert t.input_bytes_mb() < 1.0
+        assert t.output_bytes_mb() < 1.0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            iobound_parallel(0)
+
+
+class TestSynthetic:
+    def test_uniform_bag_shape(self):
+        tasks = uniform_bag(7, execute_s=5.0)
+        assert len(tasks) == 7
+        assert all(t.execute_s == 5.0 for t in tasks)
+
+    def test_uniform_bag_forms_valid_graph(self):
+        g = WorkflowGraph(uniform_bag(5))
+        assert len(g.roots()) == 5
+
+    def test_multi_category_mix(self):
+        foot = ResourceVector(1, 512, 128)
+        tasks = multi_category_mix([("a", 3, 10.0, foot), ("b", 2, 20.0, foot)])
+        assert sum(1 for t in tasks if t.category == "a") == 3
+        assert sum(1 for t in tasks if t.category == "b") == 2
+
+    def test_staged_pipeline_depth_equals_stage_count(self):
+        g = staged_pipeline([4, 2, 4, 1])
+        assert g.depth() == 4
+
+    def test_staged_pipeline_invalid(self):
+        with pytest.raises(ValueError):
+            staged_pipeline([])
+        with pytest.raises(ValueError):
+            staged_pipeline([3, 0])
+
+    def test_fan_in_out_structure(self):
+        g = fan_in_out(5)
+        assert len(g) == 11
+        assert g.depth() == 3
+        counts = g.category_counts()
+        assert counts == {"map": 5, "reduce": 1, "finalize": 5}
+
+    def test_fan_in_out_reducer_is_bottleneck(self):
+        g = fan_in_out(4)
+        reducer = next(t for t in g.tasks if t.category == "reduce")
+        assert len(g.dependencies[reducer.id]) == 4
+        assert len(g.dependents[reducer.id]) == 4

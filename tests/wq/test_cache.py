@@ -1,0 +1,112 @@
+"""Tests for the bounded LRU worker cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.wq.cache import WorkerCache
+from repro.wq.estimator import DeclaredResourceEstimator
+from repro.wq.link import Link
+from repro.wq.master import Master
+from repro.wq.task import FileSpec, Task, TaskState
+from repro.wq.worker import Worker
+
+
+class TestWorkerCacheUnit:
+    def test_add_and_contains(self):
+        c = WorkerCache(100.0)
+        assert c.add("a", 40.0, now=1.0)
+        assert "a" in c
+        assert c.used_mb == 40.0
+
+    def test_oversized_file_rejected(self):
+        c = WorkerCache(100.0)
+        assert not c.add("big", 200.0, now=1.0)
+        assert "big" not in c
+
+    def test_lru_eviction_order(self):
+        c = WorkerCache(100.0)
+        c.add("old", 40.0, now=1.0)
+        c.add("newer", 40.0, now=2.0)
+        c.add("incoming", 40.0, now=3.0)  # must evict "old"
+        assert "old" not in c
+        assert "newer" in c and "incoming" in c
+        assert c.evictions == 1
+        assert c.bytes_evicted_mb == 40.0
+
+    def test_touch_protects_from_eviction(self):
+        c = WorkerCache(100.0)
+        c.add("a", 40.0, now=1.0)
+        c.add("b", 40.0, now=2.0)
+        c.touch("a", now=3.0)  # a is now the most recent
+        c.add("c", 40.0, now=4.0)
+        assert "b" not in c
+        assert "a" in c
+
+    def test_pinned_files_never_evicted(self):
+        c = WorkerCache(100.0)
+        c.add("pinned", 60.0, now=1.0)
+        c.add("loose", 30.0, now=2.0)
+        ok = c.add("incoming", 60.0, now=3.0, pinned={"pinned"})
+        # Only "loose" was evictable (30 MB); incoming cannot fit.
+        assert not ok
+        assert "pinned" in c
+
+    def test_re_add_refreshes_recency(self):
+        c = WorkerCache(100.0)
+        c.add("a", 50.0, now=1.0)
+        c.add("a", 50.0, now=5.0)
+        assert len(c) == 1
+        assert c.used_mb == 50.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerCache(-1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerCache(10.0).add("x", -1.0, now=0.0)
+
+
+class TestWorkerCacheIntegration:
+    """Cache pressure on a live worker: small disk forces re-fetches."""
+
+    @pytest.fixture
+    def master(self, engine):
+        return Master(engine, Link(engine, 1000.0), estimator=DeclaredResourceEstimator())
+
+    def make_task(self, db_name: str, execute_s=5.0):
+        foot = ResourceVector(1, 512, 64)
+        return Task(
+            "c",
+            execute_s=execute_s,
+            footprint=foot,
+            declared=foot,
+            inputs=(FileSpec(db_name, 900.0, cacheable=True),),
+        )
+
+    def test_alternating_dbs_thrash_small_cache(self, engine, master):
+        # Disk fits only one 900 MB database at a time.
+        worker = Worker(
+            engine, master, "w1", ResourceVector(1, 4096, 1000.0)
+        )
+        tasks = [self.make_task("dbA"), self.make_task("dbB"), self.make_task("dbA")]
+        for t in tasks:
+            master.submit(t)
+        engine.run(until=200.0)
+        assert all(t.state is TaskState.DONE for t in tasks)
+        # dbA was evicted by dbB and re-fetched: 3 transfers of 900 MB.
+        assert master.link.bytes_moved_mb == pytest.approx(2700.0)
+        assert worker.cache.evictions == 2
+
+    def test_big_cache_avoids_thrash(self, engine, master):
+        worker = Worker(
+            engine, master, "w1", ResourceVector(1, 4096, 4000.0)
+        )
+        tasks = [self.make_task("dbA"), self.make_task("dbB"), self.make_task("dbA")]
+        for t in tasks:
+            master.submit(t)
+        engine.run(until=200.0)
+        assert master.link.bytes_moved_mb == pytest.approx(1800.0)
+        assert worker.cache.evictions == 0

@@ -1,0 +1,99 @@
+"""Tests for the worker factory (batch-system-style elasticity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.wq.estimator import DeclaredResourceEstimator
+from repro.wq.factory import FactoryConfig, WorkerFactory
+from repro.wq.link import Link
+from repro.wq.master import Master
+from repro.wq.task import Task, TaskState
+
+CAP = ResourceVector(4, 8192, 8192)
+FOOT = ResourceVector(1, 512, 128)
+
+
+@pytest.fixture
+def master(engine):
+    return Master(engine, Link(engine, 200.0), estimator=DeclaredResourceEstimator())
+
+
+def bag(n, execute_s=30.0):
+    return [Task("c", execute_s=execute_s, footprint=FOOT, declared=FOOT) for _ in range(n)]
+
+
+def make_factory(engine, master, **overrides):
+    defaults = dict(
+        min_workers=1,
+        max_workers=5,
+        tasks_per_worker=4.0,
+        poll_interval_s=10.0,
+        spawn_latency_s=5.0,
+    )
+    defaults.update(overrides)
+    return WorkerFactory(engine, master, CAP, FactoryConfig(**defaults))
+
+
+class TestConfig:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            FactoryConfig(min_workers=5, max_workers=2)
+        with pytest.raises(ValueError):
+            FactoryConfig(tasks_per_worker=0)
+        with pytest.raises(ValueError):
+            FactoryConfig(poll_interval_s=0)
+        with pytest.raises(ValueError):
+            FactoryConfig(spawn_latency_s=-1)
+
+
+class TestScaling:
+    def test_min_workers_maintained_when_idle(self, engine, master):
+        factory = make_factory(engine, master, min_workers=2)
+        engine.run(until=20.0)
+        assert factory.live_count == 2
+        assert master.stats().workers_connected == 2
+
+    def test_scales_with_backlog(self, engine, master):
+        factory = make_factory(engine, master)
+        master.submit_many(bag(20, execute_s=100.0))
+        engine.run(until=15.0)
+        assert factory.live_count == 5  # ceil(20/4) = 5
+
+    def test_capped_at_max(self, engine, master):
+        factory = make_factory(engine, master, max_workers=3)
+        master.submit_many(bag(100, execute_s=50.0))
+        engine.run(until=15.0)
+        assert factory.live_count == 3
+
+    def test_drains_excess_after_queue_empties(self, engine, master):
+        factory = make_factory(engine, master, min_workers=1)
+        tasks = bag(20, execute_s=20.0)
+        master.submit_many(tasks)
+        engine.run(until=300.0)
+        assert all(t.state is TaskState.DONE for t in tasks)
+        assert factory.live_count == 1
+        assert factory.workers_drained >= 1
+
+    def test_tasks_complete_end_to_end(self, engine, master):
+        factory = make_factory(engine, master)
+        tasks = bag(12, execute_s=15.0)
+        master.submit_many(tasks)
+        engine.run(until=500.0)
+        assert all(t.state is TaskState.DONE for t in tasks)
+
+    def test_stop_with_drain(self, engine, master):
+        factory = make_factory(engine, master, min_workers=2)
+        engine.run(until=20.0)
+        factory.stop(drain=True)
+        engine.run(until=40.0)
+        assert factory.live_count == 0
+        assert master.stats().workers_connected == 0
+
+    def test_spawn_latency_delays_connection(self, engine, master):
+        factory = make_factory(engine, master, min_workers=1, spawn_latency_s=50.0)
+        engine.run(until=20.0)
+        assert master.stats().workers_connected == 0
+        engine.run(until=60.0)
+        assert master.stats().workers_connected == 1

@@ -1,0 +1,203 @@
+"""Unit tests for the fair-share link."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wq.link import Link
+
+
+class TestSingleTransfer:
+    def test_completion_time_is_size_over_capacity(self, engine):
+        link = Link(engine, 100.0)
+        done = []
+        link.start_transfer("t", 500.0, on_complete=lambda t: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(5.0)]
+
+    def test_zero_size_completes_immediately(self, engine):
+        link = Link(engine, 100.0)
+        done = []
+        link.start_transfer("t", 0.0, on_complete=lambda t: done.append(engine.now))
+        engine.run()
+        assert done == [0.0]
+        assert link.transfers_completed == 1
+
+    def test_rate_cap_slows_transfer(self, engine):
+        link = Link(engine, 100.0)
+        done = []
+        link.start_transfer(
+            "t", 100.0, rate_cap_mbps=10.0, on_complete=lambda t: done.append(engine.now)
+        )
+        engine.run()
+        assert done == [pytest.approx(10.0)]
+
+    def test_negative_size_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Link(engine, 100.0).start_transfer("t", -1.0)
+
+    def test_invalid_capacity_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Link(engine, 0.0)
+
+    def test_invalid_rate_cap_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Link(engine, 10.0).start_transfer("t", 1.0, rate_cap_mbps=0.0)
+
+    def test_transfer_duration_recorded(self, engine):
+        link = Link(engine, 50.0)
+        t = link.start_transfer("t", 100.0)
+        engine.run()
+        assert t.done
+        assert t.duration == pytest.approx(2.0)
+
+
+class TestFairSharing:
+    def test_two_equal_transfers_share_equally(self, engine):
+        link = Link(engine, 100.0)
+        finishes = {}
+        for name in ("a", "b"):
+            link.start_transfer(
+                name, 100.0, on_complete=lambda t, n=name: finishes.__setitem__(n, engine.now)
+            )
+        engine.run()
+        # Each gets 50 MB/s → both finish at 2 s.
+        assert finishes["a"] == pytest.approx(2.0)
+        assert finishes["b"] == pytest.approx(2.0)
+
+    def test_late_joiner_slows_first_transfer(self, engine):
+        link = Link(engine, 100.0)
+        finishes = {}
+        link.start_transfer(
+            "early", 200.0, on_complete=lambda t: finishes.__setitem__("early", engine.now)
+        )
+        engine.call_in(
+            1.0,
+            lambda: link.start_transfer(
+                "late", 100.0, on_complete=lambda t: finishes.__setitem__("late", engine.now)
+            ),
+        )
+        engine.run()
+        # early: 100 MB in first second, then 100 MB at 50 MB/s → t=3.
+        assert finishes["early"] == pytest.approx(3.0)
+        # late: 100 MB at 50 MB/s while sharing, then alone — it shares
+        # until t=3 (100 MB done at 50 MB/s → exactly t=3 as well).
+        assert finishes["late"] == pytest.approx(3.0)
+
+    def test_completion_frees_bandwidth_for_survivors(self, engine):
+        link = Link(engine, 100.0)
+        finishes = {}
+        link.start_transfer("small", 50.0, on_complete=lambda t: finishes.__setitem__("s", engine.now))
+        link.start_transfer("big", 150.0, on_complete=lambda t: finishes.__setitem__("b", engine.now))
+        engine.run()
+        assert finishes["s"] == pytest.approx(1.0)  # 50 MB at 50 MB/s
+        # big: 50 MB in the first second, then 100 MB at full 100 MB/s.
+        assert finishes["b"] == pytest.approx(2.0)
+
+    def test_water_filling_respects_caps(self, engine):
+        link = Link(engine, 100.0)
+        finishes = {}
+        # One capped at 10: the other should get the residual 90.
+        link.start_transfer("capped", 10.0, rate_cap_mbps=10.0,
+                            on_complete=lambda t: finishes.__setitem__("c", engine.now))
+        link.start_transfer("free", 90.0,
+                            on_complete=lambda t: finishes.__setitem__("f", engine.now))
+        engine.run()
+        assert finishes["c"] == pytest.approx(1.0)
+        assert finishes["f"] == pytest.approx(1.0)
+
+    def test_bytes_moved_accounting(self, engine):
+        link = Link(engine, 100.0)
+        link.start_transfer("a", 120.0)
+        link.start_transfer("b", 80.0)
+        engine.run()
+        assert link.bytes_moved_mb == pytest.approx(200.0)
+
+    def test_active_count(self, engine):
+        link = Link(engine, 100.0)
+        link.start_transfer("a", 1000.0)
+        link.start_transfer("b", 1000.0)
+        assert link.active_count == 2
+        engine.run()
+        assert link.active_count == 0
+
+
+class TestCancel:
+    def test_cancel_stops_transfer_without_callback(self, engine):
+        link = Link(engine, 100.0)
+        done = []
+        t = link.start_transfer("t", 100.0, on_complete=lambda _t: done.append(1))
+        engine.call_in(0.5, link.cancel, t)
+        engine.run()
+        assert done == []
+        assert t.cancelled
+
+    def test_cancel_frees_bandwidth(self, engine):
+        link = Link(engine, 100.0)
+        finishes = {}
+        t1 = link.start_transfer("a", 200.0)
+        link.start_transfer("b", 150.0, on_complete=lambda t: finishes.__setitem__("b", engine.now))
+        engine.call_in(1.0, link.cancel, t1)
+        engine.run()
+        # b: 50 MB in 1 s shared, then 100 MB alone → t=2.
+        assert finishes["b"] == pytest.approx(2.0)
+
+    def test_cancel_done_transfer_is_noop(self, engine):
+        link = Link(engine, 100.0)
+        t = link.start_transfer("t", 10.0)
+        engine.run()
+        link.cancel(t)
+        assert t.done and not t.cancelled
+
+
+class TestStreamOverhead:
+    def test_effective_capacity_formula(self, engine):
+        link = Link(engine, 500.0, per_stream_overhead=0.05)
+        assert link.effective_capacity(1) == pytest.approx(500.0)
+        assert link.effective_capacity(5) == pytest.approx(500.0 / 1.2)
+        assert link.effective_capacity(0) == pytest.approx(500.0)
+
+    def test_overhead_slows_concurrent_transfers(self, engine):
+        link = Link(engine, 100.0, per_stream_overhead=1.0)
+        done = []
+        link.start_transfer("a", 50.0, on_complete=lambda t: done.append(engine.now))
+        link.start_transfer("b", 50.0, on_complete=lambda t: done.append(engine.now))
+        engine.run()
+        # capacity/(1+1) = 50 total → 25 each → 2 s.
+        assert done[0] == pytest.approx(2.0)
+
+    def test_negative_overhead_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Link(engine, 100.0, per_stream_overhead=-0.1)
+
+
+class TestThroughputMetrics:
+    def test_throughput_series_records_rates(self, engine):
+        link = Link(engine, 100.0)
+        link.start_transfer("t", 100.0)
+        engine.run()
+        assert link.throughput.value_at(0.5) == pytest.approx(100.0)
+        assert link.throughput.value_at(1.5) == 0.0
+
+    def test_mean_throughput_time_weighted(self, engine):
+        link = Link(engine, 100.0)
+        link.start_transfer("t", 100.0)
+        engine.run(until=2.0)
+        assert link.mean_throughput(0.0, 2.0) == pytest.approx(50.0)
+
+    def test_busy_seconds(self, engine):
+        link = Link(engine, 100.0)
+        link.start_transfer("t", 100.0)
+        engine.call_in(5.0, lambda: link.start_transfer("u", 100.0))
+        engine.run(until=10.0)
+        assert link.busy_seconds(0.0, 10.0) == pytest.approx(2.0)
+
+    def test_mean_active_throughput_excludes_idle(self, engine):
+        link = Link(engine, 100.0)
+        link.start_transfer("t", 100.0)
+        engine.run(until=10.0)
+        assert link.mean_active_throughput(0.0, 10.0) == pytest.approx(100.0)
+
+    def test_mean_active_throughput_zero_when_never_busy(self, engine):
+        link = Link(engine, 100.0)
+        assert link.mean_active_throughput(0.0, 10.0) == 0.0

@@ -1,0 +1,141 @@
+"""Unit tests for the resource monitor and allocation estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.wq.estimator import (
+    ConservativeEstimator,
+    DeclaredResourceEstimator,
+    MonitorEstimator,
+)
+from repro.wq.monitor import CategoryStats, ResourceMonitor
+from repro.wq.task import Task, TaskResult
+
+FOOT = ResourceVector(1, 900, 100)
+WORKER = ResourceVector(3, 14 * 1024, 90 * 1024)
+
+
+def make_result(category="align", execute_s=40.0, resources=FOOT, task_id=1):
+    return TaskResult(
+        task_id=task_id,
+        category=category,
+        worker_name="w",
+        submit_time=0.0,
+        dispatch_time=1.0,
+        start_time=2.0,
+        finish_time=2.0 + execute_s,
+        execute_seconds=execute_s,
+        measured_resources=resources,
+        attempts=0,
+    )
+
+
+class TestCategoryStats:
+    def test_observe_aggregates(self):
+        s = CategoryStats("c")
+        s.observe(10.0, FOOT)
+        s.observe(30.0, FOOT.scale(2))
+        assert s.count == 2
+        assert s.mean_execute_s == pytest.approx(20.0)
+        assert s.max_execute_s == 30.0
+        assert s.min_execute_s == 10.0
+        assert s.max_resources.cores == 2
+
+    def test_estimates_none_when_empty(self):
+        s = CategoryStats("c")
+        assert s.resource_estimate() is None
+        assert s.runtime_estimate() is None
+
+    def test_safety_margin_scales_estimate(self):
+        s = CategoryStats("c")
+        s.observe(10.0, ResourceVector(1, 1000, 100))
+        est = s.resource_estimate(safety_margin=0.1)
+        assert est.cores == pytest.approx(1.1)
+        assert est.memory_mb == pytest.approx(1100)
+
+
+class TestResourceMonitor:
+    def test_record_groups_by_category(self):
+        m = ResourceMonitor()
+        m.record(make_result("a"))
+        m.record(make_result("b"))
+        m.record(make_result("a"))
+        assert m.category("a").count == 2
+        assert m.category("b").count == 1
+        assert set(m.categories()) == {"a", "b"}
+
+    def test_has_estimate(self):
+        m = ResourceMonitor()
+        assert not m.has_estimate("a")
+        m.record(make_result("a"))
+        assert m.has_estimate("a")
+
+    def test_estimates_reflect_observed_max(self):
+        m = ResourceMonitor()
+        m.record(make_result("a", resources=ResourceVector(1, 500, 100)))
+        m.record(make_result("a", resources=ResourceVector(1, 900, 50)))
+        est = m.resource_estimate("a")
+        assert est.memory_mb == 900
+        assert est.disk_mb == 100
+
+    def test_runtime_estimate_is_mean(self):
+        m = ResourceMonitor()
+        m.record(make_result("a", execute_s=10))
+        m.record(make_result("a", execute_s=30))
+        assert m.runtime_estimate("a") == pytest.approx(20.0)
+
+    def test_mean_turnaround(self):
+        m = ResourceMonitor()
+        m.record(make_result("a", execute_s=10))
+        assert m.mean_turnaround() == pytest.approx(12.0)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceMonitor(safety_margin=-0.1)
+
+    def test_completed_count(self):
+        m = ResourceMonitor()
+        for i in range(3):
+            m.record(make_result(task_id=i))
+        assert m.completed_count == 3
+
+
+class TestEstimators:
+    def test_conservative_always_whole_worker(self):
+        task = Task("c", execute_s=1, footprint=FOOT, declared=FOOT)
+        assert ConservativeEstimator().allocation_for(task, WORKER) is None
+
+    def test_declared_uses_declaration(self):
+        task = Task("c", execute_s=1, footprint=FOOT, declared=FOOT)
+        assert DeclaredResourceEstimator().allocation_for(task, WORKER) == FOOT
+
+    def test_declared_falls_back_to_whole_worker(self):
+        task = Task("c", execute_s=1, footprint=FOOT)
+        assert DeclaredResourceEstimator().allocation_for(task, WORKER) is None
+
+    def test_monitor_prefers_declaration(self):
+        m = ResourceMonitor()
+        m.record(make_result("c", resources=FOOT.scale(2)))
+        task = Task("c", execute_s=1, footprint=FOOT, declared=FOOT)
+        assert MonitorEstimator(m).allocation_for(task, WORKER) == FOOT
+
+    def test_monitor_uses_category_estimate(self):
+        m = ResourceMonitor()
+        m.record(make_result("c", resources=FOOT))
+        task = Task("c", execute_s=1, footprint=FOOT)
+        assert MonitorEstimator(m).allocation_for(task, WORKER) == FOOT
+
+    def test_monitor_probes_unknown_category(self):
+        m = ResourceMonitor()
+        task = Task("new", execute_s=1, footprint=FOOT)
+        assert MonitorEstimator(m).allocation_for(task, WORKER) is None
+
+    def test_monitor_estimate_capped_at_worker(self):
+        m = ResourceMonitor()
+        m.record(make_result("c", resources=ResourceVector(8, 512, 0)))
+        task = Task("c", execute_s=1, footprint=FOOT)
+        # Estimate exceeds the worker: fall back to whole worker, never
+        # an unschedulable over-allocation.
+        assert MonitorEstimator(m).allocation_for(task, WORKER) is None

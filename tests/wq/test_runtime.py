@@ -1,0 +1,120 @@
+"""Tests for the pod↔worker runtime glue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.pod import Pod, PodPhase, PodSpec
+from repro.cluster.resources import ResourceVector
+from repro.wq.estimator import DeclaredResourceEstimator
+from repro.wq.link import Link
+from repro.wq.master import Master
+from repro.wq.runtime import WorkerPodRuntime
+from repro.wq.task import Task, TaskState
+from repro.wq.worker import WorkerState
+
+FOOT = ResourceVector(1, 512, 128)
+
+
+@pytest.fixture
+def stack(engine, small_cluster, worker_image):
+    link = Link(engine, 200.0)
+    master = Master(engine, link, estimator=DeclaredResourceEstimator())
+    runtime = WorkerPodRuntime(
+        engine, small_cluster.api, small_cluster.kubelets, master
+    )
+    return small_cluster, master, runtime
+
+
+def create_worker_pod(cluster, image, name="wp1", cores=4.0):
+    pod = Pod(
+        name,
+        PodSpec(image, ResourceVector(cores, 4096, 4096), labels={"app": "wq-worker"}),
+    )
+    cluster.api.create(pod)
+    return pod
+
+
+def make_task(execute_s=10.0):
+    return Task("c", execute_s=execute_s, footprint=FOOT, declared=FOOT)
+
+
+class TestWorkerStart:
+    def test_worker_started_when_pod_runs(self, engine, stack, worker_image):
+        cluster, master, runtime = stack
+        pod = create_worker_pod(cluster, worker_image)
+        engine.run(until=30.0)
+        assert pod.phase is PodPhase.RUNNING
+        worker = runtime.worker_for(pod)
+        assert worker is not None
+        assert worker.state is WorkerState.READY
+        assert master.stats().workers_connected == 1
+
+    def test_worker_capacity_matches_pod_request(self, engine, stack, worker_image):
+        cluster, master, runtime = stack
+        pod = create_worker_pod(cluster, worker_image, cores=2.0)
+        engine.run(until=30.0)
+        assert runtime.worker_for(pod).capacity.cores == 2.0
+
+    def test_pod_reports_worker_cpu(self, engine, stack, worker_image):
+        cluster, master, runtime = stack
+        pod = create_worker_pod(cluster, worker_image)
+        engine.run(until=30.0)
+        master.submit(make_task(execute_s=100.0))
+        engine.run(until=40.0)
+        assert pod.current_cpu_usage() == pytest.approx(1.0)
+
+    def test_unlabelled_pods_ignored(self, engine, stack, worker_image):
+        cluster, master, runtime = stack
+        pod = Pod("other", PodSpec(worker_image, ResourceVector(1, 512, 512)))
+        cluster.api.create(pod)
+        engine.run(until=30.0)
+        assert runtime.worker_for(pod) is None
+
+    def test_on_worker_started_hook(self, engine, small_cluster, worker_image):
+        link = Link(engine, 200.0)
+        master = Master(engine, link)
+        seen = []
+        runtime = WorkerPodRuntime(
+            engine,
+            small_cluster.api,
+            small_cluster.kubelets,
+            master,
+            on_worker_started=lambda w: seen.append(w.name),
+        )
+        create_worker_pod(small_cluster, worker_image)
+        engine.run(until=30.0)
+        assert seen == ["worker@wp1"]
+
+
+class TestStopPaths:
+    def test_pod_delete_kills_worker_and_requeues(self, engine, stack, worker_image):
+        cluster, master, runtime = stack
+        pod = create_worker_pod(cluster, worker_image)
+        engine.run(until=30.0)
+        task = make_task(execute_s=1000.0)
+        master.submit(task)
+        engine.run(until=40.0)
+        cluster.api.delete("Pod", pod.name)
+        assert task.state is TaskState.WAITING
+        assert runtime.workers_killed == 1
+        assert master.stats().workers_connected == 0
+
+    def test_graceful_drain_completes_pod(self, engine, stack, worker_image):
+        cluster, master, runtime = stack
+        pod = create_worker_pod(cluster, worker_image)
+        engine.run(until=30.0)
+        worker = runtime.worker_for(pod)
+        worker.drain()
+        engine.run(until=40.0)
+        assert pod.phase is PodPhase.SUCCEEDED
+
+    def test_live_workers_listing(self, engine, stack, worker_image):
+        cluster, master, runtime = stack
+        p1 = create_worker_pod(cluster, worker_image, "wp1")
+        p2 = create_worker_pod(cluster, worker_image, "wp2")
+        engine.run(until=30.0)
+        assert len(runtime.live_workers()) == 2
+        runtime.worker_for(p1).drain()
+        engine.run(until=40.0)
+        assert len(runtime.live_workers()) == 1
