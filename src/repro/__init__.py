@@ -40,6 +40,7 @@ __all__ = [
     "ExperimentResult",
     "run_hpa_experiment",
     "run_hta_experiment",
+    "run_predictive_experiment",
     "run_queue_scaler_experiment",
     "run_static_experiment",
 ]
@@ -48,6 +49,7 @@ _RUNNER_EXPORTS = {
     "ExperimentResult",
     "run_hpa_experiment",
     "run_hta_experiment",
+    "run_predictive_experiment",
     "run_queue_scaler_experiment",
     "run_static_experiment",
 }

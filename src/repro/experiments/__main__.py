@@ -2,8 +2,10 @@
 
 Usage::
 
-    python -m repro.experiments fig2        # one figure
-    python -m repro.experiments all         # everything
+    python -m repro.experiments fig2          # one figure
+    python -m repro.experiments fig2 fig10    # several in one go
+    python -m repro.experiments all           # everything
+    python -m repro.experiments list          # registry with descriptions
     python -m repro.experiments fig10 --seed 7
 """
 
@@ -14,17 +16,45 @@ import sys
 import time
 from typing import Callable, Dict
 
-from repro.experiments import fig2, fig4, fig5, fig6, fig9, fig10, fig11
+from repro.experiments import (
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig9,
+    fig10,
+    fig11,
+    forecast_cmp,
+)
+
+_MODULES = {
+    "fig2": fig2,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "forecast": forecast_cmp,
+}
 
 FIGURES: Dict[str, Callable[[int], str]] = {
-    "fig2": fig2.main,
-    "fig4": fig4.main,
-    "fig5": fig5.main,
-    "fig6": fig6.main,
-    "fig9": fig9.main,
-    "fig10": fig10.main,
-    "fig11": fig11.main,
+    name: module.main for name, module in _MODULES.items()
 }
+
+#: One-line description per experiment, taken from the module docstring.
+DESCRIPTIONS: Dict[str, str] = {
+    name: (module.__doc__ or "").strip().splitlines()[0].rstrip(".")
+    for name, module in _MODULES.items()
+}
+
+
+def _print_registry() -> None:
+    width = max(len(name) for name in FIGURES)
+    print("Available experiments:\n")
+    for name in sorted(FIGURES):
+        print(f"  {name:<{width}}  {DESCRIPTIONS[name]}")
+    print(f"  {'all':<{width}}  every experiment above, in order")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -37,14 +67,27 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
-        "figure",
-        choices=sorted(FIGURES) + ["all"],
-        help="which figure/table to regenerate",
+        "figures",
+        nargs="+",
+        choices=sorted(FIGURES) + ["all", "list"],
+        metavar="figure",
+        help=(
+            "experiments to regenerate (one or more of: "
+            + ", ".join(sorted(FIGURES))
+            + "), 'all' for everything, or 'list' to show the registry"
+        ),
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
     args = parser.parse_args(argv)
 
-    targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    if "list" in args.figures:
+        _print_registry()
+        return 0
+
+    targets: list[str] = []
+    for name in args.figures:
+        expanded = sorted(FIGURES) if name == "all" else [name]
+        targets.extend(n for n in expanded if n not in targets)
     for name in targets:
         started = time.time()
         print(f"\n=== {name} (seed={args.seed}) ===\n")

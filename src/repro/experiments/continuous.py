@@ -11,7 +11,12 @@ arrivals skip the probing cost entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover — policy configs are imported lazily
+    from repro.baselines.queue_scaler import QueueScalerConfig
+    from repro.forecast.scaler import PredictiveScalerConfig
+    from repro.forecast.selector import OnlineModelSelector
 
 from repro.cluster.hpa import HorizontalPodAutoscaler, HpaConfig
 from repro.cluster.pod import PodSpec
@@ -161,6 +166,133 @@ def run_continuous_hta(
         plans=float(len(operator.plans)),
     )
     result.tasks_total = graph_total
+    result.makespan_s = stats["last_finish"]
+    return ContinuousResult(
+        result=result,
+        workflows=len(arrivals),
+        workflow_makespans=stats["makespans"],
+        last_finish_s=stats["last_finish"],
+    )
+
+
+def run_continuous_queue_scaler(
+    arrivals: Sequence[WorkflowArrival],
+    *,
+    stack_config: Optional[StackConfig] = None,
+    scaler_config: Optional["QueueScalerConfig"] = None,
+    tasks_per_replica: float = 3.0,
+    min_replicas: Optional[int] = None,
+    max_replicas: Optional[int] = None,
+    seed: Optional[int] = None,
+    name: str = "KEDA-stream",
+) -> ContinuousResult:
+    """Run an arrival stream under the KEDA-style queue-length baseline."""
+    from repro.baselines.queue_scaler import QueueLengthAutoscaler, QueueScalerConfig
+
+    cfg = stack_config if stack_config is not None else StackConfig()
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    stack = _Stack(cfg, estimator_kind="monitor")
+    request = stack.worker_request
+
+    def pod_spec(pod_name: str) -> PodSpec:
+        return PodSpec(cfg.image, request, labels={"app": "wq-worker"})
+
+    replicaset = WorkerReplicaSet(stack.engine, stack.cluster.api, "wq-workers", pod_spec)
+    if scaler_config is None:
+        scaler_config = QueueScalerConfig(
+            tasks_per_replica=tasks_per_replica,
+            min_replicas=min_replicas if min_replicas is not None else cfg.cluster.min_nodes,
+            max_replicas=max_replicas if max_replicas is not None else cfg.cluster.max_nodes,
+        )
+    scaler = QueueLengthAutoscaler(
+        stack.engine, stack.master, replicaset, scaler_config, stack.recorder
+    )
+    driver = _StreamDriver(stack, stack.master, arrivals)
+    accountant = _make_accountant(stack)
+    driver.drive(accountant, cfg.max_sim_time_s)
+    scaler.stop()
+    stats = driver.stream_stats()
+    result = _collect(
+        name,
+        stack,
+        driver.managers[0],
+        accountant,
+        arrivals[0].graph,
+        scale_events=float(scaler.scale_events),
+        pods_deleted=float(replicaset.pods_deleted),
+    )
+    result.tasks_total = total_tasks(arrivals)
+    result.makespan_s = stats["last_finish"]
+    return ContinuousResult(
+        result=result,
+        workflows=len(arrivals),
+        workflow_makespans=stats["makespans"],
+        last_finish_s=stats["last_finish"],
+    )
+
+
+def run_continuous_predictive(
+    arrivals: Sequence[WorkflowArrival],
+    *,
+    stack_config: Optional[StackConfig] = None,
+    scaler_config: Optional["PredictiveScalerConfig"] = None,
+    selector: Optional["OnlineModelSelector"] = None,
+    seed: Optional[int] = None,
+    name: str = "Predictive-stream",
+) -> ContinuousResult:
+    """Run an arrival stream under the forecast-driven predictive scaler.
+
+    The stream setting is where prediction earns its keep: recurring
+    arrivals give the model pool a pattern to learn, so the pool is
+    already growing when the next burst lands instead of reacting one
+    full initialization cycle after it. Pass a custom ``selector`` to
+    shape the model pool (e.g. an AR order spanning the arrival period).
+    """
+    from repro.forecast.scaler import PredictiveScaler, PredictiveScalerConfig
+
+    cfg = stack_config if stack_config is not None else StackConfig()
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    stack = _Stack(cfg, estimator_kind="monitor")
+    if scaler_config is None:
+        scaler_config = PredictiveScalerConfig(
+            min_workers=cfg.cluster.min_nodes, max_workers=cfg.cluster.max_nodes
+        )
+    provisioner = WorkerProvisioner(
+        stack.engine,
+        stack.cluster.api,
+        stack.runtime,
+        image=cfg.image,
+        worker_request=stack.worker_request,
+        name_prefix="pred-worker",
+    )
+    tracker = InitTimeTracker(stack.cluster.api, prior_s=160.0, selector_label="wq-worker")
+    scaler = PredictiveScaler(
+        stack.engine,
+        stack.master,
+        provisioner,
+        tracker,
+        scaler_config,
+        stack.recorder,
+        selector=selector,
+    )
+    driver = _StreamDriver(stack, stack.master, arrivals)
+    accountant = _make_accountant(stack)
+    driver.drive(accountant, cfg.max_sim_time_s)
+    scaler.stop()
+    stats = driver.stream_stats()
+    result = _collect(
+        name,
+        stack,
+        driver.managers[0],
+        accountant,
+        arrivals[0].graph,
+        scale_events=float(scaler.scale_events),
+        decisions=float(scaler.decisions),
+        drains=float(provisioner.drains_requested),
+    )
+    result.tasks_total = total_tasks(arrivals)
     result.makespan_s = stats["last_finish"]
     return ContinuousResult(
         result=result,

@@ -1,16 +1,23 @@
 """Shared experiment machinery: build a stack, run a policy, collect.
 
-Three entry points mirror the paper's three resource-provisioning modes:
+The entry points mirror the resource-provisioning modes under study:
 
 * :func:`run_hta_experiment` — the full HTA pipeline (fig 8): workflow
   manager → HTA operator (warm-up gating) → Work Queue master; HTA
-  creates/drains worker pods directly;
+  creates/drains worker pods directly (pass an ``HtaConfig`` with
+  ``forecast_arrivals=True`` for the forecast-fed hybrid mode);
+* :func:`run_predictive_experiment` — the forecast-driven policy: a
+  :class:`~repro.forecast.scaler.PredictiveScaler` sizes the pool for
+  demand predicted one init cycle ahead, draining (never deleting) on
+  the way down;
 * :func:`run_hpa_experiment` — the baseline: worker pods held by a
   replica controller scaled by the Horizontal Pod Autoscaler on CPU;
+* :func:`run_queue_scaler_experiment` — the KEDA-style queue-length
+  baseline;
 * :func:`run_static_experiment` — a fixed worker pool (fig 4's sizing
   study and fig 2's "ideal" reference).
 
-All three share identical cluster, network, and workload substrates, so
+All share identical cluster, network, and workload substrates, so
 differences in the result are attributable to the autoscaling policy.
 """
 
@@ -297,6 +304,76 @@ def run_hta_experiment(
         graph,
         init_time_samples=float(tracker.sample_count),
         plans=float(len(operator.plans)),
+        pods_created=float(provisioner.pods_created),
+        drains=float(provisioner.drains_requested),
+    )
+
+
+# --------------------------------------------------------------- predictive
+def run_predictive_experiment(
+    workload: Workload,
+    *,
+    stack_config: Optional[StackConfig] = None,
+    scaler_config: Optional["PredictiveScalerConfig"] = None,
+    seed: Optional[int] = None,
+    name: str = "Predictive",
+    fixed_init_time_s: Optional[float] = None,
+) -> ExperimentResult:
+    """Run a workload under the forecast-driven :class:`PredictiveScaler`.
+
+    The scaler pre-provisions for demand forecast one resource-
+    initialization cycle ahead (horizon from the live init-time tracker,
+    or a constant when ``fixed_init_time_s`` is given) and shrinks by
+    draining workers, never deleting pods.
+    """
+    from repro.forecast.scaler import PredictiveScaler, PredictiveScalerConfig
+
+    cfg = stack_config if stack_config is not None else StackConfig()
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    stack = _Stack(cfg, estimator_kind="monitor")
+    graph = ensure_graph(workload)
+
+    if scaler_config is None:
+        scaler_config = PredictiveScalerConfig(
+            min_workers=cfg.cluster.min_nodes,
+            max_workers=cfg.cluster.max_nodes,
+        )
+    provisioner = WorkerProvisioner(
+        stack.engine,
+        stack.cluster.api,
+        stack.runtime,
+        image=cfg.image,
+        worker_request=stack.worker_request,
+        name_prefix="pred-worker",
+    )
+    if fixed_init_time_s is not None:
+        tracker = FixedInitTime(fixed_init_time_s)
+    else:
+        tracker = InitTimeTracker(
+            stack.cluster.api, prior_s=160.0, selector_label="wq-worker"
+        )
+    scaler = PredictiveScaler(
+        stack.engine, stack.master, provisioner, tracker, scaler_config, stack.recorder
+    )
+    manager = WorkflowManager(stack.engine, graph, stack.master, recorder=stack.recorder)
+    accountant = _make_accountant(
+        stack,
+        extra_gauges={
+            "forecast_pool": lambda: float(scaler.pool_size()),
+            "forecast_desired": lambda: float(scaler.last_desired),
+        },
+    )
+    _drive(stack, manager, accountant)
+    scaler.stop()
+    return _collect(
+        name,
+        stack,
+        manager,
+        accountant,
+        graph,
+        scale_events=float(scaler.scale_events),
+        decisions=float(scaler.decisions),
         pods_created=float(provisioner.pods_created),
         drains=float(provisioner.drains_requested),
     )

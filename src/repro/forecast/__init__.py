@@ -1,0 +1,44 @@
+"""repro.forecast — predictive autoscaling: demand series, forecast
+models with online selection, and the :class:`PredictiveScaler` policy.
+
+The paper's HTA is purely reactive — it provisions for tasks already
+submitted. This subsystem adds the predictive rung: sample demand from
+the Work Queue master (:mod:`repro.forecast.series`), forecast it one
+resource-initialization cycle ahead with a pool of models arbitrated by
+rolling error (:mod:`repro.forecast.models`,
+:mod:`repro.forecast.selector`), and pre-provision workers before the
+demand lands (:mod:`repro.forecast.scaler`). The same forecast machinery
+also feeds HTA's hybrid mode (``HtaConfig.forecast_arrivals``), which
+injects predicted arrivals into Algorithm 1's forward simulation.
+"""
+
+from repro.forecast.models import (
+    ArLeastSquaresForecaster,
+    EwmaForecaster,
+    ForecastErrorTracker,
+    Forecaster,
+    ForecasterBase,
+    HoltForecaster,
+    NaiveForecaster,
+    default_forecasters,
+)
+from repro.forecast.scaler import PredictiveScaler, PredictiveScalerConfig
+from repro.forecast.selector import OnlineModelSelector
+from repro.forecast.series import DemandSample, DemandSeries, MasterDemandSampler
+
+__all__ = [
+    "ArLeastSquaresForecaster",
+    "DemandSample",
+    "DemandSeries",
+    "EwmaForecaster",
+    "ForecastErrorTracker",
+    "Forecaster",
+    "ForecasterBase",
+    "HoltForecaster",
+    "MasterDemandSampler",
+    "NaiveForecaster",
+    "OnlineModelSelector",
+    "PredictiveScaler",
+    "PredictiveScalerConfig",
+    "default_forecasters",
+]

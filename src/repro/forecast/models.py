@@ -1,0 +1,303 @@
+"""Demand forecasters with rolling error tracking.
+
+Every model follows the same tiny contract (:class:`Forecaster`):
+``observe(t, y)`` feeds one sample, ``predict(horizon_s)`` extrapolates
+the series ``horizon_s`` seconds past the last observation. Predictions
+are always finite and non-negative for non-negative input series — the
+autoscaling layer turns them directly into worker counts.
+
+Each call to ``observe`` first scores the model's *previous* one-step
+forecast against the sample that just arrived (rolling MAE and sMAPE over
+a bounded window), so the online selector can route to whichever model is
+currently tracking the workload best. All models are deterministic pure
+functions of their observation history.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Forecaster(Protocol):
+    """The contract the selector and scalers program against."""
+
+    name: str
+
+    def observe(self, t: float, y: float) -> None: ...
+
+    def predict(self, horizon_s: float) -> float: ...
+
+    def rolling_mae(self) -> float: ...
+
+
+class ForecastErrorTracker:
+    """Rolling MAE / sMAPE over the last ``window`` scored forecasts."""
+
+    __slots__ = ("window", "_abs_errors", "_smape_terms", "scored")
+
+    def __init__(self, window: int = 32):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._abs_errors: Deque[float] = deque(maxlen=window)
+        self._smape_terms: Deque[float] = deque(maxlen=window)
+        self.scored = 0
+
+    def record(self, predicted: float, actual: float) -> None:
+        err = abs(predicted - actual)
+        self._abs_errors.append(err)
+        denom = (abs(predicted) + abs(actual)) / 2.0
+        self._smape_terms.append(err / denom if denom > 0 else 0.0)
+        self.scored += 1
+
+    @property
+    def mae(self) -> float:
+        """Mean absolute error; ``inf`` before any forecast was scored."""
+        if not self._abs_errors:
+            return math.inf
+        return sum(self._abs_errors) / len(self._abs_errors)
+
+    @property
+    def smape(self) -> float:
+        """Symmetric MAPE in [0, 2]; ``inf`` before any scored forecast."""
+        if not self._smape_terms:
+            return math.inf
+        return sum(self._smape_terms) / len(self._smape_terms)
+
+
+class ForecasterBase:
+    """Shared observe/predict plumbing: validation, error scoring, clamping.
+
+    Subclasses implement ``_update(t, y, dt)`` (state transition; ``dt``
+    is the spacing to the previous sample, 0.0 for the first) and
+    ``_forecast(horizon_s)`` (raw extrapolation; may be any float — the
+    base clamps it to finite non-negative).
+    """
+
+    def __init__(self, name: str, *, error_window: int = 32):
+        self.name = name
+        self.errors = ForecastErrorTracker(error_window)
+        self.observations = 0
+        self._last_t: Optional[float] = None
+        self._last_y = 0.0
+
+    # ------------------------------------------------------------- protocol
+    def observe(self, t: float, y: float) -> None:
+        if not (math.isfinite(t) and math.isfinite(y)):
+            raise ValueError(f"non-finite observation ({t!r}, {y!r})")
+        if self._last_t is not None and t < self._last_t:
+            raise ValueError(f"time {t} precedes last observation {self._last_t}")
+        dt = 0.0 if self._last_t is None else t - self._last_t
+        if self.observations > 0 and dt > 0:
+            self.errors.record(self.predict(dt), y)
+        self._update(t, y, dt)
+        self._last_t = t
+        self._last_y = y
+        self.observations += 1
+
+    def predict(self, horizon_s: float) -> float:
+        if horizon_s < 0:
+            raise ValueError("horizon_s must be non-negative")
+        if self.observations == 0:
+            return 0.0
+        raw = self._forecast(horizon_s)
+        if not math.isfinite(raw):
+            raw = self._last_y
+        return max(0.0, raw)
+
+    def rolling_mae(self) -> float:
+        return self.errors.mae
+
+    def rolling_smape(self) -> float:
+        return self.errors.smape
+
+    # ------------------------------------------------------------ subclass
+    def _update(self, t: float, y: float, dt: float) -> None:
+        raise NotImplementedError
+
+    def _forecast(self, horizon_s: float) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mae = self.errors.mae
+        mae_s = f"{mae:.3f}" if math.isfinite(mae) else "inf"
+        return f"<{type(self).__name__} {self.name!r} n={self.observations} mae={mae_s}>"
+
+
+class NaiveForecaster(ForecasterBase):
+    """Last value carried forward — the floor every other model must beat."""
+
+    def __init__(self, name: str = "naive", *, error_window: int = 32):
+        super().__init__(name, error_window=error_window)
+
+    def _update(self, t: float, y: float, dt: float) -> None:
+        pass  # _last_y is the whole state
+
+    def _forecast(self, horizon_s: float) -> float:
+        return self._last_y
+
+
+class EwmaForecaster(ForecasterBase):
+    """Exponentially weighted moving average (no trend): a low-pass level.
+
+    Good when demand is noisy around a slowly moving mean; deliberately
+    lags ramps, which is exactly when Holt or the AR model should win the
+    selector instead.
+    """
+
+    def __init__(self, alpha: float = 0.3, name: str = "ewma", *, error_window: int = 32):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        super().__init__(name, error_window=error_window)
+        self.alpha = alpha
+        self.level = 0.0
+
+    def _update(self, t: float, y: float, dt: float) -> None:
+        if self.observations == 0:
+            self.level = y
+        else:
+            self.level = self.alpha * y + (1.0 - self.alpha) * self.level
+
+    def _forecast(self, horizon_s: float) -> float:
+        return self.level
+
+
+class HoltForecaster(ForecasterBase):
+    """Holt double-exponential smoothing: level + per-second trend.
+
+    The trend term is normalized by the sample spacing, so irregular
+    probe cadences (HTA's cycle length changes as init-time estimates
+    move) don't distort the slope.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+        name: str = "holt",
+        *,
+        error_window: int = 32,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        super().__init__(name, error_window=error_window)
+        self.alpha = alpha
+        self.beta = beta
+        self.level = 0.0
+        self.trend_per_s = 0.0
+
+    def _update(self, t: float, y: float, dt: float) -> None:
+        if self.observations == 0 or dt <= 0:
+            self.level = y
+            return
+        prev_level = self.level
+        self.level = self.alpha * y + (1.0 - self.alpha) * (prev_level + self.trend_per_s * dt)
+        slope = (self.level - prev_level) / dt
+        self.trend_per_s = self.beta * slope + (1.0 - self.beta) * self.trend_per_s
+
+    def _forecast(self, horizon_s: float) -> float:
+        return self.level + self.trend_per_s * horizon_s
+
+
+class ArLeastSquaresForecaster(ForecasterBase):
+    """Sliding-window autoregressive model, fit by least squares.
+
+    Fits ``y_t = c + a_1 y_{t-1} + … + a_p y_{t-p}`` over the retained
+    window and iterates the recurrence forward to the horizon. With an
+    order spanning the demand period this is the only model here that can
+    anticipate *periodic* load (recurring arrival bursts) instead of
+    merely tracking its trailing edge.
+
+    Iterated values are clamped to ``[0, guard × window-max]`` so an
+    unstable fit cannot explode past the horizon; predictions degrade to
+    last-value until ``order + 2`` samples exist.
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        order: int = 8,
+        name: str = "ar-ls",
+        *,
+        guard_factor: float = 10.0,
+        error_window: int = 32,
+    ):
+        if order <= 0:
+            raise ValueError("order must be positive")
+        if window < order + 2:
+            raise ValueError("window must be at least order + 2")
+        if guard_factor <= 0:
+            raise ValueError("guard_factor must be positive")
+        super().__init__(name, error_window=error_window)
+        self.window = window
+        self.order = order
+        self.guard_factor = guard_factor
+        self._history: Deque[Tuple[float, float]] = deque(maxlen=window)
+        self._coeffs: Optional[np.ndarray] = None
+        self._fit_at_count = -1
+
+    def _update(self, t: float, y: float, dt: float) -> None:
+        self._history.append((t, y))
+
+    def _mean_step_s(self) -> float:
+        times = [t for t, _ in self._history]
+        if len(times) < 2:
+            return 1.0
+        span = times[-1] - times[0]
+        return span / (len(times) - 1) if span > 0 else 1.0
+
+    def _fit(self) -> Optional[np.ndarray]:
+        """Refit lazily, at most once per new observation."""
+        if self._fit_at_count == self.observations:
+            return self._coeffs
+        self._fit_at_count = self.observations
+        values = [y for _, y in self._history]
+        p = self.order
+        if len(values) < p + 2:
+            self._coeffs = None
+            return None
+        rows = len(values) - p
+        design = np.empty((rows, p + 1))
+        design[:, 0] = 1.0  # intercept
+        targets = np.empty(rows)
+        for i in range(rows):
+            # Lags ordered most-recent-first: design[i, 1] is y_{t-1}.
+            design[i, 1:] = values[i + p - 1 :: -1][:p]
+            targets[i] = values[i + p]
+        coeffs, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        self._coeffs = coeffs if np.all(np.isfinite(coeffs)) else None
+        return self._coeffs
+
+    def _forecast(self, horizon_s: float) -> float:
+        coeffs = self._fit()
+        if coeffs is None:
+            return self._last_y
+        values = [y for _, y in self._history]
+        ceiling = max(values) * self.guard_factor if any(values) else 0.0
+        step = self._mean_step_s()
+        n_steps = max(1, math.ceil(horizon_s / step)) if horizon_s > 0 else 0
+        recent: List[float] = values[-self.order :]
+        pred = values[-1]
+        for _ in range(n_steps):
+            lags = recent[::-1]  # most recent first, matching the design
+            pred = float(coeffs[0] + np.dot(coeffs[1:], lags))
+            pred = min(max(pred, 0.0), ceiling)
+            recent = recent[1:] + [pred]
+        return pred
+
+
+def default_forecasters(*, error_window: int = 32) -> List[ForecasterBase]:
+    """The standard model pool the selector arbitrates between."""
+    return [
+        NaiveForecaster(error_window=error_window),
+        EwmaForecaster(error_window=error_window),
+        HoltForecaster(error_window=error_window),
+        ArLeastSquaresForecaster(error_window=error_window),
+    ]

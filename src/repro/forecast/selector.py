@@ -1,0 +1,84 @@
+"""Online model selection: route predictions to the best-tracking model.
+
+No single forecast model wins everywhere — last-value is unbeatable on
+flat demand, Holt on ramps, the AR model on recurring bursts. Instead of
+picking one upfront, :class:`OnlineModelSelector` feeds every registered
+model each observation and routes ``predict`` to the one with the lowest
+*rolling* forecast error, so the routing itself adapts as the workload's
+character changes mid-run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.forecast.models import Forecaster, default_forecasters
+
+
+class OnlineModelSelector:
+    """Fan observations out to a model pool; route predicts to the best.
+
+    Selection metric is rolling MAE (``metric="mae"``) or sMAPE
+    (``metric="smape"``). Models that have not yet been scored carry
+    infinite error; ties (including the everything-unscored cold start)
+    break by registration order, so routing is fully deterministic.
+    """
+
+    def __init__(
+        self,
+        forecasters: Optional[Sequence[Forecaster]] = None,
+        *,
+        metric: str = "mae",
+    ) -> None:
+        if metric not in ("mae", "smape"):
+            raise ValueError(f"unknown metric {metric!r}")
+        pool = list(forecasters) if forecasters is not None else list(default_forecasters())
+        if not pool:
+            raise ValueError("need at least one forecaster")
+        names = [f.name for f in pool]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate forecaster names: {names}")
+        self.forecasters: List[Forecaster] = pool
+        self.metric = metric
+        self.selections: Dict[str, int] = {f.name: 0 for f in pool}
+
+    # ------------------------------------------------------------- protocol
+    def observe(self, t: float, y: float) -> None:
+        for model in self.forecasters:
+            model.observe(t, y)
+
+    def predict(self, horizon_s: float) -> float:
+        best = self.best()
+        self.selections[best.name] += 1
+        return best.predict(horizon_s)
+
+    # ---------------------------------------------------------------- reads
+    def _error_of(self, model: Forecaster) -> float:
+        if self.metric == "smape":
+            return model.rolling_smape()  # type: ignore[attr-defined]
+        return model.rolling_mae()
+
+    def best(self) -> Forecaster:
+        """The registered model with the lowest rolling error (stable)."""
+        best = self.forecasters[0]
+        best_err = self._error_of(best)
+        for model in self.forecasters[1:]:
+            err = self._error_of(model)
+            if err < best_err:
+                best, best_err = model, err
+        return best
+
+    def errors(self) -> Dict[str, float]:
+        return {f.name: self._error_of(f) for f in self.forecasters}
+
+    @property
+    def names(self) -> List[str]:
+        return [f.name for f in self.forecasters]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{name}={err:.3f}" if math.isfinite(err) else f"{name}=inf"
+            for name, err in self.errors().items()
+        )
+        return f"<OnlineModelSelector best={self.best().name!r} errors=[{parts}]>"

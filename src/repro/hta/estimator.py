@@ -15,13 +15,22 @@ workflow forward over one resource-initialization cycle —
    * otherwise → ``(+WorkersRequired(waiting), rsrcInitTime)`` — scale up
      by the workers needed to host the still-waiting tasks.
 
-Extension (documented in DESIGN.md): worker pods already requested but
-not yet ready join the simulated capacity at their predicted ready time.
-The paper sidesteps this case by spacing decisions one initialization
-cycle apart; feeding the in-flight pods in keeps the algorithm correct
-even when a cycle fires early (and reduces double-provisioning when the
-measured initialization time jitters). Pass ``pending=()`` for the
-strictly-literal behaviour.
+Extensions (documented in DESIGN.md):
+
+* worker pods already requested but not yet ready join the simulated
+  capacity at their predicted ready time. The paper sidesteps this case
+  by spacing decisions one initialization cycle apart; feeding the
+  in-flight pods in keeps the algorithm correct even when a cycle fires
+  early (and reduces double-provisioning when the measured
+  initialization time jitters). Pass ``pending=()`` for the
+  strictly-literal behaviour.
+* *forecast arrivals*: tasks predicted to be submitted during the cycle
+  join the simulated wait queue at their predicted arrival offset (the
+  hybrid HTA mode, ``HtaConfig.forecast_arrivals``). Until they arrive
+  they consume nothing; once arrived they compete for freed capacity in
+  queue order like any waiting task, and any still unplaced at cycle end
+  count toward the scale-up demand. Pass ``future_arrivals=()`` for the
+  purely-reactive behaviour.
 """
 
 from __future__ import annotations
@@ -56,6 +65,18 @@ class PendingWorker:
 
     capacity: ResourceVector
     eta_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class ForecastArrival:
+    """A task predicted to be submitted ``eta_s`` seconds into the cycle."""
+
+    task: SimulatedTask
+    eta_s: float
+
+    def __post_init__(self) -> None:
+        if self.eta_s < 0:
+            raise ValueError(f"eta_s must be non-negative, got {self.eta_s}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,13 +141,17 @@ class ResourceEstimator:
         pending: Sequence[PendingWorker] = (),
         max_workers: Optional[int] = None,
         min_workers: int = 0,
+        future_arrivals: Sequence[ForecastArrival] = (),
     ) -> ScalePlan:
         """Run Algorithm 1 and produce a :class:`ScalePlan`.
 
         ``active_workers``/``idle_workers`` describe the current pool;
         ``max_workers`` caps scale-up (the user's resource quota, §IV-B);
         ``min_workers`` floors scale-down (the paper keeps a 3-node base
-        pool so the cluster survives master upgrades, §V-A).
+        pool so the cluster survives master upgrades, §V-A);
+        ``future_arrivals`` are forecast task submissions that join the
+        simulated wait queue mid-cycle (arrivals past the cycle end are
+        ignored — they belong to the next decision).
         """
         if rsrc_init_time <= 0:
             raise ValueError("rsrc_init_time must be positive")
@@ -150,12 +175,21 @@ class ResourceEstimator:
         wait_queue: List[SimulatedTask] = list(waiting)
         steps = max(1, math.ceil(rsrc_init_time / cfg.step_s))
 
+        # Forecast submissions joining the wait queue mid-cycle
+        # (extension: the hybrid mode's predicted inflow).
+        task_arrivals: Dict[int, List[SimulatedTask]] = {}
+        for fa in future_arrivals:
+            step = max(1, math.ceil(fa.eta_s / cfg.step_s))
+            if step <= steps:
+                task_arrivals.setdefault(step, []).append(fa.task)
+
         # --- lines 3-18: forward simulation over one init cycle
         for t in range(1, steps + 1):
             for freed in completions.get(t, ()):  # lines 4-7
                 ava = ava + freed
             for extra in arrivals.get(t, ()):  # extension: in-flight pods
                 ava = ava + extra
+            wait_queue.extend(task_arrivals.get(t, ()))  # predicted inflow
             wait_queue, ava = self._dispatch(wait_queue, ava)
 
         def removable() -> int:

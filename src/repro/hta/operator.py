@@ -22,12 +22,16 @@ three autoscaling stages of §V-C:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.cluster.resources import ResourceVector
+from repro.forecast.models import default_forecasters
+from repro.forecast.selector import OnlineModelSelector
 from repro.hta.estimator import (
     EstimatorConfig,
+    ForecastArrival,
     PendingWorker,
     ResourceEstimator,
     ScalePlan,
@@ -66,6 +70,19 @@ class HtaConfig:
     count_pending_workers: bool = True
     #: Delay before the first resizing decision.
     first_cycle_s: float = 5.0
+    #: Hybrid mode: inject forecast task arrivals as synthetic waiting
+    #: tasks into Algorithm 1's simulation, so the plan provisions for
+    #: predicted inflow as well as the visible queue. The arrival rate is
+    #: sampled from the operator's own submission stream and forecast by
+    #: an online-selected model pool (see :mod:`repro.forecast`).
+    forecast_arrivals: bool = False
+    #: Arrival-rate sampling cadence for the hybrid mode.
+    forecast_sample_interval_s: float = 15.0
+    #: Cap on synthetic tasks injected per plan (keeps Algorithm 1's
+    #: forward simulation bounded when a model overshoots).
+    forecast_max_tasks: int = 64
+    #: Rolling error window for the hybrid mode's model pool.
+    forecast_error_window: int = 32
     estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
 
 
@@ -97,11 +114,24 @@ class HtaOperator:
         self.plans: List[ScalePlan] = []
         self.done_signal = Signal(engine, "hta.done")
         self._loop: Optional[PeriodicTask] = None
+        #: Hybrid-mode state (inert unless ``config.forecast_arrivals``).
+        self.arrival_selector: Optional[OnlineModelSelector] = None
+        self._arrivals_seen = 0
+        self._arrivals_at_last_sample = 0
+        self._recent_arrivals: Deque[Task] = deque(maxlen=32)
+        self._arrival_sampler: Optional[PeriodicTask] = None
+        if config.forecast_arrivals:
+            self.arrival_selector = OnlineModelSelector(
+                default_forecasters(error_window=config.forecast_error_window)
+            )
         master.on_complete(self._master_completed)
 
     # ----------------------------------------------------------- Submitter
     def submit(self, task: Task) -> None:
         """Accept a ready job from the workflow manager (TCP server role)."""
+        self._arrivals_seen += 1
+        if self.config.forecast_arrivals:
+            self._recent_arrivals.append(task)
         if self._should_hold(task):
             self._held.setdefault(task.category, []).append(task)
             return
@@ -159,6 +189,21 @@ class HtaOperator:
             start_after=self.config.first_cycle_s,
             use_return_delay=True,
         )
+        if self.config.forecast_arrivals:
+            self._arrival_sampler = PeriodicTask(
+                self.engine,
+                self.config.forecast_sample_interval_s,
+                self._sample_arrival_rate,
+                start_after=self.config.forecast_sample_interval_s,
+            )
+
+    def _sample_arrival_rate(self) -> None:
+        """Feed the hybrid mode's models one arrival-rate observation."""
+        assert self.arrival_selector is not None
+        delta = self._arrivals_seen - self._arrivals_at_last_sample
+        self._arrivals_at_last_sample = self._arrivals_seen
+        rate = delta / self.config.forecast_sample_interval_s
+        self.arrival_selector.observe(self.engine.now, rate)
 
     def notify_no_more_jobs(self) -> None:
         """The workflow manager has no further jobs (clean-up trigger)."""
@@ -169,6 +214,9 @@ class HtaOperator:
         if self._loop is not None:
             self._loop.stop()
             self._loop = None
+        if self._arrival_sampler is not None:
+            self._arrival_sampler.stop()
+            self._arrival_sampler = None
 
     @property
     def held_count(self) -> int:
@@ -241,7 +289,42 @@ class HtaOperator:
             pending=pending,
             max_workers=self.config.max_workers,
             min_workers=self.config.min_workers,
+            future_arrivals=self._forecast_arrivals(init_time),
         )
+
+    def _forecast_arrivals(self, init_time: float) -> List[ForecastArrival]:
+        """Hybrid mode: predicted submissions over the coming cycle.
+
+        Expected count is the trapezoid of the forecast rate at now and
+        at the cycle end; synthetic tasks are spread evenly over the
+        cycle and shaped like recent real arrivals (cycling through the
+        last few, so a mixed stream injects a mixed prediction). After
+        the workflow manager declares no more jobs the prediction is
+        dropped — inflow is known to be zero and synthetic tasks would
+        only stall the clean-up drain.
+        """
+        if (
+            self.arrival_selector is None
+            or self._no_more_jobs
+            or not self._recent_arrivals
+        ):
+            return []
+        rate_now = self.arrival_selector.predict(0.0)
+        rate_end = self.arrival_selector.predict(init_time)
+        expected = (rate_now + rate_end) / 2.0 * init_time
+        count = min(int(expected), self.config.forecast_max_tasks)
+        if count <= 0:
+            return []
+        prototypes = list(self._recent_arrivals)
+        arrivals: List[ForecastArrival] = []
+        for i in range(count):
+            proto = prototypes[i % len(prototypes)]
+            synthetic = SimulatedTask(
+                self._estimate_resources(proto), self._estimate_runtime(proto)
+            )
+            eta = (i + 1) / (count + 1) * init_time
+            arrivals.append(ForecastArrival(synthetic, eta))
+        return arrivals
 
     def _apply(self, plan: ScalePlan) -> None:
         if plan.delta > 0:

@@ -10,7 +10,7 @@ HTA's waste reduction as cost savings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Mapping
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover — avoid a metrics→experiments cycle
     from repro.experiments.runner import ExperimentResult
@@ -43,19 +43,30 @@ class CostBreakdown:
 class CostModel:
     """Prices an experiment's node usage."""
 
-    def __init__(self, hourly_prices: Mapping[str, float] = DEFAULT_HOURLY_PRICES):
+    def __init__(
+        self,
+        hourly_prices: Mapping[str, float] = DEFAULT_HOURLY_PRICES,
+        *,
+        default_hourly_price: Optional[float] = None,
+    ):
         for name, price in hourly_prices.items():
             if price < 0:
                 raise ValueError(f"negative price for {name!r}")
+        if default_hourly_price is not None and default_hourly_price < 0:
+            raise ValueError("negative default_hourly_price")
         self.hourly_prices = dict(hourly_prices)
+        self.default_hourly_price = default_hourly_price
 
     def price_for(self, machine_type_name: str) -> float:
         try:
             return self.hourly_prices[machine_type_name]
         except KeyError:
+            if self.default_hourly_price is not None:
+                return self.default_hourly_price
             raise KeyError(
                 f"no price for machine type {machine_type_name!r}; "
-                f"known: {sorted(self.hourly_prices)}"
+                f"known: {sorted(self.hourly_prices)} "
+                f"(set default_hourly_price for a catch-all rate)"
             ) from None
 
     def cost_of(

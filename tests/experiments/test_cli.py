@@ -4,12 +4,18 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.__main__ import FIGURES, main
+from repro.experiments.__main__ import DESCRIPTIONS, FIGURES, main
 
 
 class TestCli:
     def test_all_figures_registered(self):
-        assert set(FIGURES) == {"fig2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11"}
+        assert set(FIGURES) == {
+            "fig2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "forecast",
+        }
+
+    def test_every_figure_has_a_description(self):
+        assert set(DESCRIPTIONS) == set(FIGURES)
+        assert all(DESCRIPTIONS[name] for name in FIGURES)
 
     def test_runs_a_cheap_figure(self, capsys):
         rc = main(["fig6"])
@@ -22,6 +28,21 @@ class TestCli:
         rc = main(["fig6", "--seed", "3"])
         assert rc == 0
         assert "seed=3" in capsys.readouterr().out
+
+    def test_multiple_figures_in_one_invocation(self, capsys):
+        rc = main(["fig6", "fig6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # Duplicates collapse: the figure runs once.
+        assert out.count("=== fig6") == 1
+
+    def test_list_prints_registry(self, capsys):
+        rc = main(["list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in FIGURES:
+            assert name in out
+            assert DESCRIPTIONS[name] in out
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit) as err:

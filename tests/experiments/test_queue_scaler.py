@@ -101,8 +101,45 @@ class TestControlLaw:
         engine.run(until=300.0)
         assert target.replicas == 1
 
+    def test_dip_of_exactly_cooldown_never_shrinks(self, engine):
+        """Boundary case: the backlog dips right after a poll and recovers
+        exactly ``cooldown_s`` later. The last high recommendation sits
+        precisely *at* the window cutoff on the final low poll — the
+        eviction comparison is strict, so it must still count and the
+        pool must never shrink (a dip must exceed the cooldown, not
+        merely reach it)."""
 
-class TestEndToEnd:
+        class RecordingTarget(self.StubTarget):
+            def __init__(self, replicas=1):
+                super().__init__(replicas)
+                self.history = []
+
+            def scale_to(self, n):
+                super().scale_to(n)
+                self.history.append(n)
+
+        master = self.StubMaster(backlog=30)
+        target = RecordingTarget(1)
+        QueueLengthAutoscaler(
+            engine,
+            master,
+            target,
+            QueueScalerConfig(tasks_per_replica=3.0, max_replicas=10,
+                              cooldown_s=120.0, polling_interval_s=30.0),
+        )
+        # High recommendation recorded at the t=0 poll.
+        engine.run(until=1.0)
+        assert target.replicas == 10
+        # Dip: polls at 30/60/90/120 all see an empty queue. At t=120 the
+        # t=0 high sample is exactly cooldown_s old — still in-window.
+        master._backlog = 0
+        engine.run(until=121.0)
+        assert target.replicas == 10
+        # Recovered before the t=150 poll: the window never went all-low.
+        master._backlog = 30
+        engine.run(until=300.0)
+        assert target.replicas == 10
+        assert all(n == 10 for n in target.history)
     def test_completes_workload(self):
         r = run_queue_scaler_experiment(
             uniform_bag(24, execute_s=40.0, declared=True),

@@ -1,0 +1,221 @@
+"""Tests for the forecaster pool: naive, EWMA, Holt, AR least-squares."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.forecast.models import (
+    ArLeastSquaresForecaster,
+    EwmaForecaster,
+    ForecastErrorTracker,
+    Forecaster,
+    HoltForecaster,
+    NaiveForecaster,
+    default_forecasters,
+)
+
+
+def feed(model, points):
+    for t, y in points:
+        model.observe(t, y)
+
+
+def ramp(n, dt=10.0, start=0.0, slope=0.5):
+    return [(i * dt, start + slope * i * dt) for i in range(n)]
+
+
+class TestErrorTracker:
+    def test_unscored_is_infinite(self):
+        tr = ForecastErrorTracker()
+        assert tr.mae == math.inf
+        assert tr.smape == math.inf
+
+    def test_mae_and_smape(self):
+        tr = ForecastErrorTracker()
+        tr.record(predicted=4.0, actual=6.0)
+        assert tr.mae == pytest.approx(2.0)
+        assert tr.smape == pytest.approx(2.0 / 5.0)
+
+    def test_window_bounds_history(self):
+        tr = ForecastErrorTracker(window=2)
+        tr.record(0.0, 100.0)  # error 100 — must age out
+        tr.record(1.0, 1.0)
+        tr.record(1.0, 1.0)
+        assert tr.mae == pytest.approx(0.0)
+        assert tr.scored == 3
+
+    def test_zero_denominator_smape(self):
+        tr = ForecastErrorTracker()
+        tr.record(0.0, 0.0)
+        assert tr.smape == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ForecastErrorTracker(window=0)
+
+
+class TestProtocolAndBase:
+    def test_all_defaults_satisfy_protocol(self):
+        for model in default_forecasters():
+            assert isinstance(model, Forecaster)
+
+    def test_predict_before_observation_is_zero(self):
+        for model in default_forecasters():
+            assert model.predict(100.0) == 0.0
+
+    def test_negative_horizon_rejected(self):
+        model = NaiveForecaster()
+        model.observe(0.0, 1.0)
+        with pytest.raises(ValueError):
+            model.predict(-1.0)
+
+    def test_non_finite_observation_rejected(self):
+        for bad in (math.nan, math.inf):
+            with pytest.raises(ValueError):
+                NaiveForecaster().observe(0.0, bad)
+
+    def test_time_regression_rejected(self):
+        model = NaiveForecaster()
+        model.observe(10.0, 1.0)
+        with pytest.raises(ValueError):
+            model.observe(9.0, 1.0)
+
+    def test_observe_scores_previous_prediction(self):
+        model = NaiveForecaster()
+        model.observe(0.0, 10.0)
+        assert model.rolling_mae() == math.inf  # nothing scored yet
+        model.observe(10.0, 4.0)  # naive predicted 10 → error 6
+        assert model.rolling_mae() == pytest.approx(6.0)
+
+    def test_constant_series_drives_error_to_zero(self):
+        for model in default_forecasters():
+            feed(model, [(i * 10.0, 5.0) for i in range(12)])
+            assert model.rolling_mae() == pytest.approx(0.0), model.name
+
+    def test_prediction_clamped_non_negative(self):
+        # A steep downward ramp extrapolates below zero; the base clamps.
+        model = HoltForecaster()
+        feed(model, [(i * 10.0, 100.0 - 10.0 * i) for i in range(8)])
+        assert model.predict(1000.0) == 0.0
+
+
+class TestNaive:
+    def test_carries_last_value(self):
+        model = NaiveForecaster()
+        feed(model, [(0.0, 3.0), (10.0, 8.0)])
+        assert model.predict(0.0) == 8.0
+        assert model.predict(500.0) == 8.0
+
+
+class TestEwma:
+    def test_invalid_alpha(self):
+        for alpha in (0.0, 1.5):
+            with pytest.raises(ValueError):
+                EwmaForecaster(alpha=alpha)
+
+    def test_first_sample_seeds_level(self):
+        model = EwmaForecaster(alpha=0.3)
+        model.observe(0.0, 10.0)
+        assert model.predict(100.0) == 10.0
+
+    def test_level_is_exponential_blend(self):
+        model = EwmaForecaster(alpha=0.5)
+        feed(model, [(0.0, 0.0), (10.0, 8.0)])
+        assert model.predict(10.0) == pytest.approx(4.0)
+
+    def test_lags_a_ramp_below_naive(self):
+        model = EwmaForecaster(alpha=0.3)
+        feed(model, ramp(20))
+        last = ramp(20)[-1][1]
+        assert model.predict(0.0) < last  # the low-pass lags by design
+
+
+class TestHolt:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HoltForecaster(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltForecaster(beta=1.5)
+
+    def test_linear_ramp_extrapolates_exactly(self):
+        model = HoltForecaster(alpha=0.5, beta=0.3)
+        points = ramp(40, dt=10.0, slope=0.05)
+        feed(model, points)
+        level = model.level
+        horizon = 60.0
+        assert model.predict(horizon) == pytest.approx(level + 0.05 * horizon, rel=1e-6)
+        # And the level itself has locked onto the ramp.
+        assert level == pytest.approx(points[-1][1], rel=0.05)
+
+    def test_irregular_spacing_keeps_per_second_trend(self):
+        # Same ramp, jittered cadence: slope is per-second, not per-sample.
+        model = HoltForecaster()
+        times = [0.0, 7.0, 19.0, 25.0, 41.0, 50.0, 66.0, 70.0, 88.0, 100.0]
+        feed(model, [(t, 2.0 * t) for t in times])
+        assert model.trend_per_s == pytest.approx(2.0, rel=0.1)
+
+
+class TestArLeastSquares:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ArLeastSquaresForecaster(order=0)
+        with pytest.raises(ValueError):
+            ArLeastSquaresForecaster(window=5, order=8)
+        with pytest.raises(ValueError):
+            ArLeastSquaresForecaster(guard_factor=0.0)
+
+    def test_falls_back_to_last_value_until_enough_samples(self):
+        model = ArLeastSquaresForecaster(window=16, order=4)
+        feed(model, [(0.0, 1.0), (10.0, 2.0), (20.0, 9.0)])  # < order+2
+        assert model.predict(30.0) == 9.0
+
+    def test_learns_a_linear_ramp(self):
+        model = ArLeastSquaresForecaster(window=32, order=4)
+        feed(model, ramp(32, dt=10.0, slope=0.5))
+        last = ramp(32, dt=10.0, slope=0.5)[-1][1]
+        assert model.predict(20.0) == pytest.approx(last + 0.5 * 20.0, rel=0.05)
+
+    def test_period_spanning_order_learns_a_cycle(self):
+        """The capability the scaler exploits: with order ≥ period/step the
+        AR model predicts a recurring burst *before* it arrives."""
+        period, step = 8, 1.0
+        wave = [30.0 if i % period == 0 else 0.0 for i in range(64)]
+        model = ArLeastSquaresForecaster(window=48, order=8)
+        feed(model, [(i * step, y) for i, y in enumerate(wave)])
+        # Last observation is i=63; the next burst (i=64) is 1 step out,
+        # after which the series goes quiet again.
+        assert model.predict(1.0) == pytest.approx(30.0, abs=1.0)
+        assert model.predict(4.0) == pytest.approx(0.0, abs=1.0)
+        assert model.rolling_mae() < 0.5
+
+    def test_guard_clamps_unstable_extrapolation(self):
+        model = ArLeastSquaresForecaster(window=16, order=2, guard_factor=2.0)
+        feed(model, [(i * 1.0, float(2**i)) for i in range(10)])  # explosive
+        assert model.predict(100.0) <= 2.0 * float(2**9)
+
+    def test_refit_is_lazy_per_observation(self):
+        model = ArLeastSquaresForecaster(window=16, order=2)
+        feed(model, ramp(10))
+        model.predict(5.0)
+        fit_marker = model._fit_at_count
+        model.predict(50.0)  # second predict, same history: no refit
+        assert model._fit_at_count == fit_marker
+
+
+class TestDeterminism:
+    def test_identical_histories_identical_predictions(self):
+        points = [(i * 15.0, (i * 37) % 11 * 1.5) for i in range(40)]
+        for make in (
+            NaiveForecaster,
+            EwmaForecaster,
+            HoltForecaster,
+            ArLeastSquaresForecaster,
+        ):
+            a, b = make(), make()
+            feed(a, points)
+            feed(b, points)
+            for horizon in (0.0, 15.0, 160.0, 1000.0):
+                assert a.predict(horizon) == b.predict(horizon), make.__name__
+            assert a.rolling_mae() == b.rolling_mae()

@@ -1,0 +1,107 @@
+"""Tests for the online model selector."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.forecast.models import NaiveForecaster, default_forecasters
+from repro.forecast.selector import OnlineModelSelector
+
+
+class FixedErrorModel:
+    """Protocol-shaped stub with a settable rolling error."""
+
+    def __init__(self, name, error, prediction=1.0):
+        self.name = name
+        self._error = error
+        self.prediction = prediction
+        self.observed = []
+
+    def observe(self, t, y):
+        self.observed.append((t, y))
+
+    def predict(self, horizon_s):
+        return self.prediction
+
+    def rolling_mae(self):
+        return self._error
+
+    def rolling_smape(self):
+        return self._error
+
+
+class TestConstruction:
+    def test_defaults_to_standard_pool(self):
+        selector = OnlineModelSelector()
+        assert selector.names == [f.name for f in default_forecasters()]
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            OnlineModelSelector([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            OnlineModelSelector([NaiveForecaster(), NaiveForecaster()])
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            OnlineModelSelector(metric="rmse")
+
+
+class TestRouting:
+    def test_cold_start_breaks_tie_by_registration_order(self):
+        a = FixedErrorModel("a", math.inf)
+        b = FixedErrorModel("b", math.inf)
+        assert OnlineModelSelector([a, b]).best() is a
+
+    def test_routes_to_lowest_error(self):
+        a = FixedErrorModel("a", 5.0, prediction=10.0)
+        b = FixedErrorModel("b", 1.0, prediction=20.0)
+        selector = OnlineModelSelector([a, b])
+        assert selector.best() is b
+        assert selector.predict(60.0) == 20.0
+        assert selector.selections == {"a": 0, "b": 1}
+
+    def test_routing_adapts_when_errors_cross(self):
+        a = FixedErrorModel("a", 1.0, prediction=10.0)
+        b = FixedErrorModel("b", 2.0, prediction=20.0)
+        selector = OnlineModelSelector([a, b])
+        assert selector.predict(0.0) == 10.0
+        a._error, b._error = 3.0, 0.5
+        assert selector.predict(0.0) == 20.0
+
+    def test_observe_fans_out_to_every_model(self):
+        models = [FixedErrorModel(n, 1.0) for n in ("a", "b", "c")]
+        selector = OnlineModelSelector(models)
+        selector.observe(10.0, 4.0)
+        assert all(m.observed == [(10.0, 4.0)] for m in models)
+
+    def test_smape_metric_used_when_asked(self):
+        a = FixedErrorModel("a", 1.0)
+        a.rolling_smape = lambda: 9.0
+        b = FixedErrorModel("b", 5.0)
+        b.rolling_smape = lambda: 0.1
+        assert OnlineModelSelector([a, b], metric="smape").best() is b
+
+    def test_errors_reports_whole_pool(self):
+        a = FixedErrorModel("a", 1.5)
+        b = FixedErrorModel("b", math.inf)
+        assert OnlineModelSelector([a, b]).errors() == {"a": 1.5, "b": math.inf}
+
+
+class TestWithRealModels:
+    def test_constant_series_ties_to_first_registered(self):
+        selector = OnlineModelSelector()
+        for i in range(10):
+            selector.observe(i * 10.0, 5.0)
+        # Every model tracks a constant perfectly; the stable tie-break
+        # picks registration order — the naive model.
+        assert selector.best().name == "naive"
+
+    def test_ramp_prefers_a_trend_model(self):
+        selector = OnlineModelSelector()
+        for i in range(40):
+            selector.observe(i * 10.0, 2.0 * i)
+        assert selector.best().name in ("holt", "ar-ls")

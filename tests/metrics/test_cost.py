@@ -43,9 +43,24 @@ class TestCostModel:
         with pytest.raises(KeyError):
             CostModel().price_for("quantum-9000")
 
+    def test_unknown_machine_error_is_informative(self):
+        with pytest.raises(KeyError, match="quantum-9000"):
+            CostModel().price_for("quantum-9000")
+        with pytest.raises(KeyError, match="default_hourly_price"):
+            CostModel().price_for("quantum-9000")
+
+    def test_default_hourly_price_fallback(self):
+        model = CostModel(default_hourly_price=0.25)
+        # Known machines still use their table price ...
+        assert model.price_for("n1-standard-4") == DEFAULT_HOURLY_PRICES["n1-standard-4"]
+        # ... unknown machines fall back instead of raising.
+        assert model.price_for("quantum-9000") == 0.25
+
     def test_negative_price_rejected(self):
         with pytest.raises(ValueError):
             CostModel({"m": -1.0})
+        with pytest.raises(ValueError):
+            CostModel(default_hourly_price=-0.1)
 
     def test_cost_of_integrates_node_series(self, result):
         model = CostModel()

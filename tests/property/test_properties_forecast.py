@@ -1,0 +1,142 @@
+"""Property-based tests for the forecast subsystem."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.forecast.models import (
+    ArLeastSquaresForecaster,
+    EwmaForecaster,
+    HoltForecaster,
+    NaiveForecaster,
+    default_forecasters,
+)
+from repro.forecast.selector import OnlineModelSelector
+from repro.forecast.series import DemandSeries
+
+# A non-negative, finite demand history with strictly positive spacings.
+histories = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=600.0, allow_nan=False),  # dt
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),  # y
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+horizons = st.floats(min_value=0.0, max_value=3600.0, allow_nan=False)
+
+FACTORIES = (
+    NaiveForecaster,
+    EwmaForecaster,
+    HoltForecaster,
+    lambda: ArLeastSquaresForecaster(window=16, order=4),
+)
+
+
+def feed(model, history):
+    t = 0.0
+    for dt, y in history:
+        t += dt
+        model.observe(t, y)
+
+
+class TestForecasterProperties:
+    @given(history=histories, horizon=horizons)
+    @settings(max_examples=60, deadline=None)
+    def test_predictions_finite_and_non_negative(self, history, horizon):
+        for make in FACTORIES:
+            model = make()
+            feed(model, history)
+            pred = model.predict(horizon)
+            assert math.isfinite(pred)
+            assert pred >= 0.0
+
+    @given(history=histories, horizon=horizons)
+    @settings(max_examples=40, deadline=None)
+    def test_determinism_across_instances(self, history, horizon):
+        for make in FACTORIES:
+            a, b = make(), make()
+            feed(a, history)
+            feed(b, history)
+            assert a.predict(horizon) == b.predict(horizon)
+            assert a.rolling_mae() == b.rolling_mae()
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        n=st.integers(min_value=3, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_constant_series_scores_zero_error(self, value, n):
+        for make in FACTORIES:
+            model = make()
+            feed(model, [(10.0, value)] * n)
+            # Zero up to float blending noise (EWMA's level recurrence).
+            assert model.rolling_mae() <= 1e-9 * max(1.0, value)
+
+    @given(history=histories)
+    @settings(max_examples=40, deadline=None)
+    def test_error_never_negative_and_scored_monotone(self, history):
+        model = HoltForecaster()
+        scored_before = model.errors.scored
+        feed(model, history)
+        assert model.errors.scored >= scored_before
+        mae = model.rolling_mae()
+        assert mae >= 0.0 or mae == math.inf
+
+
+class TestSelectorProperties:
+    @given(history=histories, horizon=horizons)
+    @settings(max_examples=40, deadline=None)
+    def test_best_is_always_a_registered_model(self, history, horizon):
+        selector = OnlineModelSelector(
+            [f for f in default_forecasters()]
+        )
+        t = 0.0
+        for dt, y in history:
+            t += dt
+            selector.observe(t, y)
+        best = selector.best()
+        assert best in selector.forecasters
+        # And routing returns that model's own prediction.
+        assert selector.predict(horizon) == best.predict(horizon)
+
+    @given(history=histories)
+    @settings(max_examples=40, deadline=None)
+    def test_best_has_minimal_rolling_error(self, history):
+        selector = OnlineModelSelector()
+        t = 0.0
+        for dt, y in history:
+            t += dt
+            selector.observe(t, y)
+        best_err = selector._error_of(selector.best())
+        assert all(best_err <= err for err in selector.errors().values())
+
+
+class TestSeriesProperties:
+    @given(history=histories)
+    @settings(max_examples=60, deadline=None)
+    def test_integral_additivity(self, history):
+        series = DemandSeries()
+        t = 0.0
+        for dt, y in history:
+            t += dt
+            series.observe(t, y)
+        t0, t1 = 0.0, t + 100.0
+        mid = (t0 + t1) / 2.0
+        whole = series.integrate(t0, t1)
+        split = series.integrate(t0, mid) + series.integrate(mid, t1)
+        assert math.isclose(whole, split, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(history=histories, cap=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_always_respected(self, history, cap):
+        series = DemandSeries(max_samples=cap)
+        t = 0.0
+        for dt, y in history:
+            t += dt
+            series.observe(t, y)
+        assert len(series) <= cap
+        assert series.dropped == max(0, len(history) - cap)
