@@ -1,0 +1,62 @@
+"""Bench: the resilience evaluation (beyond the paper).
+
+Runs HTA, HPA, and the predictive scaler under the default fault
+profile — per-attempt task failures, resource-exhaustion kills, node
+crashes, a boot-failure window, and an image-pull stall — next to their
+fault-free twins, and asserts the fault-tolerance layer's contract:
+every policy finishes every task (nothing permanently abandoned), the
+goodput/waste/degradation metrics are recorded for all three, and a
+given seed replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+
+from repro.experiments import resilience
+
+SEED = 0
+
+
+def _summaries(results):
+    return {policy: s for policy, (_f, _b, s) in results.items()}
+
+
+def test_resilience_deterministic():
+    """Two same-seed runs must agree on every metric, bit for bit."""
+    first = _summaries(resilience.run(SEED))
+    second = _summaries(resilience.run(SEED))
+    assert first.keys() == second.keys()
+    for policy in first:
+        assert first[policy].as_dict() == second[policy].as_dict(), policy
+
+
+def test_resilience_full(benchmark):
+    results = run_once(benchmark, resilience.run, SEED)
+    assert set(results) == set(resilience.POLICIES)
+    total = sum(count for _, count, _, _, _ in resilience.SPEC)
+
+    for policy, (faulty, baseline, summary) in results.items():
+        # Everything finished despite the faults — the retry/escalation
+        # machinery never permanently gave up on a task.
+        assert summary.tasks_abandoned == 0, policy
+        assert faulty.tasks_completed == total, policy
+        assert baseline.tasks_completed == total, policy
+        # The benchmark's headline metrics exist and are sane.
+        assert summary.goodput_core_s > 0, policy
+        assert summary.wasted_core_s >= 0, policy
+        assert summary.makespan_degradation >= 0, policy
+        assert 0 < summary.goodput_fraction <= 1, policy
+        # The fault-free twin really ran fault-free.
+        assert baseline.extras["tasks_failed"] == 0, policy
+        assert baseline.extras["wasted_core_s"] == 0, policy
+
+    hta = results["HTA"][2]
+    # The profile actually injected faults into the HTA run: task-level
+    # failures, provisioning faults, and node crashes all fired.
+    assert hta.tasks_failed > 0
+    assert hta.nodes_killed > 0
+    assert hta.boot_failures > 0
+    # Exhaustion kills escalated category allocations (fed into HTA's
+    # planning through the monitor).
+    assert hta.escalations > 0

@@ -1,10 +1,13 @@
-"""Failure injection: node crashes and pod evictions.
+"""Failure injection: node crashes, pod evictions, provisioning faults.
 
 Pods are "disposable object[s] which might fail or restart" (§II-C);
 this module makes that concrete for tests and robustness experiments.
 A node crash takes every pod on it down with it — worker pods lose their
 tasks back to the master's queue, a StatefulSet-wrapped master pod gets
-a sticky replacement — and the cloud controller heals the pool.
+a sticky replacement — and the cloud controller heals the pool. Beyond
+pod/node chaos, the injector can open bounded *provisioning fault*
+windows: node boot failures (reserved VMs that never join) and image-pull
+stalls (a degraded registry multiplying pull times).
 
 All scheduling of failures draws from a named RNG stream, so chaos runs
 replay deterministically.
@@ -12,7 +15,7 @@ replay deterministically.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.cluster.api import KubeApiServer
 from repro.cluster.node import Node
@@ -20,16 +23,34 @@ from repro.cluster.pod import Pod
 from repro.sim.engine import Engine, PeriodicTask
 from repro.sim.rng import RngRegistry
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cloud import CloudController
+    from repro.cluster.images import ImageRegistry
+
 
 class ChaosInjector:
     """Kills nodes/pods on demand or on a seeded random schedule."""
 
-    def __init__(self, engine: Engine, api: KubeApiServer, rng: RngRegistry) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        api: KubeApiServer,
+        rng: RngRegistry,
+        *,
+        cloud: Optional["CloudController"] = None,
+        registry: Optional["ImageRegistry"] = None,
+    ) -> None:
         self.engine = engine
         self.api = api
         self.rng = rng
+        #: Optional handles for provisioning-fault injection; chaos that
+        #: needs them raises if they were not provided.
+        self.cloud = cloud
+        self.registry = registry
         self.nodes_killed = 0
         self.pods_killed = 0
+        self.boot_failure_windows = 0
+        self.pull_stall_windows = 0
         self._schedules: List[PeriodicTask] = []
 
     # ------------------------------------------------------------- directed
@@ -42,6 +63,7 @@ class ChaosInjector:
             self.api.try_delete("Pod", pod.name)
         self.api.try_delete("Node", node.name)
         self.nodes_killed += 1
+        self.pods_killed += len(victims)
         return victims
 
     def kill_node_named(self, name: str) -> List[Pod]:
@@ -72,6 +94,45 @@ class ChaosInjector:
         pod = pods[idx]
         self.evict_pod(pod)
         return pod
+
+    # ------------------------------------------------- provisioning faults
+    def begin_boot_failures(
+        self, prob: float, *, duration_s: Optional[float] = None
+    ) -> None:
+        """Make a fraction of node reservations fail to boot; with
+        ``duration_s`` the window closes itself."""
+        if self.cloud is None:
+            raise RuntimeError("ChaosInjector needs a cloud= handle for boot faults")
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"prob must be in [0,1], got {prob}")
+        self.cloud.boot_failure_prob = prob
+        self.boot_failure_windows += 1
+        if duration_s is not None:
+            self.engine.call_in(duration_s, self.end_boot_failures)
+
+    def end_boot_failures(self) -> None:
+        if self.cloud is not None:
+            self.cloud.boot_failure_prob = self.cloud.config.boot_failure_prob
+
+    def begin_image_pull_stall(
+        self, factor: float, *, duration_s: Optional[float] = None
+    ) -> None:
+        """Multiply image-pull durations by ``factor`` (degraded
+        registry); with ``duration_s`` the stall clears itself."""
+        if self.registry is None:
+            raise RuntimeError(
+                "ChaosInjector needs a registry= handle for pull stalls"
+            )
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.registry.stall_factor = factor
+        self.pull_stall_windows += 1
+        if duration_s is not None:
+            self.engine.call_in(duration_s, self.end_image_pull_stall)
+
+    def end_image_pull_stall(self) -> None:
+        if self.registry is not None:
+            self.registry.stall_factor = 1.0
 
     # ------------------------------------------------------------ scheduled
     def schedule_node_failures(
@@ -104,6 +165,42 @@ class ChaosInjector:
             start_after
             if start_after is not None
             else max(1.0, float(self.rng.stream("chaos.schedule").exponential(mean_interval_s)))
+        )
+        task = PeriodicTask(
+            self.engine, mean_interval_s, strike, start_after=first, use_return_delay=True
+        )
+        self._schedules.append(task)
+        return task
+
+    def schedule_pod_evictions(
+        self,
+        mean_interval_s: float,
+        *,
+        start_after: Optional[float] = None,
+        selector: Optional[dict] = None,
+    ) -> PeriodicTask:
+        """Evict a random (selector-matching) pod roughly every
+        ``mean_interval_s`` seconds (exponential gaps, seeded) — the
+        pod-level mirror of :meth:`schedule_node_failures`."""
+        if mean_interval_s <= 0:
+            raise ValueError("mean_interval_s must be positive")
+
+        def strike() -> float:
+            self.evict_random_pod(selector)
+            gap = float(
+                self.rng.stream("chaos.pod.schedule").exponential(mean_interval_s)
+            )
+            return max(1.0, gap)
+
+        first = (
+            start_after
+            if start_after is not None
+            else max(
+                1.0,
+                float(
+                    self.rng.stream("chaos.pod.schedule").exponential(mean_interval_s)
+                ),
+            )
         )
         task = PeriodicTask(
             self.engine, mean_interval_s, strike, start_after=first, use_return_delay=True

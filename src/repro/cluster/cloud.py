@@ -54,6 +54,10 @@ class CloudControllerConfig:
     # serializes provisioning into batches the way the paper's fig-2 GKE
     # traces show. None = unlimited (provision everything immediately).
     max_concurrent_reservations: int | None = None
+    # Probability a reserved machine fails to boot (the VM never joins
+    # the cluster; the reservation is simply lost). ChaosInjector can
+    # also raise/lower this at runtime for bounded fault windows.
+    boot_failure_prob: float = 0.0
 
     def __post_init__(self) -> None:
         if self.min_nodes < 0 or self.max_nodes < self.min_nodes:
@@ -62,6 +66,10 @@ class CloudControllerConfig:
             )
         if self.scan_period_s <= 0:
             raise ValueError("scan_period_s must be positive")
+        if not 0.0 <= self.boot_failure_prob <= 1.0:
+            raise ValueError(
+                f"boot_failure_prob must be in [0,1], got {self.boot_failure_prob}"
+            )
 
 
 class CloudController:
@@ -83,6 +91,10 @@ class CloudController:
         self._idle_since: Dict[str, float] = {}
         self.nodes_provisioned = 0
         self.nodes_removed = 0
+        #: Mutable copy of the configured rate so fault injection can
+        #: open/close bounded boot-failure windows mid-run.
+        self.boot_failure_prob = config.boot_failure_prob
+        self.boot_failures = 0
         self._loop = PeriodicTask(engine, config.scan_period_s, self.sync, start_after=0.0)
         # Bootstrap the minimum node pool instantly: the paper's clusters
         # start with their base nodes already running.
@@ -183,6 +195,14 @@ class CloudController:
 
     def _reservation_complete(self) -> None:
         self._inflight -= 1
+        if self.boot_failure_prob > 0 and (
+            self.rng.uniform("cloud.boot_failure", 0.0, 1.0)
+            < self.boot_failure_prob
+        ):
+            # The VM never boots / fails kubelet registration; the next
+            # sync notices the still-pending pods and reserves again.
+            self.boot_failures += 1
+            return
         if self.node_count() >= self.config.max_nodes:
             return  # raced with another provisioning source; drop the VM
         self._register_node()

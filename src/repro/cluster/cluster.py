@@ -38,6 +38,7 @@ class ClusterConfig:
     node_idle_timeout_s: float = 600.0
     autoscaler_scan_period_s: float = 10.0
     max_concurrent_reservations: int | None = None
+    node_boot_failure_prob: float = 0.0
     scheduler_sync_period_s: float = 1.0
     scheduler_strategy: str = "least-requested"
     registry_pull_bandwidth_mbps: float = 100.0
@@ -56,6 +57,7 @@ class ClusterConfig:
             reservation_std_s=self.node_reservation_std_s,
             idle_timeout_s=self.node_idle_timeout_s,
             max_concurrent_reservations=self.max_concurrent_reservations,
+            boot_failure_prob=self.node_boot_failure_prob,
         )
 
 

@@ -54,12 +54,17 @@ class ImageRegistry:
         self.fixed_overhead_s = fixed_overhead_s
         self.jitter_cv = jitter_cv
         self.pulls_started = 0
+        #: Runtime multiplier on pull durations (≥ 1 models a degraded or
+        #: throttled registry); fault injection raises it for bounded
+        #: stall windows and restores it to 1.0 afterwards.
+        self.stall_factor = 1.0
 
     def pull_duration(self, image: ContainerImage) -> float:
         """Seconds to pull ``image`` onto a node that doesn't cache it."""
         self.pulls_started += 1
         base = self.fixed_overhead_s + image.size_mb / self.pull_bandwidth_mbps
-        return self.rng.lognormal_around("registry.pull", base, self.jitter_cv)
+        duration = self.rng.lognormal_around("registry.pull", base, self.jitter_cv)
+        return duration * self.stall_factor
 
     def mean_pull_duration(self, image: ContainerImage) -> float:
         """Expected pull time without jitter (used by calibration tests)."""

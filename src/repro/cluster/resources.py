@@ -73,6 +73,13 @@ class ResourceVector:
             max(self.disk_mb, other.disk_mb),
         )
 
+    def min_with(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            min(self.cores, other.cores),
+            min(self.memory_mb, other.memory_mb),
+            min(self.disk_mb, other.disk_mb),
+        )
+
     # ------------------------------------------------------------ predicates
     def fits_in(self, capacity: "ResourceVector", epsilon: float = 1e-9) -> bool:
         """True iff this request fits within ``capacity`` component-wise.

@@ -15,18 +15,22 @@ The entry points:
 from repro.experiments import sweeps
 from repro.experiments.runner import (
     ExperimentResult,
+    FaultProfile,
     StackConfig,
     run_hpa_experiment,
     run_hta_experiment,
+    run_predictive_experiment,
     run_queue_scaler_experiment,
     run_static_experiment,
 )
 
 __all__ = [
     "ExperimentResult",
+    "FaultProfile",
     "StackConfig",
     "run_hpa_experiment",
     "run_hta_experiment",
+    "run_predictive_experiment",
     "run_queue_scaler_experiment",
     "run_static_experiment",
     "sweeps",

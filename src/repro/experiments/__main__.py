@@ -25,6 +25,7 @@ from repro.experiments import (
     fig10,
     fig11,
     forecast_cmp,
+    resilience,
 )
 
 _MODULES = {
@@ -36,7 +37,11 @@ _MODULES = {
     "fig10": fig10,
     "fig11": fig11,
     "forecast": forecast_cmp,
+    "resilience": resilience,
 }
+
+#: Experiments whose ``main`` accepts a ``smoke=`` reduced-scale mode.
+_SMOKE_CAPABLE = {"resilience"}
 
 FIGURES: Dict[str, Callable[[int], str]] = {
     name: module.main for name, module in _MODULES.items()
@@ -78,6 +83,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "reduced-scale run for CI smoke checks (supported by: "
+            + ", ".join(sorted(_SMOKE_CAPABLE))
+            + "; ignored elsewhere)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if "list" in args.figures:
@@ -91,7 +105,10 @@ def main(argv: list[str] | None = None) -> int:
     for name in targets:
         started = time.time()
         print(f"\n=== {name} (seed={args.seed}) ===\n")
-        FIGURES[name](args.seed)
+        if args.smoke and name in _SMOKE_CAPABLE:
+            FIGURES[name](args.seed, smoke=True)
+        else:
+            FIGURES[name](args.seed)
         print(f"\n[{name} regenerated in {time.time() - started:.1f}s wall time]")
     return 0
 

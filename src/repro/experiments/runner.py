@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.cluster.chaos import ChaosInjector
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.hpa import HorizontalPodAutoscaler, HpaConfig
 from repro.cluster.images import ContainerImage
@@ -36,7 +37,7 @@ from repro.cluster.resources import ResourceVector
 from repro.hta.estimator import EstimatorConfig
 from repro.hta.inittime import FixedInitTime, InitTimeTracker
 from repro.hta.operator import HtaConfig, HtaOperator
-from repro.hta.provisioner import WorkerProvisioner
+from repro.hta.provisioner import ProvisionerFaultConfig, WorkerProvisioner
 from repro.makeflow.dag import WorkflowGraph
 from repro.makeflow.manager import WorkflowManager
 from repro.metrics.accounting import AccountingSummary, ResourceAccountant
@@ -48,6 +49,12 @@ from repro.wq.estimator import (
     ConservativeEstimator,
     DeclaredResourceEstimator,
     MonitorEstimator,
+)
+from repro.wq.faults import (
+    CategoryFaultProfile,
+    RetryPolicy,
+    SpeculationConfig,
+    TaskFaultModel,
 )
 from repro.wq.link import Link
 from repro.wq.master import Master
@@ -70,6 +77,47 @@ def ensure_graph(workload: Workload) -> WorkflowGraph:
 
 
 @dataclass(frozen=True, slots=True)
+class FaultProfile:
+    """Fault injection for one run — every layer at once, all seeded.
+
+    Zero probabilities / None intervals disable the corresponding fault;
+    the default instance injects nothing, so ``StackConfig(faults=None)``
+    and ``StackConfig(faults=FaultProfile())`` behave identically except
+    for the fault plumbing being armed.
+    """
+
+    # -- task-level faults (per execution attempt, per-category stream)
+    task_failure_prob: float = 0.0
+    task_exhaustion_prob: float = 0.0
+    exhaustion_factor: float = 1.5
+    retry_backoff_base_s: float = 2.0
+    retry_backoff_max_s: float = 120.0
+    max_retries: Optional[int] = None
+    #: Straggler speculation (None disables it).
+    speculation: Optional[SpeculationConfig] = field(
+        default_factory=SpeculationConfig
+    )
+    # -- infrastructure chaos
+    node_crash_interval_s: Optional[float] = None
+    pod_eviction_interval_s: Optional[float] = None
+    #: Pod-eviction selector (None = any non-terminal pod).
+    pod_eviction_selector: Optional[dict] = None
+    # -- provisioning faults
+    boot_failure_prob: float = 0.0
+    boot_failure_duration_s: Optional[float] = None
+    pull_stall_factor: float = 1.0
+    pull_stall_duration_s: Optional[float] = None
+    #: Defensive provisioning for the drain-based policies (HTA /
+    #: predictive); None keeps the provisioner undefended.
+    provisioner: Optional[ProvisionerFaultConfig] = field(
+        default_factory=ProvisionerFaultConfig
+    )
+    #: Robust (median) init-time estimation window; 0 keeps the paper's
+    #: latest-sample estimate.
+    robust_init_window: int = 5
+
+
+@dataclass(frozen=True, slots=True)
 class StackConfig:
     """The substrate shared by every policy."""
 
@@ -84,6 +132,8 @@ class StackConfig:
     max_sim_time_s: float = 100_000.0
     #: Sampling period of the accountant (1 s = the paper's resolution).
     accounting_period_s: float = 1.0
+    #: Fault injection; None runs the substrate fault-free.
+    faults: Optional[FaultProfile] = None
 
     def resolved_worker_request(self) -> ResourceVector:
         if self.worker_request is not None:
@@ -106,13 +156,63 @@ class _Stack:
             per_stream_overhead=config.per_stream_overhead,
         )
         self.monitor = ResourceMonitor()
+        faults = config.faults
+        fault_model: Optional[TaskFaultModel] = None
+        retry_policy: Optional[RetryPolicy] = None
+        if faults is not None:
+            fault_model = TaskFaultModel(
+                self.rng,
+                default=CategoryFaultProfile(
+                    failure_prob=faults.task_failure_prob,
+                    exhaustion_prob=faults.task_exhaustion_prob,
+                    exhaustion_factor=faults.exhaustion_factor,
+                ),
+            )
+            retry_policy = RetryPolicy(
+                base_backoff_s=faults.retry_backoff_base_s,
+                max_backoff_s=faults.retry_backoff_max_s,
+            )
         self.master = Master(
-            self.engine, self.link, estimator=self._make_estimator(estimator_kind), monitor=self.monitor
+            self.engine,
+            self.link,
+            estimator=self._make_estimator(estimator_kind),
+            monitor=self.monitor,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+            speculation=faults.speculation if faults is not None else None,
         )
+        if faults is not None and faults.max_retries is not None:
+            self.master.max_retries = faults.max_retries
         self.runtime = WorkerPodRuntime(
             self.engine, self.cluster.api, self.cluster.kubelets, self.master
         )
         self.worker_request = config.resolved_worker_request()
+        self.chaos: Optional[ChaosInjector] = None
+        if faults is not None:
+            self.chaos = ChaosInjector(
+                self.engine,
+                self.cluster.api,
+                self.rng,
+                cloud=self.cluster.cloud,
+                registry=self.cluster.registry,
+            )
+            if faults.node_crash_interval_s is not None:
+                self.chaos.schedule_node_failures(faults.node_crash_interval_s)
+            if faults.pod_eviction_interval_s is not None:
+                self.chaos.schedule_pod_evictions(
+                    faults.pod_eviction_interval_s,
+                    selector=faults.pod_eviction_selector,
+                )
+            if faults.boot_failure_prob > 0:
+                self.chaos.begin_boot_failures(
+                    faults.boot_failure_prob,
+                    duration_s=faults.boot_failure_duration_s,
+                )
+            if faults.pull_stall_factor > 1.0:
+                self.chaos.begin_image_pull_stall(
+                    faults.pull_stall_factor,
+                    duration_s=faults.pull_stall_duration_s,
+                )
 
     def _make_estimator(self, kind: str) -> AllocationEstimator:
         if kind == "monitor":
@@ -198,6 +298,22 @@ def _collect(
     **extras: float,
 ) -> ExperimentResult:
     t0, t1 = accountant.window()
+    master = stack.master
+    fault_extras: Dict[str, float] = {
+        "goodput_core_s": master.goodput_core_s(),
+        "wasted_core_s": master.wasted_core_s,
+        "tasks_failed": float(master.tasks_failed),
+        "tasks_exhausted": float(master.tasks_exhausted),
+        "escalations": float(master.escalations),
+        "tasks_speculated": float(master.tasks_speculated),
+        "speculation_wins": float(master.speculation_wins),
+        "tasks_abandoned": float(len(master.abandoned)),
+    }
+    if stack.chaos is not None:
+        fault_extras["chaos_nodes_killed"] = float(stack.chaos.nodes_killed)
+        fault_extras["chaos_pods_killed"] = float(stack.chaos.pods_killed)
+        fault_extras["boot_failures"] = float(stack.cluster.cloud.boot_failures)
+    fault_extras.update(extras)
     return ExperimentResult(
         name=name,
         makespan_s=manager.makespan or 0.0,
@@ -209,7 +325,7 @@ def _collect(
         tasks_requeued=stack.master.tasks_requeued,
         nodes_peak=int(accountant.series("nodes").maximum(t0, t1)),
         workers_started=stack.runtime.workers_started,
-        extras=dict(extras),
+        extras=fault_extras,
     )
 
 
@@ -274,12 +390,20 @@ def run_hta_experiment(
         stack.runtime,
         image=cfg.image,
         worker_request=stack.worker_request,
+        fault_config=cfg.faults.provisioner if cfg.faults is not None else None,
     )
     if fixed_init_time_s is not None:
         tracker = FixedInitTime(fixed_init_time_s)
     else:
+        robust_window = (
+            cfg.faults.robust_init_window if cfg.faults is not None else 0
+        )
         tracker = InitTimeTracker(
-            stack.cluster.api, prior_s=160.0, selector_label="wq-worker"
+            stack.cluster.api,
+            prior_s=160.0,
+            selector_label="wq-worker",
+            robust=robust_window > 0,
+            window=max(robust_window, 1),
         )
     operator = HtaOperator(
         stack.engine, stack.master, provisioner, tracker, hta_config, stack.recorder
@@ -346,12 +470,20 @@ def run_predictive_experiment(
         image=cfg.image,
         worker_request=stack.worker_request,
         name_prefix="pred-worker",
+        fault_config=cfg.faults.provisioner if cfg.faults is not None else None,
     )
     if fixed_init_time_s is not None:
         tracker = FixedInitTime(fixed_init_time_s)
     else:
+        robust_window = (
+            cfg.faults.robust_init_window if cfg.faults is not None else 0
+        )
         tracker = InitTimeTracker(
-            stack.cluster.api, prior_s=160.0, selector_label="wq-worker"
+            stack.cluster.api,
+            prior_s=160.0,
+            selector_label="wq-worker",
+            robust=robust_window > 0,
+            window=max(robust_window, 1),
         )
     scaler = PredictiveScaler(
         stack.engine, stack.master, provisioner, tracker, scaler_config, stack.recorder
@@ -366,6 +498,7 @@ def run_predictive_experiment(
     )
     _drive(stack, manager, accountant)
     scaler.stop()
+    provisioner.stop()
     return _collect(
         name,
         stack,

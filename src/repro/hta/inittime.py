@@ -15,6 +15,7 @@ Before any cold start has been observed, a configurable prior is served
 
 from __future__ import annotations
 
+from statistics import median
 from typing import Dict, List, Optional
 
 from repro.cluster.api import KubeApiServer
@@ -49,7 +50,16 @@ class FixedInitTime:
 
 
 class InitTimeTracker:
-    """Maintains the latest cold-start initialization time."""
+    """Maintains the latest cold-start initialization time.
+
+    The default estimate is the paper's: the single most recent cold
+    start. ``robust=True`` switches to the median of the last ``window``
+    samples — under provisioning faults (boot failures, pull stalls) one
+    pathological cold start would otherwise poison the resizing horizon
+    for a full cycle. Pods that never reach Running (boot failures,
+    timed-out-and-deleted pods) are excluded either way: only
+    Running/Succeeded transitions record a sample.
+    """
 
     def __init__(
         self,
@@ -57,11 +67,17 @@ class InitTimeTracker:
         *,
         prior_s: float = 160.0,
         selector_label: Optional[str] = None,
+        robust: bool = False,
+        window: int = 5,
     ) -> None:
         if prior_s <= 0:
             raise ValueError("prior_s must be positive")
+        if window < 1:
+            raise ValueError("window must be at least 1")
         self.prior_s = prior_s
         self.selector_label = selector_label
+        self.robust = robust
+        self.window = window
         self.latest_s: Optional[float] = None
         self.samples: List[float] = []
         self._seen: Dict[str, bool] = {}
@@ -72,7 +88,12 @@ class InitTimeTracker:
     # ---------------------------------------------------------------- reads
     def current(self) -> float:
         """The initialization time HTA should plan with, in seconds."""
-        return self.latest_s if self.latest_s is not None else self.prior_s
+        if not self.samples:
+            return self.prior_s
+        if self.robust:
+            return float(median(self.samples[-self.window:]))
+        assert self.latest_s is not None
+        return self.latest_s
 
     @property
     def sample_count(self) -> int:

@@ -237,6 +237,7 @@ class HtaOperator:
             return
         self._cleaned_up = True
         self.stop()
+        self.provisioner.stop()
         self.provisioner.drain_all()
         self.provisioner.cancel_pending(10**9)
         self.done_signal.fire_once(self)
@@ -350,9 +351,16 @@ class HtaOperator:
         return SimulatedTask(self._estimate_resources(task), self._estimate_runtime(task))
 
     def _estimate_resources(self, task: Task) -> ResourceVector:
-        if task.declared is not None:
-            return task.declared
         estimate = self.master.monitor.resource_estimate(task.category)
+        if task.declared is not None:
+            # Resource-exhaustion escalations can exceed the declaration
+            # (that is their point); plan with whichever is larger, as
+            # long as it still fits a worker.
+            if estimate is not None:
+                combined = task.declared.max_with(estimate)
+                if combined.fits_in(self.provisioner.worker_request):
+                    return combined
+            return task.declared
         if estimate is not None and estimate.fits_in(self.provisioner.worker_request):
             return estimate
         return self.provisioner.worker_request  # unknown → whole worker

@@ -9,20 +9,55 @@ they run, and exit — never interrupting jobs (§II-C).
 
 The provisioner also garbage-collects Succeeded worker pods, so drained
 nodes go idle and the cloud controller can reclaim them.
+
+With a :class:`ProvisionerFaultConfig` installed, the provisioner also
+defends against a faulty substrate: pods pending past a timeout are
+deleted and re-created with exponential backoff, and a **circuit
+breaker** halts scale-up bursts while provisioning keeps failing (node
+boot failures, registry outages), re-probing with a single pod after a
+cooldown — closed/open/half-open, like any service-call breaker.
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
 from repro.cluster.images import ContainerImage
 from repro.cluster.pod import Pod, PodPhase, PodSpec
 from repro.cluster.resources import ResourceVector
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, PeriodicTask
 from repro.wq.runtime import WorkerPodRuntime
 from repro.wq.worker import Worker, WorkerState
+
+
+@dataclass(frozen=True, slots=True)
+class ProvisionerFaultConfig:
+    """Defensive-provisioning tunables (None on the provisioner = off)."""
+
+    #: A pod pending longer than this is presumed stuck (boot failure,
+    #: stalled pull) and deleted; generous by default — several times a
+    #: healthy cold start — so slow-but-alive provisioning is untouched.
+    pending_timeout_s: float = 420.0
+    #: Scan cadence for the timeout check.
+    check_period_s: float = 30.0
+    #: Exponential backoff for re-creating timed-out pods.
+    retry_backoff_base_s: float = 10.0
+    retry_backoff_max_s: float = 300.0
+    #: Consecutive pod timeouts that trip the breaker open.
+    breaker_threshold: int = 3
+    #: Open-state cooldown before a single half-open probe is allowed.
+    breaker_cooldown_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.pending_timeout_s <= 0 or self.check_period_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
 
 
 class WorkerProvisioner:
@@ -38,6 +73,7 @@ class WorkerProvisioner:
         worker_request: ResourceVector,
         app_label: str = "wq-worker",
         name_prefix: str = "hta-worker",
+        fault_config: Optional[ProvisionerFaultConfig] = None,
     ) -> None:
         self.engine = engine
         self.api = api
@@ -50,11 +86,38 @@ class WorkerProvisioner:
         self.pods_created = 0
         self.pods_reaped = 0
         self.drains_requested = 0
+        # ----------------------------------------- defensive provisioning
+        self.fault_config = fault_config
+        #: "closed" (normal) / "open" (creations suppressed) /
+        #: "half_open" (one probe allowed).
+        self.breaker_state = "closed"
+        self._breaker_open_until: Optional[float] = None
+        self._probe_outstanding = False
+        self._consecutive_timeouts = 0
+        self._retry_attempt = 0
+        self.pods_timed_out = 0
+        self.creations_suppressed = 0
+        self.retries_scheduled = 0
+        self.breaker_opens = 0
+        self.breaker_closes = 0
+        self._check_loop: Optional[PeriodicTask] = None
+        if fault_config is not None:
+            self._check_loop = PeriodicTask(
+                engine, fault_config.check_period_s, self._check_pending
+            )
         api.watch("Pod", self._on_pod_event, replay_existing=False)
+
+    def stop(self) -> None:
+        """Stop the defensive-provisioning loop (clean-up stage)."""
+        if self._check_loop is not None:
+            self._check_loop.stop()
+            self._check_loop = None
 
     # -------------------------------------------------------------- scaling
     def create_workers(self, count: int) -> List[Pod]:
         """Create ``count`` worker pods (whole-node sized)."""
+        if self.fault_config is not None:
+            count = self._breaker_admit(count)
         created: List[Pod] = []
         for _ in range(count):
             name = f"{self.name_prefix}-{next(self._seq):04d}"
@@ -64,6 +127,78 @@ class WorkerProvisioner:
             self.pods_created += 1
             created.append(pod)
         return created
+
+    # ------------------------------------------------------ circuit breaker
+    def _breaker_admit(self, count: int) -> int:
+        """How many of ``count`` requested creations may proceed."""
+        if count <= 0 or self.breaker_state == "closed":
+            return count
+        now = self.engine.now
+        if self.breaker_state == "open":
+            assert self._breaker_open_until is not None
+            if now < self._breaker_open_until:
+                self.creations_suppressed += count
+                return 0
+            self.breaker_state = "half_open"
+            self._probe_outstanding = False
+        # Half-open: let exactly one probe pod through at a time.
+        if self._probe_outstanding:
+            self.creations_suppressed += count
+            return 0
+        self._probe_outstanding = True
+        if count > 1:
+            self.creations_suppressed += count - 1
+        return 1
+
+    def _trip_breaker(self) -> None:
+        assert self.fault_config is not None
+        self.breaker_state = "open"
+        self._breaker_open_until = (
+            self.engine.now + self.fault_config.breaker_cooldown_s
+        )
+        self._probe_outstanding = False
+        self._consecutive_timeouts = 0
+        self.breaker_opens += 1
+
+    def _close_breaker(self) -> None:
+        if self.breaker_state != "closed":
+            self.breaker_state = "closed"
+            self._breaker_open_until = None
+            self._probe_outstanding = False
+            self.breaker_closes += 1
+        self._consecutive_timeouts = 0
+        self._retry_attempt = 0
+
+    def _check_pending(self) -> None:
+        """Delete pods pending past the timeout; retry with backoff."""
+        cfg = self.fault_config
+        assert cfg is not None
+        now = self.engine.now
+        timed_out = [
+            p
+            for p in self.pending_pods()
+            if now - p.meta.creation_time >= cfg.pending_timeout_s
+        ]
+        if not timed_out:
+            return
+        for pod in timed_out:
+            self.api.try_delete("Pod", pod.name)
+        self.pods_timed_out += len(timed_out)
+        self._consecutive_timeouts += len(timed_out)
+        if self.breaker_state == "half_open":
+            self._trip_breaker()  # the probe failed too; back to open
+        elif (
+            self.breaker_state == "closed"
+            and self._consecutive_timeouts >= cfg.breaker_threshold
+        ):
+            self._trip_breaker()
+        delay = min(
+            cfg.retry_backoff_base_s * 2 ** self._retry_attempt,
+            cfg.retry_backoff_max_s,
+        )
+        self._retry_attempt += 1
+        self.retries_scheduled += len(timed_out)
+        self.engine.call_in(delay, self.create_workers, len(timed_out))
 
     def drain_workers(self, count: int) -> List[Worker]:
         """Drain up to ``count`` live workers, idlest first."""
@@ -124,6 +259,11 @@ class WorkerProvisioner:
         pod = event.obj
         if not isinstance(pod, Pod) or not pod.name.startswith(self.name_prefix):
             return
+        if event.type is WatchEventType.MODIFIED and pod.phase is PodPhase.RUNNING:
+            # Provisioning works again: reset failure tracking and close
+            # the breaker (a half-open probe reaching Running recovers).
+            if self.fault_config is not None:
+                self._close_breaker()
         if event.type is WatchEventType.MODIFIED and pod.phase is PodPhase.SUCCEEDED:
             # Reap completed (drained) worker pods so their node frees up.
             self.api.try_delete("Pod", pod.name)

@@ -18,8 +18,11 @@ from repro.metrics.export import (
     series_rows,
     summary_dict,
 )
+from repro.metrics.resilience import ResilienceSummary, format_resilience_table
 
 __all__ = [
+    "ResilienceSummary",
+    "format_resilience_table",
     "ResourceAccountant",
     "AccountingSummary",
     "comparison_factors",

@@ -1,0 +1,97 @@
+"""Resilience metrics: goodput, waste, and fault-induced degradation.
+
+The paper's accounting (§IV-B) assumes every executed core-second is
+useful. Under injected faults that stops being true: failed attempts,
+killed stragglers, and losing speculative copies all burn supply without
+producing results. This module splits executed work into **goodput**
+(core×seconds of completed tasks' final attempts) and **wasted**
+core×seconds (everything else charged by the master), and relates a
+faulty run back to its fault-free twin through **makespan degradation**
+— the fractional slowdown attributable to the fault profile, the
+headline number of the resilience benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceSummary:
+    """One policy's behaviour under a fault profile, vs its fault-free twin."""
+
+    policy: str
+    #: Makespan of the faulty run and its fault-free twin (same seed,
+    #: same workload, faults off).
+    makespan_s: float
+    baseline_makespan_s: float
+    #: Core x seconds of completed tasks' winning attempts.
+    goodput_core_s: float
+    #: Core x seconds burned on failed / killed / losing attempts.
+    wasted_core_s: float
+    tasks_completed: int
+    tasks_total: int
+    tasks_failed: int
+    tasks_exhausted: int
+    escalations: int
+    tasks_speculated: int
+    speculation_wins: int
+    tasks_abandoned: int
+    nodes_killed: int
+    boot_failures: int
+
+    @property
+    def makespan_degradation(self) -> float:
+        """Fractional slowdown vs the fault-free twin (0.0 = unharmed)."""
+        if self.baseline_makespan_s <= 0:
+            return 0.0
+        return self.makespan_s / self.baseline_makespan_s - 1.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Share of executed core x seconds that produced results."""
+        executed = self.goodput_core_s + self.wasted_core_s
+        if executed <= 0:
+            return 1.0
+        return self.goodput_core_s / executed
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "makespan_s": self.makespan_s,
+            "baseline_makespan_s": self.baseline_makespan_s,
+            "makespan_degradation": self.makespan_degradation,
+            "goodput_core_s": self.goodput_core_s,
+            "wasted_core_s": self.wasted_core_s,
+            "goodput_fraction": self.goodput_fraction,
+            "tasks_completed": float(self.tasks_completed),
+            "tasks_total": float(self.tasks_total),
+            "tasks_failed": float(self.tasks_failed),
+            "tasks_exhausted": float(self.tasks_exhausted),
+            "escalations": float(self.escalations),
+            "tasks_speculated": float(self.tasks_speculated),
+            "speculation_wins": float(self.speculation_wins),
+            "tasks_abandoned": float(self.tasks_abandoned),
+            "nodes_killed": float(self.nodes_killed),
+            "boot_failures": float(self.boot_failures),
+        }
+
+
+def format_resilience_table(
+    summaries: Sequence[ResilienceSummary],
+    *,
+    title: str = "Resilience under injected faults",
+) -> str:
+    """Fixed-width table, one row per policy."""
+    header = (
+        f"{'policy':<12} {'makespan':>9} {'degrade':>8} {'goodput':>10} "
+        f"{'wasted':>9} {'good%':>6} {'failed':>6} {'abandoned':>9}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for s in summaries:
+        lines.append(
+            f"{s.policy:<12} {s.makespan_s:>8.0f}s {s.makespan_degradation:>7.1%} "
+            f"{s.goodput_core_s:>10.0f} {s.wasted_core_s:>9.0f} "
+            f"{s.goodput_fraction:>6.1%} {s.tasks_failed:>6d} {s.tasks_abandoned:>9d}"
+        )
+    return "\n".join(lines)

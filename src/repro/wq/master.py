@@ -24,8 +24,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.cluster.resources import ResourceVector
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, PeriodicTask
 from repro.wq.estimator import AllocationEstimator, MonitorEstimator
+from repro.wq.faults import RetryPolicy, SpeculationConfig, TaskFault, TaskFaultModel
 from repro.wq.link import Link
 from repro.wq.monitor import ResourceMonitor
 from repro.wq.task import Task, TaskResult, TaskState
@@ -65,6 +66,9 @@ class Master:
         name: str = "wq-master",
         start_available: bool = True,
         max_retries: int = 5,
+        fault_model: Optional[TaskFaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        speculation: Optional[SpeculationConfig] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -72,6 +76,11 @@ class Master:
         self.link = link
         self.name = name
         self.max_retries = max_retries
+        #: Optional task-level fault injection (see :mod:`repro.wq.faults`).
+        self.fault_model = fault_model
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        #: Straggler mitigation; None disables speculative re-execution.
+        self.speculation = speculation
         self.monitor = monitor if monitor is not None else ResourceMonitor()
         self.estimator: AllocationEstimator = (
             estimator if estimator is not None else MonitorEstimator(self.monitor)
@@ -87,6 +96,22 @@ class Master:
         self._dispatch_pending = False
         self.tasks_submitted = 0
         self.tasks_requeued = 0
+        # ------------------------------------------ fault-tolerance state
+        #: Tasks waiting out a retry backoff (not in the queue yet).
+        self._backoff_pending = 0
+        #: Straggler speculation: original task id -> live clone, and the
+        #: reverse map (clone id -> original).
+        self._spec: Dict[int, Task] = {}
+        self._spec_origin: Dict[int, Task] = {}
+        self._spec_loop: Optional[PeriodicTask] = None
+        self.tasks_failed = 0
+        self.tasks_exhausted = 0
+        self.escalations = 0
+        self.tasks_speculated = 0
+        self.speculation_wins = 0
+        self.speculation_losses = 0
+        #: Core-seconds burned by killed attempts and cancelled duplicates.
+        self.wasted_core_s = 0.0
         #: False while the master process is down (its pod restarting).
         #: Dispatch pauses and completions buffer at the workers until
         #: the master resumes — the paper's StatefulSet + persistent
@@ -113,6 +138,7 @@ class Master:
             task.submit_time = self.engine.now
         self.tasks_submitted += 1
         self.queue.append(task)
+        self._ensure_speculation_loop()
         self._schedule_dispatch()
 
     def submit_many(self, tasks: List[Task]) -> None:
@@ -138,17 +164,94 @@ class Master:
         self.workers.pop(worker.name, None)
         for task in reversed(lost_tasks):
             self.running.pop(task.id, None)
+            self._charge_waste(task)
+            if task.speculation_of is not None:
+                # A speculative copy died with its worker: drop it
+                # silently; the original is still in flight.
+                self._drop_speculation_entry(task)
+                continue
             task.attempts += 1
             if task.attempts > self.max_retries:
-                self.abandoned.append(task)
-                for fn in list(self._abandoned_callbacks):
-                    fn(task)
+                self._abandon(task)
                 continue
             self.tasks_requeued += 1
             task.reset_for_retry()
             self.queue.insert(0, task)
         if lost_tasks:
             self._schedule_dispatch()
+
+    # ------------------------------------------------------------- failures
+    def draw_fault(self, task: Task, allocation: ResourceVector):
+        """Worker hook: the fate of this execution attempt (None = runs
+        to successful completion)."""
+        if self.fault_model is None:
+            return None
+        return self.fault_model.draw(task, allocation)
+
+    def task_failed(self, worker: Worker, task: Task, fault: TaskFault) -> None:
+        """A task-level failure: nonzero exit (transient) or killed by
+        the worker's allocation enforcement (exhaustion). Exhaustion
+        escalates the task's and its category's allocation — Work
+        Queue's first-allocation/max-allocation retry — then the task
+        re-enters the queue after an exponential backoff."""
+        self.running.pop(task.id, None)
+        self.tasks_failed += 1
+        self._charge_waste(task)
+        if task.speculation_of is not None:
+            # A speculative copy crashed: forget it, never retry it.
+            self._drop_speculation_entry(task)
+            return
+        if fault.kind == "exhaustion" and fault.escalate_to is not None:
+            self.tasks_exhausted += 1
+            self.escalations += 1
+            floor = task.min_allocation or ResourceVector.zero()
+            task.min_allocation = floor.max_with(fault.escalate_to)
+            self.monitor.observe_exhaustion(task.category, fault.escalate_to)
+        task.attempts += 1
+        if task.attempts > self.max_retries:
+            self._abandon(task)
+            return
+        self.tasks_requeued += 1
+        delay = self.retry_policy.backoff_s(task.attempts)
+        task.reset_for_retry()
+        if delay <= 0:
+            self.queue.insert(0, task)
+            self._schedule_dispatch()
+        else:
+            self._backoff_pending += 1
+            self.engine.call_in(delay, self._requeue_after_backoff, task)
+
+    def _requeue_after_backoff(self, task: Task) -> None:
+        self._backoff_pending -= 1
+        if task.state is not TaskState.WAITING:
+            return  # resolved meanwhile (e.g. its speculative copy won)
+        self.queue.insert(0, task)
+        self._schedule_dispatch()
+
+    def _abandon(self, task: Task) -> None:
+        self._cancel_speculation_for(task)
+        self.abandoned.append(task)
+        for fn in list(self._abandoned_callbacks):
+            fn(task)
+
+    def _charge_waste(self, task: Task) -> None:
+        """Account execution time burned by an attempt that will never
+        produce a result (killed, failed, or a losing duplicate)."""
+        if task.start_time is None or task.state is TaskState.DONE:
+            return
+        elapsed = min(self.engine.now - task.start_time, task.execute_s)
+        if elapsed <= 0:
+            return
+        cores = task.footprint.cores
+        if task.allocation is not None:
+            cores = min(cores, task.allocation.cores)
+        self.wasted_core_s += elapsed * cores
+
+    def _worker_running(self, task_id: int) -> Optional[Worker]:
+        for worker in self.workers.values():
+            if task_id in worker.runs:
+                return worker
+        return None
 
     # ------------------------------------------------------------- dispatch
     def _schedule_dispatch(self) -> None:
@@ -190,8 +293,10 @@ class Master:
         if placed_ids:
             self.queue = [t for t in self.queue if t.id not in placed_ids]
 
-    def _try_place(self, task: Task) -> bool:
-        candidates = [w for w in self.workers.values() if w.accepting]
+    def _try_place(self, task: Task, exclude: Optional[Worker] = None) -> bool:
+        candidates = [
+            w for w in self.workers.values() if w.accepting and w is not exclude
+        ]
         if not candidates:
             return False
         best: Optional[Worker] = None
@@ -205,6 +310,15 @@ class Master:
                 # Never allocate less than the task actually needs, and
                 # never more than the worker has in total.
                 alloc = alloc.max_with(task.footprint)
+                if task.min_allocation is not None:
+                    # Escalated retry: grant the post-escalation size,
+                    # capped at the whole worker so the task can still
+                    # be placed somewhere.
+                    alloc = (
+                        alloc.max_with(task.min_allocation)
+                        .min_with(worker.capacity)
+                        .max_with(task.footprint)
+                    )
                 if not alloc.fits_in(worker.capacity):
                     continue
             if not worker.can_fit(alloc):
@@ -219,6 +333,93 @@ class Master:
         best.assign(task, best_alloc)
         return True
 
+    # ---------------------------------------------------------- speculation
+    def _ensure_speculation_loop(self) -> None:
+        """Arm the straggler scan while work is in flight; the loop stops
+        itself when the queue drains so an idle master leaves the event
+        queue empty (drivers rely on that to detect completion)."""
+        if self.speculation is None or self._spec_loop is not None:
+            return
+        self._spec_loop = PeriodicTask(
+            self.engine, self.speculation.check_period_s, self._speculation_scan
+        )
+
+    def _speculation_scan(self):
+        cfg = self.speculation
+        assert cfg is not None
+        if not self.running and not self.queue and not self._backoff_pending:
+            self._spec_loop = None
+            return False  # drained; re-armed by the next submit
+        if not self.available:
+            return None
+        if self.queue:
+            # Real work is waiting; speculation only uses capacity that
+            # would otherwise sit idle (Hadoop's backup-task rule).
+            return None
+        for task in list(self.running.values()):
+            if len(self._spec) >= cfg.max_live:
+                break
+            if task.speculation_of is not None or task.id in self._spec:
+                continue
+            if task.state is not TaskState.RUNNING or task.start_time is None:
+                continue
+            stats = self.monitor.category(task.category)
+            if stats is None or stats.count < cfg.min_samples:
+                continue
+            mean = stats.mean_execute_s
+            if mean <= 0:
+                continue
+            elapsed = self.engine.now - task.start_time
+            if elapsed < max(cfg.min_age_s, cfg.slowdown_factor * mean):
+                continue
+            self._launch_speculative(task, mean)
+        return None
+
+    def _launch_speculative(self, original: Task, predicted_runtime: float) -> bool:
+        """Re-execute a straggler on another worker, first-completion-wins.
+        The copy is sized like the original but runs for the category's
+        expected time (a healthy re-execution)."""
+        clone = Task(
+            original.category,
+            execute_s=predicted_runtime,
+            footprint=original.footprint,
+            declared=original.declared,
+            cpu_fraction=original.cpu_fraction,
+            inputs=original.inputs,
+            outputs=original.outputs,
+            command=f"speculative:{original.command}",
+            tag="speculative",
+            priority=original.priority,
+        )
+        clone.speculation_of = original.id
+        clone.min_allocation = original.min_allocation
+        clone.submit_time = original.submit_time
+        if not self._try_place(clone, exclude=self._worker_running(original.id)):
+            return False
+        self._spec[original.id] = clone
+        self._spec_origin[clone.id] = original
+        self.tasks_speculated += 1
+        return True
+
+    def _drop_speculation_entry(self, clone: Task) -> None:
+        """Forget a speculative copy that died; the original continues."""
+        original = self._spec_origin.pop(clone.id, None)
+        if original is not None:
+            self._spec.pop(original.id, None)
+
+    def _cancel_speculation_for(self, original: Task) -> None:
+        """The original resolved (completed or abandoned): abort its copy."""
+        clone = self._spec.pop(original.id, None)
+        if clone is None:
+            return
+        self._spec_origin.pop(clone.id, None)
+        self.running.pop(clone.id, None)
+        host = self._worker_running(clone.id)
+        if host is not None:
+            self._charge_waste(clone)
+            host.cancel_run(clone)
+        clone.state = TaskState.FAILED
+
     # ----------------------------------------------------------- completion
     def task_finished(self, worker: Worker, task: Task) -> None:
         if not self.available:
@@ -228,6 +429,13 @@ class Master:
         self._finalize_completion(worker, task)
 
     def _finalize_completion(self, worker: Worker, task: Task) -> None:
+        if task.speculation_of is not None:
+            self._finalize_speculative_win(worker, task)
+            return
+        # First-completion-wins: the original beat its speculative copy.
+        if task.id in self._spec:
+            self.speculation_losses += 1
+            self._cancel_speculation_for(task)
         self.running.pop(task.id, None)
         task.state = TaskState.DONE
         task.finish_time = self.engine.now
@@ -251,6 +459,48 @@ class Master:
         self.monitor.record(result)
         for fn in list(self._callbacks):
             fn(task, result)
+        self._schedule_dispatch()
+
+    def _finalize_speculative_win(self, worker: Worker, clone: Task) -> None:
+        """A speculative copy finished first: cancel the straggling
+        original wherever it is and complete *the original* with the
+        copy's timings (the workflow manager only knows the original)."""
+        self.running.pop(clone.id, None)
+        original = self._spec_origin.pop(clone.id, None)
+        if original is None:
+            return  # already resolved (stale copy)
+        self._spec.pop(original.id, None)
+        self.speculation_wins += 1
+        self.running.pop(original.id, None)
+        if original in self.queue:
+            self.queue.remove(original)
+        host = self._worker_running(original.id)
+        if host is not None:
+            self._charge_waste(original)
+            host.cancel_run(original)
+        clone.state = TaskState.DONE
+        original.state = TaskState.DONE
+        original.finish_time = self.engine.now
+        assert original.submit_time is not None
+        assert clone.dispatch_time is not None
+        assert clone.start_time is not None
+        result = TaskResult(
+            task_id=original.id,
+            category=original.category,
+            worker_name=worker.name,
+            submit_time=original.submit_time,
+            dispatch_time=clone.dispatch_time,
+            start_time=clone.start_time,
+            finish_time=self.engine.now,
+            execute_seconds=clone.execute_s,
+            measured_resources=original.footprint,
+            attempts=original.attempts + 1,
+        )
+        original.result = result
+        self.done.append(original)
+        self.monitor.record(result)
+        for fn in list(self._callbacks):
+            fn(original, result)
         self._schedule_dispatch()
 
     # ----------------------------------------------------------------- stats
@@ -289,9 +539,18 @@ class Master:
 
     @property
     def all_done(self) -> bool:
-        return not self.queue and not self.running
+        return not self.queue and not self.running and self._backoff_pending == 0
 
     # ----------------------------------------------------------- accounting
+    def goodput_core_s(self) -> float:
+        """Core-seconds of completed, kept work (execution time only —
+        the complement of :attr:`wasted_core_s`)."""
+        return sum(
+            t.result.execute_seconds * t.result.measured_resources.cores
+            for t in self.done
+            if t.result is not None
+        )
+
     def cores_in_use(self) -> float:
         """RIU in cores: footprint cores of currently executing tasks."""
         return sum(w.cores_in_use() for w in self.workers.values())

@@ -29,6 +29,11 @@ class CategoryStats:
     min_execute_s: float = float("inf")
     max_resources: ResourceVector = field(default_factory=ResourceVector.zero)
     total_cores: float = 0.0
+    #: Allocation floor raised by resource-exhaustion kills (Work Queue's
+    #: max-allocation escalation); served through ``resource_estimate`` so
+    #: both the dispatcher and HTA's planner see post-escalation sizes.
+    escalated_floor: ResourceVector = field(default_factory=ResourceVector.zero)
+    escalations: int = 0
 
     def observe(self, execute_s: float, resources: ResourceVector) -> None:
         self.count += 1
@@ -37,6 +42,12 @@ class CategoryStats:
         self.min_execute_s = min(self.min_execute_s, execute_s)
         self.max_resources = self.max_resources.max_with(resources)
         self.total_cores += resources.cores
+
+    def observe_exhaustion(self, required: ResourceVector) -> None:
+        """A task of this category was killed for exceeding its
+        allocation; raise the category floor to what the retry needs."""
+        self.escalated_floor = self.escalated_floor.max_with(required)
+        self.escalations += 1
 
     @property
     def mean_execute_s(self) -> float:
@@ -52,9 +63,11 @@ class CategoryStats:
         Cores are never padded below one whole core's granularity issue:
         we pad multiplicatively and leave rounding to the dispatcher.
         """
-        if self.count == 0:
+        if self.count == 0 and self.escalated_floor.is_zero():
             return None
-        return self.max_resources.scale(1.0 + safety_margin)
+        return self.max_resources.scale(1.0 + safety_margin).max_with(
+            self.escalated_floor
+        )
 
     def runtime_estimate(self) -> Optional[float]:
         return self.mean_execute_s if self.count else None
@@ -75,6 +88,11 @@ class ResourceMonitor:
         self.results.append(result)
         stats = self._stats.setdefault(result.category, CategoryStats(result.category))
         stats.observe(result.execute_seconds, result.measured_resources)
+
+    def observe_exhaustion(self, category: str, required: ResourceVector) -> None:
+        """Record a resource-exhaustion escalation for ``category``."""
+        stats = self._stats.setdefault(category, CategoryStats(category))
+        stats.observe_exhaustion(required)
 
     # ---------------------------------------------------------------- reads
     def category(self, name: str) -> Optional[CategoryStats]:
@@ -100,6 +118,10 @@ class ResourceMonitor:
     @property
     def completed_count(self) -> int:
         return len(self.results)
+
+    @property
+    def escalation_count(self) -> int:
+        return sum(s.escalations for s in self._stats.values())
 
     def mean_turnaround(self) -> float:
         if not self.results:

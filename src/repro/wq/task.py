@@ -129,6 +129,12 @@ class Task:
         self.finish_time: Optional[float] = None
         #: Resources reserved on the worker for this run (set at dispatch).
         self.allocation: Optional[ResourceVector] = None
+        #: Escalated allocation floor after a resource-exhaustion kill
+        #: (Work Queue's max-allocation retry); survives retries.
+        self.min_allocation: Optional[ResourceVector] = None
+        #: Set on speculative copies: the id of the straggler this task
+        #: duplicates (first completion wins; the loser is cancelled).
+        self.speculation_of: Optional[int] = None
         self.result: Optional[TaskResult] = None
 
     # ---------------------------------------------------------------- sizes

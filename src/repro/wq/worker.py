@@ -92,6 +92,7 @@ class Worker:
         self._inflight_cacheable: Dict[str, List[_TaskRun]] = {}
         self.runs: Dict[int, _TaskRun] = {}
         self.tasks_completed = 0
+        self.tasks_failed = 0
         self.connected_time: Optional[float] = None
         latency = self.CONNECT_LATENCY if connect_latency is None else connect_latency
         engine.call_in(latency, self._connect)
@@ -257,7 +258,27 @@ class Worker:
         task.state = TaskState.RUNNING
         task.start_time = self.engine.now
         run.transfers.clear()
+        fault = self.master.draw_fault(task, run.allocation)
+        if fault is not None:
+            delay = max(0.0, fault.at_fraction * task.execute_s)
+            run.exec_event = self.engine.call_in(
+                delay, self._execution_failed, run, fault
+            )
+            return
         run.exec_event = self.engine.call_in(task.execute_s, self._execution_done, run)
+
+    def _execution_failed(self, run: _TaskRun, fault) -> None:
+        """The attempt died (nonzero exit or allocation enforcement)."""
+        if run.task.id not in self.runs:
+            return
+        task = run.task
+        run.exec_event = None
+        del self.runs[task.id]
+        task.state = TaskState.FAILED
+        self.tasks_failed += 1
+        self.master.task_failed(self, task, fault)
+        if self.state is WorkerState.DRAINING and not self.runs:
+            self._stop()
 
     def _execution_done(self, run: _TaskRun) -> None:
         if run.task.id not in self.runs:
@@ -272,6 +293,34 @@ class Worker:
             on_complete=lambda _t, r=run: self._outputs_delivered(r),
         )
         run.transfers.append(t)
+
+    def cancel_run(self, task: Task) -> bool:
+        """Abort one task without touching the rest of the worker (the
+        master cancels the losing copy of a speculative pair this way).
+        Returns False if the task is not on this worker. The master is
+        *not* notified — the caller owns the bookkeeping."""
+        run = self.runs.pop(task.id, None)
+        if run is None:
+            return False
+        if run.exec_event is not None:
+            run.exec_event.cancel()
+            run.exec_event = None
+        # Drop out of any single-flight fetch we merely joined...
+        for name, waiters in list(self._inflight_cacheable.items()):
+            if run in waiters:
+                waiters.remove(run)
+            if not waiters:
+                # Nobody is left waiting; forget the fetch (its transfer,
+                # if this run owned it, is cancelled just below).
+                del self._inflight_cacheable[name]
+        # ...but keep cacheable fetches other live runs still wait on.
+        keep = {f"{self.name}:in:{name}" for name in self._inflight_cacheable}
+        for transfer in run.transfers:
+            if not transfer.done and transfer.label not in keep:
+                self.master.link.cancel(transfer)
+        if self.state is WorkerState.DRAINING and not self.runs:
+            self._stop()
+        return True
 
     def _outputs_delivered(self, run: _TaskRun) -> None:
         if run.task.id not in self.runs:

@@ -179,3 +179,254 @@ class TestChaos:
         chaos = ChaosInjector(engine, cluster.api, rng)
         with pytest.raises(ValueError):
             chaos.schedule_node_failures(0.0)
+
+    def test_kill_node_counts_pod_victims(self, engine, rng, cluster):
+        """`kill_node` must add every co-located pod to `pods_killed`."""
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        pods = [
+            Pod(f"p{i}", PodSpec(ContainerImage("i", 10), ResourceVector(1, 512, 512)))
+            for i in range(3)
+        ]
+        for p in pods:
+            cluster.api.create(p)
+        engine.run(until=30.0)
+        node = pods[0].node
+        victims = chaos.kill_node(node)
+        assert chaos.pods_killed == len(victims)
+        assert chaos.nodes_killed == 1
+
+    def test_evict_pod_counts(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        pod = Pod("p", PodSpec(ContainerImage("i", 10), ResourceVector(1, 512, 512)))
+        cluster.api.create(pod)
+        engine.run(until=30.0)
+        chaos.evict_pod(pod)
+        assert chaos.pods_killed == 1
+        assert chaos.nodes_killed == 0
+
+
+class TestScheduledPodEvictions:
+    @pytest.fixture
+    def cluster(self, engine, rng):
+        return Cluster(
+            engine,
+            rng,
+            ClusterConfig(
+                machine_type=N1_STANDARD_4,
+                min_nodes=3,
+                max_nodes=5,
+                node_reservation_mean_s=60.0,
+                node_reservation_std_s=0.0,
+                registry_jitter_cv=0.0,
+            ),
+        )
+
+    def make_pods(self, engine, cluster, n=4, app="w"):
+        pods = [
+            Pod(
+                f"{app}{i}",
+                PodSpec(
+                    ContainerImage("i", 10),
+                    ResourceVector(1, 512, 512),
+                    labels={"app": app},
+                ),
+            )
+            for i in range(n)
+        ]
+        for p in pods:
+            cluster.api.create(p)
+        engine.run(until=30.0)
+        return pods
+
+    def test_evictions_fire_and_stop(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        self.make_pods(engine, cluster, n=4)
+        chaos.schedule_pod_evictions(60.0, start_after=40.0)
+        engine.run(until=400.0)
+        assert chaos.pods_killed >= 1
+        chaos.stop()
+        before = chaos.pods_killed
+        engine.run(until=1000.0)
+        assert chaos.pods_killed == before
+
+    def test_selector_limits_victims(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        workers = self.make_pods(engine, cluster, n=3, app="w")
+        protected = self.make_pods(engine, cluster, n=2, app="m")
+        chaos.schedule_pod_evictions(50.0, start_after=35.0, selector={"app": "w"})
+        engine.run(until=600.0)
+        assert chaos.pods_killed >= 1
+        assert all(p.phase is PodPhase.RUNNING for p in protected)
+        assert any(p.phase.terminal for p in workers)
+
+    def test_same_seed_same_schedule(self, engine, rng, cluster):
+        """Two injectors over identical pod sets draw identical gaps."""
+
+        def run_once(seed):
+            from repro.sim.engine import Engine
+
+            eng = Engine()
+            reg = RngRegistry(seed)
+            clu = Cluster(
+                eng,
+                reg,
+                ClusterConfig(
+                    machine_type=N1_STANDARD_4,
+                    min_nodes=3,
+                    max_nodes=5,
+                    node_reservation_mean_s=60.0,
+                    node_reservation_std_s=0.0,
+                    registry_jitter_cv=0.0,
+                ),
+            )
+            pods = [
+                Pod(
+                    f"w{i}",
+                    PodSpec(ContainerImage("i", 10), ResourceVector(1, 512, 512)),
+                )
+                for i in range(4)
+            ]
+            for p in pods:
+                clu.api.create(p)
+            eng.run(until=30.0)
+            chaos = ChaosInjector(eng, clu.api, reg)
+            chaos.schedule_pod_evictions(60.0, start_after=40.0)
+            eng.run(until=500.0)
+            return chaos.pods_killed, sorted(
+                p.name for p in pods if p.phase.terminal
+            )
+
+        assert run_once(7) == run_once(7)
+
+    def test_invalid_interval_rejected(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        with pytest.raises(ValueError):
+            chaos.schedule_pod_evictions(-5.0)
+
+
+class TestProvisioningFaultWindows:
+    @pytest.fixture
+    def cluster(self, engine, rng):
+        return Cluster(
+            engine,
+            rng,
+            ClusterConfig(
+                machine_type=N1_STANDARD_4,
+                min_nodes=2,
+                max_nodes=4,
+                node_reservation_mean_s=60.0,
+                node_reservation_std_s=0.0,
+                registry_jitter_cv=0.0,
+            ),
+        )
+
+    def test_boot_failure_window_auto_restores(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng, cloud=cluster.cloud)
+        chaos.begin_boot_failures(1.0, duration_s=100.0)
+        assert cluster.cloud.boot_failure_prob == 1.0
+        assert chaos.boot_failure_windows == 1
+        engine.run(until=150.0)
+        assert cluster.cloud.boot_failure_prob == cluster.cloud.config.boot_failure_prob
+
+    def test_boot_faults_require_cloud_handle(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        with pytest.raises(RuntimeError):
+            chaos.begin_boot_failures(0.5)
+
+    def test_boot_failure_prob_validated(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng, cloud=cluster.cloud)
+        with pytest.raises(ValueError):
+            chaos.begin_boot_failures(1.5)
+
+    def test_pull_stall_window_auto_restores(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng, registry=cluster.registry)
+        chaos.begin_image_pull_stall(3.0, duration_s=50.0)
+        assert cluster.registry.stall_factor == 3.0
+        assert chaos.pull_stall_windows == 1
+        engine.run(until=80.0)
+        assert cluster.registry.stall_factor == 1.0
+
+    def test_pull_stalls_require_registry_handle(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng)
+        with pytest.raises(RuntimeError):
+            chaos.begin_image_pull_stall(2.0)
+
+    def test_pull_stall_factor_validated(self, engine, rng, cluster):
+        chaos = ChaosInjector(engine, cluster.api, rng, registry=cluster.registry)
+        with pytest.raises(ValueError):
+            chaos.begin_image_pull_stall(0.5)
+
+
+class TestMasterFailoverUnderChaos:
+    """Satellite: kill the master's node mid-workload; the StatefulSet's
+    sticky replacement must resume the queue and the workload must finish."""
+
+    def make_stack(self, engine):
+        from repro.cluster.node import N1_STANDARD_4_RESERVED
+        from repro.hta.deployment import MasterDeployment
+        from repro.hta.provisioner import WorkerProvisioner
+        from repro.wq.estimator import DeclaredResourceEstimator
+        from repro.wq.link import Link
+        from repro.wq.master import Master
+        from repro.wq.runtime import WorkerPodRuntime
+        from repro.wq.task import Task
+
+        cluster = Cluster(
+            engine,
+            RngRegistry(44),
+            ClusterConfig(
+                machine_type=N1_STANDARD_4_RESERVED,
+                min_nodes=3,
+                max_nodes=6,
+                node_reservation_mean_s=80.0,
+                node_reservation_std_s=0.0,
+                registry_jitter_cv=0.0,
+            ),
+        )
+        master = Master(
+            engine,
+            Link(engine, 500.0),
+            estimator=DeclaredResourceEstimator(),
+            start_available=False,
+        )
+        deployment = MasterDeployment(engine, cluster.api, master)
+        runtime = WorkerPodRuntime(engine, cluster.api, cluster.kubelets, master)
+        provisioner = WorkerProvisioner(
+            engine,
+            cluster.api,
+            runtime,
+            image=ContainerImage("wq-worker", 100.0),
+            worker_request=N1_STANDARD_4_RESERVED.allocatable,
+        )
+        foot = ResourceVector(1, 1024, 512)
+        tasks = [
+            Task("c", execute_s=60.0, footprint=foot, declared=foot) for _ in range(10)
+        ]
+        return cluster, master, deployment, provisioner, tasks
+
+    def test_chaos_kill_of_master_node_resumes_workload(self, engine):
+        from repro.wq.task import TaskState
+
+        cluster, master, deployment, provisioner, tasks = self.make_stack(engine)
+        provisioner.create_workers(2)
+        master.submit_many(tasks)
+        engine.run(until=40.0)
+        assert master.available
+        running_before = master.stats().running
+        assert running_before > 0  # genuinely mid-workload
+
+        chaos = ChaosInjector(engine, cluster.api, RngRegistry(45))
+        victims = chaos.kill_node(deployment.master_pod.node)
+        assert chaos.pods_killed == len(victims) >= 1
+        engine.run(until=45.0)
+        assert not master.available
+        assert master.outages == 1
+
+        engine.run(until=4000.0)
+        # Sticky replacement came back under the same ordinal identity...
+        assert master.available
+        assert deployment.controller.pods_replaced >= 1
+        assert deployment.master_pod.name == f"{master.name}-0"
+        # ...and the workload ran to completion.
+        assert all(t.state is TaskState.DONE for t in tasks)
+        assert master.all_done

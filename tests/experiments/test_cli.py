@@ -11,7 +11,19 @@ class TestCli:
     def test_all_figures_registered(self):
         assert set(FIGURES) == {
             "fig2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "forecast",
+            "resilience",
         }
+
+    def test_smoke_flag_runs_resilience(self, capsys):
+        rc = main(["resilience", "--smoke"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resilience" in out
+
+    def test_smoke_flag_rejected_for_full_figures(self, capsys):
+        rc = main(["fig6", "--smoke"])
+        # --smoke silently applies only to smoke-capable figures.
+        assert rc == 0
 
     def test_every_figure_has_a_description(self):
         assert set(DESCRIPTIONS) == set(FIGURES)

@@ -134,3 +134,54 @@ class TestTracking:
         cold_start_pod(api, engine, "mine", created=300.0, ready=460.0, label="wq-worker")
         engine.run()
         assert tracker.sample_count == 1
+
+
+class TestRobustMode:
+    def test_median_resists_one_pathological_sample(self, engine, api):
+        tracker = InitTimeTracker(api, robust=True, window=5)
+        cold_start_pod(api, engine, "p1", created=0.0, ready=150.0)
+        cold_start_pod(api, engine, "p2", created=300.0, ready=460.0)
+        # A pull-stalled cold start: 900 s instead of ~150 s.
+        cold_start_pod(api, engine, "p3", created=600.0, ready=1500.0)
+        engine.run()
+        assert tracker.sample_count == 3
+        # median(150, 160, 900) = 160 — the outlier does not poison the
+        # planning horizon the way latest-sample (900) would.
+        assert tracker.current() == pytest.approx(160.0)
+
+    def test_window_limits_lookback(self, engine, api):
+        tracker = InitTimeTracker(api, robust=True, window=2)
+        cold_start_pod(api, engine, "p1", created=0.0, ready=100.0)
+        cold_start_pod(api, engine, "p2", created=300.0, ready=500.0)
+        cold_start_pod(api, engine, "p3", created=700.0, ready=920.0)
+        engine.run()
+        # Only the last two samples (200, 220) are considered.
+        assert tracker.current() == pytest.approx(210.0)
+
+    def test_default_mode_unchanged(self, engine, api):
+        tracker = InitTimeTracker(api)  # the paper's latest-sample rule
+        cold_start_pod(api, engine, "p1", created=0.0, ready=150.0)
+        cold_start_pod(api, engine, "p2", created=600.0, ready=1500.0)
+        engine.run()
+        assert tracker.current() == pytest.approx(900.0)
+
+    def test_prior_served_before_samples_in_robust_mode(self, api):
+        tracker = InitTimeTracker(api, prior_s=160.0, robust=True)
+        assert tracker.current() == 160.0
+
+    def test_invalid_window_rejected(self, api):
+        with pytest.raises(ValueError):
+            InitTimeTracker(api, robust=True, window=0)
+
+    def test_failed_pods_never_sampled(self, engine, api):
+        """A boot-failed pod (never Running) must not contribute."""
+        tracker = InitTimeTracker(api, robust=True)
+        pod = Pod("dead", PodSpec(ContainerImage("i", 1), ResourceVector(1, 1, 1)))
+        api.create(pod)
+        pod.add_event(engine.now, REASON_FAILED_SCHEDULING, "Insufficient Resource")
+        api.mark_modified(pod)
+        engine.run()
+        api.try_delete("Pod", "dead")  # timed out and reaped
+        engine.run()
+        assert tracker.sample_count == 0
+        assert tracker.current() == tracker.prior_s

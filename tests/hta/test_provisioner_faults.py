@@ -1,0 +1,160 @@
+"""Tests for defensive provisioning: pending timeouts and the breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.images import ContainerImage
+from repro.cluster.node import N1_STANDARD_4_RESERVED
+from repro.hta.provisioner import ProvisionerFaultConfig, WorkerProvisioner
+from repro.sim.rng import RngRegistry
+from repro.wq.link import Link
+from repro.wq.master import Master
+from repro.wq.runtime import WorkerPodRuntime
+
+#: Timeout comfortably above a healthy cold start (~110 s here), so
+#: only genuinely stuck pods are reaped — mirroring the real default's
+#: 420 s vs ~157 s relationship.
+FAULTS = ProvisionerFaultConfig(
+    pending_timeout_s=120.0,
+    check_period_s=10.0,
+    retry_backoff_base_s=5.0,
+    retry_backoff_max_s=40.0,
+    breaker_threshold=2,
+    breaker_cooldown_s=300.0,
+)
+
+
+@pytest.fixture
+def stack(engine):
+    """Two healthy base nodes; every *new* reservation fails to boot."""
+    cluster = Cluster(
+        engine,
+        RngRegistry(21),
+        ClusterConfig(
+            machine_type=N1_STANDARD_4_RESERVED,
+            min_nodes=2,
+            max_nodes=8,
+            node_reservation_mean_s=100.0,
+            node_reservation_std_s=0.0,
+            registry_jitter_cv=0.0,
+            node_boot_failure_prob=1.0,
+        ),
+    )
+    master = Master(engine, Link(engine, 500.0))
+    runtime = WorkerPodRuntime(engine, cluster.api, cluster.kubelets, master)
+    provisioner = WorkerProvisioner(
+        engine,
+        cluster.api,
+        runtime,
+        image=ContainerImage("wq-worker", 100.0),
+        worker_request=N1_STANDARD_4_RESERVED.allocatable,
+        fault_config=FAULTS,
+    )
+    return cluster, provisioner
+
+
+class TestPendingTimeouts:
+    def test_stuck_pods_deleted_and_retried(self, engine, stack):
+        cluster, provisioner = stack
+        provisioner.create_workers(4)  # 2 run on base nodes, 2 stuck
+        engine.run(until=160.0)
+        assert provisioner.pods_timed_out == 2
+        assert provisioner.retries_scheduled == 2
+        assert provisioner.pending_pods() == []  # stuck pods deleted
+        assert len(provisioner.running_pods()) == 2  # healthy ones live
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProvisionerFaultConfig(pending_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ProvisionerFaultConfig(breaker_threshold=0)
+        with pytest.raises(ValueError):
+            ProvisionerFaultConfig(breaker_cooldown_s=-1.0)
+
+    def test_no_fault_config_never_times_out(self, engine):
+        cluster = Cluster(
+            engine,
+            RngRegistry(22),
+            ClusterConfig(
+                machine_type=N1_STANDARD_4_RESERVED,
+                min_nodes=1,
+                max_nodes=4,
+                node_reservation_mean_s=100.0,
+                node_reservation_std_s=0.0,
+                registry_jitter_cv=0.0,
+                node_boot_failure_prob=1.0,
+            ),
+        )
+        master = Master(engine, Link(engine, 500.0))
+        runtime = WorkerPodRuntime(engine, cluster.api, cluster.kubelets, master)
+        provisioner = WorkerProvisioner(
+            engine,
+            cluster.api,
+            runtime,
+            image=ContainerImage("wq-worker", 100.0),
+            worker_request=N1_STANDARD_4_RESERVED.allocatable,
+        )
+        provisioner.create_workers(3)
+        engine.run(until=500.0)
+        assert provisioner.pods_timed_out == 0
+        assert len(provisioner.pending_pods()) == 2  # stuck but untouched
+
+
+class TestCircuitBreaker:
+    def test_opens_under_sustained_boot_failures(self, engine, stack):
+        cluster, provisioner = stack
+        provisioner.create_workers(4)
+        engine.run(until=160.0)
+        # Two simultaneous timeouts cross breaker_threshold=2.
+        assert provisioner.breaker_state == "open"
+        assert provisioner.breaker_opens == 1
+        # While open, scale-up requests are suppressed wholesale.
+        assert provisioner.create_workers(3) == []
+        assert provisioner.creations_suppressed >= 3
+
+    def test_half_open_admits_single_probe(self, engine, stack):
+        cluster, provisioner = stack
+        provisioner.create_workers(4)
+        engine.run(until=160.0)
+        assert provisioner.breaker_state == "open"
+        engine.run(until=160.0 + FAULTS.breaker_cooldown_s)
+        created = provisioner.create_workers(3)
+        assert len(created) == 1  # the probe
+        assert provisioner.breaker_state == "half_open"
+        assert provisioner.create_workers(2) == []  # probe outstanding
+
+    def test_failed_probe_reopens(self, engine, stack):
+        cluster, provisioner = stack
+        provisioner.create_workers(4)
+        engine.run(until=160.0)
+        engine.run(until=160.0 + FAULTS.breaker_cooldown_s)
+        provisioner.create_workers(1)  # probe; boot failures still on
+        engine.run(until=engine.now + FAULTS.pending_timeout_s + 20.0)
+        assert provisioner.breaker_state == "open"
+        assert provisioner.breaker_opens == 2
+
+    def test_closes_when_provisioning_recovers(self, engine, stack):
+        cluster, provisioner = stack
+        provisioner.create_workers(4)
+        engine.run(until=160.0)
+        assert provisioner.breaker_state == "open"
+        # The substrate heals: reservations boot again.
+        cluster.cloud.boot_failure_prob = 0.0
+        engine.run(until=160.0 + FAULTS.breaker_cooldown_s)
+        probe = provisioner.create_workers(1)
+        assert len(probe) == 1
+        # Reservation (~100 s) + pull + start: the probe reaches Running,
+        # which closes the breaker.
+        engine.run(until=engine.now + 150.0)
+        assert provisioner.breaker_state == "closed"
+        assert provisioner.breaker_closes == 1
+        # Full-rate scale-up is restored.
+        assert len(provisioner.create_workers(2)) == 2
+
+    def test_check_loop_stops_cleanly(self, engine, stack):
+        cluster, provisioner = stack
+        provisioner.stop()
+        assert provisioner._check_loop is None
+        provisioner.stop()  # idempotent

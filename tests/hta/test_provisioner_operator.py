@@ -226,3 +226,24 @@ class TestOperator:
         op.notify_no_more_jobs()
         engine.run(until=60.0)
         assert master.stats().workers_connected == 0
+
+    def test_escalated_allocation_enters_planning(self, engine, stack):
+        """A resource-exhaustion escalation recorded against the category
+        must show up in the sizes Algorithm 1 plans with — even above a
+        task's declared request."""
+        cluster, master, runtime, provisioner, tracker = stack
+        op = self.make_operator(engine, stack)
+        task = bag(1, declared=True)[0]
+        assert op._estimate_resources(task) == FOOT
+        escalated = FOOT.scale(1.5)
+        master.monitor.observe_exhaustion("c", escalated)
+        estimate = op._estimate_resources(task)
+        assert escalated.fits_in(estimate)
+
+    def test_escalation_beyond_worker_falls_back_to_declared(self, engine, stack):
+        cluster, master, runtime, provisioner, tracker = stack
+        op = self.make_operator(engine, stack)
+        task = bag(1, declared=True)[0]
+        # An escalation no worker can hold must not poison the plan.
+        master.monitor.observe_exhaustion("c", provisioner.worker_request.scale(2.0))
+        assert op._estimate_resources(task) == FOOT

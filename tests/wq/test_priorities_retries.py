@@ -98,6 +98,36 @@ class TestRetriesAndAbandonment:
         with pytest.raises(ValueError):
             Master(engine, Link(engine, 10.0), max_retries=-1)
 
+    def test_worker_lost_accounting_at_retry_boundary(self, engine, master):
+        """Losses up to max_retries requeue; the loss crossing the
+        boundary abandons exactly once — one callback, no re-dispatch."""
+        task = make_task(execute_s=1000.0)
+        master.submit(task)
+        abandoned = []
+        master.on_abandoned(abandoned.append)
+        # Losses 1 and 2 land exactly on max_retries=2: still requeued.
+        for i in range(2):
+            w = one_slot_worker(engine, master, f"w{i}")
+            engine.run(until=engine.now + 10.0)
+            w.kill()
+            assert abandoned == []
+        assert task.attempts == 2
+        assert master.tasks_requeued == 2
+        assert task in master.waiting_tasks()
+        # Loss 3 crosses the boundary: abandoned exactly once.
+        w = one_slot_worker(engine, master, "w2")
+        engine.run(until=engine.now + 10.0)
+        w.kill()
+        assert abandoned == [task]
+        assert master.abandoned == [task]
+        assert master.tasks_requeued == 2  # the final loss did not requeue
+        assert task not in master.waiting_tasks()
+        # A fresh worker must not pick the abandoned task back up.
+        one_slot_worker(engine, master, "fresh")
+        engine.run(until=engine.now + 20.0)
+        assert master.stats().running == 0
+        assert abandoned == [task]  # callback fired exactly once
+
 
 class TestWorkflowFailurePropagation:
     def test_manager_marks_failed_on_abandonment(self, engine, master):
