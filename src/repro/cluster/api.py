@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Type
+from typing import Callable, Dict, Iterable, List, Optional, Set, Type
 
 from repro.cluster.node import Node
 from repro.cluster.objects import KubeObject, Service, StatefulSet
@@ -33,6 +33,8 @@ class WatchEvent:
     type: WatchEventType
     obj: KubeObject
     time: float
+    #: The kind's resourceVersion this event advances the watcher to.
+    version: int = 0
 
 
 WatchHandler = Callable[[WatchEvent], None]
@@ -67,6 +69,19 @@ class KubeApiServer:
         self._stores: Dict[str, Dict[str, KubeObject]] = {k: {} for k in self.KINDS}
         self._watchers: Dict[str, List[WatchHandler]] = {k: [] for k in self.KINDS}
         self.writes = 0  # diagnostic: API write volume
+        #: Per-kind resourceVersion head, bumped on every notification.
+        self._versions: Dict[str, int] = {k: 0 for k in self.KINDS}
+        #: False during an injected API-server outage: the notification
+        #: plane is cut (watch events are lost) while writes from
+        #: co-located controllers still commit to the store — so when
+        #: service returns, caches are *behind* the store and must
+        #: relist. Defensive clients also check this flag before calls.
+        self.available = True
+        self.api_outages = 0
+        #: Watch events lost to outages or injected stream drops.
+        self.dropped_events = 0
+        #: Kinds whose watch streams are currently silently broken.
+        self._drop_kinds: Set[str] = set()
 
     # ---------------------------------------------------------------- CRUD
     def _store(self, kind: str) -> Dict[str, KubeObject]:
@@ -145,6 +160,42 @@ class KubeApiServer:
         if pod.node is not None:
             pod.node.unbind(pod)
 
+    # ------------------------------------------------------- fault windows
+    def begin_outage(self) -> None:
+        """API server down: watch notifications are lost until
+        :meth:`end_outage` (resourceVersions still advance — that gap is
+        exactly what informers detect as staleness)."""
+        if not self.available:
+            return
+        self.available = False
+        self.api_outages += 1
+
+    def end_outage(self) -> None:
+        self.available = True
+
+    def begin_watch_drop(self, kind: str) -> None:
+        """Silently break ``kind``'s watch streams: events are dropped
+        without any error, the failure mode client-go's relist-and-resync
+        exists for."""
+        self._drop_kinds.add(kind)
+
+    def end_watch_drop(self, kind: Optional[str] = None) -> None:
+        if kind is None:
+            self._drop_kinds.clear()
+        else:
+            self._drop_kinds.discard(kind)
+
+    def kind_version(self, kind: str) -> int:
+        """Current resourceVersion head for ``kind``."""
+        try:
+            return self._versions[kind]
+        except KeyError:
+            raise KeyError(f"unknown kind {kind!r}; known: {sorted(self._versions)}") from None
+
+    def watcher_count(self, kind: str) -> int:
+        """Registered watch handlers for ``kind`` (leak regression hook)."""
+        return len(self._watchers[kind])
+
     # --------------------------------------------------------------- watch
     def watch(self, kind: str, handler: WatchHandler, *, replay_existing: bool = True) -> None:
         """Subscribe to changes of ``kind``.
@@ -155,7 +206,15 @@ class KubeApiServer:
         self._watchers[kind].append(handler)
         if replay_existing:
             for obj in self.list(kind):
-                self.engine.call_soon(handler, WatchEvent(WatchEventType.ADDED, obj, self.engine.now))
+                self.engine.call_soon(
+                    handler,
+                    WatchEvent(
+                        WatchEventType.ADDED,
+                        obj,
+                        self.engine.now,
+                        version=obj.meta.resource_version,
+                    ),
+                )
 
     def unwatch(self, kind: str, handler: WatchHandler) -> None:
         try:
@@ -164,7 +223,17 @@ class KubeApiServer:
             pass
 
     def _notify(self, event_type: WatchEventType, obj: KubeObject) -> None:
-        event = WatchEvent(event_type, obj, self.engine.now)
+        version = self._versions[obj.kind] + 1
+        self._versions[obj.kind] = version
+        if event_type is not WatchEventType.DELETED:
+            obj.meta.resource_version = version
+        if not self.available or obj.kind in self._drop_kinds:
+            # The notification plane is down (outage) or this kind's
+            # streams are broken (drop window): the write happened, the
+            # version advanced, but nobody hears about it.
+            self.dropped_events += len(self._watchers[obj.kind])
+            return
+        event = WatchEvent(event_type, obj, self.engine.now, version=version)
         for handler in list(self._watchers[obj.kind]):
             self.engine.call_soon(handler, event)
 

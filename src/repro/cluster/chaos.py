@@ -26,6 +26,7 @@ from repro.sim.rng import RngRegistry
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cloud import CloudController
     from repro.cluster.images import ImageRegistry
+    from repro.wq.master import Master
 
 
 class ChaosInjector:
@@ -51,6 +52,9 @@ class ChaosInjector:
         self.pods_killed = 0
         self.boot_failure_windows = 0
         self.pull_stall_windows = 0
+        self.master_crashes = 0
+        self.api_outage_windows = 0
+        self.watch_drop_windows = 0
         self._schedules: List[PeriodicTask] = []
 
     # ------------------------------------------------------------- directed
@@ -94,6 +98,59 @@ class ChaosInjector:
         pod = pods[idx]
         self.evict_pod(pod)
         return pod
+
+    # ------------------------------------------------ control-plane faults
+    def crash_master(
+        self, master: "Master", *, restart_delay_s: Optional[float] = 60.0
+    ) -> None:
+        """Kill the Work Queue master process mid-run; its replacement
+        pod comes up ``restart_delay_s`` later and recovers (from the
+        journal, or cold — the master's ``replay_journal`` decides)."""
+        self.master_crashes += 1
+        master.crash(restart_delay_s=restart_delay_s)
+
+    def schedule_master_crash(
+        self, master: "Master", *, at_s: float, restart_delay_s: Optional[float] = 60.0
+    ) -> None:
+        self.engine.call_at(
+            at_s, lambda: self.crash_master(master, restart_delay_s=restart_delay_s)
+        )
+
+    def begin_api_outage(self, *, duration_s: Optional[float] = None) -> None:
+        """Take the API server's notification plane down; with
+        ``duration_s`` the outage ends itself."""
+        self.api.begin_outage()
+        self.api_outage_windows += 1
+        if duration_s is not None:
+            self.engine.call_in(duration_s, self.end_api_outage)
+
+    def end_api_outage(self) -> None:
+        self.api.end_outage()
+
+    def schedule_api_outage(self, *, at_s: float, duration_s: float) -> None:
+        self.engine.call_at(
+            at_s, lambda: self.begin_api_outage(duration_s=duration_s)
+        )
+
+    def begin_watch_drop(
+        self, kind: str = "Pod", *, duration_s: Optional[float] = None
+    ) -> None:
+        """Silently break one kind's watch streams (events vanish, no
+        error — the informer only notices via staleness/resync)."""
+        self.api.begin_watch_drop(kind)
+        self.watch_drop_windows += 1
+        if duration_s is not None:
+            self.engine.call_in(duration_s, self.end_watch_drop, kind)
+
+    def end_watch_drop(self, kind: Optional[str] = None) -> None:
+        self.api.end_watch_drop(kind)
+
+    def schedule_watch_drop(
+        self, *, at_s: float, duration_s: float, kind: str = "Pod"
+    ) -> None:
+        self.engine.call_at(
+            at_s, lambda: self.begin_watch_drop(kind, duration_s=duration_s)
+        )
 
     # ------------------------------------------------- provisioning faults
     def begin_boot_failures(

@@ -24,7 +24,7 @@ def _next_uid(kind: str) -> str:
 class ObjectMeta:
     """Name, uid, labels and creation timestamp of an API object."""
 
-    __slots__ = ("name", "uid", "labels", "creation_time")
+    __slots__ = ("name", "uid", "labels", "creation_time", "resource_version")
 
     def __init__(
         self,
@@ -37,6 +37,10 @@ class ObjectMeta:
         self.uid = _next_uid(kind)
         self.labels: Dict[str, str] = dict(labels or {})
         self.creation_time = creation_time
+        #: Monotone per-kind write counter stamped by the API server on
+        #: every create/modify; informers compare it against the store's
+        #: head to detect missed watch events (client-go semantics).
+        self.resource_version = 0
 
     def matches(self, selector: Dict[str, str]) -> bool:
         """True iff every key/value in ``selector`` is present in labels."""

@@ -25,6 +25,7 @@ from repro.experiments import (
     fig10,
     fig11,
     forecast_cmp,
+    recovery,
     resilience,
 )
 
@@ -37,11 +38,12 @@ _MODULES = {
     "fig10": fig10,
     "fig11": fig11,
     "forecast": forecast_cmp,
+    "recovery": recovery,
     "resilience": resilience,
 }
 
 #: Experiments whose ``main`` accepts a ``smoke=`` reduced-scale mode.
-_SMOKE_CAPABLE = {"resilience"}
+_SMOKE_CAPABLE = {"recovery", "resilience"}
 
 FIGURES: Dict[str, Callable[[int], str]] = {
     name: module.main for name, module in _MODULES.items()
@@ -92,6 +94,34 @@ def main(argv: list[str] | None = None) -> int:
             + "; ignored elsewhere)"
         ),
     )
+    parser.add_argument(
+        "--crash-at",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="recovery only: master crash time (default: 55%% of makespan)",
+    )
+    parser.add_argument(
+        "--outage-at",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="recovery only: API outage start (default: 20%% of makespan)",
+    )
+    parser.add_argument(
+        "--outage-duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="recovery only: API outage length (default: 15%% of makespan)",
+    )
+    parser.add_argument(
+        "--restart-delay",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="recovery only: crash-to-restart delay of the master",
+    )
     args = parser.parse_args(argv)
 
     if "list" in args.figures:
@@ -105,10 +135,17 @@ def main(argv: list[str] | None = None) -> int:
     for name in targets:
         started = time.time()
         print(f"\n=== {name} (seed={args.seed}) ===\n")
+        kwargs = {}
         if args.smoke and name in _SMOKE_CAPABLE:
-            FIGURES[name](args.seed, smoke=True)
-        else:
-            FIGURES[name](args.seed)
+            kwargs["smoke"] = True
+        if name == "recovery":
+            kwargs.update(
+                crash_at_s=args.crash_at,
+                outage_at_s=args.outage_at,
+                outage_duration_s=args.outage_duration,
+                restart_delay_s=args.restart_delay,
+            )
+        FIGURES[name](args.seed, **kwargs)
         print(f"\n[{name} regenerated in {time.time() - started:.1f}s wall time]")
     return 0
 

@@ -115,6 +115,24 @@ class FaultProfile:
     #: Robust (median) init-time estimation window; 0 keeps the paper's
     #: latest-sample estimate.
     robust_init_window: int = 5
+    # -- control-plane faults
+    #: Kill the master at this simulated time (None = never).
+    master_crash_at_s: Optional[float] = None
+    #: How long the crashed master stays down before restarting.
+    master_restart_delay_s: float = 60.0
+    #: Replay the transaction journal on restart; False models a cold
+    #: restart that forgets everything but the submitted task set.
+    journal_replay: bool = True
+    #: API-server outage window (None = never).
+    api_outage_at_s: Optional[float] = None
+    api_outage_duration_s: float = 300.0
+    #: Watch-stream disconnect window — events silently dropped.
+    watch_drop_at_s: Optional[float] = None
+    watch_drop_duration_s: float = 300.0
+    watch_drop_kind: str = "Pod"
+    #: Informer relist-and-resync cadence (None disables resync; the
+    #: informer then only heals via live watch events).
+    informer_resync_period_s: Optional[float] = 60.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -180,6 +198,7 @@ class _Stack:
             fault_model=fault_model,
             retry_policy=retry_policy,
             speculation=faults.speculation if faults is not None else None,
+            replay_journal=faults.journal_replay if faults is not None else True,
         )
         if faults is not None and faults.max_retries is not None:
             self.master.max_retries = faults.max_retries
@@ -212,6 +231,23 @@ class _Stack:
                 self.chaos.begin_image_pull_stall(
                     faults.pull_stall_factor,
                     duration_s=faults.pull_stall_duration_s,
+                )
+            if faults.master_crash_at_s is not None:
+                self.chaos.schedule_master_crash(
+                    self.master,
+                    at_s=faults.master_crash_at_s,
+                    restart_delay_s=faults.master_restart_delay_s,
+                )
+            if faults.api_outage_at_s is not None:
+                self.chaos.schedule_api_outage(
+                    at_s=faults.api_outage_at_s,
+                    duration_s=faults.api_outage_duration_s,
+                )
+            if faults.watch_drop_at_s is not None:
+                self.chaos.schedule_watch_drop(
+                    at_s=faults.watch_drop_at_s,
+                    duration_s=faults.watch_drop_duration_s,
+                    kind=faults.watch_drop_kind,
                 )
 
     def _make_estimator(self, kind: str) -> AllocationEstimator:
@@ -313,6 +349,23 @@ def _collect(
         fault_extras["chaos_nodes_killed"] = float(stack.chaos.nodes_killed)
         fault_extras["chaos_pods_killed"] = float(stack.chaos.pods_killed)
         fault_extras["boot_failures"] = float(stack.cluster.cloud.boot_failures)
+    if master.crashes > 0 or stack.chaos is not None:
+        fault_extras["master_crashes"] = float(master.crashes)
+        fault_extras["tasks_rerun"] = float(master.tasks_rerun)
+        fault_extras["duplicate_results"] = float(master.duplicate_results)
+        fault_extras["journal_records"] = float(len(master.journal))
+        fault_extras["api_outages"] = float(stack.cluster.api.api_outages)
+        fault_extras["dropped_watch_events"] = float(
+            stack.cluster.api.dropped_events
+        )
+        if master.last_crash_at is not None:
+            recovered = (
+                master.first_completion_after_recovery_at
+                if master.first_completion_after_recovery_at is not None
+                else master.last_recovered_at
+            )
+            if recovered is not None:
+                fault_extras["recovery_latency_s"] = recovered - master.last_crash_at
     fault_extras.update(extras)
     return ExperimentResult(
         name=name,
@@ -404,6 +457,11 @@ def run_hta_experiment(
             selector_label="wq-worker",
             robust=robust_window > 0,
             window=max(robust_window, 1),
+            resync_period_s=(
+                cfg.faults.informer_resync_period_s
+                if cfg.faults is not None
+                else None
+            ),
         )
     operator = HtaOperator(
         stack.engine, stack.master, provisioner, tracker, hta_config, stack.recorder
@@ -430,6 +488,12 @@ def run_hta_experiment(
         plans=float(len(operator.plans)),
         pods_created=float(provisioner.pods_created),
         drains=float(provisioner.drains_requested),
+        degraded_cycles=float(operator.degraded_cycles),
+        scale_downs_frozen=float(operator.scale_downs_frozen),
+        informer_resyncs=float(
+            getattr(getattr(tracker, "informer", None), "resyncs", 0)
+        ),
+        creations_deferred=float(provisioner.creations_deferred),
     )
 
 

@@ -86,6 +86,10 @@ class MasterDeployment:
         api.create(self.internal_service)
         api.watch("Pod", self._on_pod_event, replay_existing=True)
 
+    def close(self) -> None:
+        """Unsubscribe from the API server (end of an experiment run)."""
+        self.api.unwatch("Pod", self._on_pod_event)
+
     # --------------------------------------------------------------- events
     def _on_pod_event(self, event: WatchEvent) -> None:
         pod = event.obj

@@ -69,6 +69,7 @@ class InitTimeTracker:
         selector_label: Optional[str] = None,
         robust: bool = False,
         window: int = 5,
+        resync_period_s: Optional[float] = None,
     ) -> None:
         if prior_s <= 0:
             raise ValueError("prior_s must be positive")
@@ -81,9 +82,13 @@ class InitTimeTracker:
         self.latest_s: Optional[float] = None
         self.samples: List[float] = []
         self._seen: Dict[str, bool] = {}
-        self.informer = Informer(api, "Pod")
+        self.informer = Informer(api, "Pod", resync_period_s=resync_period_s)
         self.informer.on_update(self._pod_changed)
         self.informer.on_add(self._pod_changed)
+
+    def close(self) -> None:
+        """Unsubscribe the informer (experiments share one API server)."""
+        self.informer.close()
 
     # ---------------------------------------------------------------- reads
     def current(self) -> float:

@@ -83,6 +83,17 @@ class HtaConfig:
     forecast_max_tasks: int = 64
     #: Rolling error window for the hybrid mode's model pool.
     forecast_error_window: int = 32
+    #: Control-plane self-defense: when the API server is down, the
+    #: master is unreachable, or the informer cache is stale beyond
+    #: ``staleness_bound``, the resize cycle stops trusting its inputs —
+    #: scale-down freezes, the last-known-good init-time estimate is
+    #: held, and sizing falls back to conservative queue length.
+    degraded_mode: bool = True
+    #: Informer staleness (store writes not yet seen) above which the
+    #: feedback signal is considered broken. Healthy operation is
+    #: transiently nonzero (watch delivery is asynchronous), so the
+    #: bound must absorb a normal burst of in-flight events.
+    staleness_bound: int = 16
     estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
 
 
@@ -114,6 +125,10 @@ class HtaOperator:
         self.plans: List[ScalePlan] = []
         self.done_signal = Signal(engine, "hta.done")
         self._loop: Optional[PeriodicTask] = None
+        #: Degraded-mode telemetry (see :attr:`HtaConfig.degraded_mode`).
+        self.degraded_cycles = 0
+        self.scale_downs_frozen = 0
+        self._last_good_init: Optional[float] = None
         #: Hybrid-mode state (inert unless ``config.forecast_arrivals``).
         self.arrival_selector: Optional[OnlineModelSelector] = None
         self._arrivals_seen = 0
@@ -217,6 +232,12 @@ class HtaOperator:
         if self._arrival_sampler is not None:
             self._arrival_sampler.stop()
             self._arrival_sampler = None
+        close = getattr(self.init_tracker, "close", None)
+        if close is not None:
+            # Unsubscribe the tracker's informer (and stop its resync
+            # timer) so back-to-back experiments on one API server don't
+            # leak watch handlers. FixedInitTime has nothing to close.
+            close()
 
     @property
     def held_count(self) -> int:
@@ -247,10 +268,13 @@ class HtaOperator:
         """One runtime-stage pass; returns the delay to the next one."""
         if self._cleaned_up:
             return False  # stop the loop
+        if self.config.degraded_mode and self._degraded():
+            return self._degraded_cycle()
         if self.master.tasks_submitted == 0 and not self._no_more_jobs:
             # Still in warm-up: the initial pool stands until the first
             # jobs arrive; resizing starts with the runtime stage (§V-C).
             return self.config.estimator.default_cycle_s
+        self._last_good_init = self.init_tracker.current()
         plan = self.plan_once()
         self.plans.append(plan)
         self._apply(plan)
@@ -259,6 +283,55 @@ class HtaOperator:
             self.recorder.set("hta.plan.waiting_after", plan.waiting_after)
             self.recorder.set("hta.init_time", self.init_tracker.current())
         return max(self.config.estimator.min_cycle_s, plan.next_action_s)
+
+    def _degraded(self) -> bool:
+        """True when the control loop's feedback inputs cannot be
+        trusted: API server down, master unreachable, or informer cache
+        stale beyond the bound."""
+        api = getattr(self.provisioner, "api", None)
+        if api is not None and not getattr(api, "available", True):
+            return True
+        if not self.master.available:
+            return True
+        informer = getattr(self.init_tracker, "informer", None)
+        if informer is not None and informer.staleness() > self.config.staleness_bound:
+            return True
+        return False
+
+    def _degraded_cycle(self) -> float:
+        """Fail-safe resize pass: never scale down on stale data; size
+        the pool by raw queue length (one worker per backlogged task,
+        the conservative pre-Algorithm-1 rule) so live demand is always
+        covered; hold the last-known-good init time as the interval."""
+        self.degraded_cycles += 1
+        live = [
+            w
+            for w in self.master.connected_workers()
+            if w.state is WorkerState.READY
+        ]
+        backlog = 0
+        if self.master.available:
+            stats = self.master.stats()
+            backlog = stats.waiting + stats.running + self.held_count
+        target = max(
+            len(live),
+            min(self.config.max_workers, max(self.config.min_workers, backlog)),
+        )
+        pending = len(self.provisioner.pending_pods())
+        delta = target - (len(live) + pending)
+        if delta > 0:
+            self.provisioner.create_workers(delta)
+        elif delta < 0:
+            # Would shrink the pool — frozen until the signal recovers.
+            self.scale_downs_frozen += 1
+        if self.recorder is not None:
+            self.recorder.set("hta.degraded", 1.0)
+        hold = (
+            self._last_good_init
+            if self._last_good_init is not None
+            else self.config.estimator.default_cycle_s
+        )
+        return max(self.config.estimator.min_cycle_s, hold)
 
     def plan_once(self) -> ScalePlan:
         """Gather inputs and run Algorithm 1 (no side effects)."""

@@ -100,6 +100,8 @@ class WorkerProvisioner:
         self.retries_scheduled = 0
         self.breaker_opens = 0
         self.breaker_closes = 0
+        #: Creations skipped because the API server was unavailable.
+        self.creations_deferred = 0
         self._check_loop: Optional[PeriodicTask] = None
         if fault_config is not None:
             self._check_loop = PeriodicTask(
@@ -108,14 +110,21 @@ class WorkerProvisioner:
         api.watch("Pod", self._on_pod_event, replay_existing=False)
 
     def stop(self) -> None:
-        """Stop the defensive-provisioning loop (clean-up stage)."""
+        """Stop the defensive-provisioning loop and unsubscribe from the
+        API server (clean-up stage; experiments share one server)."""
         if self._check_loop is not None:
             self._check_loop.stop()
             self._check_loop = None
+        self.api.unwatch("Pod", self._on_pod_event)
 
     # -------------------------------------------------------------- scaling
     def create_workers(self, count: int) -> List[Pod]:
         """Create ``count`` worker pods (whole-node sized)."""
+        if not getattr(self.api, "available", True):
+            # API server down: the create calls would fail. The next
+            # (degraded) cycle re-evaluates demand and retries.
+            self.creations_deferred += max(0, count)
+            return []
         if self.fault_config is not None:
             count = self._breaker_admit(count)
         created: List[Pod] = []
@@ -173,6 +182,10 @@ class WorkerProvisioner:
         """Delete pods pending past the timeout; retry with backoff."""
         cfg = self.fault_config
         assert cfg is not None
+        if not getattr(self.api, "available", True):
+            # Can't delete or re-create anything during an outage; don't
+            # let timeout bookkeeping trip the breaker on stale reads.
+            return
         now = self.engine.now
         timed_out = [
             p

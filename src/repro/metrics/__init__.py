@@ -18,9 +18,12 @@ from repro.metrics.export import (
     series_rows,
     summary_dict,
 )
+from repro.metrics.recovery import RecoverySummary, format_recovery_table
 from repro.metrics.resilience import ResilienceSummary, format_resilience_table
 
 __all__ = [
+    "RecoverySummary",
+    "format_recovery_table",
     "ResilienceSummary",
     "format_resilience_table",
     "ResourceAccountant",

@@ -22,6 +22,7 @@ exercises:
 
 from repro.wq.task import FileSpec, Task, TaskState, TaskResult
 from repro.wq.link import Link, Transfer
+from repro.wq.journal import JournalRecord, ReplayedState, TransactionJournal
 from repro.wq.monitor import CategoryStats, ResourceMonitor
 from repro.wq.estimator import (
     AllocationEstimator,
@@ -41,6 +42,9 @@ __all__ = [
     "TaskResult",
     "Link",
     "Transfer",
+    "JournalRecord",
+    "ReplayedState",
+    "TransactionJournal",
     "CategoryStats",
     "ResourceMonitor",
     "AllocationEstimator",

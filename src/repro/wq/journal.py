@@ -1,0 +1,179 @@
+"""The master's replayable transaction journal (crash recovery).
+
+CCTools' Makeflow/Work Queue survive manager crashes by appending every
+state transition to an on-disk transaction log and replaying it on
+restart; the paper's §V-A deployment gives the master pod a persistent
+volume for exactly this. :class:`TransactionJournal` is that log: the
+master appends a record at each transition (submit / dispatch / retry /
+complete / abandon, plus exhaustion escalations), and
+:meth:`TransactionJournal.replay` folds the records back into the state
+a restarted master needs — the ready queue in its exact pre-crash order
+(retries re-enter at the front, like the live queue), completed results
+for the category statistics, per-task retry counters, and the set of
+``(task_id, attempt)`` deliveries already accepted, which makes result
+redelivery from still-running workers idempotent.
+
+Tasks that were dispatched but neither completed nor retried by crash
+time are *unclaimed*: their worker may still be running them. The
+recovered master re-adopts them as workers reconnect and requeues
+whatever is left when the reconnect grace window closes.
+
+Replay with ``completions=False`` models a **cold restart** — the log
+was lost and only the submitted task list (re-fed by the client) can be
+reconstructed: every submitted task re-enters the queue, statistics and
+retry counters start empty, and already-completed tasks re-execute. The
+recovery experiment measures what that costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.resources import ResourceVector
+from repro.wq.task import Task, TaskResult
+
+#: Valid journal operations, in no particular order.
+OPS = ("submit", "dispatch", "retry", "complete", "abandon", "escalate")
+
+
+@dataclass(frozen=True, slots=True)
+class JournalRecord:
+    """One appended state transition."""
+
+    op: str
+    time: float
+    #: The task object stands in for its serialized form on the PV; the
+    #: simulation keeps object identity so replay recovers the same
+    #: tasks the workflow manager holds.
+    task: Task
+    #: ``task.attempts`` at record time (dispatch: the attempt being
+    #: started; retry: the post-increment counter).
+    attempt: int = 0
+    #: Completion records carry the result (the log stores its fields).
+    result: Optional[TaskResult] = None
+    #: Escalation records carry the post-exhaustion allocation floor.
+    escalate_to: Optional[ResourceVector] = None
+
+
+@dataclass
+class ReplayedState:
+    """What :meth:`TransactionJournal.replay` reconstructs."""
+
+    #: The ready queue in pre-crash order.
+    ready: List[Task] = field(default_factory=list)
+    #: Dispatched but unresolved at crash time: task id -> task. Their
+    #: workers may still be running them.
+    unclaimed: Dict[int, Task] = field(default_factory=dict)
+    #: Completed (task, result) pairs in completion order — replaying
+    #: them through the monitor reproduces the category statistics
+    #: exactly (same observations, same order).
+    completions: List[Tuple[Task, TaskResult]] = field(default_factory=list)
+    abandoned: List[Task] = field(default_factory=list)
+    #: (category, floor) exhaustion escalations in occurrence order.
+    escalations: List[Tuple[str, ResourceVector]] = field(default_factory=list)
+    #: Last journaled retry counter per task id.
+    attempts: Dict[int, int] = field(default_factory=dict)
+    #: Count of submit records (restores ``Master.tasks_submitted``).
+    submitted: int = 0
+    #: ``(task_id, attempt)`` keys already accepted — the idempotency
+    #: set that suppresses duplicate result deliveries after recovery.
+    delivered: Set[Tuple[int, int]] = field(default_factory=set)
+
+
+class TransactionJournal:
+    """Append-only log of master state transitions."""
+
+    def __init__(self) -> None:
+        self.records: List[JournalRecord] = []
+        self.appends = 0
+        #: Times :meth:`replay` ran (diagnostic).
+        self.replays = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -------------------------------------------------------------- appends
+    def _append(self, record: JournalRecord) -> None:
+        self.records.append(record)
+        self.appends += 1
+
+    def record_submit(self, time: float, task: Task) -> None:
+        self._append(JournalRecord("submit", time, task))
+
+    def record_dispatch(self, time: float, task: Task) -> None:
+        self._append(JournalRecord("dispatch", time, task, attempt=task.attempts))
+
+    def record_retry(self, time: float, task: Task) -> None:
+        """The task re-entered the queue front (worker loss, failed
+        attempt past its backoff, or post-crash unclaimed requeue)."""
+        self._append(JournalRecord("retry", time, task, attempt=task.attempts))
+
+    def record_escalate(
+        self, time: float, task: Task, escalate_to: ResourceVector
+    ) -> None:
+        self._append(
+            JournalRecord(
+                "escalate", time, task, attempt=task.attempts, escalate_to=escalate_to
+            )
+        )
+
+    def record_complete(self, time: float, task: Task, result: TaskResult) -> None:
+        self._append(
+            JournalRecord("complete", time, task, attempt=result.attempts, result=result)
+        )
+
+    def record_abandon(self, time: float, task: Task) -> None:
+        self._append(JournalRecord("abandon", time, task, attempt=task.attempts))
+
+    # --------------------------------------------------------------- replay
+    def replay(self, *, completions: bool = True) -> ReplayedState:
+        """Fold the log into the state a restarted master resumes from.
+
+        ``completions=False`` is the cold-restart ablation: only submit
+        records are honoured (the client re-feeds its task list), so
+        completed work is forgotten and will re-execute.
+        """
+        self.replays += 1
+        state = ReplayedState()
+        if not completions:
+            for rec in self.records:
+                if rec.op == "submit":
+                    state.submitted += 1
+                    state.ready.append(rec.task)
+            return state
+        for rec in self.records:
+            task = rec.task
+            if rec.op == "submit":
+                state.submitted += 1
+                state.ready.append(task)
+            elif rec.op == "dispatch":
+                self._remove(state.ready, task)
+                state.unclaimed[task.id] = task
+                state.attempts[task.id] = rec.attempt
+            elif rec.op == "retry":
+                state.unclaimed.pop(task.id, None)
+                self._remove(state.ready, task)
+                state.ready.insert(0, task)
+                state.attempts[task.id] = rec.attempt
+            elif rec.op == "escalate":
+                assert rec.escalate_to is not None
+                state.escalations.append((task.category, rec.escalate_to))
+            elif rec.op == "complete":
+                assert rec.result is not None
+                state.unclaimed.pop(task.id, None)
+                self._remove(state.ready, task)
+                state.completions.append((task, rec.result))
+                state.delivered.add((task.id, rec.attempt))
+            elif rec.op == "abandon":
+                state.unclaimed.pop(task.id, None)
+                self._remove(state.ready, task)
+                state.abandoned.append(task)
+        return state
+
+    @staticmethod
+    def _remove(ready: List[Task], task: Task) -> None:
+        for i, t in enumerate(ready):
+            if t is task:
+                del ready[i]
+                return

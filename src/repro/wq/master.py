@@ -21,12 +21,13 @@ estimates) subscribe to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.resources import ResourceVector
 from repro.sim.engine import Engine, PeriodicTask
 from repro.wq.estimator import AllocationEstimator, MonitorEstimator
 from repro.wq.faults import RetryPolicy, SpeculationConfig, TaskFault, TaskFaultModel
+from repro.wq.journal import TransactionJournal
 from repro.wq.link import Link
 from repro.wq.monitor import ResourceMonitor
 from repro.wq.task import Task, TaskResult, TaskState
@@ -69,6 +70,8 @@ class Master:
         fault_model: Optional[TaskFaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
         speculation: Optional[SpeculationConfig] = None,
+        replay_journal: bool = True,
+        recovery_grace_s: float = 45.0,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -121,6 +124,40 @@ class Master:
         self.available = start_available
         self._buffered_completions: List[tuple[Worker, Task]] = []
         self.outages = 0
+        # ------------------------------------------- crash-recovery state
+        #: Append-only transaction log of state transitions; models the
+        #: log Work Queue keeps on the master pod's persistent volume.
+        #: Always written (appends are cheap); :attr:`replay_journal`
+        #: decides whether recovery reads it.
+        self.journal = TransactionJournal()
+        #: Recover from the journal (True) or cold-restart (False — the
+        #: ablation where the log is lost and completed work re-runs).
+        self.replay_journal = replay_journal
+        #: After recovery, tasks dispatched pre-crash whose workers have
+        #: not reconnected get requeued once this window closes. Must
+        #: exceed the workers' maximum reconnect-poll gap
+        #: (:attr:`Worker.RECONNECT_MAX_S`) so surviving runs are adopted
+        #: rather than duplicated.
+        self.recovery_grace_s = recovery_grace_s
+        self.crashed = False
+        self.crashes = 0
+        #: Completed tasks re-executed because recovery forgot them.
+        self.tasks_rerun = 0
+        #: Result deliveries dropped by the (task_id, attempt) idempotency
+        #: check or because the recovered master no longer knows the attempt.
+        self.duplicate_results = 0
+        self.last_crash_at: Optional[float] = None
+        self.last_recovered_at: Optional[float] = None
+        self.first_completion_after_recovery_at: Optional[float] = None
+        self.recovered_queue_depth = 0
+        #: Dispatched-but-unresolved tasks reconstructed by replay, keyed
+        #: by task id; re-adopted as their workers reconnect.
+        self._unclaimed: Dict[int, Task] = {}
+        #: ``(task_id, attempt)`` results already accepted.
+        self._delivered: Set[Tuple[int, int]] = set()
+        #: Bumped on every crash; callbacks scheduled pre-crash carry the
+        #: old value and turn into no-ops.
+        self._incarnation = 0
 
     # ------------------------------------------------------------ callbacks
     def on_complete(self, fn: CompletionCallback) -> None:
@@ -137,6 +174,7 @@ class Master:
         if task.submit_time is None:
             task.submit_time = self.engine.now
         self.tasks_submitted += 1
+        self.journal.record_submit(self.engine.now, task)
         self.queue.append(task)
         self._ensure_speculation_loop()
         self._schedule_dispatch()
@@ -176,6 +214,7 @@ class Master:
                 continue
             self.tasks_requeued += 1
             task.reset_for_retry()
+            self.journal.record_retry(self.engine.now, task)
             self.queue.insert(0, task)
         if lost_tasks:
             self._schedule_dispatch()
@@ -207,6 +246,7 @@ class Master:
             floor = task.min_allocation or ResourceVector.zero()
             task.min_allocation = floor.max_with(fault.escalate_to)
             self.monitor.observe_exhaustion(task.category, fault.escalate_to)
+            self.journal.record_escalate(self.engine.now, task, fault.escalate_to)
         task.attempts += 1
         if task.attempts > self.max_retries:
             self._abandon(task)
@@ -215,21 +255,28 @@ class Master:
         delay = self.retry_policy.backoff_s(task.attempts)
         task.reset_for_retry()
         if delay <= 0:
+            self.journal.record_retry(self.engine.now, task)
             self.queue.insert(0, task)
             self._schedule_dispatch()
         else:
             self._backoff_pending += 1
-            self.engine.call_in(delay, self._requeue_after_backoff, task)
+            self.engine.call_in(
+                delay, self._requeue_after_backoff, task, self._incarnation
+            )
 
-    def _requeue_after_backoff(self, task: Task) -> None:
+    def _requeue_after_backoff(self, task: Task, incarnation: Optional[int] = None) -> None:
+        if incarnation is not None and incarnation != self._incarnation:
+            return  # scheduled before a crash; recovery re-owns the task
         self._backoff_pending -= 1
         if task.state is not TaskState.WAITING:
             return  # resolved meanwhile (e.g. its speculative copy won)
+        self.journal.record_retry(self.engine.now, task)
         self.queue.insert(0, task)
         self._schedule_dispatch()
 
     def _abandon(self, task: Task) -> None:
         self._cancel_speculation_for(task)
+        self.journal.record_abandon(self.engine.now, task)
         self.abandoned.append(task)
         for fn in list(self._abandoned_callbacks):
             fn(task)
@@ -272,10 +319,161 @@ class Master:
         queue survived; buffered worker completions are delivered now."""
         if self.available:
             return
+        if self.crashed:
+            return  # a crashed master needs recover(), not resume()
         self.available = True
         buffered, self._buffered_completions = self._buffered_completions, []
         for worker, task in buffered:
             self._finalize_completion(worker, task)
+        self._schedule_dispatch()
+
+    # ------------------------------------------------------ crash recovery
+    def crash(self, *, restart_delay_s: Optional[float] = None) -> None:
+        """The master process died and lost its in-memory state. Unlike
+        :meth:`pause` (a blip the sticky pod identity papers over), a
+        crash wipes the queue, the worker table, and the monitor — only
+        the journal (on the persistent volume) survives. Workers notice
+        the dead connection, keep running what they have, and poll for
+        the replacement with backoff (:meth:`Worker.master_lost`).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        self.last_crash_at = self.engine.now
+        self.first_completion_after_recovery_at = None
+        if self.available:
+            self.available = False
+            self.outages += 1
+        self._incarnation += 1
+        for worker in list(self.workers.values()):
+            worker.master_lost()
+        self.workers.clear()
+        self.queue.clear()
+        self.running.clear()
+        self.done.clear()
+        self.abandoned.clear()
+        self._unclaimed.clear()
+        self._delivered.clear()
+        self.tasks_submitted = 0
+        self._backoff_pending = 0
+        self.monitor.reset()
+        self._spec.clear()
+        self._spec_origin.clear()
+        if self._spec_loop is not None:
+            self._spec_loop.stop()
+            self._spec_loop = None
+        # _callbacks / _abandoned_callbacks persist — clients reconnect to
+        # the replacement pod. _buffered_completions persist too: those
+        # outputs sit at the workers, not in master memory.
+        if restart_delay_s is not None:
+            self.engine.call_in(restart_delay_s, self.recover)
+
+    def recover(self, *, replay: Optional[bool] = None) -> None:
+        """The replacement master pod is up. With ``replay`` (default
+        :attr:`replay_journal`) the journal reconstructs the pre-crash
+        state: completed results re-feed the monitor, the ready queue and
+        retry counters come back, and tasks in flight at crash time wait
+        in the unclaimed set for their workers to reconnect (requeued
+        after :attr:`recovery_grace_s` if they never do). Without replay
+        this is a cold restart: every submitted task re-enters the queue
+        and already-completed work re-executes.
+        """
+        if not self.crashed:
+            return
+        use_replay = self.replay_journal if replay is None else replay
+        state = self.journal.replay(completions=use_replay)
+        self.tasks_submitted = state.submitted
+        if use_replay:
+            self.queue = list(state.ready)
+            self._unclaimed = dict(state.unclaimed)
+            self._delivered = set(state.delivered)
+            self.abandoned = list(state.abandoned)
+            for task in list(self._unclaimed.values()) + self.queue:
+                if task.id in state.attempts:
+                    task.attempts = state.attempts[task.id]
+            for task, result in state.completions:
+                task.state = TaskState.DONE
+                task.result = result
+                self.done.append(task)
+                self.monitor.record(result)
+            for category, floor in state.escalations:
+                self.monitor.observe_exhaustion(category, floor)
+        else:
+            self.queue = []
+            for task in state.ready:
+                if task.result is not None:
+                    # Completed before the crash; the cold restart
+                    # forgot, so it will burn a second execution.
+                    self.tasks_rerun += 1
+                task.result = None
+                task.finish_time = None
+                task.attempts = 0
+                task.min_allocation = None
+                task.reset_for_retry()
+                self.queue.append(task)
+        self.recovered_queue_depth = len(self.queue)
+        self.crashed = False
+        self.available = True
+        self.last_recovered_at = self.engine.now
+        buffered, self._buffered_completions = self._buffered_completions, []
+        for worker, task in buffered:
+            self._finalize_completion(worker, task)
+        if self._unclaimed:
+            self.engine.call_in(
+                self.recovery_grace_s, self._requeue_unclaimed, self._incarnation
+            )
+        if self.queue or self.running or self._unclaimed:
+            self._ensure_speculation_loop()
+        self._schedule_dispatch()
+
+    def _requeue_unclaimed(self, incarnation: int) -> None:
+        """The reconnect grace window closed: whatever recovery left
+        unclaimed has no surviving worker — retry it at the queue front."""
+        if incarnation != self._incarnation or self.crashed:
+            return
+        leftovers = list(self._unclaimed.values())
+        self._unclaimed.clear()
+        for task in reversed(leftovers):
+            self._charge_waste(task)
+            task.attempts += 1
+            if task.attempts > self.max_retries:
+                self._abandon(task)
+                continue
+            self.tasks_requeued += 1
+            task.reset_for_retry()
+            self.journal.record_retry(self.engine.now, task)
+            self.queue.insert(0, task)
+        if leftovers:
+            self._schedule_dispatch()
+
+    def worker_reconnected(self, worker: Worker) -> None:
+        """A worker that survived the crash found the replacement master.
+        Adopt the runs it still carries when they match an unclaimed task
+        the journal knows about; anything else — a speculative copy, an
+        attempt the recovered master forgot — is cancelled and re-run
+        through the normal queue."""
+        if worker.state not in (WorkerState.READY, WorkerState.DRAINING):
+            return
+        self.workers[worker.name] = worker
+        for run in list(worker.runs.values()):
+            task = run.task
+            adoptable = (
+                task.speculation_of is None
+                and task.result is None
+                and task.dispatch_time is not None
+                and (
+                    task.id in self._unclaimed
+                    or any(t is task for t in self.queue)
+                )
+            )
+            if adoptable:
+                self._unclaimed.pop(task.id, None)
+                self.queue = [t for t in self.queue if t is not task]
+                self.running[task.id] = task
+            else:
+                self._charge_waste(task)
+                worker.cancel_run(task)
         self._schedule_dispatch()
 
     def _dispatch(self) -> None:
@@ -331,6 +529,10 @@ class Master:
             return False
         self.running[task.id] = task
         best.assign(task, best_alloc)
+        if task.speculation_of is None:
+            # Speculative copies are a master-local optimization; the
+            # journal only tracks the canonical attempt.
+            self.journal.record_dispatch(self.engine.now, task)
         return True
 
     # ---------------------------------------------------------- speculation
@@ -432,11 +634,27 @@ class Master:
         if task.speculation_of is not None:
             self._finalize_speculative_win(worker, task)
             return
+        key = (task.id, task.attempts)
+        if task.result is not None or key in self._delivered:
+            # Already accepted — a redelivery after recovery, or the
+            # second half of a speculative pair. Idempotent drop.
+            self._suppress_duplicate(task)
+            return
+        if task.dispatch_time is None or task.start_time is None:
+            # A delivery for an attempt the recovered master no longer
+            # recognises (a cold restart reset the task): drop it and
+            # let the queued copy re-run.
+            self.duplicate_results += 1
+            self.running.pop(task.id, None)
+            return
         # First-completion-wins: the original beat its speculative copy.
         if task.id in self._spec:
             self.speculation_losses += 1
             self._cancel_speculation_for(task)
         self.running.pop(task.id, None)
+        self._unclaimed.pop(task.id, None)
+        if self.queue:
+            self.queue = [t for t in self.queue if t is not task]
         task.state = TaskState.DONE
         task.finish_time = self.engine.now
         assert task.submit_time is not None
@@ -455,10 +673,35 @@ class Master:
             attempts=task.attempts,
         )
         task.result = result
+        self._record_acceptance(task, result)
         self.done.append(task)
         self.monitor.record(result)
         for fn in list(self._callbacks):
             fn(task, result)
+        self._schedule_dispatch()
+
+    def _record_acceptance(self, task: Task, result: TaskResult) -> None:
+        """Write-ahead bookkeeping for an accepted result: journal it,
+        remember its (task_id, attempt) key, and stamp the first
+        post-recovery completion (the recovery-latency marker)."""
+        self._delivered.add((task.id, result.attempts))
+        self.journal.record_complete(self.engine.now, task, result)
+        if (
+            self.last_recovered_at is not None
+            and self.first_completion_after_recovery_at is None
+        ):
+            self.first_completion_after_recovery_at = self.engine.now
+
+    def _suppress_duplicate(self, task: Task) -> None:
+        """A result arrived for a (task, attempt) the master has already
+        accepted. Count it, release the bookkeeping, and drop it."""
+        self.duplicate_results += 1
+        self.running.pop(task.id, None)
+        self._unclaimed.pop(task.id, None)
+        if task.state is not TaskState.DONE:
+            self.tasks_rerun += 1
+            self._charge_waste(task)
+            task.state = TaskState.DONE
         self._schedule_dispatch()
 
     def _finalize_speculative_win(self, worker: Worker, clone: Task) -> None:
@@ -497,6 +740,8 @@ class Master:
             attempts=original.attempts + 1,
         )
         original.result = result
+        self._unclaimed.pop(original.id, None)
+        self._record_acceptance(original, result)
         self.done.append(original)
         self.monitor.record(result)
         for fn in list(self._callbacks):
@@ -539,7 +784,13 @@ class Master:
 
     @property
     def all_done(self) -> bool:
-        return not self.queue and not self.running and self._backoff_pending == 0
+        return (
+            not self.crashed
+            and not self.queue
+            and not self.running
+            and self._backoff_pending == 0
+            and not self._unclaimed
+        )
 
     # ----------------------------------------------------------- accounting
     def goodput_core_s(self) -> float:

@@ -94,6 +94,13 @@ class ResourceMonitor:
         stats = self._stats.setdefault(category, CategoryStats(category))
         stats.observe_exhaustion(required)
 
+    def reset(self) -> None:
+        """Forget all observations (a crashed master lost its memory;
+        recovery re-feeds the monitor from the journal). Mutates in
+        place — consumers hold the monitor by reference."""
+        self._stats.clear()
+        self.results.clear()
+
     # ---------------------------------------------------------------- reads
     def category(self, name: str) -> Optional[CategoryStats]:
         return self._stats.get(name)

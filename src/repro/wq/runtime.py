@@ -50,6 +50,10 @@ class WorkerPodRuntime:
         self.workers_killed = 0
         api.watch("Pod", self._on_pod_event, replay_existing=True)
 
+    def close(self) -> None:
+        """Unsubscribe from the API server (end of an experiment run)."""
+        self.api.unwatch("Pod", self._on_pod_event)
+
     # --------------------------------------------------------------- events
     def _on_pod_event(self, event: WatchEvent) -> None:
         pod = event.obj

@@ -60,6 +60,12 @@ class Worker:
     #: Seconds between the worker process starting and the master
     #: accepting its registration (TCP connect + handshake).
     CONNECT_LATENCY = 1.0
+    #: Reconnect-poll backoff after the master connection drops (a
+    #: crashed master pod): first retry after the base, then doubling up
+    #: to the cap — `work_queue_worker` keeps polling the catalog the
+    #: same way. The master's recovery grace window must exceed the cap.
+    RECONNECT_BASE_S = 2.0
+    RECONNECT_MAX_S = 30.0
 
     def __init__(
         self,
@@ -93,6 +99,12 @@ class Worker:
         self.runs: Dict[int, _TaskRun] = {}
         self.tasks_completed = 0
         self.tasks_failed = 0
+        #: True while the master connection is down (its pod crashed);
+        #: running tasks continue and finished outputs are held locally.
+        self._detached = False
+        self._held_results: List[Task] = []
+        self._reconnect_attempt = 0
+        self.reconnects = 0
         self.connected_time: Optional[float] = None
         latency = self.CONNECT_LATENCY if connect_latency is None else connect_latency
         engine.call_in(latency, self._connect)
@@ -104,6 +116,41 @@ class Worker:
         self.state = WorkerState.READY
         self.connected_time = self.engine.now
         self.master.register_worker(self)
+
+    def master_lost(self) -> None:
+        """The master connection dropped (its pod crashed). Keep running
+        what we have, hold finished outputs, and poll for the
+        replacement with exponential backoff."""
+        if self.state in (WorkerState.STOPPED, WorkerState.KILLED):
+            return
+        if self._detached:
+            return
+        self._detached = True
+        self._reconnect_attempt = 0
+        self.engine.call_in(self.RECONNECT_BASE_S, self._try_reconnect)
+
+    def _try_reconnect(self) -> None:
+        if not self._detached or self.state in (
+            WorkerState.STOPPED,
+            WorkerState.KILLED,
+        ):
+            return
+        if self.master.available:
+            self._detached = False
+            self.reconnects += 1
+            self.master.worker_reconnected(self)
+            held, self._held_results = self._held_results, []
+            for task in held:
+                self.master.task_finished(self, task)
+            if self.state is WorkerState.DRAINING and not self.runs:
+                self._stop()
+            return
+        self._reconnect_attempt += 1
+        delay = min(
+            self.RECONNECT_BASE_S * (2.0 ** self._reconnect_attempt),
+            self.RECONNECT_MAX_S,
+        )
+        self.engine.call_in(delay, self._try_reconnect)
 
     def drain(self) -> None:
         """Stop accepting tasks; exit once running tasks complete."""
@@ -136,7 +183,10 @@ class Worker:
             lost.append(run.task)
         self.runs.clear()
         self._inflight_cacheable.clear()
-        if was_registered:
+        self._held_results.clear()
+        if was_registered and not self._detached:
+            # A detached worker has no master to tell; the recovered
+            # master's grace window requeues its unclaimed tasks.
             self.master.worker_lost(self, lost)
         self._exited()
 
@@ -276,6 +326,11 @@ class Worker:
         del self.runs[task.id]
         task.state = TaskState.FAILED
         self.tasks_failed += 1
+        if self._detached:
+            # Nobody to report to; the recovered master's grace requeue
+            # re-runs the task. Don't stop a draining worker yet — the
+            # reconnect poll finishes the drain protocol.
+            return
         self.master.task_failed(self, task, fault)
         if self.state is WorkerState.DRAINING and not self.runs:
             self._stop()
@@ -328,6 +383,10 @@ class Worker:
         task = run.task
         del self.runs[task.id]
         self.tasks_completed += 1
+        if self._detached:
+            # No master to report to; hold the outputs until reconnect.
+            self._held_results.append(task)
+            return
         self.master.task_finished(self, task)
         if self.state is WorkerState.DRAINING and not self.runs:
             self._stop()

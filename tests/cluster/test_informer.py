@@ -105,3 +105,41 @@ class TestHandlers:
         api.create(make_pod("a"))
         engine.run()
         assert calls == [1, 2]
+
+
+class TestClose:
+    def test_close_unsubscribes_from_the_api(self, engine, api):
+        informer = Informer(api, "Pod")
+        assert api.watcher_count("Pod") == 1
+        informer.close()
+        assert api.watcher_count("Pod") == 0
+        api.create(make_pod("a"))
+        engine.run()
+        assert informer.get("a") is None
+
+    def test_close_is_idempotent(self, engine, api):
+        informer = Informer(api, "Pod")
+        informer.close()
+        informer.close()
+        assert api.watcher_count("Pod") == 0
+
+    def test_closed_informer_ignores_inflight_events(self, engine, api):
+        informer = Informer(api, "Pod")
+        api.create(make_pod("a"))  # event queued but not yet delivered
+        informer.close()
+        engine.run()
+        assert informer.get("a") is None
+        assert informer.events_seen == 0
+
+    def test_no_handler_leak_across_two_runs(self, engine, api):
+        """Back-to-back consumers on one shared API server must not
+        accumulate watchers (experiments share a server; a leaked
+        handler would see the next run's events)."""
+        for _ in range(2):
+            informer = Informer(api, "Pod", resync_period_s=30.0)
+            seen = []
+            informer.on_add(lambda o: seen.append(o.name))
+            api.create(make_pod(f"p{len(api.list('Pod'))}"))
+            engine.run(until=engine.now + 1.0)
+            informer.close()
+        assert api.watcher_count("Pod") == 0

@@ -1,0 +1,196 @@
+"""Operator degraded mode: fail-safe resizing on broken feedback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.images import ContainerImage
+from repro.cluster.node import N1_STANDARD_4_RESERVED
+from repro.cluster.pod import Pod, PodSpec
+from repro.cluster.resources import ResourceVector
+from repro.hta.inittime import InitTimeTracker
+from repro.hta.operator import HtaConfig, HtaOperator
+from repro.hta.provisioner import WorkerProvisioner
+from repro.sim.rng import RngRegistry
+from repro.wq.estimator import MonitorEstimator
+from repro.wq.link import Link
+from repro.wq.master import Master
+from repro.wq.monitor import ResourceMonitor
+from repro.wq.runtime import WorkerPodRuntime
+from repro.wq.task import Task
+
+FOOT = ResourceVector(1, 2500, 2000)
+
+
+@pytest.fixture
+def stack(engine):
+    cluster = Cluster(
+        engine,
+        RngRegistry(11),
+        ClusterConfig(
+            machine_type=N1_STANDARD_4_RESERVED,
+            min_nodes=2,
+            max_nodes=8,
+            node_reservation_mean_s=100.0,
+            node_reservation_std_s=0.0,
+            registry_jitter_cv=0.0,
+        ),
+    )
+    monitor = ResourceMonitor()
+    master = Master(
+        engine, Link(engine, 500.0), estimator=MonitorEstimator(monitor), monitor=monitor
+    )
+    runtime = WorkerPodRuntime(engine, cluster.api, cluster.kubelets, master)
+    provisioner = WorkerProvisioner(
+        engine,
+        cluster.api,
+        runtime,
+        image=ContainerImage("wq-worker", 100.0),
+        worker_request=N1_STANDARD_4_RESERVED.allocatable,
+    )
+    tracker = InitTimeTracker(cluster.api, prior_s=110.0, selector_label="wq-worker")
+    return cluster, master, runtime, provisioner, tracker
+
+
+def make_operator(engine, stack, **overrides):
+    cluster, master, runtime, provisioner, tracker = stack
+    defaults = dict(initial_workers=2, min_workers=1, max_workers=8)
+    defaults.update(overrides)
+    return HtaOperator(engine, master, provisioner, tracker, HtaConfig(**defaults))
+
+
+def bag(n, execute_s=30.0):
+    return [
+        Task("c", execute_s=execute_s, footprint=FOOT, declared=FOOT)
+        for _ in range(n)
+    ]
+
+
+class TestDegradedDetection:
+    def test_api_outage_degrades(self, engine, stack):
+        cluster = stack[0]
+        operator = make_operator(engine, stack)
+        assert not operator._degraded()
+        cluster.api.begin_outage()
+        assert operator._degraded()
+        cluster.api.end_outage()
+        assert not operator._degraded()
+
+    def test_master_outage_degrades(self, engine, stack):
+        master = stack[1]
+        operator = make_operator(engine, stack)
+        master.pause()
+        assert operator._degraded()
+        master.resume()
+        assert not operator._degraded()
+
+    def test_stale_informer_degrades(self, engine, stack):
+        cluster, _master, _runtime, _provisioner, tracker = stack
+        operator = make_operator(engine, stack, staleness_bound=4)
+        engine.run(until=1.0)
+        cluster.api.begin_outage()
+        for i in range(6):  # six missed store writes > bound of 4
+            cluster.api.create(
+                Pod(
+                    f"stale-{i}",
+                    PodSpec(ContainerImage("i", 1), ResourceVector(1, 1, 1)),
+                )
+            )
+        engine.run(until=2.0)
+        cluster.api.end_outage()
+        assert tracker.informer.staleness() > 4
+        assert operator._degraded()
+        # A resync heals the cache and leaves degraded mode.
+        tracker.informer.resync()
+        assert not operator._degraded()
+
+    def test_degraded_mode_can_be_disabled(self, engine, stack):
+        cluster = stack[0]
+        operator = make_operator(engine, stack, degraded_mode=False)
+        cluster.api.begin_outage()
+        assert operator._degraded()  # the signal is still visible...
+        delay = operator._cycle()    # ...but the cycle ignores it
+        assert operator.degraded_cycles == 0
+        assert delay is not False
+
+
+class TestDegradedCycle:
+    def boot_workers(self, engine, stack, n=2):
+        cluster, master, _runtime, provisioner, _tracker = stack
+        provisioner.create_workers(n)
+        engine.run(until=300.0)
+        assert master.stats().workers_connected == n
+
+    def test_no_scale_down_during_outage(self, engine, stack):
+        cluster, master, _runtime, provisioner, _tracker = stack
+        operator = make_operator(engine, stack)
+        self.boot_workers(engine, stack)
+        drains_before = provisioner.drains_requested
+        cluster.api.begin_outage()
+        # Empty queue, pool above min_workers: a healthy cycle would
+        # drain — the degraded one must not.
+        for _ in range(3):
+            operator._cycle()
+        assert operator.degraded_cycles == 3
+        assert provisioner.drains_requested == drains_before
+        assert not operator.plans  # Algorithm 1 never ran on stale data
+
+    def test_pending_pods_not_cancelled_but_counted_frozen(self, engine, stack):
+        cluster, master, _runtime, provisioner, _tracker = stack
+        operator = make_operator(engine, stack)
+        self.boot_workers(engine, stack)
+        pods = provisioner.create_workers(2)  # still Pending
+        assert len(pods) == 2
+        cluster.api.begin_outage()
+        operator._cycle()
+        # Target clamps at the live pool; the surplus pending pods would
+        # have been cancelled by a healthy plan — frozen instead.
+        assert operator.scale_downs_frozen == 1
+        assert len(provisioner.pending_pods()) == 2
+
+    def test_target_covers_live_demand_during_outage(self, engine, stack):
+        cluster, master, _runtime, provisioner, _tracker = stack
+        operator = make_operator(engine, stack)
+        self.boot_workers(engine, stack)
+        for task in bag(6, execute_s=500.0):
+            master.submit(task)
+        engine.run(until=engine.now + 5.0)
+        stats = master.stats()
+        assert stats.waiting + stats.running == 6
+        cluster.api.begin_outage()
+        operator._cycle()
+        assert operator.degraded_cycles == 1
+        # The conservative queue-length target asked for one worker per
+        # backlogged task; the API being down defers (not drops) them.
+        assert provisioner.creations_deferred == 6 - 2
+        cluster.api.end_outage()
+        delay = operator._cycle()  # healthy again: Algorithm 1 plans
+        assert operator.plans
+        assert delay is not False
+
+    def test_degraded_interval_holds_last_good_init(self, engine, stack):
+        cluster, master, _runtime, provisioner, tracker = stack
+        operator = make_operator(engine, stack)
+        self.boot_workers(engine, stack)
+        master.submit(bag(1, execute_s=5.0)[0])
+        engine.run(until=engine.now + 60.0)
+        healthy_delay = operator._cycle()  # records last-known-good init
+        assert operator._last_good_init == tracker.current()
+        cluster.api.begin_outage()
+        degraded_delay = operator._cycle()
+        assert degraded_delay == pytest.approx(
+            max(operator.config.estimator.min_cycle_s, operator._last_good_init)
+        )
+        del healthy_delay
+
+    def test_master_down_sizes_for_zero_backlog(self, engine, stack):
+        cluster, master, _runtime, provisioner, _tracker = stack
+        operator = make_operator(engine, stack)
+        self.boot_workers(engine, stack)
+        master.pause()
+        created_before = provisioner.pods_created
+        operator._cycle()
+        # No queue signal at all: hold the pool, create nothing.
+        assert operator.degraded_cycles == 1
+        assert provisioner.pods_created == created_before
