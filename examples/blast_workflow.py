@@ -13,8 +13,8 @@ from repro.cluster.node import N1_STANDARD_4_RESERVED
 from repro.experiments.report import ascii_chart
 from repro.experiments.runner import (
     StackConfig,
-    run_hpa_experiment,
-    run_hta_experiment,
+    ExperimentSpec,
+    run_experiment,
 )
 from repro.metrics.summary import comparison_factors, format_summary_table
 from repro.workloads.blast import blast_multistage
@@ -37,12 +37,16 @@ def main() -> None:
     )
 
     print("Running HPA(20% CPU) ...")
-    hpa = run_hpa_experiment(
-        workload(), target_cpu=0.2, stack_config=stack(), min_replicas=3,
-        max_replicas=12,
+    hpa = run_experiment(
+        ExperimentSpec(
+            workload(),
+            policy="hpa",
+            stack=stack(),
+            options={"target_cpu": 0.2, "min_replicas": 3, "max_replicas": 12},
+        )
     )
     print("Running HTA ...")
-    hta = run_hta_experiment(workload(), stack_config=stack())
+    hta = run_experiment(ExperimentSpec(workload(), policy="hta", stack=stack()))
 
     print()
     print(

@@ -16,7 +16,7 @@ into the same sockets (master stats in, provisioner actions out).
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.images import ContainerImage
 from repro.cluster.node import N1_STANDARD_4_RESERVED
-from repro.experiments.runner import StackConfig, run_hta_experiment
+from repro.experiments.runner import ExperimentSpec, StackConfig, run_experiment
 from repro.hta.provisioner import WorkerProvisioner
 from repro.metrics.accounting import ResourceAccountant
 from repro.makeflow.dag import WorkflowGraph
@@ -116,14 +116,17 @@ def main() -> None:
         f"decisions {scaler.decisions}"
     )
 
-    hta = run_hta_experiment(
-        make_workload(),
-        stack_config=StackConfig(
-            cluster=ClusterConfig(
-                machine_type=N1_STANDARD_4_RESERVED, min_nodes=2, max_nodes=10
+    hta = run_experiment(
+        ExperimentSpec(
+            make_workload(),
+            policy="hta",
+            stack=StackConfig(
+                cluster=ClusterConfig(
+                    machine_type=N1_STANDARD_4_RESERVED, min_nodes=2, max_nodes=10
+                ),
+                seed=5,
             ),
-            seed=5,
-        ),
+        )
     )
     print("HTA (paper's controller):")
     print(f"  {hta.summary()}")

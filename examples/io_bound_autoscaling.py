@@ -13,8 +13,8 @@ from repro.cluster.cluster import ClusterConfig
 from repro.cluster.node import N1_STANDARD_4_RESERVED
 from repro.experiments.runner import (
     StackConfig,
-    run_hpa_experiment,
-    run_hta_experiment,
+    ExperimentSpec,
+    run_experiment,
 )
 from repro.metrics.summary import comparison_factors, format_summary_table
 from repro.workloads.iobound import iobound_parallel
@@ -38,12 +38,18 @@ def main() -> None:
     for target in (0.2, 0.5):
         name = f"HPA({int(target*100)}% CPU)"
         print(f"Running {name} ...")
-        results[name] = run_hpa_experiment(
-            workload(), target_cpu=target, stack_config=stack(), min_replicas=3,
-            max_replicas=10,
+        results[name] = run_experiment(
+            ExperimentSpec(
+                workload(),
+                policy="hpa",
+                stack=stack(),
+                options={"target_cpu": target, "min_replicas": 3, "max_replicas": 10},
+            )
         )
     print("Running HTA ...")
-    results["HTA"] = run_hta_experiment(workload(), stack_config=stack())
+    results["HTA"] = run_experiment(
+        ExperimentSpec(workload(), policy="hta", stack=stack())
+    )
 
     print()
     print(

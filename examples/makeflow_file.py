@@ -12,7 +12,7 @@ import tempfile
 
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.node import N1_STANDARD_4_RESERVED
-from repro.experiments.runner import StackConfig, run_hta_experiment
+from repro.experiments.runner import ExperimentSpec, StackConfig, run_experiment
 from repro.makeflow.parser import parse_makeflow_file
 
 MAKEFLOW_TEXT = """\
@@ -64,14 +64,17 @@ def main() -> None:
     print(f"  final outputs    : {sorted(graph.final_outputs())}")
     print(f"  critical path    : {graph.critical_path_seconds():.0f}s")
 
-    result = run_hta_experiment(
-        graph,
-        stack_config=StackConfig(
-            cluster=ClusterConfig(
-                machine_type=N1_STANDARD_4_RESERVED, min_nodes=2, max_nodes=4
+    result = run_experiment(
+        ExperimentSpec(
+            graph,
+            policy="hta",
+            stack=StackConfig(
+                cluster=ClusterConfig(
+                    machine_type=N1_STANDARD_4_RESERVED, min_nodes=2, max_nodes=4
+                ),
+                seed=1,
             ),
-            seed=1,
-        ),
+        )
     )
     print()
     print(result.summary())

@@ -11,7 +11,7 @@ GKE-like cluster, and look at the resource series the paper plots.
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.node import N1_STANDARD_4_RESERVED
 from repro.experiments.report import ascii_chart
-from repro.experiments.runner import StackConfig, run_hta_experiment
+from repro.experiments.runner import ExperimentSpec, StackConfig, run_experiment
 from repro.workloads.synthetic import uniform_bag
 
 
@@ -33,7 +33,7 @@ def main() -> None:
     )
 
     # 3. Run it.
-    result = run_hta_experiment(workload, stack_config=stack)
+    result = run_experiment(ExperimentSpec(workload, policy="hta", stack=stack))
 
     # 4. What happened?
     print(result.summary())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Trace a run and explain the autoscaler's decisions.
+
+Runs a small bursty workload under HTA with telemetry enabled, then:
+
+1. prints the per-cycle decision audit (what the operator saw, what it
+   estimated, what it did, and why — including degraded-mode overrides);
+2. shows a few raw trace events from each layer;
+3. exports the trace as Chrome trace format (open in chrome://tracing or
+   https://ui.perfetto.dev) and the run's metrics as Prometheus text.
+
+    python examples/trace_explain.py
+"""
+
+from collections import Counter
+
+from repro import ExperimentSpec, TelemetryConfig, run_experiment
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.node import N1_STANDARD_4_RESERVED
+from repro.experiments.runner import StackConfig
+from repro.telemetry import (
+    explain_decisions,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.workloads.synthetic import uniform_bag
+
+
+def main() -> None:
+    result = run_experiment(
+        ExperimentSpec(
+            uniform_bag(40, execute_s=60.0, declared=False),
+            policy="hta",
+            stack=StackConfig(
+                cluster=ClusterConfig(
+                    machine_type=N1_STANDARD_4_RESERVED,
+                    min_nodes=2,
+                    max_nodes=8,
+                ),
+                seed=11,
+            ),
+            telemetry=TelemetryConfig(enabled=True),
+        )
+    )
+    print(result.summary())
+
+    # 1. The decision audit: one row per operator cycle.
+    print()
+    print(explain_decisions(result.trace_events))
+
+    # 2. What else the trace captured, by layer and event name.
+    print()
+    counts = Counter((e.layer, e.name) for e in result.trace_events)
+    print(f"{len(result.trace_events)} events recorded:")
+    for (layer, name), n in sorted(counts.items()):
+        print(f"  {layer:8s} {name:24s} x{n}")
+
+    # 3. Export: a Chrome trace plus the metrics in Prometheus text.
+    write_chrome_trace([(result.name, result.trace_events)], "hta_trace.json")
+    print("\nwrote hta_trace.json (load in chrome://tracing or ui.perfetto.dev)")
+    text = prometheus_text(result.telemetry.metrics)
+    print(f"\nmetrics ({text.count(chr(10))} exposition lines), e.g.:")
+    for line in text.splitlines():
+        if line.startswith("wq_task_execute_seconds_"):
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,25 +19,52 @@ discrete-event simulation:
 * :mod:`repro.workloads` — the paper's workloads (multistage BLAST,
   I/O-bound `dd`, CPU-bound synthetics);
 * :mod:`repro.metrics` — RIU/RSH/RD/RS/RW accounting and core×s integrals;
+* :mod:`repro.telemetry` — structured tracing, a metrics registry, and
+  exporters (JSONL / Chrome trace / Prometheus text) shared by every
+  layer, plus the per-cycle autoscaling decision audit;
 * :mod:`repro.experiments` — one harness per paper figure/table.
 
 Quickstart::
 
-    from repro import run_hta_experiment
+    from repro import ExperimentSpec, run_experiment
     from repro.workloads import blast_multistage
 
-    result = run_hta_experiment(blast_multistage(), seed=7)
+    result = run_experiment(
+        ExperimentSpec(blast_multistage(), policy="hta", seed=7)
+    )
     print(result.summary())
+
+Swap ``policy`` for ``"hpa"``, ``"predictive"``, ``"queue"``, or
+``"static"`` (with ``options={"n_workers": N}``) to compare the paper's
+baselines on the same substrate. To audit what the autoscaler did, pass
+``telemetry=TelemetryConfig(enabled=True)`` and feed
+``result.trace_events`` to :func:`repro.telemetry.explain_decisions`.
 
 See README.md for the architecture overview, DESIGN.md for the system
 inventory, and EXPERIMENTS.md for paper-vs-measured numbers.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # -- the experiment API
     "ExperimentResult",
+    "ExperimentSpec",
+    "FaultProfile",
+    "StackConfig",
+    "register_policy",
+    "run_experiment",
+    # -- telemetry
+    "MetricsRegistry",
+    "TelemetryConfig",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "explain_decisions",
+    "prometheus_text",
+    "write_events_jsonl",
+    # -- deprecated entry points (thin wrappers over run_experiment)
     "run_hpa_experiment",
     "run_hta_experiment",
     "run_predictive_experiment",
@@ -47,11 +74,27 @@ __all__ = [
 
 _RUNNER_EXPORTS = {
     "ExperimentResult",
+    "ExperimentSpec",
+    "FaultProfile",
+    "StackConfig",
+    "register_policy",
+    "run_experiment",
     "run_hpa_experiment",
     "run_hta_experiment",
     "run_predictive_experiment",
     "run_queue_scaler_experiment",
     "run_static_experiment",
+}
+
+_TELEMETRY_EXPORTS = {
+    "MetricsRegistry",
+    "TelemetryConfig",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "explain_decisions",
+    "prometheus_text",
+    "write_events_jsonl",
 }
 
 
@@ -62,4 +105,8 @@ def __getattr__(name: str):
         from repro.experiments import runner
 
         return getattr(runner, name)
+    if name in _TELEMETRY_EXPORTS:
+        import repro.telemetry as telemetry
+
+        return getattr(telemetry, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -18,6 +18,8 @@ from repro.cluster.node import Node
 from repro.cluster.objects import KubeObject, Service, StatefulSet
 from repro.cluster.pod import Pod, PodPhase, REASON_KILLED
 from repro.sim.engine import Engine
+from repro.telemetry.events import NULL_TRACER, Tracer
+from repro.telemetry.metrics import MetricsRegistry
 
 
 class WatchEventType(enum.Enum):
@@ -64,8 +66,26 @@ class KubeApiServer:
         "StatefulSet": StatefulSet,
     }
 
-    def __init__(self, engine: Engine) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.engine = engine
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Registry home for the server's fault counters; a private one
+        #: is created when no shared registry is supplied so the
+        #: attribute API below works unconditionally.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_dropped = self.metrics.counter(
+            "api_dropped_watch_events_total",
+            "watch events lost to outages or injected stream drops",
+        )
+        self._c_outages = self.metrics.counter(
+            "api_outages_total", "injected API-server outage windows"
+        )
         self._stores: Dict[str, Dict[str, KubeObject]] = {k: {} for k in self.KINDS}
         self._watchers: Dict[str, List[WatchHandler]] = {k: [] for k in self.KINDS}
         self.writes = 0  # diagnostic: API write volume
@@ -77,11 +97,18 @@ class KubeApiServer:
         #: service returns, caches are *behind* the store and must
         #: relist. Defensive clients also check this flag before calls.
         self.available = True
-        self.api_outages = 0
-        #: Watch events lost to outages or injected stream drops.
-        self.dropped_events = 0
         #: Kinds whose watch streams are currently silently broken.
         self._drop_kinds: Set[str] = set()
+
+    # Fault counters live in the metrics registry; these properties keep
+    # the historical attribute API (``api.dropped_events``) intact.
+    @property
+    def api_outages(self) -> int:
+        return int(self._c_outages.total)
+
+    @property
+    def dropped_events(self) -> int:
+        return int(self._c_dropped.total)
 
     # ---------------------------------------------------------------- CRUD
     def _store(self, kind: str) -> Dict[str, KubeObject]:
@@ -168,18 +195,28 @@ class KubeApiServer:
         if not self.available:
             return
         self.available = False
-        self.api_outages += 1
+        self._c_outages.inc()
+        self.tracer.emit("cluster", "api.outage.begin", "fault")
 
     def end_outage(self) -> None:
+        if not self.available:
+            self.tracer.emit("cluster", "api.outage.end", "fault")
         self.available = True
 
     def begin_watch_drop(self, kind: str) -> None:
         """Silently break ``kind``'s watch streams: events are dropped
         without any error, the failure mode client-go's relist-and-resync
         exists for."""
+        if kind not in self._drop_kinds:
+            self.tracer.emit("cluster", "api.watch_drop.begin", "fault", kind=kind)
         self._drop_kinds.add(kind)
 
     def end_watch_drop(self, kind: Optional[str] = None) -> None:
+        ended = list(self._drop_kinds) if kind is None else (
+            [kind] if kind in self._drop_kinds else []
+        )
+        for k in ended:
+            self.tracer.emit("cluster", "api.watch_drop.end", "fault", kind=k)
         if kind is None:
             self._drop_kinds.clear()
         else:
@@ -231,7 +268,7 @@ class KubeApiServer:
             # The notification plane is down (outage) or this kind's
             # streams are broken (drop window): the write happened, the
             # version advanced, but nobody hears about it.
-            self.dropped_events += len(self._watchers[obj.kind])
+            self._c_dropped.inc(len(self._watchers[obj.kind]), kind=obj.kind)
             return
         event = WatchEvent(event_type, obj, self.engine.now, version=version)
         for handler in list(self._watchers[obj.kind]):

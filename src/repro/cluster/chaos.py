@@ -22,6 +22,8 @@ from repro.cluster.node import Node
 from repro.cluster.pod import Pod
 from repro.sim.engine import Engine, PeriodicTask
 from repro.sim.rng import RngRegistry
+from repro.telemetry.events import NULL_TRACER, Tracer
+from repro.telemetry.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cloud import CloudController
@@ -40,22 +42,53 @@ class ChaosInjector:
         *,
         cloud: Optional["CloudController"] = None,
         registry: Optional["ImageRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.engine = engine
         self.api = api
         self.rng = rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Optional handles for provisioning-fault injection; chaos that
         #: needs them raises if they were not provided.
         self.cloud = cloud
         self.registry = registry
-        self.nodes_killed = 0
-        self.pods_killed = 0
-        self.boot_failure_windows = 0
-        self.pull_stall_windows = 0
-        self.master_crashes = 0
-        self.api_outage_windows = 0
-        self.watch_drop_windows = 0
+        #: Injection counters live in a metrics registry (shared with the
+        #: run when one is passed); the properties below preserve the
+        #: historical ``chaos.pods_killed``-style attribute API.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_injections = self.metrics.counter(
+            "chaos_injections_total", "fault injections by kind"
+        )
         self._schedules: List[PeriodicTask] = []
+
+    @property
+    def nodes_killed(self) -> int:
+        return int(self._c_injections.value(kind="node_kill"))
+
+    @property
+    def pods_killed(self) -> int:
+        return int(self._c_injections.value(kind="pod_evict"))
+
+    @property
+    def boot_failure_windows(self) -> int:
+        return int(self._c_injections.value(kind="boot_failures"))
+
+    @property
+    def pull_stall_windows(self) -> int:
+        return int(self._c_injections.value(kind="pull_stall"))
+
+    @property
+    def master_crashes(self) -> int:
+        return int(self._c_injections.value(kind="master_crash"))
+
+    @property
+    def api_outage_windows(self) -> int:
+        return int(self._c_injections.value(kind="api_outage"))
+
+    @property
+    def watch_drop_windows(self) -> int:
+        return int(self._c_injections.value(kind="watch_drop"))
 
     # ------------------------------------------------------------- directed
     def kill_node(self, node: Node) -> List[Pod]:
@@ -66,8 +99,13 @@ class ChaosInjector:
         for pod in victims:
             self.api.try_delete("Pod", pod.name)
         self.api.try_delete("Node", node.name)
-        self.nodes_killed += 1
-        self.pods_killed += len(victims)
+        self._c_injections.inc(kind="node_kill")
+        if victims:
+            self._c_injections.inc(len(victims), kind="pod_evict")
+        self.tracer.emit(
+            "cluster", "chaos.node_kill", "chaos",
+            node=node.name, pods_lost=len(victims),
+        )
         return victims
 
     def kill_node_named(self, name: str) -> List[Pod]:
@@ -88,7 +126,8 @@ class ChaosInjector:
     def evict_pod(self, pod: Pod) -> None:
         """Delete one pod (voluntary disruption / preemption)."""
         self.api.try_delete("Pod", pod.name)
-        self.pods_killed += 1
+        self._c_injections.inc(kind="pod_evict")
+        self.tracer.emit("cluster", "chaos.pod_evict", "chaos", pod=pod.name)
 
     def evict_random_pod(self, selector: Optional[dict] = None) -> Optional[Pod]:
         pods = [p for p in self.api.pods(selector) if not p.phase.terminal]
@@ -106,7 +145,11 @@ class ChaosInjector:
         """Kill the Work Queue master process mid-run; its replacement
         pod comes up ``restart_delay_s`` later and recovers (from the
         journal, or cold — the master's ``replay_journal`` decides)."""
-        self.master_crashes += 1
+        self._c_injections.inc(kind="master_crash")
+        self.tracer.emit(
+            "cluster", "chaos.master_crash", "chaos",
+            restart_delay_s=restart_delay_s,
+        )
         master.crash(restart_delay_s=restart_delay_s)
 
     def schedule_master_crash(
@@ -120,7 +163,7 @@ class ChaosInjector:
         """Take the API server's notification plane down; with
         ``duration_s`` the outage ends itself."""
         self.api.begin_outage()
-        self.api_outage_windows += 1
+        self._c_injections.inc(kind="api_outage")
         if duration_s is not None:
             self.engine.call_in(duration_s, self.end_api_outage)
 
@@ -138,7 +181,7 @@ class ChaosInjector:
         """Silently break one kind's watch streams (events vanish, no
         error — the informer only notices via staleness/resync)."""
         self.api.begin_watch_drop(kind)
-        self.watch_drop_windows += 1
+        self._c_injections.inc(kind="watch_drop")
         if duration_s is not None:
             self.engine.call_in(duration_s, self.end_watch_drop, kind)
 
@@ -163,7 +206,10 @@ class ChaosInjector:
         if not 0.0 <= prob <= 1.0:
             raise ValueError(f"prob must be in [0,1], got {prob}")
         self.cloud.boot_failure_prob = prob
-        self.boot_failure_windows += 1
+        self._c_injections.inc(kind="boot_failures")
+        self.tracer.emit(
+            "cluster", "chaos.boot_failures.begin", "chaos", prob=prob
+        )
         if duration_s is not None:
             self.engine.call_in(duration_s, self.end_boot_failures)
 
@@ -183,7 +229,10 @@ class ChaosInjector:
         if factor < 1.0:
             raise ValueError(f"factor must be >= 1, got {factor}")
         self.registry.stall_factor = factor
-        self.pull_stall_windows += 1
+        self._c_injections.inc(kind="pull_stall")
+        self.tracer.emit(
+            "cluster", "chaos.pull_stall.begin", "chaos", factor=factor
+        )
         if duration_s is not None:
             self.engine.call_in(duration_s, self.end_image_pull_stall)
 

@@ -19,7 +19,7 @@ add/remove nodes accordingly". This loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cluster.api import KubeApiServer
 from repro.cluster.node import MachineType, N1_STANDARD_4, Node
@@ -27,6 +27,7 @@ from repro.cluster.pod import Pod
 from repro.cluster.resources import ResourceVector
 from repro.sim.engine import Engine, PeriodicTask
 from repro.sim.rng import RngRegistry
+from repro.telemetry.events import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,11 +82,14 @@ class CloudController:
         api: KubeApiServer,
         rng: RngRegistry,
         config: CloudControllerConfig = CloudControllerConfig(),
+        *,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.engine = engine
         self.api = api
         self.rng = rng
         self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._node_seq = 0
         self._inflight = 0  # reservations not yet registered as nodes
         self._idle_since: Dict[str, float] = {}
@@ -191,6 +195,11 @@ class CloudController:
             self.config.reservation_std_s,
             floor=self.config.reservation_floor_s,
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster", "node.reserve",
+                latency_s=latency, inflight=self._inflight,
+            )
         self.engine.call_in(latency, self._reservation_complete)
 
     def _reservation_complete(self) -> None:
@@ -202,6 +211,7 @@ class CloudController:
             # The VM never boots / fails kubelet registration; the next
             # sync notices the still-pending pods and reserves again.
             self.boot_failures += 1
+            self.tracer.emit("cluster", "node.boot_failure", "fault")
             return
         if self.node_count() >= self.config.max_nodes:
             return  # raced with another provisioning source; drop the VM
@@ -218,6 +228,11 @@ class CloudController:
         node.ready_time = self.engine.now
         self.api.create(node)
         self.nodes_provisioned += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster", "node.ready",
+                node=node.name, total=self.nodes_provisioned,
+            )
         return node
 
     # ----------------------------------------------------------- scale-down
@@ -256,3 +271,5 @@ class CloudController:
         self._idle_since.pop(node.name, None)
         self.api.try_delete("Node", node.name)
         self.nodes_removed += 1
+        if self.tracer.enabled:
+            self.tracer.emit("cluster", "node.removed", node=node.name)

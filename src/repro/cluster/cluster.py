@@ -24,6 +24,8 @@ from repro.cluster.scheduler import KubeScheduler
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import MetricRecorder
+from repro.telemetry.events import NULL_TRACER, Tracer
+from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,26 +72,36 @@ class Cluster:
         rng: RngRegistry,
         config: ClusterConfig = ClusterConfig(),
         recorder: Optional[MetricRecorder] = None,
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.engine = engine
         self.rng = rng
         self.config = config
         self.recorder = recorder if recorder is not None else MetricRecorder(engine)
-        self.api = KubeApiServer(engine)
+        #: One tracer shared by every control loop in this cluster.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.api = KubeApiServer(engine, tracer=self.tracer, metrics=metrics)
         self.registry = ImageRegistry(
             rng,
             pull_bandwidth_mbps=config.registry_pull_bandwidth_mbps,
             fixed_overhead_s=config.registry_fixed_overhead_s,
             jitter_cv=config.registry_jitter_cv,
         )
-        self.kubelets = KubeletManager(engine, self.api, self.registry)
+        self.kubelets = KubeletManager(
+            engine, self.api, self.registry, tracer=self.tracer
+        )
         self.scheduler = KubeScheduler(
             engine,
             self.api,
             sync_period=config.scheduler_sync_period_s,
             strategy=config.scheduler_strategy,
+            tracer=self.tracer,
         )
-        self.cloud = CloudController(engine, self.api, rng, config.cloud_config())
+        self.cloud = CloudController(
+            engine, self.api, rng, config.cloud_config(), tracer=self.tracer
+        )
         self.metrics = MetricsServer(
             engine,
             self.api,

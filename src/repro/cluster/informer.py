@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
 from repro.cluster.objects import KubeObject
 from repro.sim.engine import PeriodicTask
+from repro.telemetry.events import NULL_TRACER, Tracer
 
 AddHandler = Callable[[KubeObject], None]
 UpdateHandler = Callable[[KubeObject], None]
@@ -51,9 +52,11 @@ class Informer:
         kind: str,
         *,
         resync_period_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.api = api
         self.kind = kind
+        self.tracer = tracer if tracer is not None else api.tracer
         self.cache: Dict[str, KubeObject] = {}
         self._on_add: List[AddHandler] = []
         self._on_update: List[UpdateHandler] = []
@@ -142,6 +145,11 @@ class Informer:
         self.last_version = max(self.last_version, target)
         self.resyncs += 1
         self.events_synthesized += synthesized
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster", "informer.resync",
+                kind=self.kind, synthesized=synthesized,
+            )
         return synthesized
 
     def close(self) -> None:
@@ -154,6 +162,12 @@ class Informer:
         if self._resync_loop is not None:
             self._resync_loop.stop()
             self._resync_loop = None
+
+    def __enter__(self) -> "Informer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------ internal
     def _handle(self, event: WatchEvent) -> None:

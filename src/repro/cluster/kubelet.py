@@ -17,6 +17,7 @@ from repro.cluster.images import ImageRegistry
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod, PodPhase, REASON_PULLED, REASON_PULLING
 from repro.sim.engine import Engine, ScheduledEvent
+from repro.telemetry.events import NULL_TRACER, Tracer
 
 
 class Kubelet:
@@ -32,11 +33,14 @@ class Kubelet:
         api: KubeApiServer,
         node: Node,
         registry: ImageRegistry,
+        *,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.engine = engine
         self.api = api
         self.node = node
         self.registry = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._admitted: Set[str] = set()
         self._pending_starts: Dict[str, ScheduledEvent] = {}
         api.watch("Pod", self._on_pod_event, replay_existing=True)
@@ -67,6 +71,12 @@ class Kubelet:
         pod.add_event(self.engine.now, REASON_PULLING, f"pulling image {image.name}")
         self.api.mark_modified(pod)
         duration = self.registry.pull_duration(image)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster", "kubelet.pulling",
+                pod=pod.name, node=self.node.name,
+                image=image.name, duration_s=duration,
+            )
         self._pending_starts[pod.name] = self.engine.call_in(
             duration, self._image_pulled, pod
         )
@@ -88,6 +98,10 @@ class Kubelet:
         if pod.phase.terminal or pod.deletion_requested:
             return
         pod.mark_running(self.engine.now)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster", "kubelet.running", pod=pod.name, node=self.node.name
+            )
         self.api.mark_modified(pod)
 
     # ----------------------------------------------------------------- stop
@@ -103,16 +117,29 @@ class Kubelet:
         if pod.phase.terminal:
             return
         pod.mark_finished(self.engine.now, succeeded=succeeded)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster", "kubelet.stopped",
+                pod=pod.name, node=self.node.name, succeeded=succeeded,
+            )
         self.api.mark_modified(pod)
 
 
 class KubeletManager:
     """Creates a :class:`Kubelet` for every node that joins the cluster."""
 
-    def __init__(self, engine: Engine, api: KubeApiServer, registry: ImageRegistry) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        api: KubeApiServer,
+        registry: ImageRegistry,
+        *,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.engine = engine
         self.api = api
         self.registry = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.kubelets: Dict[str, Kubelet] = {}
         api.watch("Node", self._on_node_event, replay_existing=True)
 
@@ -123,7 +150,9 @@ class KubeletManager:
         if event.type is WatchEventType.DELETED:
             self.kubelets.pop(node.name, None)
         elif node.name not in self.kubelets:
-            self.kubelets[node.name] = Kubelet(self.engine, self.api, node, self.registry)
+            self.kubelets[node.name] = Kubelet(
+                self.engine, self.api, node, self.registry, tracer=self.tracer
+            )
 
     def for_node(self, node: Node) -> Optional[Kubelet]:
         return self.kubelets.get(node.name)

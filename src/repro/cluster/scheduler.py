@@ -15,6 +15,7 @@ from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod, PodPhase, REASON_FAILED_SCHEDULING
 from repro.sim.engine import Engine, PeriodicTask
+from repro.telemetry.events import NULL_TRACER, Tracer
 
 
 class KubeScheduler:
@@ -35,12 +36,14 @@ class KubeScheduler:
         *,
         sync_period: float = 1.0,
         strategy: str = "least-requested",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if strategy not in ("least-requested", "binpack"):
             raise ValueError(f"unknown scheduling strategy {strategy!r}")
         self.engine = engine
         self.api = api
         self.strategy = strategy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.binds = 0
         self._loop = PeriodicTask(engine, sync_period, self.sync, start_after=0.0)
         api.watch("Pod", self._on_pod_event, replay_existing=False)
@@ -74,6 +77,10 @@ class KubeScheduler:
             self.api.mark_modified(pod)
             self.binds += 1
             bound += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "cluster", "scheduler.bind", pod=pod.name, node=node.name
+                )
         return bound
 
     def _select_node(self, pod: Pod) -> Optional[Node]:
@@ -95,4 +102,6 @@ class KubeScheduler:
         if pod.events and pod.events[-1].reason == REASON_FAILED_SCHEDULING:
             return
         pod.add_event(self.engine.now, REASON_FAILED_SCHEDULING, "Insufficient Resource")
+        if self.tracer.enabled:
+            self.tracer.emit("cluster", "scheduler.unschedulable", pod=pod.name)
         self.api.mark_modified(pod)

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments all           # everything
     python -m repro.experiments list          # registry with descriptions
     python -m repro.experiments fig10 --seed 7
+    python -m repro.experiments recovery --smoke --trace-out trace.json
+    python -m repro.experiments recovery --smoke --explain
 """
 
 from __future__ import annotations
@@ -122,11 +124,39 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="recovery only: crash-to-restart delay of the master",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a telemetry trace of every run to PATH "
+            "(.jsonl for JSON-lines, anything else for Chrome trace "
+            "format, loadable in chrome://tracing / Perfetto)"
+        ),
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the autoscaler's per-cycle decision audit after each run",
+    )
     args = parser.parse_args(argv)
 
     if "list" in args.figures:
         _print_registry()
         return 0
+
+    sink = None
+    if args.trace_out is not None or args.explain:
+        from repro.telemetry.session import (
+            TelemetryConfig,
+            TraceSink,
+            set_default_telemetry,
+        )
+
+        # The sink collects every run's events; it is only flushed to
+        # disk when --trace-out named a path.
+        sink = TraceSink(args.trace_out if args.trace_out is not None else "")
+        set_default_telemetry(TelemetryConfig(enabled=True), sink)
 
     targets: list[str] = []
     for name in args.figures:
@@ -147,6 +177,25 @@ def main(argv: list[str] | None = None) -> int:
             )
         FIGURES[name](args.seed, **kwargs)
         print(f"\n[{name} regenerated in {time.time() - started:.1f}s wall time]")
+
+    if sink is not None:
+        if args.explain:
+            from repro.telemetry.explain import decision_events, explain_decisions
+
+            for run_name, events in sink.runs:
+                if not decision_events(events):
+                    continue
+                print(f"\n=== decision audit: {run_name} ===\n")
+                print(explain_decisions(events))
+        if args.trace_out is not None:
+            path = sink.flush()
+            print(
+                f"\n[trace: {sink.event_count} events from "
+                f"{len(sink.runs)} runs -> {path}]"
+            )
+        from repro.telemetry.session import set_default_telemetry
+
+        set_default_telemetry(None, None)
     return 0
 
 

@@ -20,9 +20,9 @@ from repro.cluster.node import N1_STANDARD_4_RESERVED
 from repro.experiments.report import ascii_chart, paper_vs_measured
 from repro.experiments.runner import (
     ExperimentResult,
+    ExperimentSpec,
     StackConfig,
-    run_hpa_experiment,
-    run_hta_experiment,
+    run_experiment,
 )
 from repro.metrics.summary import comparison_factors, format_summary_table
 from repro.workloads.iobound import iobound_parallel
@@ -61,18 +61,25 @@ def workload():
 
 
 def run_hpa(target: float, seed: int = 0) -> ExperimentResult:
-    return run_hpa_experiment(
-        workload(),
-        target_cpu=target,
-        stack_config=stack_config(seed),
-        min_replicas=3,
-        max_replicas=20,
-        name=f"HPA({int(target * 100)}% CPU)",
+    return run_experiment(
+        ExperimentSpec(
+            workload(),
+            policy="hpa",
+            name=f"HPA({int(target * 100)}% CPU)",
+            stack=stack_config(seed),
+            options={
+                "target_cpu": target,
+                "min_replicas": 3,
+                "max_replicas": 20,
+            },
+        )
     )
 
 
 def run_hta(seed: int = 0) -> ExperimentResult:
-    return run_hta_experiment(workload(), stack_config=stack_config(seed), name="HTA")
+    return run_experiment(
+        ExperimentSpec(workload(), policy="hta", name="HTA", stack=stack_config(seed))
+    )
 
 
 def run(seed: int = 0) -> Dict[str, ExperimentResult]:

@@ -26,9 +26,9 @@ from repro.cluster.resources import ResourceVector
 from repro.experiments.report import ascii_chart, paper_vs_measured
 from repro.experiments.runner import (
     ExperimentResult,
+    ExperimentSpec,
     StackConfig,
-    run_hpa_experiment,
-    run_static_experiment,
+    run_experiment,
 )
 from repro.wq.task import FileSpec, Task
 from repro.workloads.blast import ALIGN_FOOTPRINT
@@ -86,24 +86,31 @@ def make_workload() -> list:
 
 def run_config(target_cpu: float, seed: int = 0) -> ExperimentResult:
     """One HPA configuration over the 200-job BLAST workload."""
-    return run_hpa_experiment(
-        make_workload(),
-        target_cpu=target_cpu,
-        stack_config=stack_config(seed),
-        min_replicas=3,
-        max_replicas=MAX_PODS,
-        name=f"Config-{int(target_cpu * 100)}",
+    return run_experiment(
+        ExperimentSpec(
+            make_workload(),
+            policy="hpa",
+            name=f"Config-{int(target_cpu * 100)}",
+            stack=stack_config(seed),
+            options={
+                "target_cpu": target_cpu,
+                "min_replicas": 3,
+                "max_replicas": MAX_PODS,
+            },
+        )
     )
 
 
 def run_ideal(seed: int = 0) -> ExperimentResult:
     """The ideal reference: all 60 worker slots pre-provisioned."""
-    return run_static_experiment(
-        make_workload(),
-        n_workers=MAX_PODS,
-        stack_config=stack_config(seed, min_nodes=MAX_NODES),
-        estimator="declared",
-        name="ideal",
+    return run_experiment(
+        ExperimentSpec(
+            make_workload(),
+            policy="static",
+            name="ideal",
+            stack=stack_config(seed, min_nodes=MAX_NODES),
+            options={"n_workers": MAX_PODS, "estimator": "declared"},
+        )
     )
 
 

@@ -25,8 +25,9 @@ from repro.cluster.resources import ResourceVector
 from repro.experiments.report import paper_vs_measured
 from repro.experiments.runner import (
     ExperimentResult,
+    ExperimentSpec,
     StackConfig,
-    run_static_experiment,
+    run_experiment,
 )
 from repro.workloads.blast import blast_sizing_study
 
@@ -75,34 +76,40 @@ def stack_config(seed: int = 0, *, worker: ResourceVector) -> StackConfig:
 
 def run_fine(seed: int = 0) -> ExperimentResult:
     """(a) 15 × 1-vCPU workers, resources declared."""
-    return run_static_experiment(
-        blast_sizing_study(N_TASKS, execute_s=EXECUTE_S, declared=True),
-        n_workers=15,
-        stack_config=stack_config(seed, worker=FINE_WORKER),
-        estimator="declared",
-        name="fine-grained",
+    return run_experiment(
+        ExperimentSpec(
+            blast_sizing_study(N_TASKS, execute_s=EXECUTE_S, declared=True),
+            policy="static",
+            name="fine-grained",
+            stack=stack_config(seed, worker=FINE_WORKER),
+            options={"n_workers": 15, "estimator": "declared"},
+        )
     )
 
 
 def run_coarse_unknown(seed: int = 0) -> ExperimentResult:
     """(b) 5 node-sized workers, requirements unknown → 1 job/worker."""
-    return run_static_experiment(
-        blast_sizing_study(N_TASKS, execute_s=EXECUTE_S, declared=False),
-        n_workers=N_NODES,
-        stack_config=stack_config(seed, worker=COARSE_WORKER),
-        estimator="conservative",
-        name="coarse-unknown",
+    return run_experiment(
+        ExperimentSpec(
+            blast_sizing_study(N_TASKS, execute_s=EXECUTE_S, declared=False),
+            policy="static",
+            name="coarse-unknown",
+            stack=stack_config(seed, worker=COARSE_WORKER),
+            options={"n_workers": N_NODES, "estimator": "conservative"},
+        )
     )
 
 
 def run_coarse_known(seed: int = 0) -> ExperimentResult:
     """(c) 5 node-sized workers, requirements known → 3 jobs/worker."""
-    return run_static_experiment(
-        blast_sizing_study(N_TASKS, execute_s=EXECUTE_S, declared=True),
-        n_workers=N_NODES,
-        stack_config=stack_config(seed, worker=COARSE_WORKER),
-        estimator="declared",
-        name="coarse-known",
+    return run_experiment(
+        ExperimentSpec(
+            blast_sizing_study(N_TASKS, execute_s=EXECUTE_S, declared=True),
+            policy="static",
+            name="coarse-known",
+            stack=stack_config(seed, worker=COARSE_WORKER),
+            options={"n_workers": N_NODES, "estimator": "declared"},
+        )
     )
 
 

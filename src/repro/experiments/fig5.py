@@ -15,7 +15,12 @@ from typing import Dict, List, Tuple
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.node import N1_STANDARD_4_RESERVED
 from repro.experiments.report import ascii_chart
-from repro.experiments.runner import ExperimentResult, StackConfig, run_hta_experiment
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    StackConfig,
+    run_experiment,
+)
 from repro.workloads.synthetic import staged_pipeline
 
 
@@ -31,7 +36,9 @@ def run(seed: int = 0) -> ExperimentResult:
         ),
         seed=seed,
     )
-    return run_hta_experiment(graph, stack_config=cfg, name="fig5-hta")
+    return run_experiment(
+        ExperimentSpec(graph, policy="hta", name="fig5-hta", stack=cfg)
+    )
 
 
 def cycle_staircase(result: ExperimentResult, cycle_s: float = 160.0) -> List[Tuple[float, float, float]]:

@@ -31,9 +31,10 @@ from repro.cluster.node import N1_STANDARD_4_RESERVED
 from repro.cluster.resources import ResourceVector
 from repro.experiments.runner import (
     ExperimentResult,
+    ExperimentSpec,
     FaultProfile,
     StackConfig,
-    run_hta_experiment,
+    run_experiment,
 )
 from repro.metrics.recovery import RecoverySummary, format_recovery_table
 from repro.sim.rng import RngRegistry
@@ -169,10 +170,13 @@ def run(
     restart_delay_s: float = 60.0,
 ) -> Dict[str, Tuple[ExperimentResult, ExperimentResult, RecoverySummary]]:
     """Per strategy: (faulty result, fault-free twin, summary)."""
-    baseline = run_hta_experiment(
-        workload(smoke, seed),
-        stack_config=stack_config(seed, faults=None, smoke=smoke),
-        name="HTA-baseline",
+    baseline = run_experiment(
+        ExperimentSpec(
+            workload(smoke, seed),
+            policy="hta",
+            name="HTA-baseline",
+            stack=stack_config(seed, faults=None, smoke=smoke),
+        )
     )
     out: Dict[str, Tuple[ExperimentResult, ExperimentResult, RecoverySummary]] = {}
     for strategy in STRATEGIES:
@@ -184,10 +188,13 @@ def run(
             outage_duration_s=outage_duration_s,
             restart_delay_s=restart_delay_s,
         )
-        faulty = run_hta_experiment(
-            workload(smoke, seed),
-            stack_config=stack_config(seed, faults=profile, smoke=smoke),
-            name=f"HTA-{strategy}",
+        faulty = run_experiment(
+            ExperimentSpec(
+                workload(smoke, seed),
+                policy="hta",
+                name=f"HTA-{strategy}",
+                stack=stack_config(seed, faults=profile, smoke=smoke),
+            )
         )
         out[strategy] = (faulty, baseline, _summarize(strategy, faulty, baseline))
     return out

@@ -30,11 +30,10 @@ from repro.cluster.node import N1_STANDARD_4_RESERVED
 from repro.cluster.resources import ResourceVector
 from repro.experiments.runner import (
     ExperimentResult,
+    ExperimentSpec,
     FaultProfile,
     StackConfig,
-    run_hpa_experiment,
-    run_hta_experiment,
-    run_predictive_experiment,
+    run_experiment,
 )
 from repro.metrics.resilience import ResilienceSummary, format_resilience_table
 from repro.sim.rng import RngRegistry
@@ -130,14 +129,22 @@ def _run_policy(
 ) -> ExperimentResult:
     tasks = workload(smoke, cfg.seed)
     if policy == "HTA":
-        return run_hta_experiment(tasks, stack_config=cfg, name="HTA")
+        return run_experiment(
+            ExperimentSpec(tasks, policy="hta", name="HTA", stack=cfg)
+        )
     if policy == "HPA":
-        return run_hpa_experiment(
-            tasks, target_cpu=0.5, stack_config=cfg, name="HPA"
+        return run_experiment(
+            ExperimentSpec(
+                tasks,
+                policy="hpa",
+                name="HPA",
+                stack=cfg,
+                options={"target_cpu": 0.5},
+            )
         )
     if policy == "Predictive":
-        return run_predictive_experiment(
-            tasks, stack_config=cfg, name="Predictive"
+        return run_experiment(
+            ExperimentSpec(tasks, policy="predictive", name="Predictive", stack=cfg)
         )
     raise ValueError(f"unknown policy {policy!r}")
 

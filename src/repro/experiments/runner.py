@@ -1,31 +1,49 @@
-"""Shared experiment machinery: build a stack, run a policy, collect.
+"""Single-entry experiment API: build a stack, run a policy, collect.
 
-The entry points mirror the resource-provisioning modes under study:
+One front door — :func:`run_experiment` — takes an
+:class:`ExperimentSpec` naming the autoscaling policy under study and
+runs it on the shared substrate (cluster + network + Work Queue master),
+so differences in the result are attributable to the policy alone. The
+policies mirror the resource-provisioning modes the paper compares:
 
-* :func:`run_hta_experiment` — the full HTA pipeline (fig 8): workflow
-  manager → HTA operator (warm-up gating) → Work Queue master; HTA
-  creates/drains worker pods directly (pass an ``HtaConfig`` with
-  ``forecast_arrivals=True`` for the forecast-fed hybrid mode);
-* :func:`run_predictive_experiment` — the forecast-driven policy: a
+* ``"hta"`` — the full HTA pipeline (fig 8): workflow manager → HTA
+  operator (warm-up gating) → Work Queue master; HTA creates/drains
+  worker pods directly (pass ``options={"hta_config": HtaConfig(...,
+  forecast_arrivals=True)}`` for the forecast-fed hybrid mode);
+* ``"predictive"`` — the forecast-driven policy: a
   :class:`~repro.forecast.scaler.PredictiveScaler` sizes the pool for
   demand predicted one init cycle ahead, draining (never deleting) on
   the way down;
-* :func:`run_hpa_experiment` — the baseline: worker pods held by a
-  replica controller scaled by the Horizontal Pod Autoscaler on CPU;
-* :func:`run_queue_scaler_experiment` — the KEDA-style queue-length
-  baseline;
-* :func:`run_static_experiment` — a fixed worker pool (fig 4's sizing
-  study and fig 2's "ideal" reference).
+* ``"hpa"`` — the baseline: worker pods held by a replica controller
+  scaled by the Horizontal Pod Autoscaler on CPU;
+* ``"queue"`` — the KEDA-style queue-length baseline;
+* ``"static"`` — a fixed worker pool (fig 4's sizing study and fig 2's
+  "ideal" reference).
 
-All share identical cluster, network, and workload substrates, so
-differences in the result are attributable to the autoscaling policy.
+New policies plug in through :func:`register_policy`. The historical
+``run_hta_experiment``-style entry points survive as deprecated thin
+wrappers over :func:`run_experiment`.
+
+Telemetry (the :mod:`repro.telemetry` tracer + metrics registry) is
+wired through every layer when the spec carries an enabled
+:class:`~repro.telemetry.session.TelemetryConfig`; disabled runs pay one
+early-returning call per instrumented site.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.cluster.chaos import ChaosInjector
 from repro.cluster.cluster import Cluster, ClusterConfig
@@ -44,6 +62,12 @@ from repro.metrics.accounting import AccountingSummary, ResourceAccountant
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import MetricRecorder
+from repro.telemetry.session import (
+    TelemetryConfig,
+    TelemetrySession,
+    default_sink,
+    default_telemetry,
+)
 from repro.wq.estimator import (
     AllocationEstimator,
     ConservativeEstimator,
@@ -160,14 +184,34 @@ class StackConfig:
 
 
 class _Stack:
-    """Everything instantiated for one run."""
+    """Everything instantiated for one run. A context manager: ``close``
+    releases the watch subscriptions and control loops so back-to-back
+    runs in one process never leak handlers."""
 
-    def __init__(self, config: StackConfig, estimator_kind: str = "monitor"):
+    def __init__(
+        self,
+        config: StackConfig,
+        estimator_kind: str = "monitor",
+        *,
+        telemetry: Optional[TelemetryConfig] = None,
+    ):
         self.config = config
         self.engine = Engine()
         self.rng = RngRegistry(config.seed)
         self.recorder = MetricRecorder(self.engine)
-        self.cluster = Cluster(self.engine, self.rng, config.cluster, self.recorder)
+        #: One tracer + metrics registry per run, bound to this engine's
+        #: clock. Disabled (the default) hands out NULL_TRACER.
+        self.telemetry = TelemetrySession(lambda: self.engine.now, telemetry)
+        self.tracer = self.telemetry.tracer
+        self.metrics = self.telemetry.metrics
+        self.cluster = Cluster(
+            self.engine,
+            self.rng,
+            config.cluster,
+            self.recorder,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         self.link = Link(
             self.engine,
             config.link_capacity_mbps,
@@ -199,6 +243,10 @@ class _Stack:
             retry_policy=retry_policy,
             speculation=faults.speculation if faults is not None else None,
             replay_journal=faults.journal_replay if faults is not None else True,
+            tracer=self.tracer,
+            # The wq histograms cost one observe per dispatch/completion;
+            # only armed when the run actually records telemetry.
+            metrics=self.metrics if self.telemetry.enabled else None,
         )
         if faults is not None and faults.max_retries is not None:
             self.master.max_retries = faults.max_retries
@@ -214,6 +262,8 @@ class _Stack:
                 self.rng,
                 cloud=self.cluster.cloud,
                 registry=self.cluster.registry,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
             if faults.node_crash_interval_s is not None:
                 self.chaos.schedule_node_failures(faults.node_crash_interval_s)
@@ -259,6 +309,21 @@ class _Stack:
             return ConservativeEstimator()
         raise ValueError(f"unknown estimator kind {kind!r}")
 
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release everything holding a subscription or a periodic loop."""
+        self.runtime.close()
+        self.master.close()
+        if self.chaos is not None:
+            self.chaos.stop()
+        self.cluster.stop()
+
+    def __enter__(self) -> "_Stack":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 @dataclass
 class ExperimentResult:
@@ -275,6 +340,9 @@ class ExperimentResult:
     nodes_peak: int
     workers_started: int
     extras: Dict[str, float] = field(default_factory=dict)
+    #: The run's tracer + metrics registry (None for results built by
+    #: code paths predating telemetry).
+    telemetry: Optional[TelemetrySession] = None
 
     def summary(self) -> str:
         a = self.accounting
@@ -288,6 +356,13 @@ class ExperimentResult:
 
     def series(self, name: str):
         return self.accountant.series(name)
+
+    @property
+    def trace_events(self):
+        """The run's trace events ([] when tracing was disabled)."""
+        if self.telemetry is None:
+            return []
+        return self.telemetry.tracer.events
 
 
 class ExperimentTimeout(RuntimeError):
@@ -379,6 +454,7 @@ def _collect(
         nodes_peak=int(accountant.series("nodes").maximum(t0, t1)),
         workers_started=stack.runtime.workers_started,
         extras=fault_extras,
+        telemetry=stack.telemetry,
     )
 
 
@@ -411,27 +487,166 @@ def _make_accountant(
     return acc
 
 
-# --------------------------------------------------------------------- HTA
-def run_hta_experiment(
-    workload: Workload,
-    *,
-    stack_config: Optional[StackConfig] = None,
-    hta_config: Optional[HtaConfig] = None,
-    seed: Optional[int] = None,
-    name: str = "HTA",
-    fixed_init_time_s: Optional[float] = None,
-) -> ExperimentResult:
-    """Run a workload under the High-Throughput Autoscaler.
+# =================================================== the experiment API
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """One experiment run, fully described.
 
-    ``fixed_init_time_s`` replaces the live informer-fed initialization
-    estimate with a constant (the init-time-feedback ablation).
+    ``policy`` names an entry in the policy registry (``hta``,
+    ``predictive``, ``hpa``, ``queue``, ``static``, or anything added
+    via :func:`register_policy`); ``options`` carries the policy's own
+    knobs (e.g. ``{"target_cpu": 0.8}`` for HPA, ``{"n_workers": 10}``
+    for static). ``telemetry=None`` defers to the process-wide default
+    installed by the CLI's ``--trace-out`` (and to "disabled" when
+    there is none).
     """
-    cfg = stack_config if stack_config is not None else StackConfig()
-    if seed is not None:
-        cfg = replace(cfg, seed=seed)
-    stack = _Stack(cfg, estimator_kind="monitor")
-    graph = ensure_graph(workload)
 
+    workload: Workload
+    policy: str = "hta"
+    name: Optional[str] = None
+    stack: Optional[StackConfig] = None
+    seed: Optional[int] = None
+    telemetry: Optional[TelemetryConfig] = None
+    options: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class _PolicyHarness:
+    """What a policy builder hands back to :func:`run_experiment`.
+
+    The runner owns the generic sequence (stack → manager → accountant →
+    drive → collect); the harness injects the policy-specific pieces at
+    the same points the historical per-policy functions did, so a fixed
+    seed reproduces their runs exactly.
+    """
+
+    #: Default result name (used when the spec does not set one).
+    name: str
+    #: What the WorkflowManager submits ready jobs to (operator/master).
+    submitter: object
+    #: Called with the freshly built manager (e.g. done-signal wiring).
+    on_manager: Optional[Callable[[WorkflowManager], None]] = None
+    #: Extra cores counted as shortage (HTA's warm-up-held tasks).
+    shortage_extra: Optional[Callable[[], float]] = None
+    #: Extra accountant gauges.
+    gauges: Dict[str, Callable[[], float]] = field(default_factory=dict)
+    #: Called right before the drive loop (e.g. ``operator.start``).
+    start: Optional[Callable[[], None]] = None
+    #: Called right after the workflow completes (scaler shutdowns).
+    finish: Optional[Callable[[], None]] = None
+    #: Policy-specific extras for the result (receives the accountant).
+    extras: Optional[Callable[[ResourceAccountant], Dict[str, float]]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyDefinition:
+    """A registry entry: how to validate, size, and build one policy."""
+
+    key: str
+    build: Callable[["_Stack", StackConfig, WorkflowGraph, Dict], _PolicyHarness]
+    #: Dispatch-estimator kind the master should use (resolved from the
+    #: options *before* the stack is built).
+    estimator_kind: Callable[[Dict], str] = lambda options: "monitor"
+    #: Early option validation (raises before anything is constructed).
+    validate: Optional[Callable[[Dict], None]] = None
+
+
+POLICIES: Dict[str, PolicyDefinition] = {}
+
+
+def register_policy(definition: PolicyDefinition) -> PolicyDefinition:
+    """Add (or replace) a policy in the registry; returns it unchanged."""
+    POLICIES[definition.key] = definition
+    return definition
+
+
+def _take(options: Dict, key: str, default=None):
+    value = options.pop(key, None)
+    return default if value is None else value
+
+
+def _reject_unknown(policy: str, options: Dict) -> None:
+    if options:
+        raise ValueError(
+            f"unknown option(s) for policy {policy!r}: {sorted(options)}"
+        )
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one experiment described by ``spec``; the single entry point
+    behind every figure harness, example, and deprecated wrapper."""
+    try:
+        policy = POLICIES[spec.policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {spec.policy!r}; known: {sorted(POLICIES)}"
+        ) from None
+    options: Dict = dict(spec.options)
+    if policy.validate is not None:
+        policy.validate(options)
+    cfg = spec.stack if spec.stack is not None else StackConfig()
+    if spec.seed is not None:
+        cfg = replace(cfg, seed=spec.seed)
+    telemetry = (
+        spec.telemetry if spec.telemetry is not None else default_telemetry()
+    )
+    with _Stack(
+        cfg, estimator_kind=policy.estimator_kind(options), telemetry=telemetry
+    ) as stack:
+        graph = ensure_graph(spec.workload)
+        harness = policy.build(stack, cfg, graph, options)
+        _reject_unknown(spec.policy, options)
+        name = spec.name if spec.name is not None else harness.name
+        manager = WorkflowManager(
+            stack.engine, graph, harness.submitter, recorder=stack.recorder
+        )
+        if harness.on_manager is not None:
+            harness.on_manager(manager)
+        accountant = _make_accountant(
+            stack,
+            shortage_extra=harness.shortage_extra,
+            extra_gauges=harness.gauges or None,
+        )
+        if harness.start is not None:
+            harness.start()
+        _drive(stack, manager, accountant)
+        if harness.finish is not None:
+            harness.finish()
+        extras = harness.extras(accountant) if harness.extras is not None else {}
+        result = _collect(name, stack, manager, accountant, graph, **extras)
+    stack.telemetry.export(result.name)
+    sink = default_sink()
+    if sink is not None and stack.telemetry.enabled:
+        sink.record(result.name, stack.telemetry.tracer.events)
+    return result
+
+
+# --------------------------------------------------------------------- HTA
+def _hta_tracker(stack: _Stack, cfg: StackConfig, fixed_init_time_s, *, resync: bool):
+    """The init-time source HTA-style policies plan with."""
+    if fixed_init_time_s is not None:
+        return FixedInitTime(fixed_init_time_s)
+    robust_window = cfg.faults.robust_init_window if cfg.faults is not None else 0
+    resync_period = (
+        cfg.faults.informer_resync_period_s
+        if resync and cfg.faults is not None
+        else None
+    )
+    return InitTimeTracker(
+        stack.cluster.api,
+        prior_s=160.0,
+        selector_label="wq-worker",
+        robust=robust_window > 0,
+        window=max(robust_window, 1),
+        resync_period_s=resync_period,
+    )
+
+
+def _build_hta(
+    stack: _Stack, cfg: StackConfig, graph: WorkflowGraph, options: Dict
+) -> _PolicyHarness:
+    hta_config = _take(options, "hta_config")
+    fixed_init_time_s = _take(options, "fixed_init_time_s")
     if hta_config is None:
         hta_config = HtaConfig(
             initial_workers=cfg.cluster.min_nodes,
@@ -445,83 +660,53 @@ def run_hta_experiment(
         worker_request=stack.worker_request,
         fault_config=cfg.faults.provisioner if cfg.faults is not None else None,
     )
-    if fixed_init_time_s is not None:
-        tracker = FixedInitTime(fixed_init_time_s)
-    else:
-        robust_window = (
-            cfg.faults.robust_init_window if cfg.faults is not None else 0
-        )
-        tracker = InitTimeTracker(
-            stack.cluster.api,
-            prior_s=160.0,
-            selector_label="wq-worker",
-            robust=robust_window > 0,
-            window=max(robust_window, 1),
-            resync_period_s=(
-                cfg.faults.informer_resync_period_s
-                if cfg.faults is not None
-                else None
-            ),
-        )
+    tracker = _hta_tracker(stack, cfg, fixed_init_time_s, resync=True)
     operator = HtaOperator(
-        stack.engine, stack.master, provisioner, tracker, hta_config, stack.recorder
+        stack.engine,
+        stack.master,
+        provisioner,
+        tracker,
+        hta_config,
+        stack.recorder,
+        tracer=stack.tracer,
     )
-    manager = WorkflowManager(stack.engine, graph, operator, recorder=stack.recorder)
-    manager.done_signal.add_waiter(lambda _mgr: operator.notify_no_more_jobs())
-
-    accountant = _make_accountant(
-        stack,
+    return _PolicyHarness(
+        name="HTA",
+        submitter=operator,
+        on_manager=lambda manager: manager.done_signal.add_waiter(
+            lambda _mgr: operator.notify_no_more_jobs()
+        ),
         shortage_extra=operator.held_cores,
-        extra_gauges={
+        gauges={
             "hta_pending_pods": lambda: float(len(provisioner.pending_pods())),
         },
-    )
-    operator.start()
-    _drive(stack, manager, accountant)
-    return _collect(
-        name,
-        stack,
-        manager,
-        accountant,
-        graph,
-        init_time_samples=float(tracker.sample_count),
-        plans=float(len(operator.plans)),
-        pods_created=float(provisioner.pods_created),
-        drains=float(provisioner.drains_requested),
-        degraded_cycles=float(operator.degraded_cycles),
-        scale_downs_frozen=float(operator.scale_downs_frozen),
-        informer_resyncs=float(
-            getattr(getattr(tracker, "informer", None), "resyncs", 0)
+        start=operator.start,
+        extras=lambda _acc: dict(
+            init_time_samples=float(tracker.sample_count),
+            plans=float(len(operator.plans)),
+            pods_created=float(provisioner.pods_created),
+            drains=float(provisioner.drains_requested),
+            degraded_cycles=float(operator.degraded_cycles),
+            scale_downs_frozen=float(operator.scale_downs_frozen),
+            informer_resyncs=float(
+                getattr(getattr(tracker, "informer", None), "resyncs", 0)
+            ),
+            creations_deferred=float(provisioner.creations_deferred),
         ),
-        creations_deferred=float(provisioner.creations_deferred),
     )
+
+
+register_policy(PolicyDefinition(key="hta", build=_build_hta))
 
 
 # --------------------------------------------------------------- predictive
-def run_predictive_experiment(
-    workload: Workload,
-    *,
-    stack_config: Optional[StackConfig] = None,
-    scaler_config: Optional["PredictiveScalerConfig"] = None,
-    seed: Optional[int] = None,
-    name: str = "Predictive",
-    fixed_init_time_s: Optional[float] = None,
-) -> ExperimentResult:
-    """Run a workload under the forecast-driven :class:`PredictiveScaler`.
-
-    The scaler pre-provisions for demand forecast one resource-
-    initialization cycle ahead (horizon from the live init-time tracker,
-    or a constant when ``fixed_init_time_s`` is given) and shrinks by
-    draining workers, never deleting pods.
-    """
+def _build_predictive(
+    stack: _Stack, cfg: StackConfig, graph: WorkflowGraph, options: Dict
+) -> _PolicyHarness:
     from repro.forecast.scaler import PredictiveScaler, PredictiveScalerConfig
 
-    cfg = stack_config if stack_config is not None else StackConfig()
-    if seed is not None:
-        cfg = replace(cfg, seed=seed)
-    stack = _Stack(cfg, estimator_kind="monitor")
-    graph = ensure_graph(workload)
-
+    scaler_config = _take(options, "scaler_config")
+    fixed_init_time_s = _take(options, "fixed_init_time_s")
     if scaler_config is None:
         scaler_config = PredictiveScalerConfig(
             min_workers=cfg.cluster.min_nodes,
@@ -536,71 +721,55 @@ def run_predictive_experiment(
         name_prefix="pred-worker",
         fault_config=cfg.faults.provisioner if cfg.faults is not None else None,
     )
-    if fixed_init_time_s is not None:
-        tracker = FixedInitTime(fixed_init_time_s)
-    else:
-        robust_window = (
-            cfg.faults.robust_init_window if cfg.faults is not None else 0
-        )
-        tracker = InitTimeTracker(
-            stack.cluster.api,
-            prior_s=160.0,
-            selector_label="wq-worker",
-            robust=robust_window > 0,
-            window=max(robust_window, 1),
-        )
+    # Note: no informer resync here — the predictive scaler predates the
+    # resync plumbing and its runs are calibrated without it.
+    tracker = _hta_tracker(stack, cfg, fixed_init_time_s, resync=False)
     scaler = PredictiveScaler(
         stack.engine, stack.master, provisioner, tracker, scaler_config, stack.recorder
     )
-    manager = WorkflowManager(stack.engine, graph, stack.master, recorder=stack.recorder)
-    accountant = _make_accountant(
-        stack,
-        extra_gauges={
+
+    def finish() -> None:
+        scaler.stop()
+        provisioner.stop()
+
+    return _PolicyHarness(
+        name="Predictive",
+        submitter=stack.master,
+        gauges={
             "forecast_pool": lambda: float(scaler.pool_size()),
             "forecast_desired": lambda: float(scaler.last_desired),
         },
+        finish=finish,
+        extras=lambda _acc: dict(
+            scale_events=float(scaler.scale_events),
+            decisions=float(scaler.decisions),
+            pods_created=float(provisioner.pods_created),
+            drains=float(provisioner.drains_requested),
+        ),
     )
-    _drive(stack, manager, accountant)
-    scaler.stop()
-    provisioner.stop()
-    return _collect(
-        name,
-        stack,
-        manager,
-        accountant,
-        graph,
-        scale_events=float(scaler.scale_events),
-        decisions=float(scaler.decisions),
-        pods_created=float(provisioner.pods_created),
-        drains=float(provisioner.drains_requested),
-    )
+
+
+register_policy(PolicyDefinition(key="predictive", build=_build_predictive))
 
 
 # --------------------------------------------------------------------- HPA
-def run_hpa_experiment(
-    workload: Workload,
-    *,
-    target_cpu: float = 0.5,
-    stack_config: Optional[StackConfig] = None,
-    hpa_config: Optional[HpaConfig] = None,
-    min_replicas: Optional[int] = None,
-    max_replicas: Optional[int] = None,
-    seed: Optional[int] = None,
-    name: Optional[str] = None,
-) -> ExperimentResult:
-    """Run a workload under the Horizontal Pod Autoscaler baseline."""
-    cfg = stack_config if stack_config is not None else StackConfig()
-    if seed is not None:
-        cfg = replace(cfg, seed=seed)
-    stack = _Stack(cfg, estimator_kind="monitor")
-    graph = ensure_graph(workload)
-    request = stack.worker_request
-
+def _worker_pod_spec(cfg: StackConfig, request: ResourceVector):
     def pod_spec(pod_name: str) -> PodSpec:
         return PodSpec(cfg.image, request, labels={"app": "wq-worker"})
 
+    return pod_spec
+
+
+def _build_hpa(
+    stack: _Stack, cfg: StackConfig, graph: WorkflowGraph, options: Dict
+) -> _PolicyHarness:
+    target_cpu = float(_take(options, "target_cpu", 0.5))
+    hpa_config = _take(options, "hpa_config")
+    min_replicas = _take(options, "min_replicas")
+    max_replicas = _take(options, "max_replicas")
+    request = stack.worker_request
     replicaset = WorkerReplicaSet(
-        stack.engine, stack.cluster.api, "wq-workers", pod_spec
+        stack.engine, stack.cluster.api, "wq-workers", _worker_pod_spec(cfg, request)
     )
     if hpa_config is None:
         per_node = max(1, request.copies_fitting_in(cfg.cluster.machine_type.allocatable))
@@ -618,7 +787,6 @@ def run_hpa_experiment(
     hpa = HorizontalPodAutoscaler(
         stack.engine, stack.cluster.metrics, replicaset, hpa_config, stack.recorder
     )
-    manager = WorkflowManager(stack.engine, graph, stack.master, recorder=stack.recorder)
 
     def ideal_workers() -> float:
         """Workers needed to run every remaining task at once (fig 2)."""
@@ -626,53 +794,37 @@ def run_hpa_experiment(
         per_worker = max(request.cores, 1e-9)
         return float(min(hpa_config.max_replicas, math.ceil(backlog / per_worker)))
 
-    accountant = _make_accountant(
-        stack,
-        extra_gauges={
+    return _PolicyHarness(
+        name=f"HPA-{int(target_cpu * 100)}%",
+        submitter=stack.master,
+        gauges={
             "hpa_desired": lambda: float(hpa.last_desired or 0),
             "ideal_workers": ideal_workers,
         },
+        finish=hpa.stop,
+        extras=lambda _acc: dict(
+            scale_events=float(hpa.scale_events),
+            pods_deleted=float(replicaset.pods_deleted),
+        ),
     )
-    _drive(stack, manager, accountant)
-    hpa.stop()
-    return _collect(
-        name if name is not None else f"HPA-{int(target_cpu * 100)}%",
-        stack,
-        manager,
-        accountant,
-        graph,
-        scale_events=float(hpa.scale_events),
-        pods_deleted=float(replicaset.pods_deleted),
-    )
+
+
+register_policy(PolicyDefinition(key="hpa", build=_build_hpa))
 
 
 # --------------------------------------------------------------- queue scaler
-def run_queue_scaler_experiment(
-    workload: Workload,
-    *,
-    stack_config: Optional[StackConfig] = None,
-    scaler_config: Optional["QueueScalerConfig"] = None,
-    tasks_per_replica: float = 3.0,
-    min_replicas: Optional[int] = None,
-    max_replicas: Optional[int] = None,
-    seed: Optional[int] = None,
-    name: str = "KEDA-queue",
-) -> ExperimentResult:
-    """Run a workload under the KEDA-style queue-length baseline."""
+def _build_queue(
+    stack: _Stack, cfg: StackConfig, graph: WorkflowGraph, options: Dict
+) -> _PolicyHarness:
     from repro.baselines.queue_scaler import QueueLengthAutoscaler, QueueScalerConfig
 
-    cfg = stack_config if stack_config is not None else StackConfig()
-    if seed is not None:
-        cfg = replace(cfg, seed=seed)
-    stack = _Stack(cfg, estimator_kind="monitor")
-    graph = ensure_graph(workload)
+    scaler_config = _take(options, "scaler_config")
+    tasks_per_replica = float(_take(options, "tasks_per_replica", 3.0))
+    min_replicas = _take(options, "min_replicas")
+    max_replicas = _take(options, "max_replicas")
     request = stack.worker_request
-
-    def pod_spec(pod_name: str) -> PodSpec:
-        return PodSpec(cfg.image, request, labels={"app": "wq-worker"})
-
     replicaset = WorkerReplicaSet(
-        stack.engine, stack.cluster.api, "wq-workers", pod_spec
+        stack.engine, stack.cluster.api, "wq-workers", _worker_pod_spec(cfg, request)
     )
     if scaler_config is None:
         scaler_config = QueueScalerConfig(
@@ -687,25 +839,190 @@ def run_queue_scaler_experiment(
     scaler = QueueLengthAutoscaler(
         stack.engine, stack.master, replicaset, scaler_config, stack.recorder
     )
-    manager = WorkflowManager(stack.engine, graph, stack.master, recorder=stack.recorder)
-    accountant = _make_accountant(
-        stack,
-        extra_gauges={"keda_replicas": lambda: float(replicaset.current_count())},
+    return _PolicyHarness(
+        name="KEDA-queue",
+        submitter=stack.master,
+        gauges={"keda_replicas": lambda: float(replicaset.current_count())},
+        finish=scaler.stop,
+        extras=lambda _acc: dict(
+            scale_events=float(scaler.scale_events),
+            pods_deleted=float(replicaset.pods_deleted),
+        ),
     )
-    _drive(stack, manager, accountant)
-    scaler.stop()
-    return _collect(
-        name,
-        stack,
-        manager,
-        accountant,
-        graph,
-        scale_events=float(scaler.scale_events),
-        pods_deleted=float(replicaset.pods_deleted),
-    )
+
+
+register_policy(PolicyDefinition(key="queue", build=_build_queue))
 
 
 # ------------------------------------------------------------------- static
+def _validate_static(options: Dict) -> None:
+    n_workers = options.get("n_workers")
+    if not isinstance(n_workers, int) or n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+
+
+def _build_static(
+    stack: _Stack, cfg: StackConfig, graph: WorkflowGraph, options: Dict
+) -> _PolicyHarness:
+    n_workers = int(_take(options, "n_workers"))
+    options.pop("estimator", None)  # consumed pre-stack via estimator_kind
+    request = stack.worker_request
+    replicaset = WorkerReplicaSet(
+        stack.engine,
+        stack.cluster.api,
+        "wq-workers",
+        _worker_pod_spec(cfg, request),
+        replicas=n_workers,
+    )
+
+    def extras(accountant: ResourceAccountant) -> Dict[str, float]:
+        t0, t1 = accountant.window()
+        return dict(
+            mean_bandwidth_mbps=stack.link.mean_active_throughput(t0, t1),
+            bytes_moved_mb=stack.link.bytes_moved_mb,
+        )
+
+    # The replicaset holds the pool for the whole run (it stays alive
+    # through its API-server watch registration); nothing to stop.
+    return _PolicyHarness(
+        name=f"static-{n_workers}",
+        submitter=stack.master,
+        extras=extras,
+    )
+
+
+register_policy(
+    PolicyDefinition(
+        key="static",
+        build=_build_static,
+        estimator_kind=lambda options: str(options.get("estimator") or "monitor"),
+        validate=_validate_static,
+    )
+)
+
+
+# ------------------------------------------------- deprecated entry points
+def _deprecated(old: str, policy: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use "
+        f"run_experiment(ExperimentSpec(workload, policy={policy!r}, ...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_hta_experiment(
+    workload: Workload,
+    *,
+    stack_config: Optional[StackConfig] = None,
+    hta_config: Optional[HtaConfig] = None,
+    seed: Optional[int] = None,
+    name: str = "HTA",
+    fixed_init_time_s: Optional[float] = None,
+) -> ExperimentResult:
+    """Deprecated: ``run_experiment(ExperimentSpec(..., policy="hta"))``."""
+    _deprecated("run_hta_experiment", "hta")
+    return run_experiment(
+        ExperimentSpec(
+            workload=workload,
+            policy="hta",
+            name=name,
+            stack=stack_config,
+            seed=seed,
+            options={
+                "hta_config": hta_config,
+                "fixed_init_time_s": fixed_init_time_s,
+            },
+        )
+    )
+
+
+def run_predictive_experiment(
+    workload: Workload,
+    *,
+    stack_config: Optional[StackConfig] = None,
+    scaler_config=None,
+    seed: Optional[int] = None,
+    name: str = "Predictive",
+    fixed_init_time_s: Optional[float] = None,
+) -> ExperimentResult:
+    """Deprecated: ``run_experiment(ExperimentSpec(..., policy="predictive"))``."""
+    _deprecated("run_predictive_experiment", "predictive")
+    return run_experiment(
+        ExperimentSpec(
+            workload=workload,
+            policy="predictive",
+            name=name,
+            stack=stack_config,
+            seed=seed,
+            options={
+                "scaler_config": scaler_config,
+                "fixed_init_time_s": fixed_init_time_s,
+            },
+        )
+    )
+
+
+def run_hpa_experiment(
+    workload: Workload,
+    *,
+    target_cpu: float = 0.5,
+    stack_config: Optional[StackConfig] = None,
+    hpa_config: Optional[HpaConfig] = None,
+    min_replicas: Optional[int] = None,
+    max_replicas: Optional[int] = None,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> ExperimentResult:
+    """Deprecated: ``run_experiment(ExperimentSpec(..., policy="hpa"))``."""
+    _deprecated("run_hpa_experiment", "hpa")
+    return run_experiment(
+        ExperimentSpec(
+            workload=workload,
+            policy="hpa",
+            name=name,
+            stack=stack_config,
+            seed=seed,
+            options={
+                "target_cpu": target_cpu,
+                "hpa_config": hpa_config,
+                "min_replicas": min_replicas,
+                "max_replicas": max_replicas,
+            },
+        )
+    )
+
+
+def run_queue_scaler_experiment(
+    workload: Workload,
+    *,
+    stack_config: Optional[StackConfig] = None,
+    scaler_config=None,
+    tasks_per_replica: float = 3.0,
+    min_replicas: Optional[int] = None,
+    max_replicas: Optional[int] = None,
+    seed: Optional[int] = None,
+    name: str = "KEDA-queue",
+) -> ExperimentResult:
+    """Deprecated: ``run_experiment(ExperimentSpec(..., policy="queue"))``."""
+    _deprecated("run_queue_scaler_experiment", "queue")
+    return run_experiment(
+        ExperimentSpec(
+            workload=workload,
+            policy="queue",
+            name=name,
+            stack=stack_config,
+            seed=seed,
+            options={
+                "scaler_config": scaler_config,
+                "tasks_per_replica": tasks_per_replica,
+                "min_replicas": min_replicas,
+                "max_replicas": max_replicas,
+            },
+        )
+    )
+
+
 def run_static_experiment(
     workload: Workload,
     *,
@@ -715,37 +1032,15 @@ def run_static_experiment(
     seed: Optional[int] = None,
     name: Optional[str] = None,
 ) -> ExperimentResult:
-    """Run a workload on a fixed pool of ``n_workers`` worker pods.
-
-    ``estimator`` selects the dispatch policy: ``"declared"`` (trust
-    declarations), ``"conservative"`` (one task per worker — fig 4(b)),
-    or ``"monitor"`` (category feedback).
-    """
-    if n_workers <= 0:
-        raise ValueError("n_workers must be positive")
-    cfg = stack_config if stack_config is not None else StackConfig()
-    if seed is not None:
-        cfg = replace(cfg, seed=seed)
-    stack = _Stack(cfg, estimator_kind=estimator)
-    graph = ensure_graph(workload)
-    request = stack.worker_request
-
-    def pod_spec(pod_name: str) -> PodSpec:
-        return PodSpec(cfg.image, request, labels={"app": "wq-worker"})
-
-    replicaset = WorkerReplicaSet(
-        stack.engine, stack.cluster.api, "wq-workers", pod_spec, replicas=n_workers
-    )
-    manager = WorkflowManager(stack.engine, graph, stack.master, recorder=stack.recorder)
-    accountant = _make_accountant(stack)
-    _drive(stack, manager, accountant)
-    t0, t1 = accountant.window()
-    return _collect(
-        name if name is not None else f"static-{n_workers}",
-        stack,
-        manager,
-        accountant,
-        graph,
-        mean_bandwidth_mbps=stack.link.mean_active_throughput(t0, t1),
-        bytes_moved_mb=stack.link.bytes_moved_mb,
+    """Deprecated: ``run_experiment(ExperimentSpec(..., policy="static"))``."""
+    _deprecated("run_static_experiment", "static")
+    return run_experiment(
+        ExperimentSpec(
+            workload=workload,
+            policy="static",
+            name=name,
+            stack=stack_config,
+            seed=seed,
+            options={"n_workers": n_workers, "estimator": estimator},
+        )
     )

@@ -22,11 +22,10 @@ from typing import Callable, Dict, Optional, Sequence
 from repro.cluster.resources import ResourceVector
 from repro.experiments.runner import (
     ExperimentResult,
+    ExperimentSpec,
     StackConfig,
     Workload,
-    run_hpa_experiment,
-    run_hta_experiment,
-    run_static_experiment,
+    run_experiment,
 )
 from repro.hta.operator import HtaConfig
 
@@ -44,12 +43,17 @@ def sweep_hpa_targets(
     """Run HPA across a grid of target CPU utilizations."""
     out: Dict[float, ExperimentResult] = {}
     for target in targets:
-        out[target] = run_hpa_experiment(
-            workload_factory(),
-            target_cpu=target,
-            stack_config=stack_config,
-            min_replicas=min_replicas,
-            max_replicas=max_replicas,
+        out[target] = run_experiment(
+            ExperimentSpec(
+                workload_factory(),
+                policy="hpa",
+                stack=stack_config,
+                options={
+                    "target_cpu": target,
+                    "min_replicas": min_replicas,
+                    "max_replicas": max_replicas,
+                },
+            )
         )
     return out
 
@@ -65,15 +69,20 @@ def sweep_fixed_init_time(
     ``"live"`` (when ``include_live``) is the informer-fed reference."""
     out: Dict[object, ExperimentResult] = {}
     if include_live:
-        out["live"] = run_hta_experiment(
-            workload_factory(), stack_config=stack_config, name="HTA-live"
+        out["live"] = run_experiment(
+            ExperimentSpec(
+                workload_factory(), policy="hta", name="HTA-live", stack=stack_config
+            )
         )
     for value in init_times_s:
-        out[value] = run_hta_experiment(
-            workload_factory(),
-            stack_config=stack_config,
-            fixed_init_time_s=value,
-            name=f"HTA-fixed-{value:g}s",
+        out[value] = run_experiment(
+            ExperimentSpec(
+                workload_factory(),
+                policy="hta",
+                name=f"HTA-fixed-{value:g}s",
+                stack=stack_config,
+                options={"fixed_init_time_s": value},
+            )
         )
     return out
 
@@ -99,12 +108,14 @@ def sweep_worker_sizes(
             cores=cores, memory_mb=memory_per_core_mb * cores, disk_mb=disk_mb
         )
         cfg = replace(stack_config, worker_request=request)
-        out[cores] = run_static_experiment(
-            workload_factory(),
-            n_workers=n_workers,
-            stack_config=cfg,
-            estimator=estimator,
-            name=f"workers-{cores:g}core",
+        out[cores] = run_experiment(
+            ExperimentSpec(
+                workload_factory(),
+                policy="static",
+                name=f"workers-{cores:g}core",
+                stack=cfg,
+                options={"n_workers": n_workers, "estimator": estimator},
+            )
         )
     return out
 
@@ -123,15 +134,20 @@ def sweep_max_workers(
             raise ValueError(
                 f"quota {quota} below initial pool {initial_workers}"
             )
-        out[quota] = run_hta_experiment(
-            workload_factory(),
-            stack_config=stack_config,
-            hta_config=HtaConfig(
-                initial_workers=initial_workers,
-                max_workers=quota,
-                min_workers=min(3, initial_workers),
-            ),
-            name=f"HTA-quota-{quota}",
+        out[quota] = run_experiment(
+            ExperimentSpec(
+                workload_factory(),
+                policy="hta",
+                name=f"HTA-quota-{quota}",
+                stack=stack_config,
+                options={
+                    "hta_config": HtaConfig(
+                        initial_workers=initial_workers,
+                        max_workers=quota,
+                        min_workers=min(3, initial_workers),
+                    )
+                },
+            )
         )
     return out
 

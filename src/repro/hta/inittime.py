@@ -22,6 +22,7 @@ from repro.cluster.api import KubeApiServer
 from repro.cluster.informer import Informer
 from repro.cluster.objects import KubeObject
 from repro.cluster.pod import Pod, PodPhase
+from repro.telemetry.events import Tracer
 
 
 class FixedInitTime:
@@ -70,6 +71,7 @@ class InitTimeTracker:
         robust: bool = False,
         window: int = 5,
         resync_period_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if prior_s <= 0:
             raise ValueError("prior_s must be positive")
@@ -82,13 +84,22 @@ class InitTimeTracker:
         self.latest_s: Optional[float] = None
         self.samples: List[float] = []
         self._seen: Dict[str, bool] = {}
-        self.informer = Informer(api, "Pod", resync_period_s=resync_period_s)
+        self.informer = Informer(
+            api, "Pod", resync_period_s=resync_period_s, tracer=tracer
+        )
         self.informer.on_update(self._pod_changed)
         self.informer.on_add(self._pod_changed)
+        self.tracer = self.informer.tracer
 
     def close(self) -> None:
         """Unsubscribe the informer (experiments share one API server)."""
         self.informer.close()
+
+    def __enter__(self) -> "InitTimeTracker":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- reads
     def current(self) -> float:
@@ -131,3 +142,7 @@ class InitTimeTracker:
         self._seen[obj.name] = True
         self.samples.append(interval)
         self.latest_s = interval
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "hta", "init_time.sample", pod=obj.name, interval_s=interval
+            )

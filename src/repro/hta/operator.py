@@ -42,6 +42,7 @@ from repro.hta.provisioner import WorkerProvisioner
 from repro.sim.engine import Engine, PeriodicTask
 from repro.sim.process import Signal
 from repro.sim.tracing import MetricRecorder
+from repro.telemetry.events import NULL_TRACER, Tracer
 from repro.wq.master import Master
 from repro.wq.task import Task, TaskResult, TaskState
 from repro.wq.worker import WorkerState
@@ -108,6 +109,8 @@ class HtaOperator:
         init_tracker: InitTimeTracker,
         config: HtaConfig = HtaConfig(),
         recorder: Optional[MetricRecorder] = None,
+        *,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.engine = engine
         self.master = master
@@ -115,6 +118,9 @@ class HtaOperator:
         self.init_tracker = init_tracker
         self.config = config
         self.recorder = recorder
+        #: Decision-audit stream: one ``hta/decision`` event per resize
+        #: cycle when tracing is armed (see telemetry.explain).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.estimator = ResourceEstimator(provisioner.worker_request, config.estimator)
         self._held: Dict[str, List[Task]] = {}
         self._probes_in_flight: Dict[str, int] = {}
@@ -273,15 +279,27 @@ class HtaOperator:
         if self.master.tasks_submitted == 0 and not self._no_more_jobs:
             # Still in warm-up: the initial pool stands until the first
             # jobs arrive; resizing starts with the runtime stage (§V-C).
+            if self.tracer.enabled:
+                self._emit_decision("warmup", 0)
             return self.config.estimator.default_cycle_s
         self._last_good_init = self.init_tracker.current()
         plan = self.plan_once()
         self.plans.append(plan)
-        self._apply(plan)
+        created, cancelled, drained = self._apply(plan)
         if self.recorder is not None:
             self.recorder.set("hta.plan.delta", plan.delta)
             self.recorder.set("hta.plan.waiting_after", plan.waiting_after)
             self.recorder.set("hta.init_time", self.init_tracker.current())
+        if self.tracer.enabled:
+            self._emit_decision(
+                "normal",
+                plan.delta,
+                created=created,
+                cancelled=cancelled,
+                drained=drained,
+                next_action_s=plan.next_action_s,
+                waiting_after=plan.waiting_after,
+            )
         return max(self.config.estimator.min_cycle_s, plan.next_action_s)
 
     def _degraded(self) -> bool:
@@ -319,13 +337,27 @@ class HtaOperator:
         )
         pending = len(self.provisioner.pending_pods())
         delta = target - (len(live) + pending)
+        created_pods = 0
         if delta > 0:
-            self.provisioner.create_workers(delta)
+            created_pods = len(self.provisioner.create_workers(delta))
         elif delta < 0:
             # Would shrink the pool — frozen until the signal recovers.
             self.scale_downs_frozen += 1
         if self.recorder is not None:
             self.recorder.set("hta.degraded", 1.0)
+        if self.tracer.enabled:
+            api = getattr(self.provisioner, "api", None)
+            informer = getattr(self.init_tracker, "informer", None)
+            staleness = informer.staleness() if informer is not None else 0
+            self._emit_decision(
+                "degraded",
+                delta,
+                created=created_pods,
+                scale_down_frozen=delta < 0,
+                api_available=bool(getattr(api, "available", True)),
+                master_available=self.master.available,
+                staleness_exceeded=staleness > self.config.staleness_bound,
+            )
         hold = (
             self._last_good_init
             if self._last_good_init is not None
@@ -400,14 +432,52 @@ class HtaOperator:
             arrivals.append(ForecastArrival(synthetic, eta))
         return arrivals
 
-    def _apply(self, plan: ScalePlan) -> None:
+    def _apply(self, plan: ScalePlan) -> tuple:
+        """Execute a plan; returns ``(created, cancelled, drained)`` pod
+        counts for the decision audit."""
         if plan.delta > 0:
-            self.provisioner.create_workers(plan.delta)
-        elif plan.delta < 0:
+            created = self.provisioner.create_workers(plan.delta)
+            return len(created), 0, 0
+        if plan.delta < 0:
             remaining = -plan.delta
-            remaining -= self.provisioner.cancel_pending(remaining)
+            cancelled = self.provisioner.cancel_pending(remaining)
+            remaining -= cancelled
+            drained = 0
             if remaining > 0:
-                self.provisioner.drain_workers(remaining)
+                drained = len(self.provisioner.drain_workers(remaining))
+            return 0, cancelled, drained
+        return 0, 0, 0
+
+    def _emit_decision(self, mode: str, delta: int, **extra) -> None:
+        """One ``hta/decision`` audit record: the inputs this cycle saw,
+        the resulting delta, and what was actually done (callers add the
+        action/override attributes)."""
+        live = [
+            w
+            for w in self.master.connected_workers()
+            if w.state is WorkerState.READY
+        ]
+        stats = self.master.stats() if self.master.available else None
+        informer = getattr(self.init_tracker, "informer", None)
+        init_time = (
+            self._last_good_init
+            if self._last_good_init is not None
+            else self.init_tracker.current()
+        )
+        attrs = dict(
+            mode=mode,
+            delta=int(delta),
+            waiting=stats.waiting if stats is not None else 0,
+            running=stats.running if stats is not None else 0,
+            held=self.held_count,
+            live_workers=len(live),
+            idle_workers=sum(1 for w in live if w.idle),
+            pending_pods=len(self.provisioner.pending_pods()),
+            init_time_s=float(init_time),
+            staleness=int(informer.staleness()) if informer is not None else 0,
+        )
+        attrs.update(extra)
+        self.tracer.emit("hta", "decision", mode, **attrs)
 
     # ------------------------------------------------------------ modelling
     def _simulated_running(self, task: Task) -> SimulatedTask:

@@ -1,0 +1,170 @@
+"""Structured event tracing: typed events with time, layer, and attributes.
+
+The simulation's evaluation story hinges on explaining *why* the
+autoscaler acted. Resource step-series (:mod:`repro.sim.tracing`) show
+*what* happened to supply and demand; the tracer records the causal
+events behind them — task submits and retries, scheduler binds, kubelet
+phase transitions, chaos injections, and one decision-audit record per
+operator resize cycle.
+
+Design rules:
+
+* **zero-cost when disabled** — every instrumented component calls
+  ``tracer.emit(...)`` unconditionally; a disabled tracer returns before
+  touching the clock or building an event. Components that would do
+  extra work *preparing* attributes guard on :attr:`Tracer.enabled`.
+* **no engine interaction** — emitting never schedules simulation
+  events, so enabling tracing cannot perturb a seeded run: the same
+  seed produces the same trajectory with tracing on or off.
+* **bounded or unbounded** — a ``maxlen`` turns the buffer into a ring
+  (oldest events dropped, counted in :attr:`Tracer.dropped`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+#: Attribute values must stay JSON-representable so every exporter
+#: round-trips losslessly (see :mod:`repro.telemetry.exporters`).
+AttrValue = Union[str, int, float, bool, None]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured event: when, which layer, what, and details.
+
+    ``layer`` names the emitting subsystem (``wq``, ``sched``,
+    ``kubelet``, ``cloud``, ``api``, ``informer``, ``chaos``, ``hta``);
+    ``name`` is the event type within it (``task.submit``,
+    ``pod.bind``, ``decision`` …); ``category`` optionally carries the
+    task category or object name the event is about.
+    """
+
+    time: float
+    layer: str
+    name: str
+    category: Optional[str] = None
+    attrs: Mapping[str, AttrValue] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "time": self.time,
+            "layer": self.layer,
+            "name": self.name,
+        }
+        if self.category is not None:
+            d["category"] = self.category
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "TraceEvent":
+        return cls(
+            time=float(d["time"]),  # type: ignore[arg-type]
+            layer=str(d["layer"]),
+            name=str(d["name"]),
+            category=(None if d.get("category") is None else str(d["category"])),
+            attrs=dict(d.get("attrs", {})),  # type: ignore[arg-type]
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records against a simulation clock.
+
+    ``clock`` is any zero-argument callable returning the current time
+    (experiments pass ``lambda: engine.now``). A disabled tracer is the
+    shared no-op sink — :data:`NULL_TRACER` — so instrumentation never
+    needs ``if tracer is not None`` checks.
+    """
+
+    __slots__ = ("_clock", "enabled", "_events", "emitted", "maxlen")
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        enabled: bool = True,
+        maxlen: Optional[int] = None,
+    ) -> None:
+        if maxlen is not None and maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self._clock = clock
+        self.enabled = enabled
+        self.maxlen = maxlen
+        self._events: Union[List[TraceEvent], Deque[TraceEvent]] = (
+            [] if maxlen is None else deque(maxlen=maxlen)
+        )
+        #: Total events emitted, including any evicted from a ring buffer.
+        self.emitted = 0
+
+    # ------------------------------------------------------------------ emit
+    def emit(
+        self,
+        layer: str,
+        name: str,
+        category: Optional[str] = None,
+        **attrs: AttrValue,
+    ) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.emitted += 1
+        self._events.append(
+            TraceEvent(self._clock(), layer, name, category, attrs)
+        )
+
+    # ----------------------------------------------------------------- reads
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer (0 when unbounded)."""
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def select(
+        self,
+        layer: Optional[str] = None,
+        name: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Retained events matching every given filter."""
+        return [
+            e
+            for e in self._events
+            if (layer is None or e.layer == layer)
+            and (name is None or e.name == name)
+            and (category is None or e.category == category)
+        ]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {state} n={len(self._events)} dropped={self.dropped}>"
+
+
+#: Shared disabled sink: components default to this so ``tracer.emit``
+#: is always safe to call and costs one early-returning method call.
+NULL_TRACER = Tracer(lambda: 0.0, enabled=False)
+
+
+def layers(events: Iterable[TraceEvent]) -> List[str]:
+    """Distinct layers in first-appearance order (exporter helper)."""
+    seen: Dict[str, None] = {}
+    for e in events:
+        seen.setdefault(e.layer, None)
+    return list(seen)

@@ -1,0 +1,114 @@
+"""Post-run decision audit: render why the autoscaler did what it did.
+
+The HTA operator emits one ``hta/decision`` trace event per resize
+cycle, carrying the full audit record: the inputs it saw (queue state,
+worker counts, init-time estimate, informer staleness), the raw
+estimate Algorithm 1 produced, any clamps or degraded-mode overrides
+applied, and the action actually taken. :func:`explain_decisions`
+renders that stream as a human-readable timeline — the "why did it
+scale here?" answer the paper's evaluation narrates by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.telemetry.events import TraceEvent
+
+#: The (layer, name) pair identifying a decision-audit record.
+DECISION_LAYER = "hta"
+DECISION_EVENT = "decision"
+
+
+def decision_events(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """The decision-audit records within an event stream, in order."""
+    return [
+        e
+        for e in events
+        if e.layer == DECISION_LAYER and e.name == DECISION_EVENT
+    ]
+
+
+def _action_phrase(attrs) -> str:
+    mode = attrs.get("mode", "normal")
+    if mode == "warmup":
+        return "warm-up hold"
+    delta = int(attrs.get("delta", 0))
+    parts: List[str] = []
+    if int(attrs.get("created", 0)):
+        parts.append(f"+{int(attrs['created'])} pods")
+    if int(attrs.get("cancelled", 0)):
+        parts.append(f"cancelled {int(attrs['cancelled'])} pending")
+    if int(attrs.get("drained", 0)):
+        parts.append(f"drained {int(attrs['drained'])}")
+    if mode == "degraded" and bool(attrs.get("scale_down_frozen", False)):
+        parts.append("scale-down FROZEN")
+    if not parts:
+        parts.append("hold" if delta == 0 else f"delta {delta:+d} (not applied)")
+    return ", ".join(parts)
+
+
+def _reason_phrase(attrs) -> str:
+    mode = attrs.get("mode", "normal")
+    if mode == "degraded":
+        reasons = []
+        if not attrs.get("api_available", True):
+            reasons.append("API down")
+        if not attrs.get("master_available", True):
+            reasons.append("master down")
+        if attrs.get("staleness_exceeded", False):
+            reasons.append(f"informer stale ({int(attrs.get('staleness', 0))})")
+        return "DEGRADED: " + (", ".join(reasons) or "inputs untrusted")
+    if mode == "warmup":
+        return "no jobs submitted yet"
+    clamped = attrs.get("clamp")
+    if clamped:
+        return f"clamped by {clamped}"
+    return ""
+
+
+def explain_decisions(
+    events: Iterable[TraceEvent], *, title: Optional[str] = None
+) -> str:
+    """Render the operator decision timeline as an aligned text table."""
+    decisions = decision_events(events)
+    header = title if title is not None else "HTA decision timeline"
+    if not decisions:
+        return f"{header}: no decision-audit events (tracing disabled, or no HTA run)"
+    rows: List[Sequence[str]] = [
+        (
+            "t(s)", "mode", "wait", "run", "held", "live", "idle", "pend",
+            "init(s)", "delta", "action", "notes",
+        )
+    ]
+    for e in decisions:
+        a = e.attrs
+        rows.append(
+            (
+                f"{e.time:.0f}",
+                str(a.get("mode", "normal")),
+                str(int(a.get("waiting", 0))),
+                str(int(a.get("running", 0))),
+                str(int(a.get("held", 0))),
+                str(int(a.get("live_workers", 0))),
+                str(int(a.get("idle_workers", 0))),
+                str(int(a.get("pending_pods", 0))),
+                f"{float(a.get('init_time_s', 0.0)):.0f}",
+                f"{int(a.get('delta', 0)):+d}",
+                _action_phrase(a),
+                _reason_phrase(a),
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = [header, ""]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    n_degraded = sum(1 for e in decisions if e.attrs.get("mode") == "degraded")
+    lines.append("")
+    lines.append(
+        f"{len(decisions)} decision cycles ({n_degraded} degraded); "
+        f"window t={decisions[0].time:.0f}s..{decisions[-1].time:.0f}s"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Per-run telemetry wiring: config, session, and the multi-run sink.
+
+:class:`TelemetryConfig` is the single knob an experiment passes (on the
+:class:`~repro.experiments.runner.ExperimentSpec`); the runner turns it
+into a :class:`TelemetrySession` — one tracer plus one metrics registry
+bound to the run's engine clock — and threads those two handles through
+every layer of the stack. Telemetry is **off by default**: a disabled
+session hands out :data:`~repro.telemetry.events.NULL_TRACER` so the
+instrumented hot paths cost one early-returning call.
+
+:class:`TraceSink` aggregates several runs (the CLI's ``--trace-out``
+drives one figure = many runs) and writes a single combined file —
+JSONL when the path ends in ``.jsonl``, Chrome trace JSON otherwise.
+A module-level default lets ``python -m repro.experiments`` arm tracing
+without threading flags through every figure harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.telemetry.events import NULL_TRACER, TraceEvent, Tracer
+from repro.telemetry.exporters import write_chrome_trace, write_events_jsonl
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryConfig:
+    """What a run should record.
+
+    ``maxlen`` bounds the tracer's event buffer (ring semantics, oldest
+    dropped); ``None`` keeps every event. ``trace_out`` exports the
+    run's events on completion (suffix selects the format).
+    """
+
+    enabled: bool = False
+    maxlen: Optional[int] = None
+    trace_out: Optional[str] = None
+
+
+class TelemetrySession:
+    """One run's tracer + metrics registry, bound to a clock."""
+
+    def __init__(
+        self, clock: Callable[[], float], config: Optional[TelemetryConfig] = None
+    ) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.tracer = (
+            Tracer(clock, maxlen=self.config.maxlen)
+            if self.config.enabled
+            else NULL_TRACER
+        )
+        #: Always real (instruments are cheap dicts): registry-backed
+        #: counters in the cluster layer need a home even when tracing
+        #: is off, and a per-run registry keeps runs isolated.
+        self.metrics = MetricsRegistry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def export(self, run_name: str) -> Optional[str]:
+        """Write this run's trace to ``config.trace_out`` (if set).
+
+        Returns the path written, or ``None`` when no export was asked
+        for or tracing is disabled.
+        """
+        path = self.config.trace_out
+        if path is None or not self.enabled:
+            return None
+        _write_trace(path, [(run_name, self.tracer.events)])
+        return path
+
+
+class TraceSink:
+    """Collects (run name, events) pairs and writes one combined file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.runs: List[Tuple[str, List[TraceEvent]]] = []
+
+    def record(self, run_name: str, events: Sequence[TraceEvent]) -> None:
+        self.runs.append((run_name, list(events)))
+
+    @property
+    def event_count(self) -> int:
+        return sum(len(evts) for _, evts in self.runs)
+
+    def flush(self) -> str:
+        """Write everything recorded so far; returns the path."""
+        _write_trace(self.path, self.runs)
+        return self.path
+
+
+def _write_trace(path: str, runs: Sequence[Tuple[str, Sequence[TraceEvent]]]) -> None:
+    if str(path).endswith(".jsonl"):
+        with open(path, "w", encoding="utf-8") as fp:
+            for run_name, events in runs:
+                write_events_jsonl(events, fp, run=run_name)
+    else:
+        write_chrome_trace(runs, path)
+
+
+# ------------------------------------------------- ambient default (CLI)
+_default_config: Optional[TelemetryConfig] = None
+_default_sink: Optional[TraceSink] = None
+
+
+def set_default_telemetry(
+    config: Optional[TelemetryConfig], sink: Optional[TraceSink] = None
+) -> None:
+    """Install a process-wide default telemetry config (the CLI's
+    ``--trace-out`` path). ``run_experiment`` consults it only when the
+    spec does not carry its own :class:`TelemetryConfig`."""
+    global _default_config, _default_sink
+    _default_config = config
+    _default_sink = sink
+
+
+def default_telemetry() -> Optional[TelemetryConfig]:
+    return _default_config
+
+
+def default_sink() -> Optional[TraceSink]:
+    return _default_sink

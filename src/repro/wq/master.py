@@ -25,6 +25,8 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.resources import ResourceVector
 from repro.sim.engine import Engine, PeriodicTask
+from repro.telemetry.events import NULL_TRACER, Tracer
+from repro.telemetry.metrics import MetricsRegistry
 from repro.wq.estimator import AllocationEstimator, MonitorEstimator
 from repro.wq.faults import RetryPolicy, SpeculationConfig, TaskFault, TaskFaultModel
 from repro.wq.journal import TransactionJournal
@@ -72,11 +74,33 @@ class Master:
         speculation: Optional[SpeculationConfig] = None,
         replay_journal: bool = True,
         recovery_grace_s: float = 45.0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         self.engine = engine
         self.link = link
+        #: Structured event stream (no-op sink unless telemetry is on).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Per-category latency histograms; skipped entirely when no
+        #: registry was supplied (tracing-off runs stay lean).
+        self._h_queue_wait = (
+            metrics.histogram(
+                "wq_task_queue_wait_seconds",
+                "submit-to-dispatch latency per category",
+            )
+            if metrics is not None
+            else None
+        )
+        self._h_execute = (
+            metrics.histogram(
+                "wq_task_execute_seconds",
+                "execution time of accepted results per category",
+            )
+            if metrics is not None
+            else None
+        )
         self.name = name
         self.max_retries = max_retries
         #: Optional task-level fault injection (see :mod:`repro.wq.faults`).
@@ -175,6 +199,10 @@ class Master:
             task.submit_time = self.engine.now
         self.tasks_submitted += 1
         self.journal.record_submit(self.engine.now, task)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq", "task.submit", task.category, task_id=task.id
+            )
         self.queue.append(task)
         self._ensure_speculation_loop()
         self._schedule_dispatch()
@@ -215,6 +243,16 @@ class Master:
             self.tasks_requeued += 1
             task.reset_for_retry()
             self.journal.record_retry(self.engine.now, task)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wq",
+                    "task.retry",
+                    task.category,
+                    task_id=task.id,
+                    reason="worker_lost",
+                    attempt=task.attempts,
+                    worker=worker.name,
+                )
             self.queue.insert(0, task)
         if lost_tasks:
             self._schedule_dispatch()
@@ -236,6 +274,16 @@ class Master:
         self.running.pop(task.id, None)
         self.tasks_failed += 1
         self._charge_waste(task)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.failed",
+                task.category,
+                task_id=task.id,
+                kind=fault.kind,
+                worker=worker.name,
+                attempt=task.attempts,
+            )
         if task.speculation_of is not None:
             # A speculative copy crashed: forget it, never retry it.
             self._drop_speculation_entry(task)
@@ -256,6 +304,15 @@ class Master:
         task.reset_for_retry()
         if delay <= 0:
             self.journal.record_retry(self.engine.now, task)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wq",
+                    "task.retry",
+                    task.category,
+                    task_id=task.id,
+                    reason=fault.kind,
+                    attempt=task.attempts,
+                )
             self.queue.insert(0, task)
             self._schedule_dispatch()
         else:
@@ -271,12 +328,29 @@ class Master:
         if task.state is not TaskState.WAITING:
             return  # resolved meanwhile (e.g. its speculative copy won)
         self.journal.record_retry(self.engine.now, task)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.retry",
+                task.category,
+                task_id=task.id,
+                reason="backoff",
+                attempt=task.attempts,
+            )
         self.queue.insert(0, task)
         self._schedule_dispatch()
 
     def _abandon(self, task: Task) -> None:
         self._cancel_speculation_for(task)
         self.journal.record_abandon(self.engine.now, task)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.abandon",
+                task.category,
+                task_id=task.id,
+                attempts=task.attempts,
+            )
         self.abandoned.append(task)
         for fn in list(self._abandoned_callbacks):
             fn(task)
@@ -313,6 +387,7 @@ class Master:
             return
         self.available = False
         self.outages += 1
+        self.tracer.emit("wq", "master.pause", outages=self.outages)
 
     def resume(self) -> None:
         """The master is back (sticky identity + persistent volume): the
@@ -322,6 +397,9 @@ class Master:
         if self.crashed:
             return  # a crashed master needs recover(), not resume()
         self.available = True
+        self.tracer.emit(
+            "wq", "master.resume", buffered=len(self._buffered_completions)
+        )
         buffered, self._buffered_completions = self._buffered_completions, []
         for worker, task in buffered:
             self._finalize_completion(worker, task)
@@ -341,6 +419,13 @@ class Master:
         self.crashed = True
         self.crashes += 1
         self.last_crash_at = self.engine.now
+        self.tracer.emit(
+            "wq",
+            "master.crash",
+            queued=len(self.queue),
+            running=len(self.running),
+            workers=len(self.workers),
+        )
         self.first_completion_after_recovery_at = None
         if self.available:
             self.available = False
@@ -416,6 +501,14 @@ class Master:
         self.crashed = False
         self.available = True
         self.last_recovered_at = self.engine.now
+        self.tracer.emit(
+            "wq",
+            "master.recover",
+            strategy="journal" if use_replay else "cold",
+            queue_depth=self.recovered_queue_depth,
+            unclaimed=len(self._unclaimed),
+            completions_restored=len(self.done),
+        )
         buffered, self._buffered_completions = self._buffered_completions, []
         for worker, task in buffered:
             self._finalize_completion(worker, task)
@@ -443,6 +536,15 @@ class Master:
             self.tasks_requeued += 1
             task.reset_for_retry()
             self.journal.record_retry(self.engine.now, task)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wq",
+                    "task.retry",
+                    task.category,
+                    task_id=task.id,
+                    reason="unclaimed",
+                    attempt=task.attempts,
+                )
             self.queue.insert(0, task)
         if leftovers:
             self._schedule_dispatch()
@@ -533,6 +635,21 @@ class Master:
             # Speculative copies are a master-local optimization; the
             # journal only tracks the canonical attempt.
             self.journal.record_dispatch(self.engine.now, task)
+        if self._h_queue_wait is not None and task.submit_time is not None:
+            self._h_queue_wait.observe(
+                self.engine.now - task.submit_time, category=task.category
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.dispatch",
+                task.category,
+                task_id=task.id,
+                worker=best.name,
+                attempt=task.attempts,
+                speculative=task.speculation_of is not None,
+                cores=best_alloc.cores,
+            )
         return True
 
     # ---------------------------------------------------------- speculation
@@ -680,12 +797,30 @@ class Master:
             fn(task, result)
         self._schedule_dispatch()
 
+    def _record_acceptance_telemetry(self, task: Task, result: TaskResult) -> None:
+        if self._h_execute is not None:
+            self._h_execute.observe(result.execute_seconds, category=result.category)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.complete",
+                result.category,
+                task_id=task.id,
+                worker=result.worker_name,
+                attempts=result.attempts,
+                execute_s=result.execute_seconds,
+                # A speculative win completes the original with the
+                # clone's timings and a bumped attempt count.
+                speculative=result.attempts != task.attempts,
+            )
+
     def _record_acceptance(self, task: Task, result: TaskResult) -> None:
         """Write-ahead bookkeeping for an accepted result: journal it,
         remember its (task_id, attempt) key, and stamp the first
         post-recovery completion (the recovery-latency marker)."""
         self._delivered.add((task.id, result.attempts))
         self.journal.record_complete(self.engine.now, task, result)
+        self._record_acceptance_telemetry(task, result)
         if (
             self.last_recovered_at is not None
             and self.first_completion_after_recovery_at is None
@@ -747,6 +882,20 @@ class Master:
         for fn in list(self._callbacks):
             fn(original, result)
         self._schedule_dispatch()
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release periodic machinery (the speculation scan loop) so a
+        finished run leaves the engine's event queue empty."""
+        if self._spec_loop is not None:
+            self._spec_loop.stop()
+            self._spec_loop = None
+
+    def __enter__(self) -> "Master":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ----------------------------------------------------------------- stats
     def stats(self) -> MasterStats:

@@ -54,6 +54,12 @@ class WorkerPodRuntime:
         """Unsubscribe from the API server (end of an experiment run)."""
         self.api.unwatch("Pod", self._on_pod_event)
 
+    def __enter__(self) -> "WorkerPodRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # --------------------------------------------------------------- events
     def _on_pod_event(self, event: WatchEvent) -> None:
         pod = event.obj

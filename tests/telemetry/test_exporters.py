@@ -1,0 +1,123 @@
+"""Tests for the telemetry exporters: JSONL, Chrome trace, Prometheus."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry.events import TraceEvent, Tracer
+from repro.telemetry.exporters import (
+    chrome_trace,
+    events_to_jsonl,
+    parse_prometheus_text,
+    prometheus_text,
+    read_events_jsonl,
+    read_runs_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def sample_events():
+    clock = [0.0]
+    tracer = Tracer(lambda: clock[0])
+    tracer.emit("wq", "task.submit", task_id="t1")
+    clock[0] = 1.5
+    tracer.emit("wq", "task.dispatch", "bwa", worker="w1", attempt=1)
+    clock[0] = 60.0
+    tracer.emit("hta", "decision", "normal", delta=3, waiting=7)
+    return tracer.events
+
+
+class TestJsonlRoundTrip:
+    def test_lossless_round_trip(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as fp:
+            write_events_jsonl(events, fp)
+        back = read_events_jsonl(str(path))
+        assert back == events
+
+    def test_run_tag_round_trip(self):
+        events = sample_events()
+        buf = io.StringIO()
+        write_events_jsonl(events, buf, run="HTA")
+        pairs = read_runs_jsonl(io.StringIO(buf.getvalue()))
+        assert [run for run, _ in pairs] == ["HTA"] * len(events)
+        assert [e for _, e in pairs] == events
+
+    def test_each_line_is_json(self):
+        for line in events_to_jsonl(sample_events()).splitlines():
+            d = json.loads(line)
+            assert {"time", "layer", "name"} <= set(d)
+
+
+class TestChromeTrace:
+    def test_valid_json_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace([("run-a", sample_events())], str(path))
+        doc = json.load(open(path))
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["traceEvents"]
+
+    def test_timestamps_microseconds_and_monotonic(self):
+        doc = chrome_trace([("run-a", sample_events())])
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        ts = [e["ts"] for e in instants]
+        assert ts == sorted(ts)
+        assert ts[-1] == pytest.approx(60.0 * 1e6)
+
+    def test_runs_become_distinct_pids(self):
+        doc = chrome_trace([("a", sample_events()), ("b", sample_events())])
+        pids = {e["pid"] for e in doc["traceEvents"] if e.get("ph") == "i"}
+        assert len(pids) == 2
+
+
+class TestPrometheusText:
+    def registry(self):
+        reg = MetricsRegistry()
+        c = reg.counter("tasks_total", "Tasks by state")
+        c.inc(3, state="done")
+        c.inc(1, state="failed")
+        g = reg.gauge("pool_size", "Current worker pool")
+        g.set(7)
+        h = reg.histogram("wait_seconds", "Queue wait")
+        h.observe(0.3)
+        h.observe(12.0)
+        return reg
+
+    def test_text_parses_and_round_trips_values(self):
+        text = prometheus_text(self.registry())
+        parsed = parse_prometheus_text(text)
+        assert parsed[("tasks_total", (("state", "done"),))] == 3.0
+        assert parsed[("tasks_total", (("state", "failed"),))] == 1.0
+        assert parsed[("pool_size", ())] == 7.0
+        assert parsed[("wait_seconds_count", ())] == 2.0
+        assert parsed[("wait_seconds_sum", ())] == pytest.approx(12.3)
+
+    def test_histogram_buckets_cumulative(self):
+        text = prometheus_text(self.registry())
+        parsed = parse_prometheus_text(text)
+        buckets = [
+            (labels, v)
+            for (name, labels), v in parsed.items()
+            if name == "wait_seconds_bucket"
+        ]
+        values = [v for _, v in buckets]
+        assert values == sorted(values)
+        assert parsed[("wait_seconds_bucket", (("le", "+Inf"),))] == 2.0
+
+    def test_help_and_type_lines_present(self):
+        text = prometheus_text(self.registry())
+        assert "# HELP tasks_total Tasks by state" in text
+        assert "# TYPE tasks_total counter" in text
+        assert "# TYPE wait_seconds histogram" in text
+
+
+class TestTraceEventDict:
+    def test_to_from_dict(self):
+        ev = TraceEvent(1.0, "wq", "task.submit", "bwa", {"task_id": "t9"})
+        assert TraceEvent.from_dict(ev.to_dict()) == ev
