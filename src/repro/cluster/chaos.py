@@ -90,6 +90,16 @@ class ChaosInjector:
     def watch_drop_windows(self) -> int:
         return int(self._c_injections.value(kind="watch_drop"))
 
+    @property
+    def preemptions_total(self) -> int:
+        """Spot-node reclamations fired (distinct from ``pod_evict`` —
+        a preemption is a provider reclaim with a grace notice)."""
+        return int(self._c_injections.value(kind="preemption"))
+
+    @property
+    def partition_windows(self) -> int:
+        return int(self._c_injections.value(kind="partition"))
+
     # ------------------------------------------------------------- directed
     def kill_node(self, node: Node) -> List[Pod]:
         """Crash a node: every pod on it fails, then the node vanishes."""
@@ -137,6 +147,144 @@ class ChaosInjector:
         pod = pods[idx]
         self.evict_pod(pod)
         return pod
+
+    # ------------------------------------------------------- spot preemption
+    def preempt_node(self, node: Node) -> bool:
+        """Fire a provider reclamation notice for one spot node (the
+        cloud controller owns the grace window and the eventual kill)."""
+        if self.cloud is None:
+            raise RuntimeError("ChaosInjector needs a cloud= handle for preemptions")
+        if not self.cloud.begin_preemption(node):
+            return False
+        self._c_injections.inc(kind="preemption")
+        self.tracer.emit("cluster", "chaos.preemption", "chaos", node=node.name)
+        return True
+
+    def preempt_random_spot_nodes(self, count: int = 1) -> int:
+        """Reclaim up to ``count`` random live spot nodes (seeded draw)."""
+        if self.cloud is None:
+            raise RuntimeError("ChaosInjector needs a cloud= handle for preemptions")
+        preempted = 0
+        for _ in range(count):
+            candidates = self.cloud.preemptable_spot_nodes()
+            if not candidates:
+                break
+            idx = int(
+                self.rng.stream("chaos.preempt").integers(0, len(candidates))
+            )
+            if self.preempt_node(candidates[idx]):
+                preempted += 1
+        return preempted
+
+    def schedule_preemption_wave(self, *, at_s: float, count: int = 1) -> None:
+        """At ``at_s``, reclaim up to ``count`` spot nodes at once — the
+        correlated capacity loss real spot pools exhibit when the
+        provider needs machines back."""
+        self.engine.call_at(at_s, self.preempt_random_spot_nodes, count)
+
+    # ---------------------------------------------------- network partitions
+    def begin_partition(
+        self,
+        master: "Master",
+        worker,
+        *,
+        duration_s: Optional[float] = None,
+    ) -> None:
+        """Cut the network path between one worker and the master. The
+        worker keeps executing (holding finished results); the master
+        starts its liveness clock. With ``duration_s`` the link heals
+        itself — the worker then rejoins at its next reconnect poll."""
+        self._c_injections.inc(kind="partition")
+        self.tracer.emit(
+            "cluster", "chaos.partition", "chaos",
+            worker=worker.name, duration_s=duration_s,
+        )
+        worker.partition()
+        master.worker_unreachable(worker)
+        if duration_s is not None:
+            self.engine.call_in(duration_s, self.end_partition, worker)
+
+    def end_partition(self, worker) -> None:
+        worker.heal()
+
+    def partition_random_worker(
+        self, master: "Master", *, duration_s: Optional[float] = None
+    ):
+        """Partition a random connected worker; returns it (or None)."""
+        candidates = [
+            w
+            for w in master.connected_workers()
+            if not w.partitioned
+            and w.state.value in ("ready", "draining")
+        ]
+        if not candidates:
+            return None
+        idx = int(self.rng.stream("chaos.partition").integers(0, len(candidates)))
+        worker = candidates[idx]
+        self.begin_partition(master, worker, duration_s=duration_s)
+        return worker
+
+    def schedule_partition(
+        self,
+        master: "Master",
+        *,
+        at_s: float,
+        duration_s: float,
+        worker_name: Optional[str] = None,
+    ) -> None:
+        """At ``at_s``, partition one worker (``worker_name`` or a seeded
+        random pick among those connected) for ``duration_s``."""
+
+        def strike() -> None:
+            if worker_name is not None:
+                worker = master.workers.get(worker_name)
+                if worker is not None and not worker.partitioned:
+                    self.begin_partition(master, worker, duration_s=duration_s)
+                return
+            self.partition_random_worker(master, duration_s=duration_s)
+
+        self.engine.call_at(at_s, strike)
+
+    def schedule_partitions(
+        self,
+        master: "Master",
+        mean_interval_s: float,
+        *,
+        duration_s: float = 45.0,
+        start_after: Optional[float] = None,
+    ) -> PeriodicTask:
+        """Partition a random worker roughly every ``mean_interval_s``
+        seconds (exponential gaps, seeded), healing each after
+        ``duration_s``."""
+        if mean_interval_s <= 0:
+            raise ValueError("mean_interval_s must be positive")
+
+        def strike() -> float:
+            self.partition_random_worker(master, duration_s=duration_s)
+            gap = float(
+                self.rng.stream("chaos.partition.schedule").exponential(
+                    mean_interval_s
+                )
+            )
+            return max(1.0, gap)
+
+        first = (
+            start_after
+            if start_after is not None
+            else max(
+                1.0,
+                float(
+                    self.rng.stream("chaos.partition.schedule").exponential(
+                        mean_interval_s
+                    )
+                ),
+            )
+        )
+        task = PeriodicTask(
+            self.engine, mean_interval_s, strike, start_after=first, use_return_delay=True
+        )
+        self._schedules.append(task)
+        return task
 
     # ------------------------------------------------ control-plane faults
     def crash_master(

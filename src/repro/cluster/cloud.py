@@ -22,12 +22,50 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cluster.api import KubeApiServer
-from repro.cluster.node import MachineType, N1_STANDARD_4, Node
+from repro.cluster.node import MachineType, N1_STANDARD_4, Node, PREEMPTIBLE_LABEL
 from repro.cluster.pod import Pod
 from repro.cluster.resources import ResourceVector
 from repro.sim.engine import Engine, PeriodicTask
 from repro.sim.rng import RngRegistry
 from repro.telemetry.events import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True, slots=True)
+class PreemptiblePoolConfig:
+    """A spot/preemptible node pool alongside the on-demand pool.
+
+    Modeled on GCE preemptible VMs: the provider may reclaim a node at
+    any time, delivering a preemption notice and killing the machine
+    ``grace_period_s`` later (GCE gives 30 s). Spot capacity is also not
+    guaranteed — a reservation can be rejected outright with probability
+    ``stockout_prob`` (the pool is "out of stock" for that scan; the
+    still-pending pods trigger another attempt on a later scan).
+    """
+
+    #: Shape of spot machines; ``None`` reuses the on-demand machine type.
+    machine_type: Optional[MachineType] = None
+    max_nodes: int = 10
+    #: Notice-to-kill window. Pods still on the node when it expires die.
+    grace_period_s: float = 30.0
+    #: Mean gap between background reclamations (exponential inter-arrival
+    #: times from the ``cloud.preempt`` stream); ``None`` disables the
+    #: background process — chaos waves can still preempt on demand.
+    reclaim_interval_s: Optional[float] = None
+    reclaim_start_after_s: float = 0.0
+    #: Probability a spot reservation fails for lack of capacity.
+    stockout_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 0:
+            raise ValueError(f"max_nodes must be >= 0, got {self.max_nodes}")
+        if self.grace_period_s < 0:
+            raise ValueError(f"grace_period_s must be >= 0, got {self.grace_period_s}")
+        if not 0.0 <= self.stockout_prob <= 1.0:
+            raise ValueError(
+                f"stockout_prob must be in [0,1], got {self.stockout_prob}"
+            )
+        if self.reclaim_interval_s is not None and self.reclaim_interval_s <= 0:
+            raise ValueError("reclaim_interval_s must be positive when set")
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +97,9 @@ class CloudControllerConfig:
     # the cluster; the reservation is simply lost). ChaosInjector can
     # also raise/lower this at runtime for bounded fault windows.
     boot_failure_prob: float = 0.0
+    # Optional spot pool. ``min_nodes``/``max_nodes`` above bound only the
+    # on-demand pool; the spot pool has its own cap and no minimum.
+    preemptible: Optional[PreemptiblePoolConfig] = None
 
     def __post_init__(self) -> None:
         if self.min_nodes < 0 or self.max_nodes < self.min_nodes:
@@ -91,7 +132,9 @@ class CloudController:
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._node_seq = 0
-        self._inflight = 0  # reservations not yet registered as nodes
+        self._spot_seq = 0
+        self._inflight = 0  # on-demand reservations not yet registered
+        self._inflight_spot = 0
         self._idle_since: Dict[str, float] = {}
         self.nodes_provisioned = 0
         self.nodes_removed = 0
@@ -99,7 +142,20 @@ class CloudController:
         #: open/close bounded boot-failure windows mid-run.
         self.boot_failure_prob = config.boot_failure_prob
         self.boot_failures = 0
+        #: Spot-pool fault accounting.
+        self.preemptions = 0
+        self.spot_stockouts = 0
         self._loop = PeriodicTask(engine, config.scan_period_s, self.sync, start_after=0.0)
+        self._reclaim_loop: Optional[PeriodicTask] = None
+        spot = config.preemptible
+        if spot is not None and spot.reclaim_interval_s is not None:
+            self._reclaim_loop = PeriodicTask(
+                engine,
+                spot.reclaim_interval_s,
+                self._reclaim_tick,
+                start_after=spot.reclaim_start_after_s,
+                use_return_delay=True,
+            )
         # Bootstrap the minimum node pool instantly: the paper's clusters
         # start with their base nodes already running.
         for _ in range(config.min_nodes):
@@ -107,14 +163,34 @@ class CloudController:
 
     def stop(self) -> None:
         self._loop.stop()
+        if self._reclaim_loop is not None:
+            self._reclaim_loop.stop()
 
     # ----------------------------------------------------------- accounting
     def node_count(self) -> int:
         return len([n for n in self.api.nodes() if not n.deleted])
 
+    def ondemand_node_count(self) -> int:
+        return len(
+            [n for n in self.api.nodes() if not n.deleted and not n.preemptible]
+        )
+
+    def spot_node_count(self) -> int:
+        return len([n for n in self.api.nodes() if not n.deleted and n.preemptible])
+
     def target_count(self) -> int:
-        """Current nodes plus reservations in flight."""
-        return self.node_count() + self._inflight
+        """Current on-demand nodes plus reservations in flight."""
+        return self.ondemand_node_count() + self._inflight
+
+    def spot_target_count(self) -> int:
+        return self.spot_node_count() + self._inflight_spot
+
+    @property
+    def spot_machine_type(self) -> MachineType:
+        spot = self.config.preemptible
+        if spot is None:
+            raise RuntimeError("no preemptible pool configured")
+        return spot.machine_type or self.config.machine_type
 
     # ----------------------------------------------------------------- sync
     def sync(self) -> None:
@@ -130,6 +206,10 @@ class CloudController:
             self._reserve_node()
 
     # ------------------------------------------------------------- scale-up
+    @staticmethod
+    def _wants_spot(pod: Pod) -> bool:
+        return pod.spec.node_selector.get(PREEMPTIBLE_LABEL) == "true"
+
     def _scale_up(self) -> None:
         pending = [
             p
@@ -138,32 +218,57 @@ class CloudController:
         ]
         if not pending:
             return
-        needed = self._nodes_needed(pending)
-        needed -= self._inflight
-        headroom = self.config.max_nodes - self.target_count()
+        spot_pending = [p for p in pending if self._wants_spot(p)]
+        ondemand_pending = [p for p in pending if not self._wants_spot(p)]
+        self._scale_up_pool(ondemand_pending, preemptible=False)
+        if self.config.preemptible is not None:
+            self._scale_up_pool(spot_pending, preemptible=True)
+
+    def _scale_up_pool(self, pending: List[Pod], *, preemptible: bool) -> None:
+        if not pending:
+            return
+        if preemptible:
+            spot = self.config.preemptible
+            assert spot is not None
+            machine_type = self.spot_machine_type
+            inflight = self._inflight_spot
+            headroom = spot.max_nodes - self.spot_target_count()
+        else:
+            machine_type = self.config.machine_type
+            inflight = self._inflight
+            headroom = self.config.max_nodes - self.target_count()
+        needed = self._nodes_needed(pending, machine_type, preemptible=preemptible)
+        needed -= inflight
         to_add = max(0, min(needed, headroom))
         if self.config.max_concurrent_reservations is not None:
-            batch_room = self.config.max_concurrent_reservations - self._inflight
+            batch_room = self.config.max_concurrent_reservations - (
+                self._inflight + self._inflight_spot
+            )
             to_add = max(0, min(to_add, batch_room))
         for _ in range(to_add):
-            self._reserve_node()
+            self._reserve_node(preemptible=preemptible)
 
-    def _nodes_needed(self, pending: List[Pod]) -> int:
+    def _nodes_needed(
+        self, pending: List[Pod], machine_type: MachineType, *, preemptible: bool
+    ) -> int:
         """First-fit-decreasing estimate of new nodes for pending pods.
 
         Pending pods are first packed into the *existing* ready nodes'
         free capacity — the scheduler simply may not have bound them yet
         — and only the overflow counts toward new machines (the upstream
         cluster autoscaler runs the same simulated-scheduling check).
+        Each pool packs only into its own nodes.
         """
-        alloc = self.config.machine_type.allocatable
+        alloc = machine_type.allocatable
         requests = sorted(
             (p.spec.request for p in pending),
             key=lambda r: r.cores,
             reverse=True,
         )
         existing_free: List[ResourceVector] = [
-            n.free() for n in self.api.ready_nodes() if not n.unschedulable
+            n.free()
+            for n in self.api.ready_nodes()
+            if not n.unschedulable and n.preemptible == preemptible
         ]
         bins: List[ResourceVector] = []
         unpackable = 0
@@ -187,8 +292,23 @@ class CloudController:
                 bins.append(req)
         return len(bins)
 
-    def _reserve_node(self) -> None:
-        self._inflight += 1
+    def _reserve_node(self, *, preemptible: bool = False) -> None:
+        if preemptible:
+            spot = self.config.preemptible
+            assert spot is not None
+            if spot.stockout_prob > 0 and (
+                self.rng.uniform("cloud.spot_stockout", 0.0, 1.0)
+                < spot.stockout_prob
+            ):
+                # The provider has no spot capacity to sell right now;
+                # the request fails outright (no VM, no retry here — the
+                # still-pending pods drive another attempt next scan).
+                self.spot_stockouts += 1
+                self.tracer.emit("cluster", "node.spot_stockout", "fault")
+                return
+            self._inflight_spot += 1
+        else:
+            self._inflight += 1
         latency = self.rng.normal(
             "cloud.reserve",
             self.config.reservation_mean_s,
@@ -198,12 +318,17 @@ class CloudController:
         if self.tracer.enabled:
             self.tracer.emit(
                 "cluster", "node.reserve",
-                latency_s=latency, inflight=self._inflight,
+                latency_s=latency,
+                inflight=self._inflight + self._inflight_spot,
+                preemptible=preemptible,
             )
-        self.engine.call_in(latency, self._reservation_complete)
+        self.engine.call_in(latency, self._reservation_complete, preemptible)
 
-    def _reservation_complete(self) -> None:
-        self._inflight -= 1
+    def _reservation_complete(self, preemptible: bool = False) -> None:
+        if preemptible:
+            self._inflight_spot -= 1
+        else:
+            self._inflight -= 1
         if self.boot_failure_prob > 0 and (
             self.rng.uniform("cloud.boot_failure", 0.0, 1.0)
             < self.boot_failure_prob
@@ -213,16 +338,28 @@ class CloudController:
             self.boot_failures += 1
             self.tracer.emit("cluster", "node.boot_failure", "fault")
             return
-        if self.node_count() >= self.config.max_nodes:
+        if preemptible:
+            spot = self.config.preemptible
+            if spot is None or self.spot_node_count() >= spot.max_nodes:
+                return
+        elif self.ondemand_node_count() >= self.config.max_nodes:
             return  # raced with another provisioning source; drop the VM
-        self._register_node()
+        self._register_node(preemptible=preemptible)
 
-    def _register_node(self) -> Node:
-        self._node_seq += 1
+    def _register_node(self, *, preemptible: bool = False) -> Node:
+        if preemptible:
+            self._spot_seq += 1
+            name = f"spot-{self._spot_seq:03d}"
+            machine_type = self.spot_machine_type
+        else:
+            self._node_seq += 1
+            name = f"node-{self._node_seq:03d}"
+            machine_type = self.config.machine_type
         node = Node(
-            f"node-{self._node_seq:03d}",
-            self.config.machine_type,
+            name,
+            machine_type,
             creation_time=self.engine.now,
+            preemptible=preemptible,
         )
         node.ready = True
         node.ready_time = self.engine.now
@@ -235,6 +372,80 @@ class CloudController:
             )
         return node
 
+    # ----------------------------------------------------------- preemption
+    def _reclaim_tick(self) -> float:
+        """Background spot reclamation: preempt one live spot node, then
+        wait an exponential gap (memoryless, like real capacity churn)."""
+        spot = self.config.preemptible
+        assert spot is not None and spot.reclaim_interval_s is not None
+        self.preempt_random_spot_nodes(1)
+        gap = float(
+            self.rng.stream("cloud.preempt.schedule").exponential(
+                spot.reclaim_interval_s
+            )
+        )
+        return max(1.0, gap)
+
+    def preemptable_spot_nodes(self) -> List[Node]:
+        """Live spot nodes with no reclamation notice outstanding."""
+        return [
+            n
+            for n in self.api.nodes()
+            if n.preemptible
+            and n.ready
+            and not n.deleted
+            and n.preemption_notice_at is None
+        ]
+
+    def preempt_random_spot_nodes(self, count: int = 1) -> int:
+        """Reclaim up to ``count`` random live spot nodes (seeded draw)."""
+        preempted = 0
+        for _ in range(count):
+            candidates = self.preemptable_spot_nodes()
+            if not candidates:
+                break
+            idx = int(self.rng.stream("cloud.preempt").integers(len(candidates)))
+            if self.begin_preemption(candidates[idx]):
+                preempted += 1
+        return preempted
+
+    def begin_preemption(self, node: Node) -> bool:
+        """Fire the provider's reclamation notice for a spot node.
+
+        The node is cordoned immediately and killed (with every pod still
+        on it) once the grace window expires. Watchers see the notice as
+        a MODIFIED Node event carrying ``preemption_notice_at`` — the
+        informer-visible signal HTA's responder reacts to.
+        """
+        spot = self.config.preemptible
+        if spot is None or not node.preemptible:
+            return False
+        if node.deleted or node.preemption_notice_at is not None:
+            return False
+        node.preemption_notice_at = self.engine.now
+        node.preemption_grace_s = spot.grace_period_s
+        node.unschedulable = True
+        self.api.mark_modified(node)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster", "node.preemption_notice", "fault",
+                node=node.name, grace_s=spot.grace_period_s,
+            )
+        self.engine.call_in(spot.grace_period_s, self._complete_preemption, node)
+        return True
+
+    def _complete_preemption(self, node: Node) -> None:
+        if node.deleted:
+            return  # already reclaimed through another path
+        for pod in list(node.active_pods()):
+            self.api.try_delete("Pod", pod.name)
+        node.ready = False
+        node.deleted = True
+        self._idle_since.pop(node.name, None)
+        self.api.try_delete("Node", node.name)
+        self.preemptions += 1
+        self.tracer.emit("cluster", "node.preempted", "fault", node=node.name)
+
     # ----------------------------------------------------------- scale-down
     def _scale_down(self) -> None:
         # Never reclaim capacity while unschedulable pods wait: removing a
@@ -246,7 +457,11 @@ class CloudController:
         ):
             self._idle_since.clear()
             return
-        nodes = [n for n in self.api.nodes() if not n.deleted]
+        nodes = [
+            n
+            for n in self.api.nodes()
+            if not n.deleted and n.preemption_notice_at is None
+        ]
         now = self.engine.now
         removable: List[Node] = []
         for node in nodes:
@@ -256,11 +471,15 @@ class CloudController:
                     removable.append(node)
             else:
                 self._idle_since.pop(node.name, None)
-        # Remove newest-first, never dropping below the minimum pool.
+        # Remove newest-first, never dropping the on-demand pool below its
+        # minimum (the spot pool has no floor).
         removable.sort(key=lambda n: n.meta.creation_time, reverse=True)
         for node in removable:
-            if self.node_count() <= self.config.min_nodes:
-                break
+            if (
+                not node.preemptible
+                and self.ondemand_node_count() <= self.config.min_nodes
+            ):
+                continue
             self._remove_node(node)
 
     def _remove_node(self, node: Node) -> None:

@@ -14,7 +14,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cluster.api import KubeApiServer
-from repro.cluster.cloud import CloudController, CloudControllerConfig
+from repro.cluster.cloud import (
+    CloudController,
+    CloudControllerConfig,
+    PreemptiblePoolConfig,
+)
 from repro.cluster.images import ContainerImage, ImageRegistry
 from repro.cluster.kubelet import Kubelet, KubeletManager
 from repro.cluster.metrics_server import MetricsServer
@@ -48,6 +52,8 @@ class ClusterConfig:
     registry_jitter_cv: float = 0.02
     metrics_sample_period_s: float = 15.0
     metrics_window_s: float = 60.0
+    #: Optional spot/preemptible node pool next to the on-demand pool.
+    preemptible: Optional[PreemptiblePoolConfig] = None
 
     def cloud_config(self) -> CloudControllerConfig:
         return CloudControllerConfig(
@@ -60,6 +66,7 @@ class ClusterConfig:
             idle_timeout_s=self.node_idle_timeout_s,
             max_concurrent_reservations=self.max_concurrent_reservations,
             boot_failure_prob=self.node_boot_failure_prob,
+            preemptible=self.preemptible,
         )
 
 
@@ -128,6 +135,9 @@ class Cluster:
 
     def node_count(self) -> int:
         return len(self.api.ready_nodes())
+
+    def spot_node_count(self) -> int:
+        return len([n for n in self.api.ready_nodes() if n.preemptible])
 
     def describe(self) -> dict:
         """Diagnostic snapshot used by experiment logs."""

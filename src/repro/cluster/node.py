@@ -58,6 +58,11 @@ N1_STANDARD_4_RESERVED = MachineType(
 )
 
 
+#: Node/pod-selector label distinguishing the pools (GKE surfaces the
+#: equivalent ``cloud.google.com/gke-preemptible`` label).
+PREEMPTIBLE_LABEL = "preemptible"
+
+
 class Node(KubeObject):
     """A cluster node: allocatable capacity, bound pods, image cache."""
 
@@ -68,9 +73,28 @@ class Node(KubeObject):
         name: str,
         machine_type: MachineType = N1_STANDARD_4,
         creation_time: float = 0.0,
+        *,
+        preemptible: bool = False,
     ) -> None:
-        super().__init__(name, {"machine-type": machine_type.name}, creation_time)
+        super().__init__(
+            name,
+            {
+                "machine-type": machine_type.name,
+                PREEMPTIBLE_LABEL: "true" if preemptible else "false",
+            },
+            creation_time,
+        )
         self.machine_type = machine_type
+        #: Spot/preemptible capacity: the provider may reclaim this node
+        #: at any time with only a short grace notice.
+        self.preemptible = preemptible
+        #: Set when the provider fires the reclamation notice; the node is
+        #: cordoned and will be killed ``grace_period_s`` later.
+        self.preemption_notice_at: Optional[float] = None
+        #: The notice's grace window (how long until the kill); set
+        #: alongside ``preemption_notice_at`` so responders can decide
+        #: which in-flight work still has time to finish.
+        self.preemption_grace_s: Optional[float] = None
         self.ready = False
         self.ready_time: Optional[float] = None
         self.pods: List[Pod] = []
@@ -140,6 +164,7 @@ class Node(KubeObject):
             "name": self.name,
             "machine_type": self.machine_type.name,
             "ready": self.ready,
+            "preemptible": self.preemptible,
             "pods": [p.name for p in self.active_pods()],
             "requested": self.requested(),
             "free": self.free(),

@@ -74,6 +74,10 @@ class PodSpec:
     image: ContainerImage
     request: ResourceVector
     labels: Dict[str, str] = field(default_factory=dict)
+    #: Kubernetes nodeSelector: the scheduler only considers nodes whose
+    #: labels include every listed pair (how spot-targeted worker pods
+    #: are steered onto the preemptible pool, and on-demand pods off it).
+    node_selector: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.request.is_nonnegative():

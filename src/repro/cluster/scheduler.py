@@ -83,9 +83,19 @@ class KubeScheduler:
                 )
         return bound
 
+    @staticmethod
+    def _selector_matches(pod: Pod, node: Node) -> bool:
+        selector = pod.spec.node_selector
+        if not selector:
+            return True
+        labels = node.meta.labels
+        return all(labels.get(k) == v for k, v in selector.items())
+
     def _select_node(self, pod: Pod) -> Optional[Node]:
         candidates: List[Node] = [
-            n for n in self.api.ready_nodes() if n.can_fit(pod.spec.request)
+            n
+            for n in self.api.ready_nodes()
+            if self._selector_matches(pod, n) and n.can_fit(pod.spec.request)
         ]
         if not candidates:
             return None

@@ -27,8 +27,10 @@ from repro.experiments import (
     fig10,
     fig11,
     forecast_cmp,
+    preemption,
     recovery,
     resilience,
+    soak,
 )
 
 _MODULES = {
@@ -40,12 +42,14 @@ _MODULES = {
     "fig10": fig10,
     "fig11": fig11,
     "forecast": forecast_cmp,
+    "preemption": preemption,
     "recovery": recovery,
     "resilience": resilience,
+    "soak": soak,
 }
 
 #: Experiments whose ``main`` accepts a ``smoke=`` reduced-scale mode.
-_SMOKE_CAPABLE = {"recovery", "resilience"}
+_SMOKE_CAPABLE = {"recovery", "resilience", "preemption", "soak"}
 
 FIGURES: Dict[str, Callable[[int], str]] = {
     name: module.main for name, module in _MODULES.items()
@@ -118,6 +122,13 @@ def main(argv: list[str] | None = None) -> int:
         help="recovery only: API outage length (default: 15%% of makespan)",
     )
     parser.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="soak only: run N consecutive seeds starting at --seed",
+    )
+    parser.add_argument(
         "--restart-delay",
         type=float,
         default=60.0,
@@ -168,6 +179,8 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {}
         if args.smoke and name in _SMOKE_CAPABLE:
             kwargs["smoke"] = True
+        if name == "soak" and args.runs != 1:
+            kwargs["runs"] = args.runs
         if name == "recovery":
             kwargs.update(
                 crash_at_s=args.crash_at,

@@ -1,0 +1,162 @@
+"""Preemption — spot-aware HTA vs vanilla HTA under a reclamation wave.
+
+Beyond the paper: the paper's clusters were on-demand only. This
+experiment provisions half the worker fleet on a preemptible (spot)
+pool at a deep discount, then reclaims a block of spot nodes mid-run
+with GCE-style ~30 s grace notices, and compares two HTA variants on
+the same seed:
+
+* **vanilla** — HTA with the mixed pool but no preemption handling:
+  reclaimed workers die like crashed nodes, their in-flight tasks burn
+  a retry attempt and restart from the queue;
+* **spot-aware** — HTA running the :class:`~repro.hta.preemption.
+  PreemptionResponder`: preemption notices are consumed through the
+  informer, doomed workers are evacuated inside the grace window
+  (nearly-finished runs are left racing the clock), and Algorithm 1's
+  supply term discounts spot workers by the observed survival rate.
+
+The report asserts the contract the spot machinery is sold on: at the
+validated seed the aware variant achieves **strictly higher goodput**
+(goodput core×s per second of makespan) at **no worse cost** than
+vanilla. Cost is the mixed on-demand/spot bill from
+:meth:`~repro.metrics.cost.CostModel.cost_of_mixed`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cluster.cloud import PreemptiblePoolConfig
+from repro.cluster.cluster import ClusterConfig
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    FaultProfile,
+    StackConfig,
+    run_experiment,
+)
+from repro.hta.provisioner import SpotPolicy
+from repro.metrics.cost import CostModel
+from repro.sim.rng import RngRegistry
+from repro.workloads.synthetic import uniform_bag
+
+MACHINE_TYPE = "n1-standard-4"
+
+#: The validated configuration: a 240-task bag long enough that the
+#: t=450 s wave lands on a loaded cluster with a real backlog behind it.
+N_TASKS = 240
+EXECUTE_S = 150.0
+RUNTIME_CV = 0.3
+MAX_NODES = 24
+SPOT_MAX_NODES = 12
+GRACE_S = 30.0
+WAVE_AT_S = 450.0
+WAVE_SIZE = 8
+STACK_SEED = 7
+WORKLOAD_SEED = 9001
+
+SMOKE_SCALE = 0.5  # halve the workload and the wave for CI
+
+
+def _config(seed: int, *, smoke: bool) -> Tuple[StackConfig, int, float, int]:
+    scale = SMOKE_SCALE if smoke else 1.0
+    n_tasks = int(N_TASKS * scale)
+    wave_at = WAVE_AT_S * scale
+    wave_size = max(2, int(WAVE_SIZE * scale))
+    stack = StackConfig(
+        cluster=ClusterConfig(
+            max_nodes=MAX_NODES,
+            preemptible=PreemptiblePoolConfig(
+                max_nodes=SPOT_MAX_NODES, grace_period_s=GRACE_S
+            ),
+        ),
+        seed=STACK_SEED + seed,
+        faults=FaultProfile(
+            preemption_wave_at_s=wave_at,
+            preemption_wave_size=wave_size,
+            max_retries=10,
+        ),
+    )
+    return stack, n_tasks, wave_at, wave_size
+
+
+def run(seed: int = 0, *, smoke: bool = False) -> Dict[str, ExperimentResult]:
+    """Both variants on the same seed; returns name -> result."""
+    stack, n_tasks, _, _ = _config(seed, smoke=smoke)
+    results: Dict[str, ExperimentResult] = {}
+    for aware in (False, True):
+        workload = uniform_bag(
+            n_tasks,
+            execute_s=EXECUTE_S,
+            rng=RngRegistry(WORKLOAD_SEED + seed),
+            runtime_cv=RUNTIME_CV,
+        )
+        name = "hta-spot-aware" if aware else "hta-vanilla"
+        results[name] = run_experiment(
+            ExperimentSpec(
+                workload=workload,
+                policy="hta",
+                name=name,
+                stack=stack,
+                options={"spot_policy": SpotPolicy(0.5), "spot_aware": aware},
+            )
+        )
+    return results
+
+
+def goodput_rate(result: ExperimentResult) -> float:
+    """Goodput core×seconds per second of makespan."""
+    return result.extras["goodput_core_s"] / result.makespan_s
+
+
+def report(results: Dict[str, ExperimentResult], *, seed: int, smoke: bool) -> str:
+    _, _, wave_at, wave_size = _config(seed, smoke=smoke)
+    cost_model = CostModel()
+    lines = [
+        f"Preemption wave: {wave_size} spot nodes reclaimed at "
+        f"t={wave_at:.0f}s ({GRACE_S:.0f}s grace, spot price "
+        f"{cost_model.price_for(MACHINE_TYPE, pool='spot'):.4f} vs "
+        f"{cost_model.price_for(MACHINE_TYPE):.4f} $/h on-demand)",
+        "",
+        f"{'variant':<16} {'makespan':>9} {'goodput/s':>10} {'waste':>8} "
+        f"{'requeued':>8} {'cost $':>9}",
+    ]
+    rows = {}
+    for name, result in results.items():
+        mixed = cost_model.cost_of_mixed(result, MACHINE_TYPE)
+        rate = goodput_rate(result)
+        rows[name] = (rate, mixed.total_usd)
+        lines.append(
+            f"{name:<16} {result.makespan_s:>8.0f}s {rate:>10.2f} "
+            f"{result.accounting.accumulated_waste_core_s:>8.0f} "
+            f"{result.tasks_requeued:>8d} {mixed.total_usd:>9.5f}"
+        )
+    aware_rate, aware_cost = rows["hta-spot-aware"]
+    vanilla_rate, vanilla_cost = rows["hta-vanilla"]
+    lines.append("")
+    lines.append(
+        f"goodput: aware {aware_rate:.2f} vs vanilla {vanilla_rate:.2f} "
+        f"({'+' if aware_rate >= vanilla_rate else ''}"
+        f"{(aware_rate / vanilla_rate - 1) * 100:.1f}%), "
+        f"cost: aware {aware_cost:.5f} vs vanilla {vanilla_cost:.5f}"
+    )
+    if seed == 0 and not smoke:
+        # The contract the acceptance gate checks, at the validated seed.
+        assert aware_rate > vanilla_rate, (
+            f"spot-aware goodput {aware_rate} not above vanilla {vanilla_rate}"
+        )
+        assert aware_cost <= vanilla_cost + 1e-9, (
+            f"spot-aware cost {aware_cost} exceeds vanilla {vanilla_cost}"
+        )
+        lines.append("contract holds: aware goodput strictly higher, cost no worse")
+    return "\n".join(lines)
+
+
+def main(seed: int = 0, *, smoke: bool = False) -> str:
+    out = report(run(seed, smoke=smoke), seed=seed, smoke=smoke)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -55,6 +55,7 @@ from repro.cluster.resources import ResourceVector
 from repro.hta.estimator import EstimatorConfig
 from repro.hta.inittime import FixedInitTime, InitTimeTracker
 from repro.hta.operator import HtaConfig, HtaOperator
+from repro.hta.preemption import PreemptionResponder
 from repro.hta.provisioner import ProvisionerFaultConfig, WorkerProvisioner
 from repro.makeflow.dag import WorkflowGraph
 from repro.makeflow.manager import WorkflowManager
@@ -126,6 +127,16 @@ class FaultProfile:
     pod_eviction_interval_s: Optional[float] = None
     #: Pod-eviction selector (None = any non-terminal pod).
     pod_eviction_selector: Optional[dict] = None
+    #: One-shot preemption wave: reclaim ``preemption_wave_size`` spot
+    #: nodes at this simulated time (requires a preemptible pool).
+    preemption_wave_at_s: Optional[float] = None
+    preemption_wave_size: int = 1
+    #: Recurring worker⇄master network partitions (None = never).
+    partition_interval_s: Optional[float] = None
+    partition_duration_s: float = 45.0
+    #: Escape hatch for bespoke chaos (the soak harness): called with
+    #: the built stack after the declarative faults are armed.
+    chaos_script: Optional[Callable[["_Stack"], None]] = None
     # -- provisioning faults
     boot_failure_prob: float = 0.0
     boot_failure_duration_s: Optional[float] = None
@@ -251,7 +262,16 @@ class _Stack:
         if faults is not None and faults.max_retries is not None:
             self.master.max_retries = faults.max_retries
         self.runtime = WorkerPodRuntime(
-            self.engine, self.cluster.api, self.cluster.kubelets, self.master
+            self.engine,
+            self.cluster.api,
+            self.cluster.kubelets,
+            self.master,
+            # Under control-plane faults the runtime must relist like any
+            # informer: a pod whose Running event died in an API outage
+            # would otherwise never get a worker (and leak forever).
+            resync_period_s=(
+                faults.informer_resync_period_s if faults is not None else None
+            ),
         )
         self.worker_request = config.resolved_worker_request()
         self.chaos: Optional[ChaosInjector] = None
@@ -299,6 +319,19 @@ class _Stack:
                     duration_s=faults.watch_drop_duration_s,
                     kind=faults.watch_drop_kind,
                 )
+            if faults.preemption_wave_at_s is not None:
+                self.chaos.schedule_preemption_wave(
+                    at_s=faults.preemption_wave_at_s,
+                    count=faults.preemption_wave_size,
+                )
+            if faults.partition_interval_s is not None:
+                self.chaos.schedule_partitions(
+                    self.master,
+                    faults.partition_interval_s,
+                    duration_s=faults.partition_duration_s,
+                )
+            if faults.chaos_script is not None:
+                faults.chaos_script(self)
 
     def _make_estimator(self, kind: str) -> AllocationEstimator:
         if kind == "monitor":
@@ -424,6 +457,15 @@ def _collect(
         fault_extras["chaos_nodes_killed"] = float(stack.chaos.nodes_killed)
         fault_extras["chaos_pods_killed"] = float(stack.chaos.pods_killed)
         fault_extras["boot_failures"] = float(stack.cluster.cloud.boot_failures)
+        fault_extras["chaos_preemptions"] = float(stack.chaos.preemptions_total)
+        fault_extras["chaos_partitions"] = float(stack.chaos.partition_windows)
+        fault_extras["preemptions"] = float(stack.cluster.cloud.preemptions)
+        fault_extras["spot_stockouts"] = float(stack.cluster.cloud.spot_stockouts)
+        fault_extras["partitions_detected"] = float(master.partitions_detected)
+        fault_extras["workers_declared_lost"] = float(
+            master.workers_declared_lost
+        )
+        fault_extras["tasks_evacuated"] = float(master.tasks_evacuated)
     if master.crashes > 0 or stack.chaos is not None:
         fault_extras["master_crashes"] = float(master.crashes)
         fault_extras["tasks_rerun"] = float(master.tasks_rerun)
@@ -481,6 +523,11 @@ def _make_accountant(
         "workers_connected", lambda: float(master.stats().workers_connected)
     )
     acc.sampler.add_gauge("workers_idle", lambda: float(master.stats().workers_idle))
+    # Preemptible subset of the node count — CostModel.cost_of_mixed
+    # bills it at the spot rate (flat zero without a spot pool).
+    acc.sampler.add_gauge(
+        "nodes_spot", lambda: float(stack.cluster.spot_node_count())
+    )
     if extra_gauges:
         for gname, fn in extra_gauges.items():
             acc.sampler.add_gauge(gname, fn)
@@ -647,6 +694,11 @@ def _build_hta(
 ) -> _PolicyHarness:
     hta_config = _take(options, "hta_config")
     fixed_init_time_s = _take(options, "fixed_init_time_s")
+    #: Optional spot split for the worker pool; ``spot_aware`` adds the
+    #: preemption responder + survival-discounted planning on top (off =
+    #: "vanilla" HTA that buys spot but ignores reclamation).
+    spot_policy = _take(options, "spot_policy")
+    spot_aware = bool(_take(options, "spot_aware", False))
     if hta_config is None:
         hta_config = HtaConfig(
             initial_workers=cfg.cluster.min_nodes,
@@ -659,7 +711,18 @@ def _build_hta(
         image=cfg.image,
         worker_request=stack.worker_request,
         fault_config=cfg.faults.provisioner if cfg.faults is not None else None,
+        spot_policy=spot_policy,
     )
+    responder = None
+    if spot_aware:
+        responder = PreemptionResponder(
+            stack.engine,
+            stack.cluster.api,
+            stack.master,
+            stack.runtime,
+            provisioner,
+            tracer=stack.tracer,
+        )
     tracker = _hta_tracker(stack, cfg, fixed_init_time_s, resync=True)
     operator = HtaOperator(
         stack.engine,
@@ -669,7 +732,30 @@ def _build_hta(
         hta_config,
         stack.recorder,
         tracer=stack.tracer,
+        preemption=responder,
     )
+
+    def hta_extras(_acc) -> Dict[str, float]:
+        extras = dict(
+            init_time_samples=float(tracker.sample_count),
+            plans=float(len(operator.plans)),
+            pods_created=float(provisioner.pods_created),
+            drains=float(provisioner.drains_requested),
+            degraded_cycles=float(operator.degraded_cycles),
+            scale_downs_frozen=float(operator.scale_downs_frozen),
+            informer_resyncs=float(
+                getattr(getattr(tracker, "informer", None), "resyncs", 0)
+            ),
+            creations_deferred=float(provisioner.creations_deferred),
+        )
+        if spot_policy is not None:
+            extras["spot_pods_created"] = float(provisioner.spot_pods_created)
+        if responder is not None:
+            extras["workers_evacuated"] = float(responder.workers_evacuated)
+            extras["evac_runs_requeued"] = float(responder.runs_requeued)
+            extras["spot_survival_rate"] = responder.tracker.survival_rate()
+        return extras
+
     return _PolicyHarness(
         name="HTA",
         submitter=operator,
@@ -681,18 +767,7 @@ def _build_hta(
             "hta_pending_pods": lambda: float(len(provisioner.pending_pods())),
         },
         start=operator.start,
-        extras=lambda _acc: dict(
-            init_time_samples=float(tracker.sample_count),
-            plans=float(len(operator.plans)),
-            pods_created=float(provisioner.pods_created),
-            drains=float(provisioner.drains_requested),
-            degraded_cycles=float(operator.degraded_cycles),
-            scale_downs_frozen=float(operator.scale_downs_frozen),
-            informer_resyncs=float(
-                getattr(getattr(tracker, "informer", None), "resyncs", 0)
-            ),
-            creations_deferred=float(provisioner.creations_deferred),
-        ),
+        extras=hta_extras,
     )
 
 

@@ -15,7 +15,10 @@ resource-initialization time.
   each, per §IV-A) and drains workers for non-disruptive scale-down;
 * :mod:`~repro.hta.operator` — the Makeflow-Kubernetes operator: accepts
   jobs from the workflow manager, runs the warm-up / runtime / clean-up
-  stages (§V-C), and applies the estimator's plan each cycle.
+  stages (§V-C), and applies the estimator's plan each cycle;
+* :mod:`~repro.hta.preemption` — spot-pool awareness: evacuates workers
+  on preemption-noticed nodes inside the grace window and tracks the
+  pool's survival rate for Algorithm 1's discounted supply term.
 """
 
 from repro.hta.inittime import InitTimeTracker
@@ -26,7 +29,8 @@ from repro.hta.estimator import (
     SimulatedTask,
     PendingWorker,
 )
-from repro.hta.provisioner import WorkerProvisioner
+from repro.hta.provisioner import SpotPolicy, WorkerProvisioner
+from repro.hta.preemption import PreemptionResponder, SurvivalTracker
 from repro.hta.operator import HtaOperator, HtaConfig
 from repro.hta.deployment import MasterDeployment
 from repro.hta.inittime import FixedInitTime
@@ -38,7 +42,10 @@ __all__ = [
     "ScalePlan",
     "SimulatedTask",
     "PendingWorker",
+    "SpotPolicy",
     "WorkerProvisioner",
+    "PreemptionResponder",
+    "SurvivalTracker",
     "HtaOperator",
     "HtaConfig",
     "MasterDeployment",

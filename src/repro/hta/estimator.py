@@ -142,6 +142,8 @@ class ResourceEstimator:
         max_workers: Optional[int] = None,
         min_workers: int = 0,
         future_arrivals: Sequence[ForecastArrival] = (),
+        spot_workers: int = 0,
+        spot_survival: float = 1.0,
     ) -> ScalePlan:
         """Run Algorithm 1 and produce a :class:`ScalePlan`.
 
@@ -151,14 +153,25 @@ class ResourceEstimator:
         pool so the cluster survives master upgrades, §V-A);
         ``future_arrivals`` are forecast task submissions that join the
         simulated wait queue mid-cycle (arrivals past the cycle end are
-        ignored — they belong to the next decision).
+        ignored — they belong to the next decision);
+        ``spot_workers`` of the active pool run on preemptible capacity
+        expected to survive the cycle with probability ``spot_survival``
+        — the supply term counts each as only ``spot_survival`` of a
+        worker, so a reclamation-prone pool drives extra scale-up
+        instead of being trusted at face value.
         """
         if rsrc_init_time <= 0:
             raise ValueError("rsrc_init_time must be positive")
+        if not 0 <= spot_workers <= active_workers:
+            raise ValueError("spot_workers must be within [0, active_workers]")
+        if not 0.0 <= spot_survival <= 1.0:
+            raise ValueError("spot_survival must be within [0, 1]")
         cfg = self.config
 
-        # --- lines 1-2: capacity and currently-available resources
-        ava = self.worker_capacity.scale(active_workers)
+        # --- lines 1-2: capacity and currently-available resources,
+        # spot workers discounted by their expected survival
+        effective = active_workers - spot_workers * (1.0 - spot_survival)
+        ava = self.worker_capacity.scale(max(0.0, effective))
         for task in running:
             ava = (ava - task.resources).clamp_floor(0.0)
 

@@ -38,6 +38,7 @@ from repro.hta.estimator import (
     SimulatedTask,
 )
 from repro.hta.inittime import InitTimeTracker
+from repro.hta.preemption import PreemptionResponder
 from repro.hta.provisioner import WorkerProvisioner
 from repro.sim.engine import Engine, PeriodicTask
 from repro.sim.process import Signal
@@ -111,6 +112,7 @@ class HtaOperator:
         recorder: Optional[MetricRecorder] = None,
         *,
         tracer: Optional[Tracer] = None,
+        preemption: Optional[PreemptionResponder] = None,
     ) -> None:
         self.engine = engine
         self.master = master
@@ -118,6 +120,10 @@ class HtaOperator:
         self.init_tracker = init_tracker
         self.config = config
         self.recorder = recorder
+        #: Set when the stack runs a spot pool with a responder: the
+        #: resize cycle then discounts spot workers by the observed
+        #: survival rate (Algorithm 1's supply term, preemption-aware).
+        self.preemption = preemption
         #: Decision-audit stream: one ``hta/decision`` event per resize
         #: cycle when tracing is armed (see telemetry.explain).
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -238,6 +244,8 @@ class HtaOperator:
         if self._arrival_sampler is not None:
             self._arrival_sampler.stop()
             self._arrival_sampler = None
+        if self.preemption is not None:
+            self.preemption.close()
         close = getattr(self.init_tracker, "close", None)
         if close is not None:
             # Unsubscribe the tracker's informer (and stop its resync
@@ -386,6 +394,11 @@ class HtaOperator:
                 age = self.engine.now - pod.meta.creation_time
                 eta = max(1.0, init_time - age)
                 pending.append(PendingWorker(pod.spec.request, eta))
+        spot_workers = 0
+        spot_survival = 1.0
+        if self.preemption is not None:
+            spot_workers = sum(1 for w in live if self._on_spot_node(w))
+            spot_survival = self.preemption.tracker.survival_rate()
         return self.estimator.estimate(
             rsrc_init_time=init_time,
             running=running,
@@ -396,7 +409,14 @@ class HtaOperator:
             max_workers=self.config.max_workers,
             min_workers=self.config.min_workers,
             future_arrivals=self._forecast_arrivals(init_time),
+            spot_workers=spot_workers,
+            spot_survival=spot_survival,
         )
+
+    @staticmethod
+    def _on_spot_node(worker) -> bool:
+        pod = worker.pod
+        return pod is not None and pod.node is not None and pod.node.preemptible
 
     def _forecast_arrivals(self, init_time: float) -> List[ForecastArrival]:
         """Hybrid mode: predicted submissions over the coming cycle.

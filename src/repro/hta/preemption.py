@@ -1,0 +1,184 @@
+"""HTA's answer to preemptible capacity: notices, evacuation, survival.
+
+Spot/preemptible nodes are the cloud's cheapest capacity, sold with a
+revocation clause: the provider may reclaim a node at any time, giving a
+short grace window (GCE's ACPI G2 signal, ~30 s) before the VM and every
+pod on it vanish. A naive autoscaler treats spot workers like any other
+and loses their in-flight tasks to the retry path; the HTA extension
+here closes the loop through the informer instead:
+
+* :class:`PreemptionResponder` watches Node objects. The instant a node
+  carries a preemption notice, every HTA worker on it is **evacuated**:
+  its in-flight runs are proactively requeued at the front of the master
+  queue (inside the grace window, without burning a retry attempt) and
+  the doomed worker is drained so it stops accepting work.
+* :class:`SurvivalTracker` keeps an online estimate of the spot pool's
+  survival rate — the fraction of spot workers that were *not* reclaimed
+  — which Algorithm 1 uses to discount the supply term: a pool observed
+  to lose a third of its workers counts each spot worker as only ~2/3 of
+  a worker, so the plan buys real capacity instead of paper capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod, PodPhase
+from repro.hta.provisioner import WorkerProvisioner
+from repro.sim.engine import Engine
+from repro.telemetry.events import NULL_TRACER, Tracer
+from repro.wq.master import Master
+from repro.wq.runtime import WorkerPodRuntime
+
+
+class SurvivalTracker:
+    """Online estimate of the spot pool's per-cycle survival rate.
+
+    Counts spot workers observed starting (``S``) and spot workers
+    reclaimed (``P``); the rate is the Laplace-smoothed survivor
+    fraction ``(S - P + 1) / (S + 1)``, clipped away from zero so a
+    brutal reclamation wave discounts the pool hard without zeroing the
+    supply term entirely (a zero would make spot capacity invisible and
+    the plan oscillate).
+    """
+
+    #: Floor on the reported rate — even a fully-reclaimed pool retains
+    #: a sliver of trust, since new spot nodes are fresh draws.
+    MIN_RATE = 0.05
+
+    def __init__(self) -> None:
+        self.spot_started = 0
+        self.spot_preempted = 0
+
+    def record_start(self) -> None:
+        self.spot_started += 1
+
+    def record_preempted(self) -> None:
+        self.spot_preempted += 1
+
+    def survival_rate(self) -> float:
+        rate = (self.spot_started - self.spot_preempted + 1) / (self.spot_started + 1)
+        return min(1.0, max(self.MIN_RATE, rate))
+
+
+class PreemptionResponder:
+    """Consumes preemption notices through the informer (Node watch).
+
+    One instance per HTA stack. Reacts within the grace window: workers
+    on a noticed node are evacuated (runs requeued without an attempt
+    burn, worker drained) before the node dies, and the shared
+    :class:`SurvivalTracker` is updated so the next resize cycle plans
+    with the observed reclamation pressure.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        api: KubeApiServer,
+        master: Master,
+        runtime: WorkerPodRuntime,
+        provisioner: WorkerProvisioner,
+        *,
+        tracker: Optional[SurvivalTracker] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.engine = engine
+        self.api = api
+        self.master = master
+        self.runtime = runtime
+        self.provisioner = provisioner
+        self.tracker = tracker if tracker is not None else SurvivalTracker()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._handled: Set[str] = set()
+        self.notices_seen = 0
+        self.workers_evacuated = 0
+        self.runs_requeued = 0
+        api.watch("Node", self._on_node_event, replay_existing=False)
+        api.watch("Pod", self._on_pod_event, replay_existing=False)
+
+    def close(self) -> None:
+        """Unsubscribe (experiments share one API server)."""
+        self.api.unwatch("Node", self._on_node_event)
+        self.api.unwatch("Pod", self._on_pod_event)
+
+    # --------------------------------------------------------------- events
+    def _on_pod_event(self, event: WatchEvent) -> None:
+        """Count spot worker starts (the tracker's denominator)."""
+        pod = event.obj
+        if not isinstance(pod, Pod):
+            return
+        if event.type is not WatchEventType.MODIFIED:
+            return
+        if pod.phase is not PodPhase.RUNNING:
+            return
+        if pod.meta.labels.get("app") != self.provisioner.app_label:
+            return
+        if pod.name in self._handled:
+            return
+        if pod.node is not None and pod.node.preemptible:
+            self._handled.add(pod.name)
+            self.tracker.record_start()
+
+    def _on_node_event(self, event: WatchEvent) -> None:
+        node = event.obj
+        if not isinstance(node, Node) or not node.preemptible:
+            return
+        if node.preemption_notice_at is None or node.name in self._handled:
+            return
+        self._handled.add(node.name)
+        self.notices_seen += 1
+        self._evacuate_node(node)
+
+    #: Safety margin on the "can it finish inside the grace window?"
+    #: decision: a run is left racing the clock only if its predicted
+    #: remaining time fits in this fraction of the window.
+    GRACE_MARGIN = 0.8
+
+    def _evacuate_node(self, node: Node) -> None:
+        """Grace-window response: requeue doomed runs, drain workers.
+
+        Grace-aware triage per run: a task predicted to finish inside
+        the grace window is *left running* — cancelling it would throw
+        away nearly-complete work the node can still deliver — while
+        everything longer is requeued immediately so it restarts
+        elsewhere ~one grace window earlier than a crash would allow.
+        """
+        grace = node.preemption_grace_s if node.preemption_grace_s is not None else 0.0
+        for pod in list(node.pods):
+            if pod.meta.labels.get("app") != self.provisioner.app_label:
+                continue
+            worker = self.runtime.worker_for(pod)
+            if worker is None:
+                continue
+            self.tracker.record_preempted()
+            doomed = [
+                run.task
+                for run in list(worker.runs.values())
+                if self._remaining_estimate(run.task) > grace * self.GRACE_MARGIN
+            ]
+            requeued = self.master.evacuate_worker(worker, doomed)
+            worker.drain()
+            self.workers_evacuated += 1
+            self.runs_requeued += len(requeued)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "hta",
+                    "worker.evacuated",
+                    "preemption",
+                    node=node.name,
+                    worker=worker.name,
+                    requeued=len(requeued),
+                    left_racing=len(worker.runs),
+                    survival_rate=self.tracker.survival_rate(),
+                )
+
+    def _remaining_estimate(self, task) -> float:
+        """Predicted seconds of execution left for an in-flight run."""
+        predicted = self.master.monitor.runtime_estimate(task.category)
+        if predicted is None or predicted <= 0:
+            predicted = task.execute_s
+        if task.start_time is None:
+            return float(predicted)  # still fetching inputs
+        return max(0.0, predicted - (self.engine.now - task.start_time))

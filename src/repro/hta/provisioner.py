@@ -22,15 +22,19 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
 from repro.cluster.images import ContainerImage
+from repro.cluster.node import PREEMPTIBLE_LABEL
 from repro.cluster.pod import Pod, PodPhase, PodSpec
 from repro.cluster.resources import ResourceVector
 from repro.sim.engine import Engine, PeriodicTask
 from repro.wq.runtime import WorkerPodRuntime
 from repro.wq.worker import Worker, WorkerState
+
+if TYPE_CHECKING:  # pragma: no cover — avoid an hta→metrics import cycle
+    from repro.metrics.cost import CostModel
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +64,49 @@ class ProvisionerFaultConfig:
             raise ValueError("breaker_cooldown_s must be positive")
 
 
+@dataclass(frozen=True, slots=True)
+class SpotPolicy:
+    """How scale-up splits new workers between on-demand and spot pools.
+
+    Preemptible capacity is cheap but revocable; the policy caps spot
+    exposure at ``spot_fraction`` of every batch so a reclamation wave
+    never takes the whole fleet. :meth:`from_cost_model` derives the
+    fraction from the actual price gap — the cheaper spot is relative to
+    on-demand, the more of it is worth the interruption risk.
+    """
+
+    #: Fraction of each scale-up batch placed on the preemptible pool.
+    spot_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spot_fraction <= 1.0:
+            raise ValueError("spot_fraction must be within [0, 1]")
+
+    def split(self, count: int) -> tuple:
+        """``count`` new workers → ``(n_spot, n_ondemand)``."""
+        if count <= 0:
+            return (0, 0)
+        n_spot = round(count * self.spot_fraction)
+        return (n_spot, count - n_spot)
+
+    @classmethod
+    def from_cost_model(
+        cls,
+        cost_model: "CostModel",
+        machine_type_name: str,
+        *,
+        pool: str = "spot",
+        cap: float = 0.8,
+    ) -> "SpotPolicy":
+        """Spot share proportional to the discount, capped at ``cap``.
+
+        A 79% discount (the GCE preemptible rate) yields ~0.79 → capped;
+        a pool barely cheaper than on-demand is barely used.
+        """
+        discount = cost_model.spot_discount(machine_type_name, pool=pool)
+        return cls(spot_fraction=min(cap, discount))
+
+
 class WorkerProvisioner:
     """Creates/drains HTA worker pods."""
 
@@ -74,6 +121,7 @@ class WorkerProvisioner:
         app_label: str = "wq-worker",
         name_prefix: str = "hta-worker",
         fault_config: Optional[ProvisionerFaultConfig] = None,
+        spot_policy: Optional[SpotPolicy] = None,
     ) -> None:
         self.engine = engine
         self.api = api
@@ -82,8 +130,13 @@ class WorkerProvisioner:
         self.worker_request = worker_request
         self.app_label = app_label
         self.name_prefix = name_prefix
+        #: None keeps every worker on-demand (and pods selector-free);
+        #: set, each batch is split per the policy and pods carry a
+        #: preemptible node selector so the scheduler pins the pools.
+        self.spot_policy = spot_policy
         self._seq = itertools.count(1)
         self.pods_created = 0
+        self.spot_pods_created = 0
         self.pods_reaped = 0
         self.drains_requested = 0
         # ----------------------------------------- defensive provisioning
@@ -127,13 +180,26 @@ class WorkerProvisioner:
             return []
         if self.fault_config is not None:
             count = self._breaker_admit(count)
+        n_spot = 0
+        if self.spot_policy is not None:
+            n_spot, _ = self.spot_policy.split(count)
         created: List[Pod] = []
-        for _ in range(count):
+        for i in range(count):
             name = f"{self.name_prefix}-{next(self._seq):04d}"
-            spec = PodSpec(self.image, self.worker_request, labels={"app": self.app_label})
+            selector = {}
+            if self.spot_policy is not None:
+                selector = {PREEMPTIBLE_LABEL: "true" if i < n_spot else "false"}
+            spec = PodSpec(
+                self.image,
+                self.worker_request,
+                labels={"app": self.app_label},
+                node_selector=selector,
+            )
             pod = Pod(name, spec, creation_time=self.engine.now)
             self.api.create(pod)
             self.pods_created += 1
+            if i < n_spot:
+                self.spot_pods_created += 1
             created.append(pod)
         return created
 

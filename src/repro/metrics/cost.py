@@ -24,6 +24,14 @@ DEFAULT_HOURLY_PRICES: Dict[str, float] = {
     "gke-3cpu-12gb": 0.1420,
 }
 
+#: Preemptible prices per pool name (GCE sold preemptible n1-standard-4
+#: at a flat ~79% discount in the same era). Keys are pool names, the
+#: second axis of the price lookup: the same machine shape bills
+#: differently depending on which pool it came from.
+DEFAULT_POOL_PRICES: Dict[str, float] = {
+    "spot": 0.0400,
+}
+
 
 @dataclass(frozen=True, slots=True)
 class CostBreakdown:
@@ -40,6 +48,29 @@ class CostBreakdown:
         return f"${self.total_usd:.2f} ({self.node_hours:.2f} node-hours)"
 
 
+@dataclass(frozen=True, slots=True)
+class MixedCostBreakdown:
+    """Dollars for a run on mixed on-demand + spot pools."""
+
+    on_demand: CostBreakdown
+    spot: CostBreakdown
+
+    @property
+    def total_usd(self) -> float:
+        return self.on_demand.total_usd + self.spot.total_usd
+
+    @property
+    def node_hours(self) -> float:
+        return self.on_demand.node_hours + self.spot.node_hours
+
+    def __str__(self) -> str:
+        return (
+            f"${self.total_usd:.2f} "
+            f"({self.on_demand.node_hours:.2f} on-demand + "
+            f"{self.spot.node_hours:.2f} spot node-hours)"
+        )
+
+
 class CostModel:
     """Prices an experiment's node usage."""
 
@@ -48,16 +79,32 @@ class CostModel:
         hourly_prices: Mapping[str, float] = DEFAULT_HOURLY_PRICES,
         *,
         default_hourly_price: Optional[float] = None,
+        pool_prices: Mapping[str, float] = DEFAULT_POOL_PRICES,
     ):
         for name, price in hourly_prices.items():
             if price < 0:
                 raise ValueError(f"negative price for {name!r}")
+        for name, price in pool_prices.items():
+            if price < 0:
+                raise ValueError(f"negative price for pool {name!r}")
         if default_hourly_price is not None and default_hourly_price < 0:
             raise ValueError("negative default_hourly_price")
         self.hourly_prices = dict(hourly_prices)
+        #: Pool-name → hourly price overrides: a node billed against a
+        #: named pool (e.g. ``"spot"``) uses the pool's rate regardless
+        #: of machine type.
+        self.pool_prices = dict(pool_prices)
         self.default_hourly_price = default_hourly_price
 
-    def price_for(self, machine_type_name: str) -> float:
+    def price_for(self, machine_type_name: str, *, pool: Optional[str] = None) -> float:
+        if pool is not None:
+            try:
+                return self.pool_prices[pool]
+            except KeyError:
+                raise KeyError(
+                    f"no price for pool {pool!r}; known pools: "
+                    f"{sorted(self.pool_prices)}"
+                ) from None
         try:
             return self.hourly_prices[machine_type_name]
         except KeyError:
@@ -68,6 +115,14 @@ class CostModel:
                 f"known: {sorted(self.hourly_prices)} "
                 f"(set default_hourly_price for a catch-all rate)"
             ) from None
+
+    def spot_discount(self, machine_type_name: str, *, pool: str = "spot") -> float:
+        """Fraction saved per node-hour by buying from ``pool`` instead
+        of on-demand (0 when spot is not actually cheaper)."""
+        on_demand = self.price_for(machine_type_name)
+        if on_demand <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.price_for(machine_type_name, pool=pool) / on_demand)
 
     def cost_of(
         self, result: "ExperimentResult", machine_type_name: str
@@ -83,6 +138,35 @@ class CostModel:
         return CostBreakdown(
             node_hours=node_seconds / 3600.0,
             hourly_price=self.price_for(machine_type_name),
+        )
+
+    def cost_of_mixed(
+        self,
+        result: "ExperimentResult",
+        machine_type_name: str,
+        *,
+        pool: str = "spot",
+        spot_series: str = "nodes_spot",
+    ) -> MixedCostBreakdown:
+        """Price a run whose cluster mixed on-demand and spot nodes.
+
+        The accountant's ``nodes`` series counts every ready node and
+        ``nodes_spot`` the preemptible subset; the difference bills at
+        the on-demand rate, the subset at the pool's spot rate.
+        """
+        t0, t1 = result.accountant.window()
+        total_s = result.series("nodes").integrate(t0, t1)
+        spot_s = result.series(spot_series).integrate(t0, t1)
+        spot_s = min(spot_s, total_s)
+        return MixedCostBreakdown(
+            on_demand=CostBreakdown(
+                node_hours=(total_s - spot_s) / 3600.0,
+                hourly_price=self.price_for(machine_type_name),
+            ),
+            spot=CostBreakdown(
+                node_hours=spot_s / 3600.0,
+                hourly_price=self.price_for(machine_type_name, pool=pool),
+            ),
         )
 
     def savings(

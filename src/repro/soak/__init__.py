@@ -1,0 +1,55 @@
+"""Chaos-soak subsystem: seeded fault schedules + invariant checking.
+
+The soak harness answers a question the per-fault benchmarks cannot:
+does the whole stack stay *coherent* when every failure mode fires in
+one run, in random order, at random times? A seeded schedule generator
+(:mod:`~repro.soak.schedule`) samples all chaos primitives; the harness
+(:mod:`~repro.soak.harness`) drives a spot-aware HTA stack through the
+schedule to quiescence; the invariant checkers
+(:mod:`~repro.soak.invariants`) then audit the final state — task
+conservation, worker-leak freedom, monotonic API resource versions,
+metrics/trace consistency, and the quiescence itself. A failing seed is
+a complete reproduction recipe.
+"""
+
+from repro.soak.schedule import (
+    FAULT_KINDS,
+    FaultEvent,
+    SoakScheduleConfig,
+    generate_schedule,
+)
+from repro.soak.invariants import (
+    VersionProbe,
+    Violation,
+    check_journal_replay,
+    check_no_worker_leaks,
+    check_task_conservation,
+    check_trace_consistency,
+    check_version_monotonic,
+)
+from repro.soak.harness import (
+    SoakConfig,
+    SoakReport,
+    first_violation,
+    run_soak,
+    run_soak_batch,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "SoakScheduleConfig",
+    "generate_schedule",
+    "VersionProbe",
+    "Violation",
+    "check_journal_replay",
+    "check_no_worker_leaks",
+    "check_task_conservation",
+    "check_trace_consistency",
+    "check_version_monotonic",
+    "SoakConfig",
+    "SoakReport",
+    "first_violation",
+    "run_soak",
+    "run_soak_batch",
+]

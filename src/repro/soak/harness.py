@@ -1,0 +1,301 @@
+"""The chaos-soak harness: one seeded hostile run, checked at the end.
+
+``run_soak(seed)`` builds the full stack (cluster with a preemptible
+pool, Work Queue master, spot-aware HTA), throws the seed's generated
+fault schedule at it — node kills, evictions, preemption waves,
+partitions, master crashes, API outages, boot failures, pull stalls —
+drives to quiescence, and then runs every invariant checker. The report
+carries the violations (if any) and the seed *is* the reproduction
+recipe: ``run_soak(seed)`` again replays the identical run.
+
+Unlike :func:`repro.experiments.runner.run_experiment`, the soak drive
+loop tolerates task abandonment — under a sufficiently hostile schedule
+abandoning a task is correct behaviour (bounded retries), and the
+invariants check that it happens *consistently*, not that it never
+happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.cloud import PreemptiblePoolConfig
+from repro.cluster.cluster import ClusterConfig
+from repro.experiments.runner import FaultProfile, StackConfig, _Stack
+from repro.hta.inittime import InitTimeTracker
+from repro.hta.operator import HtaConfig, HtaOperator
+from repro.hta.preemption import PreemptionResponder
+from repro.hta.provisioner import SpotPolicy, WorkerProvisioner
+from repro.makeflow.manager import WorkflowManager
+from repro.sim.rng import RngRegistry
+from repro.soak.invariants import (
+    VersionProbe,
+    Violation,
+    check_journal_replay,
+    check_no_worker_leaks,
+    check_task_conservation,
+    check_trace_consistency,
+    check_version_monotonic,
+)
+from repro.soak.schedule import FaultEvent, SoakScheduleConfig, generate_schedule
+from repro.telemetry.session import TelemetryConfig
+from repro.workloads.synthetic import uniform_bag
+
+
+@dataclass(frozen=True, slots=True)
+class SoakConfig:
+    """One soak run's workload, substrate, and deadline."""
+
+    #: Sized so the workload stays busy past the schedule's horizon —
+    #: strikes that land on an idle, drained cluster test nothing.
+    n_tasks: int = 120
+    execute_s: float = 120.0
+    runtime_cv: float = 0.3
+    max_nodes: int = 16
+    spot_max_nodes: int = 8
+    spot_fraction: float = 0.5
+    preemption_grace_s: float = 30.0
+    max_retries: int = 8
+    #: Hard deadline on reaching quiescence (violation when missed).
+    quiescence_timeout_s: float = 8000.0
+    #: Extra simulated time after quiescence for drains/reaping to land.
+    drain_grace_s: float = 1200.0
+    schedule: SoakScheduleConfig = field(default_factory=SoakScheduleConfig)
+
+    def smoke(self) -> "SoakConfig":
+        """A shrunk copy for CI: fewer tasks, fewer strikes."""
+        return SoakConfig(
+            n_tasks=60,
+            execute_s=120.0,
+            runtime_cv=self.runtime_cv,
+            max_nodes=10,
+            spot_max_nodes=5,
+            spot_fraction=self.spot_fraction,
+            preemption_grace_s=self.preemption_grace_s,
+            max_retries=self.max_retries,
+            quiescence_timeout_s=6000.0,
+            drain_grace_s=self.drain_grace_s,
+            schedule=SoakScheduleConfig(
+                horizon_s=450.0, start_after_s=120.0, min_events=3, max_events=6
+            ),
+        )
+
+
+@dataclass
+class SoakReport:
+    """What one soak run found."""
+
+    seed: int
+    events: List[FaultEvent]
+    violations: List[Violation]
+    quiesced: bool
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        lines = [
+            f"soak seed={self.seed}: "
+            f"{'OK' if self.ok else f'{len(self.violations)} VIOLATION(S)'} "
+            f"({len(self.events)} strikes, "
+            f"quiesced={'yes' if self.quiesced else 'NO'})"
+        ]
+        for event in self.events:
+            lines.append(f"  strike {event}")
+        for key in sorted(self.stats):
+            lines.append(f"  {key}: {self.stats[key]:g}")
+        for violation in self.violations:
+            lines.append(f"  VIOLATION {violation}")
+        if not self.ok:
+            lines.append(
+                f"  reproduce with: python -m repro.experiments soak --seed {self.seed}"
+            )
+        return "\n".join(lines)
+
+
+def _apply_event(stack: _Stack, event: FaultEvent) -> None:
+    """Translate one scheduled strike into a chaos-injector call."""
+    chaos = stack.chaos
+    assert chaos is not None
+    if event.kind == "node_kill":
+        chaos.kill_random_node()
+    elif event.kind == "pod_eviction":
+        chaos.evict_random_pod()
+    elif event.kind == "preemption_wave":
+        chaos.preempt_random_spot_nodes(int(event.param("count", 1)))
+    elif event.kind == "partition":
+        chaos.partition_random_worker(
+            stack.master, duration_s=event.param("duration_s", 60.0)
+        )
+    elif event.kind == "master_crash":
+        chaos.crash_master(
+            stack.master, restart_delay_s=event.param("restart_delay_s", 60.0)
+        )
+    elif event.kind == "api_outage":
+        chaos.begin_api_outage(duration_s=event.param("duration_s", 120.0))
+    elif event.kind == "boot_failures":
+        chaos.begin_boot_failures(
+            event.param("prob", 0.5), duration_s=event.param("duration_s", 120.0)
+        )
+    elif event.kind == "pull_stall":
+        chaos.begin_image_pull_stall(
+            event.param("factor", 4.0), duration_s=event.param("duration_s", 120.0)
+        )
+    else:  # pragma: no cover — schedule generator and harness in lockstep
+        raise ValueError(f"unknown fault kind {event.kind!r}")
+
+
+def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
+    """One seeded soak run; see the module docstring."""
+    events = generate_schedule(seed, config.schedule)
+    stack_cfg = StackConfig(
+        cluster=ClusterConfig(
+            max_nodes=config.max_nodes,
+            preemptible=PreemptiblePoolConfig(
+                max_nodes=config.spot_max_nodes,
+                grace_period_s=config.preemption_grace_s,
+            ),
+        ),
+        seed=seed,
+        faults=FaultProfile(max_retries=config.max_retries),
+    )
+    with _Stack(stack_cfg, telemetry=TelemetryConfig(enabled=True)) as stack:
+        probe = VersionProbe(stack.cluster.api)
+        graph_tasks = uniform_bag(
+            config.n_tasks,
+            execute_s=config.execute_s,
+            category="soak",
+            rng=RngRegistry(seed + 4099),
+            runtime_cv=config.runtime_cv,
+        )
+        provisioner = WorkerProvisioner(
+            stack.engine,
+            stack.cluster.api,
+            stack.runtime,
+            image=stack_cfg.image,
+            worker_request=stack.worker_request,
+            fault_config=stack_cfg.faults.provisioner,
+            spot_policy=SpotPolicy(config.spot_fraction),
+        )
+        responder = PreemptionResponder(
+            stack.engine,
+            stack.cluster.api,
+            stack.master,
+            stack.runtime,
+            provisioner,
+            tracer=stack.tracer,
+        )
+        tracker = InitTimeTracker(
+            stack.cluster.api,
+            prior_s=160.0,
+            selector_label="wq-worker",
+            robust=True,
+            window=5,
+            resync_period_s=stack_cfg.faults.informer_resync_period_s,
+        )
+        operator = HtaOperator(
+            stack.engine,
+            stack.master,
+            provisioner,
+            tracker,
+            HtaConfig(
+                initial_workers=stack_cfg.cluster.min_nodes,
+                max_workers=stack_cfg.cluster.max_nodes,
+            ),
+            tracer=stack.tracer,
+            preemption=responder,
+        )
+        from repro.makeflow.dag import WorkflowGraph
+
+        graph = WorkflowGraph(graph_tasks)
+        manager = WorkflowManager(stack.engine, graph, operator)
+        manager.done_signal.add_waiter(lambda _mgr: operator.notify_no_more_jobs())
+        for event in events:
+            stack.engine.call_at(event.at_s, _apply_event, stack, event)
+
+        manager.start()
+        operator.start()
+        engine = stack.engine
+        master = stack.master
+
+        def resolved() -> int:
+            done = sum(1 for t in master.done if t.speculation_of is None)
+            return done + len(master.abandoned)
+
+        quiesced = False
+        while engine.now < config.quiescence_timeout_s:
+            if resolved() >= len(graph.tasks) and master.all_done:
+                quiesced = True
+                break
+            if engine.peek() is None:
+                break  # event queue drained without quiescing
+            engine.run(until=min(config.quiescence_timeout_s, engine.now + 30.0))
+        violations: List[Violation] = []
+        if quiesced:
+            # Abandonment keeps the manager's done signal from firing;
+            # trigger clean-up explicitly, then give drains time to land.
+            operator.notify_no_more_jobs()
+            deadline = engine.now + config.drain_grace_s
+            while engine.now < deadline and engine.peek() is not None:
+                engine.run(until=deadline)
+        else:
+            violations.append(
+                Violation(
+                    "quiescence",
+                    f"not quiescent by t={engine.now:.0f}s: "
+                    f"{resolved()}/{len(graph.tasks)} tasks resolved, "
+                    f"queue={len(master.queue)}, running={len(master.running)}, "
+                    f"unclaimed={len(master._unclaimed)}",
+                )
+            )
+            operator.stop()
+            provisioner.stop()
+        violations.extend(check_task_conservation(graph, master))
+        if quiesced:
+            violations.extend(
+                check_no_worker_leaks(stack.runtime, provisioner, master)
+            )
+            violations.extend(check_journal_replay(master))
+        violations.extend(check_version_monotonic(probe))
+        violations.extend(check_trace_consistency(master, stack.chaos, stack.tracer))
+        probe.close()
+        stats: Dict[str, float] = {
+            "sim_time_s": engine.now,
+            "tasks_done": float(sum(1 for t in master.done if t.speculation_of is None)),
+            "tasks_abandoned": float(len(master.abandoned)),
+            "tasks_requeued": float(master.tasks_requeued),
+            "tasks_evacuated": float(master.tasks_evacuated),
+            "partitions_detected": float(master.partitions_detected),
+            "workers_declared_lost": float(master.workers_declared_lost),
+            "master_crashes": float(master.crashes),
+            "preemptions": float(stack.cluster.cloud.preemptions),
+            "nodes_killed": float(stack.chaos.nodes_killed if stack.chaos else 0),
+            "pods_killed": float(stack.chaos.pods_killed if stack.chaos else 0),
+            "workers_evacuated": float(responder.workers_evacuated),
+            "journal_records": float(len(master.journal)),
+        }
+    return SoakReport(
+        seed=seed,
+        events=events,
+        violations=violations,
+        quiesced=quiesced,
+        stats=stats,
+    )
+
+
+def run_soak_batch(
+    seeds: List[int], config: SoakConfig = SoakConfig()
+) -> List[SoakReport]:
+    """Run several seeds; returns every report (callers stop on first
+    failure if they want fail-fast semantics)."""
+    return [run_soak(seed, config) for seed in seeds]
+
+
+def first_violation(reports: List[SoakReport]) -> Optional[SoakReport]:
+    for report in reports:
+        if not report.ok:
+            return report
+    return None

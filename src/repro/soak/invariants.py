@@ -1,0 +1,272 @@
+"""Invariant checkers the soak harness runs at quiescence.
+
+Each checker inspects the final state of one run (whitebox master/cluster
+state plus the telemetry trace) and returns the violations it found. The
+invariants are chosen to catch the failure modes chaos is most likely to
+expose:
+
+* **task conservation** — every submitted task ends exactly once, as a
+  completion or an abandonment; nothing is lost, nothing runs twice into
+  the ``done`` ledger (exactly-once across crashes/partitions);
+* **no worker leaks** — after the final drain no live worker, running
+  worker pod, or master-side registration remains;
+* **monotonic resource versions** — the API server's per-kind version
+  counter, as observed through a watch, never goes backwards (cache
+  coherence across outages and watch drops);
+* **metrics/trace consistency** — the chaos counters and the master's
+  ledgers agree with the telemetry trace recorded along the way;
+* **eventual quiescence** — the run actually reached a terminal state
+  before its deadline (checked by the harness, reported here).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cluster.api import KubeApiServer, WatchEvent
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One broken invariant, with enough detail to start debugging."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+class VersionProbe:
+    """Records per-kind resourceVersions exactly as a watcher sees them.
+
+    Attach before the run starts; the recorded sequences are the ground
+    truth for the monotonic-versions invariant (the probe receives the
+    same stream every informer does, gaps from outages included).
+    """
+
+    def __init__(self, api: KubeApiServer, kinds: Sequence[str] = ("Pod", "Node")):
+        self.api = api
+        self.versions: Dict[str, List[int]] = {k: [] for k in kinds}
+        self._handlers = {}
+        for kind in kinds:
+            handler = self._make_handler(kind)
+            self._handlers[kind] = handler
+            api.watch(kind, handler, replay_existing=False)
+
+    def _make_handler(self, kind: str):
+        def record(event: WatchEvent) -> None:
+            self.versions[kind].append(event.version)
+
+        return record
+
+    def close(self) -> None:
+        for kind, handler in self._handlers.items():
+            self.api.unwatch(kind, handler)
+        self._handlers = {}
+
+
+# ------------------------------------------------------------- checkers
+def check_task_conservation(graph, master) -> List[Violation]:
+    """done ⊎ abandoned == submitted, each exactly once."""
+    violations: List[Violation] = []
+    submitted = {t.id for t in graph.tasks}
+    done_counts = Counter(t.id for t in master.done if t.speculation_of is None)
+    abandoned_counts = Counter(
+        t.id for t in master.abandoned if t.speculation_of is None
+    )
+    dupes = sorted(tid for tid, n in done_counts.items() if n > 1)
+    if dupes:
+        violations.append(
+            Violation(
+                "task-conservation",
+                f"task(s) completed more than once: {dupes[:10]}",
+            )
+        )
+    both = sorted(set(done_counts) & set(abandoned_counts))
+    if both:
+        violations.append(
+            Violation(
+                "task-conservation",
+                f"task(s) both completed and abandoned: {both[:10]}",
+            )
+        )
+    resolved = set(done_counts) | set(abandoned_counts)
+    lost = sorted(submitted - resolved)
+    if lost:
+        violations.append(
+            Violation(
+                "task-conservation",
+                f"{len(lost)} task(s) neither completed nor abandoned: {lost[:10]}",
+            )
+        )
+    phantom = sorted(resolved - submitted)
+    if phantom:
+        violations.append(
+            Violation(
+                "task-conservation",
+                f"task(s) resolved but never submitted: {phantom[:10]}",
+            )
+        )
+    return violations
+
+
+def check_no_worker_leaks(runtime, provisioner, master) -> List[Violation]:
+    """After the final drain: no live workers, pods, or registrations."""
+    violations: List[Violation] = []
+    live = runtime.live_workers()
+    if live:
+        violations.append(
+            Violation(
+                "worker-leak",
+                f"{len(live)} worker(s) still live after drain: "
+                f"{[w.name for w in live[:5]]}",
+            )
+        )
+    pods = provisioner.live_pods()
+    if pods:
+        violations.append(
+            Violation(
+                "worker-leak",
+                f"{len(pods)} worker pod(s) not terminal after drain: "
+                f"{[p.name for p in pods[:5]]}",
+            )
+        )
+    stale = [
+        name
+        for name, w in master.workers.items()
+        if w.state.name in ("STOPPED", "KILLED")
+    ]
+    if stale:
+        violations.append(
+            Violation(
+                "worker-leak",
+                f"master still lists dead worker(s): {stale[:5]}",
+            )
+        )
+    return violations
+
+
+def check_version_monotonic(probe: VersionProbe) -> List[Violation]:
+    """Observed resourceVersions strictly increase per kind."""
+    violations: List[Violation] = []
+    for kind, versions in probe.versions.items():
+        for i in range(1, len(versions)):
+            if versions[i] <= versions[i - 1]:
+                violations.append(
+                    Violation(
+                        "version-monotonic",
+                        f"{kind} watch saw version {versions[i]} after "
+                        f"{versions[i - 1]} (index {i})",
+                    )
+                )
+                break  # one per kind is enough to flag the stream
+    return violations
+
+
+def check_journal_replay(master) -> List[Violation]:
+    """Replaying the journal reconstructs the quiesced master exactly.
+
+    At quiescence the log must fold back into the live ledgers
+    bit-for-bit: the same completions in the same order, the same
+    abandonments, and nothing left ready or unclaimed — the property
+    crash recovery stakes its correctness on, checked here after every
+    hostile schedule (crashes and partitions included)."""
+    violations: List[Violation] = []
+    state = master.journal.replay(completions=True)
+    done_ids = [t.id for t in master.done if t.speculation_of is None]
+    replayed_done = [t.id for t, _ in state.completions]
+    if replayed_done != done_ids:
+        extra = [i for i in replayed_done if i not in done_ids]
+        missing = [i for i in done_ids if i not in replayed_done]
+        violations.append(
+            Violation(
+                "journal-replay",
+                f"replayed completions disagree with done ledger "
+                f"(missing: {missing[:5]}, phantom: {extra[:5]}, "
+                f"order_only={sorted(replayed_done) == sorted(done_ids)})",
+            )
+        )
+    abandoned_ids = [t.id for t in master.abandoned]
+    replayed_abandoned = [t.id for t in state.abandoned]
+    if replayed_abandoned != abandoned_ids:
+        violations.append(
+            Violation(
+                "journal-replay",
+                f"replayed abandonments {replayed_abandoned[:5]} disagree "
+                f"with ledger {abandoned_ids[:5]}",
+            )
+        )
+    if state.ready:
+        violations.append(
+            Violation(
+                "journal-replay",
+                f"{len(state.ready)} task(s) replay as ready after "
+                f"quiescence: {[t.id for t in state.ready[:5]]}",
+            )
+        )
+    if state.unclaimed:
+        violations.append(
+            Violation(
+                "journal-replay",
+                f"{len(state.unclaimed)} task(s) replay as unclaimed after "
+                f"quiescence: {sorted(state.unclaimed)[:5]}",
+            )
+        )
+    return violations
+
+
+def check_trace_consistency(master, chaos, tracer) -> List[Violation]:
+    """Counters, ledgers, and the trace tell the same story."""
+    violations: List[Violation] = []
+    if not tracer.enabled:
+        return violations
+    events = list(tracer.events)
+    complete_ids = {
+        e.attrs.get("task_id") for e in events if e.name == "task.complete"
+    }
+    abandon_ids = {
+        e.attrs.get("task_id") for e in events if e.name == "task.abandon"
+    }
+    done_ids = {t.id for t in master.done if t.speculation_of is None}
+    if done_ids != complete_ids:
+        missing = sorted(done_ids - complete_ids)
+        extra = sorted(complete_ids - done_ids)
+        violations.append(
+            Violation(
+                "trace-consistency",
+                f"done ledger vs task.complete trace mismatch "
+                f"(untraced: {missing[:5]}, phantom: {extra[:5]})",
+            )
+        )
+    abandoned_ids = {t.id for t in master.abandoned if t.speculation_of is None}
+    if abandoned_ids != abandon_ids:
+        violations.append(
+            Violation(
+                "trace-consistency",
+                f"abandoned ledger ({sorted(abandoned_ids)[:5]}…) disagrees "
+                f"with task.abandon trace ({sorted(abandon_ids)[:5]}…)",
+            )
+        )
+    if chaos is not None:
+        traced_preemptions = sum(1 for e in events if e.name == "chaos.preemption")
+        if chaos.preemptions_total != traced_preemptions:
+            violations.append(
+                Violation(
+                    "trace-consistency",
+                    f"preemptions counter {chaos.preemptions_total} != "
+                    f"{traced_preemptions} chaos.preemption trace events",
+                )
+            )
+        traced_partitions = sum(1 for e in events if e.name == "chaos.partition")
+        if chaos.partition_windows != traced_partitions:
+            violations.append(
+                Violation(
+                    "trace-consistency",
+                    f"partition counter {chaos.partition_windows} != "
+                    f"{traced_partitions} chaos.partition trace events",
+                )
+            )
+    return violations

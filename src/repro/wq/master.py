@@ -74,6 +74,7 @@ class Master:
         speculation: Optional[SpeculationConfig] = None,
         replay_journal: bool = True,
         recovery_grace_s: float = 45.0,
+        liveness_timeout_s: float = 90.0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -182,6 +183,21 @@ class Master:
         #: Bumped on every crash; callbacks scheduled pre-crash carry the
         #: old value and turn into no-ops.
         self._incarnation = 0
+        # ---------------------------------------------- partition liveness
+        #: How long a connected-but-unreachable worker keeps its runs on
+        #: the books before being declared lost. Must exceed the workers'
+        #: maximum reconnect-poll gap (:attr:`Worker.RECONNECT_MAX_S`) so
+        #: a healed partition re-adopts runs instead of duplicating them.
+        self.liveness_timeout_s = liveness_timeout_s
+        #: Unreachable-since timestamps, keyed by worker name; cleared on
+        #: reconnect (not on heal — only the worker's re-registration
+        #: proves the link is back).
+        self._unreachable: Dict[str, float] = {}
+        self.partitions_detected = 0
+        self.workers_declared_lost = 0
+        #: In-flight runs proactively pulled off doomed (preemption-
+        #: noticed) workers inside the grace window.
+        self.tasks_evacuated = 0
 
     # ------------------------------------------------------------ callbacks
     def on_complete(self, fn: CompletionCallback) -> None:
@@ -223,12 +239,128 @@ class Master:
         """A drain started; nothing to do — dispatch skips non-accepting
         workers — but the hook keeps the protocol explicit."""
 
+    # ----------------------------------------------------- partition liveness
+    def worker_unreachable(self, worker: Worker) -> None:
+        """The link to a connected worker went dark (network partition).
+
+        The worker may be perfectly healthy and still computing, so its
+        runs stay on the books — but the liveness clock starts: if it has
+        not reconnected when :attr:`liveness_timeout_s` expires, it is
+        declared lost and its in-flight tasks requeue (work_queue's
+        keepalive timeout behaves the same way)."""
+        if worker.name not in self.workers:
+            return
+        since = self.engine.now
+        self._unreachable[worker.name] = since
+        self.partitions_detected += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "worker.unreachable",
+                worker=worker.name,
+                timeout_s=self.liveness_timeout_s,
+            )
+        self.engine.call_in(
+            self.liveness_timeout_s,
+            self._liveness_expired,
+            worker,
+            since,
+            self._incarnation,
+        )
+
+    def _liveness_expired(
+        self, worker: Worker, since: float, incarnation: int
+    ) -> None:
+        if incarnation != self._incarnation or self.crashed:
+            return
+        if self._unreachable.get(worker.name) != since:
+            return  # reconnected, or a fresh partition restarted the clock
+        del self._unreachable[worker.name]
+        if worker.name not in self.workers:
+            return
+        # Ask the worker object (not just its live runs) what is still
+        # bound to it: held results the partition kept from us and tasks
+        # that died in a detached kill must requeue too, or they would
+        # sit in ``running`` forever.
+        bound = worker.unfinished_task_ids()
+        lost = [t for tid, t in list(self.running.items()) if tid in bound]
+        self.workers_declared_lost += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "worker.declared_lost",
+                worker=worker.name,
+                tasks=len(lost),
+            )
+        self.worker_lost(worker, lost)
+
+    # ------------------------------------------------------------ preemption
+    def evacuate_worker(
+        self, worker: Worker, tasks: Optional[List[Task]] = None
+    ) -> List[Task]:
+        """A preemption notice doomed this worker: proactively pull its
+        in-flight runs and requeue them at the front, inside the grace
+        window, before the node is killed. Unlike :meth:`worker_lost`
+        this is a planned migration, not a failure — it does not burn a
+        retry attempt. ``tasks`` restricts the evacuation to a subset of
+        the worker's runs (a grace-aware caller leaves nearly-finished
+        runs racing the clock); None evacuates everything. Returns the
+        requeued tasks; the caller drains the worker afterwards."""
+        if tasks is None:
+            victims = [run.task for run in list(worker.runs.values())]
+        else:
+            victims = [t for t in tasks if t.id in worker.runs]
+        requeued: List[Task] = []
+        for task in victims:
+            if task.result is not None or (
+                task.speculation_of is None
+                and self.running.get(task.id) is not task
+            ):
+                # A stale local copy: the task already completed, or the
+                # master's books no longer bind it to an execution (it
+                # was requeued while this worker was unreachable). Drop
+                # the run without touching the ledgers.
+                worker.cancel_run(task)
+                continue
+            worker.cancel_run(task)
+            self.running.pop(task.id, None)
+            self._charge_waste(task)
+            if task.speculation_of is not None:
+                # A speculative copy on a doomed worker: just forget it.
+                self._drop_speculation_entry(task)
+                task.state = TaskState.FAILED
+                continue
+            self.tasks_evacuated += 1
+            self.tasks_requeued += 1
+            task.reset_for_retry()
+            self.journal.record_retry(self.engine.now, task)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wq",
+                    "task.retry",
+                    task.category,
+                    task_id=task.id,
+                    reason="preemption",
+                    attempt=task.attempts,
+                    worker=worker.name,
+                )
+            self.queue.insert(0, task)
+            requeued.append(task)
+        if requeued:
+            self._schedule_dispatch()
+        return requeued
+
     def worker_lost(self, worker: Worker, lost_tasks: List[Task]) -> None:
         """A worker died (pod deleted). Requeue its tasks at the front;
         tasks that have already burned ``max_retries`` attempts are
         abandoned (reported through ``on_abandoned``)."""
         self.workers.pop(worker.name, None)
         for task in reversed(lost_tasks):
+            if task.result is not None:
+                # Already completed (a requeued copy finished elsewhere,
+                # or this worker's held result was delivered): nothing to
+                # requeue, and bumping attempts would corrupt the ledger.
+                continue
             self.running.pop(task.id, None)
             self._charge_waste(task)
             if task.speculation_of is not None:
@@ -558,15 +690,30 @@ class Master:
         if worker.state not in (WorkerState.READY, WorkerState.DRAINING):
             return
         self.workers[worker.name] = worker
+        self._unreachable.pop(worker.name, None)
         for run in list(worker.runs.values()):
             task = run.task
             adoptable = (
-                task.speculation_of is None
-                and task.result is None
+                task.result is None
                 and task.dispatch_time is not None
+                # A task requeued while we were away may already be
+                # running on another worker — the Task object is shared,
+                # so ``running.get(id) is task`` alone cannot tell "still
+                # mine" from "re-dispatched elsewhere". Adopting the
+                # stale copy would double-execute it.
+                and not self._running_elsewhere(task, worker)
                 and (
-                    task.id in self._unclaimed
-                    or any(t is task for t in self.queue)
+                    # Healed partition, liveness clock still running: the
+                    # master never forgot the run (speculative copies
+                    # included) — just re-adopt it.
+                    self.running.get(task.id) is task
+                    or (
+                        task.speculation_of is None
+                        and (
+                            task.id in self._unclaimed
+                            or any(t is task for t in self.queue)
+                        )
+                    )
                 )
             )
             if adoptable:
@@ -577,6 +724,12 @@ class Master:
                 self._charge_waste(task)
                 worker.cancel_run(task)
         self._schedule_dispatch()
+
+    def _running_elsewhere(self, task: Task, worker: Worker) -> bool:
+        """Is another registered worker currently executing this task?"""
+        return any(
+            task.id in w.runs for w in self.workers.values() if w is not worker
+        )
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cluster.api import KubeApiServer, WatchEvent, WatchEventType
 from repro.cluster.kubelet import KubeletManager
 from repro.cluster.pod import Pod, PodPhase
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, PeriodicTask
 from repro.wq.master import Master
 from repro.wq.worker import Worker, WorkerState
 
@@ -38,6 +38,7 @@ class WorkerPodRuntime:
         *,
         app_label: str = "wq-worker",
         on_worker_started: Optional[Callable[[Worker], None]] = None,
+        resync_period_s: Optional[float] = None,
     ) -> None:
         self.engine = engine
         self.api = api
@@ -48,11 +49,42 @@ class WorkerPodRuntime:
         self.workers: Dict[str, Worker] = {}  # pod name -> worker
         self.workers_started = 0
         self.workers_killed = 0
+        self.resyncs = 0
+        self.pods_adopted = 0
+        self._resync_loop: Optional[PeriodicTask] = None
         api.watch("Pod", self._on_pod_event, replay_existing=True)
+        if resync_period_s is not None:
+            self._resync_loop = PeriodicTask(engine, resync_period_s, self.resync)
 
     def close(self) -> None:
         """Unsubscribe from the API server (end of an experiment run)."""
         self.api.unwatch("Pod", self._on_pod_event)
+        if self._resync_loop is not None:
+            self._resync_loop.stop()
+            self._resync_loop = None
+
+    def resync(self) -> int:
+        """Relist worker pods and adopt any Running pod without a worker.
+
+        A pod that turned Running during an API outage (or whose watch
+        event was silently dropped) would otherwise burn capacity forever
+        with no worker process inside — the runtime's one reconcile rule,
+        the same role client-go's periodic resync plays for informers.
+        Returns the number of pods adopted."""
+        if not self.api.available:
+            return 0  # a relist would fail too
+        self.resyncs += 1
+        adopted = 0
+        for pod in self.api.list("Pod"):
+            if not isinstance(pod, Pod):
+                continue
+            if pod.meta.labels.get("app") != self.app_label:
+                continue
+            if pod.phase is PodPhase.RUNNING and pod.name not in self.workers:
+                self._start_worker(pod)
+                adopted += 1
+        self.pods_adopted += adopted
+        return adopted
 
     def __enter__(self) -> "WorkerPodRuntime":
         return self

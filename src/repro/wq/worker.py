@@ -102,7 +102,16 @@ class Worker:
         #: True while the master connection is down (its pod crashed);
         #: running tasks continue and finished outputs are held locally.
         self._detached = False
+        #: True while the network path to the master is partitioned: the
+        #: master may be perfectly healthy, we just can't reach it. The
+        #: worker behaves exactly as if detached (keep executing, hold
+        #: results) but reconnect polls fail until :meth:`heal`.
+        self._partitioned = False
         self._held_results: List[Task] = []
+        #: Tasks that died when the worker was killed while detached —
+        #: there was no master to tell, so the ids are kept for the
+        #: liveness expiry to requeue (see :meth:`unfinished_task_ids`).
+        self._lost_detached_ids: Set[int] = set()
         self._reconnect_attempt = 0
         self.reconnects = 0
         self.connected_time: Optional[float] = None
@@ -113,9 +122,46 @@ class Worker:
     def _connect(self) -> None:
         if self.state is not WorkerState.CONNECTING:
             return  # killed before the handshake finished
+        if self._partitioned:
+            # Can't reach the master yet; keep trying like a reconnect.
+            self.engine.call_in(self.RECONNECT_BASE_S, self._connect)
+            return
         self.state = WorkerState.READY
         self.connected_time = self.engine.now
         self.master.register_worker(self)
+
+    # ------------------------------------------------------------ partitions
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    def unfinished_task_ids(self) -> Set[int]:
+        """Every task the master should still consider bound to this
+        worker: live runs, locally-finished results not yet delivered,
+        and anything that died in a kill while detached. The master's
+        liveness expiry requeues exactly this set — ``runs`` alone
+        misses held results and is empty after a kill."""
+        ids: Set[int] = set(self.runs)
+        ids.update(t.id for t in self._held_results)
+        ids.update(self._lost_detached_ids)
+        return ids
+
+    def partition(self) -> None:
+        """The network path to the master went dark (the master itself may
+        be fine). Enter the detached regime: keep executing, hold
+        finished results, poll for reconnection — polls fail until
+        :meth:`heal` restores the link."""
+        if self._partitioned or self.state in (
+            WorkerState.STOPPED,
+            WorkerState.KILLED,
+        ):
+            return
+        self._partitioned = True
+        self.master_lost()
+
+    def heal(self) -> None:
+        """The partition ended; the next reconnect poll will succeed."""
+        self._partitioned = False
 
     def master_lost(self) -> None:
         """The master connection dropped (its pod crashed). Keep running
@@ -135,7 +181,7 @@ class Worker:
             WorkerState.KILLED,
         ):
             return
-        if self.master.available:
+        if self.master.available and not self._partitioned:
             self._detached = False
             self.reconnects += 1
             self.master.worker_reconnected(self)
@@ -162,6 +208,12 @@ class Worker:
             self._exited()
             return
         self.state = WorkerState.DRAINING
+        if self._detached:
+            # The master is unreachable (partition or crash): we cannot
+            # unregister, and held results must not die with us. The
+            # reconnect poll finishes the drain protocol — deliver held
+            # outputs, then stop.
+            return
         self.master.worker_draining(self)
         if not self.runs:
             self._stop()
@@ -183,11 +235,18 @@ class Worker:
             lost.append(run.task)
         self.runs.clear()
         self._inflight_cacheable.clear()
-        self._held_results.clear()
         if was_registered and not self._detached:
-            # A detached worker has no master to tell; the recovered
-            # master's grace window requeues its unclaimed tasks.
             self.master.worker_lost(self, lost)
+        elif was_registered:
+            # A detached worker has no master to tell. After a master
+            # crash the recovered master's grace window requeues the
+            # unclaimed tasks; after a partition the master is healthy
+            # and its liveness expiry asks :meth:`unfinished_task_ids`,
+            # so remember exactly what died here — in-flight runs and
+            # held results whose outputs are now gone.
+            self._lost_detached_ids = {t.id for t in lost}
+            self._lost_detached_ids.update(t.id for t in self._held_results)
+        self._held_results.clear()
         self._exited()
 
     def _stop(self) -> None:
@@ -215,7 +274,7 @@ class Worker:
 
     @property
     def accepting(self) -> bool:
-        return self.state is WorkerState.READY
+        return self.state is WorkerState.READY and not self._detached
 
     def can_fit(self, allocation: ResourceVector) -> bool:
         return self.accepting and allocation.fits_in(self.available())
@@ -373,7 +432,7 @@ class Worker:
         for transfer in run.transfers:
             if not transfer.done and transfer.label not in keep:
                 self.master.link.cancel(transfer)
-        if self.state is WorkerState.DRAINING and not self.runs:
+        if self.state is WorkerState.DRAINING and not self.runs and not self._detached:
             self._stop()
         return True
 

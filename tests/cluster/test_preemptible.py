@@ -1,0 +1,199 @@
+"""Unit tests for the preemptible (spot) node pool in the cloud controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.api import KubeApiServer
+from repro.cluster.cloud import (
+    CloudController,
+    CloudControllerConfig,
+    PreemptiblePoolConfig,
+)
+from repro.cluster.images import ContainerImage
+from repro.cluster.node import N1_STANDARD_4, PREEMPTIBLE_LABEL
+from repro.cluster.pod import Pod, PodSpec, REASON_FAILED_SCHEDULING
+from repro.cluster.resources import ResourceVector
+from repro.sim.rng import RngRegistry
+
+GRACE_S = 30.0
+
+
+@pytest.fixture
+def api(engine):
+    return KubeApiServer(engine)
+
+
+def make_controller(engine, api, rng=None, *, pool=None, **overrides):
+    defaults = dict(
+        machine_type=N1_STANDARD_4,
+        min_nodes=0,
+        max_nodes=5,
+        scan_period_s=10.0,
+        reservation_mean_s=100.0,
+        reservation_std_s=0.0,
+        idle_timeout_s=10_000.0,
+        reservation_floor_s=10.0,
+        preemptible=pool or PreemptiblePoolConfig(grace_period_s=GRACE_S),
+    )
+    defaults.update(overrides)
+    return CloudController(
+        engine, api, rng or RngRegistry(3), CloudControllerConfig(**defaults)
+    )
+
+
+def pending_pod(api, name="p", cores=4.0, *, spot=False):
+    pod = Pod(
+        name,
+        PodSpec(
+            ContainerImage("i", 10),
+            ResourceVector(cores, 1024, 1024),
+            node_selector={PREEMPTIBLE_LABEL: "true"} if spot else {},
+        ),
+    )
+    pod.add_event(0.0, REASON_FAILED_SCHEDULING, "Insufficient Resource")
+    api.create(pod)
+    return pod
+
+
+class TestPoolConfig:
+    def test_negative_max_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            PreemptiblePoolConfig(max_nodes=-1)
+
+    def test_negative_grace_rejected(self):
+        with pytest.raises(ValueError):
+            PreemptiblePoolConfig(grace_period_s=-1.0)
+
+    def test_stockout_prob_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PreemptiblePoolConfig(stockout_prob=1.5)
+
+    def test_nonpositive_reclaim_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PreemptiblePoolConfig(reclaim_interval_s=0.0)
+
+
+class TestSpotProvisioning:
+    def test_spot_selector_lands_in_spot_pool(self, engine, api):
+        ctl = make_controller(engine, api)
+        pending_pod(api, spot=True)
+        engine.run(until=150.0)
+        assert ctl.spot_node_count() == 1
+        assert ctl.ondemand_node_count() == 0
+        (node,) = api.nodes()
+        assert node.preemptible
+        assert node.meta.labels[PREEMPTIBLE_LABEL] == "true"
+
+    def test_pools_scale_independently(self, engine, api):
+        ctl = make_controller(engine, api)
+        pending_pod(api, "od", spot=False)
+        pending_pod(api, "sp", spot=True)
+        engine.run(until=150.0)
+        assert ctl.ondemand_node_count() == 1
+        assert ctl.spot_node_count() == 1
+
+    def test_spot_pool_cap(self, engine, api):
+        pool = PreemptiblePoolConfig(max_nodes=2, grace_period_s=GRACE_S)
+        ctl = make_controller(engine, api, pool=pool)
+        for i in range(6):
+            pending_pod(api, f"p{i}", spot=True)
+        engine.run(until=500.0)
+        assert ctl.spot_node_count() == 2
+
+    def test_no_pool_means_spot_pods_starve(self, engine, api):
+        ctl = make_controller(engine, api, preemptible=None)
+        pending_pod(api, spot=True)
+        engine.run(until=500.0)
+        assert ctl.node_count() == 0
+
+
+class TestStockouts:
+    def test_certain_stockout_never_provisions(self, engine, api):
+        pool = PreemptiblePoolConfig(stockout_prob=1.0, grace_period_s=GRACE_S)
+        ctl = make_controller(engine, api, pool=pool)
+        pending_pod(api, spot=True)
+        engine.run(until=500.0)
+        assert ctl.spot_node_count() == 0
+        assert ctl.spot_stockouts > 1  # retried on later scans
+
+    def test_stockouts_seeded(self, engine, api):
+        pool = PreemptiblePoolConfig(stockout_prob=0.5, grace_period_s=GRACE_S)
+        ctl = make_controller(engine, api, rng=RngRegistry(11), pool=pool)
+        for i in range(4):
+            pending_pod(api, f"p{i}", spot=True)
+        engine.run(until=800.0)
+        # With p=0.5 some requests fail, but pending pods retry until
+        # the pool eventually fills.
+        assert ctl.spot_stockouts >= 1
+        assert ctl.spot_node_count() >= 1
+
+
+class TestPreemption:
+    def _provision_spot(self, engine, api, ctl, count=2):
+        for i in range(count):
+            pending_pod(api, f"p{i}", spot=True)
+        engine.run(until=engine.now + 150.0)
+        assert ctl.spot_node_count() == count
+
+    def test_notice_cordons_then_grace_kills(self, engine, api):
+        ctl = make_controller(engine, api)
+        self._provision_spot(engine, api, ctl, count=1)
+        (node,) = api.nodes()
+        t0 = engine.now
+        assert ctl.begin_preemption(node)
+        assert node.preemption_notice_at == t0
+        assert node.preemption_grace_s == GRACE_S
+        assert node.unschedulable
+        engine.run(until=t0 + GRACE_S - 1.0)
+        assert not node.deleted  # still inside the grace window
+        engine.run(until=t0 + GRACE_S + 1.0)
+        assert node.deleted
+        assert ctl.preemptions == 1
+        assert ctl.spot_node_count() == 0
+
+    def test_pods_on_node_die_at_expiry(self, engine, api):
+        ctl = make_controller(engine, api)
+        self._provision_spot(engine, api, ctl, count=1)
+        (node,) = api.nodes()
+        pod = api.list("Pod")[0]
+        pod.mark_scheduled(engine.now, node)
+        node.bind(pod)
+        ctl.begin_preemption(node)
+        engine.run(until=engine.now + GRACE_S + 1.0)
+        assert pod.name not in {p.name for p in api.list("Pod")}
+
+    def test_double_notice_rejected(self, engine, api):
+        ctl = make_controller(engine, api)
+        self._provision_spot(engine, api, ctl, count=1)
+        (node,) = api.nodes()
+        assert ctl.begin_preemption(node)
+        assert not ctl.begin_preemption(node)
+        engine.run(until=engine.now + GRACE_S + 1.0)
+        assert ctl.preemptions == 1
+
+    def test_ondemand_node_not_preemptable(self, engine, api):
+        ctl = make_controller(engine, api)
+        pending_pod(api, spot=False)
+        engine.run(until=150.0)
+        (node,) = api.nodes()
+        assert not node.preemptible
+        assert not ctl.begin_preemption(node)
+        assert ctl.preempt_random_spot_nodes(5) == 0
+
+    def test_preempt_random_spot_nodes_counts(self, engine, api):
+        ctl = make_controller(engine, api)
+        self._provision_spot(engine, api, ctl, count=2)
+        assert ctl.preempt_random_spot_nodes(3) == 2  # only 2 exist
+        assert ctl.preemptable_spot_nodes() == []  # all under notice
+
+    def test_background_reclaim_loop(self, engine, api):
+        pool = PreemptiblePoolConfig(
+            grace_period_s=GRACE_S,
+            reclaim_interval_s=60.0,
+            reclaim_start_after_s=200.0,
+        )
+        ctl = make_controller(engine, api, pool=pool)
+        self._provision_spot(engine, api, ctl, count=2)
+        engine.run(until=2000.0)
+        assert ctl.preemptions >= 1

@@ -1,0 +1,161 @@
+"""Tests for HTA's preemptible-capacity machinery: survival tracking,
+spot split policy, Algorithm 1's spot discount, and the responder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cloud import PreemptiblePoolConfig
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.resources import ResourceVector
+from repro.experiments.runner import (
+    ExperimentSpec,
+    FaultProfile,
+    StackConfig,
+    run_experiment,
+)
+from repro.hta.estimator import EstimatorConfig, ResourceEstimator, SimulatedTask
+from repro.hta.preemption import SurvivalTracker
+from repro.hta.provisioner import SpotPolicy
+from repro.metrics.cost import CostModel
+from repro.sim.rng import RngRegistry
+from repro.workloads.synthetic import uniform_bag
+
+WORKER = ResourceVector(3, 14 * 1024, 90 * 1024)
+TASK = ResourceVector(1, 2500, 2000)
+
+
+class TestSurvivalTracker:
+    def test_fresh_tracker_trusts_the_pool(self):
+        assert SurvivalTracker().survival_rate() == 1.0
+
+    def test_laplace_smoothed_rate(self):
+        t = SurvivalTracker()
+        for _ in range(4):
+            t.record_start()
+        t.record_preempted()
+        # (S - P + 1) / (S + 1) = (4 - 1 + 1) / 5
+        assert t.survival_rate() == pytest.approx(0.8)
+
+    def test_rate_clipped_at_floor(self):
+        t = SurvivalTracker()
+        for _ in range(5):
+            t.record_start()
+        for _ in range(10):
+            t.record_preempted()
+        assert t.survival_rate() == SurvivalTracker.MIN_RATE
+
+    def test_rate_never_exceeds_one(self):
+        t = SurvivalTracker()
+        t.record_start()
+        assert t.survival_rate() == 1.0
+
+
+class TestSpotPolicy:
+    def test_split_halves_a_batch(self):
+        assert SpotPolicy(0.5).split(4) == (2, 2)
+
+    def test_split_of_nothing(self):
+        assert SpotPolicy(0.5).split(0) == (0, 0)
+
+    def test_all_on_demand(self):
+        assert SpotPolicy(0.0).split(5) == (0, 5)
+
+    def test_all_spot(self):
+        assert SpotPolicy(1.0).split(5) == (5, 0)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SpotPolicy(1.5)
+        with pytest.raises(ValueError):
+            SpotPolicy(-0.1)
+
+    def test_from_cost_model_tracks_discount(self):
+        policy = SpotPolicy.from_cost_model(CostModel(), "n1-standard-4")
+        # GCE-era spot is ~79% cheaper; the share caps at 0.8.
+        discount = CostModel().spot_discount("n1-standard-4")
+        assert policy.spot_fraction == pytest.approx(min(0.8, discount))
+
+    def test_from_cost_model_no_discount_means_no_spot(self):
+        model = CostModel(pool_prices={"spot": 0.19})  # same as on-demand
+        policy = SpotPolicy.from_cost_model(model, "n1-standard-4")
+        assert policy.spot_fraction == 0.0
+
+
+class TestEstimatorSpotDiscount:
+    def make(self, **overrides):
+        return ResourceEstimator(WORKER, EstimatorConfig(**overrides))
+
+    def waiting(self, n, runtime_s=60.0):
+        return [SimulatedTask(TASK, runtime_s) for _ in range(n)]
+
+    def test_trusted_spot_plans_like_on_demand(self):
+        est = self.make()
+        base = est.estimate(160.0, [], self.waiting(12), 2, 2)
+        spotted = est.estimate(
+            160.0, [], self.waiting(12), 2, 2, spot_workers=2, spot_survival=1.0
+        )
+        assert spotted.delta == base.delta
+
+    def test_distrusted_spot_buys_extra_capacity(self):
+        est = self.make()
+        base = est.estimate(160.0, [], self.waiting(12), 4, 4)
+        discounted = est.estimate(
+            160.0, [], self.waiting(12), 4, 4, spot_workers=4, spot_survival=0.25
+        )
+        # Counting each spot worker as a quarter worker shrinks the
+        # supply term, so the plan asks for strictly more new workers.
+        assert discounted.delta > base.delta
+
+    def test_spot_workers_bounds_validated(self):
+        est = self.make()
+        with pytest.raises(ValueError):
+            est.estimate(160.0, [], [], 1, 0, spot_workers=2)
+        with pytest.raises(ValueError):
+            est.estimate(160.0, [], [], 1, 0, spot_workers=1, spot_survival=1.5)
+
+
+class TestResponderEndToEnd:
+    """The responder under a real preemption wave, via run_experiment."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        stack = StackConfig(
+            cluster=ClusterConfig(
+                max_nodes=10,
+                preemptible=PreemptiblePoolConfig(max_nodes=5, grace_period_s=30.0),
+            ),
+            seed=7,
+            faults=FaultProfile(
+                preemption_wave_at_s=260.0, preemption_wave_size=3, max_retries=10
+            ),
+        )
+        workload = uniform_bag(
+            60, execute_s=120.0, rng=RngRegistry(9001), runtime_cv=0.3
+        )
+        return run_experiment(
+            ExperimentSpec(
+                workload=workload,
+                policy="hta",
+                name="responder-e2e",
+                stack=stack,
+                options={"spot_policy": SpotPolicy(0.5), "spot_aware": True},
+            )
+        )
+
+    def test_wave_fired_and_was_consumed(self, result):
+        assert result.extras["preemptions"] >= 1
+        assert result.extras["workers_evacuated"] >= 1
+
+    def test_all_tasks_complete_despite_wave(self, result):
+        assert result.tasks_completed == 60
+
+    def test_survival_rate_reflects_reclamation(self, result):
+        rate = result.extras["spot_survival_rate"]
+        assert SurvivalTracker.MIN_RATE <= rate < 1.0
+
+    def test_mixed_cost_bills_spot_cheaper(self, result):
+        mixed = CostModel().cost_of_mixed(result, "n1-standard-4")
+        assert mixed.spot.node_hours > 0
+        assert mixed.spot.hourly_price < mixed.on_demand.hourly_price
+        assert mixed.total_usd > 0

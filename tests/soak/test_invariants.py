@@ -1,0 +1,107 @@
+"""Tests for the soak invariant checkers.
+
+Ledger checkers are exercised on minimal duck-typed stand-ins (they
+only read ``.id``/``.speculation_of``); the journal-replay checker runs
+against a real master so the replay path is the production one.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.soak.invariants import (
+    check_journal_replay,
+    check_task_conservation,
+    check_trace_consistency,
+    check_version_monotonic,
+)
+from repro.telemetry.events import NULL_TRACER
+from repro.cluster.resources import ResourceVector
+from repro.wq.estimator import DeclaredResourceEstimator
+from repro.wq.link import Link
+from repro.wq.master import Master
+from repro.wq.task import Task
+from repro.wq.worker import Worker
+
+
+def fake_task(tid):
+    return SimpleNamespace(id=tid, speculation_of=None)
+
+
+def ledgers(submitted, done, abandoned):
+    graph = SimpleNamespace(tasks=[fake_task(i) for i in submitted])
+    master = SimpleNamespace(
+        done=[fake_task(i) for i in done],
+        abandoned=[fake_task(i) for i in abandoned],
+    )
+    return graph, master
+
+
+class TestTaskConservation:
+    def test_clean_partition_of_outcomes_passes(self):
+        assert check_task_conservation(*ledgers([1, 2, 3], [1, 3], [2])) == []
+
+    def test_duplicate_completion_flagged(self):
+        (v,) = check_task_conservation(*ledgers([1, 2], [1, 1, 2], []))
+        assert v.invariant == "task-conservation"
+        assert "more than once" in v.detail
+
+    def test_done_and_abandoned_flagged(self):
+        violations = check_task_conservation(*ledgers([1, 2], [1, 2], [2]))
+        assert any("both completed and abandoned" in v.detail for v in violations)
+
+    def test_lost_task_flagged(self):
+        (v,) = check_task_conservation(*ledgers([1, 2, 3], [1], [2]))
+        assert "neither completed nor abandoned" in v.detail
+
+    def test_phantom_resolution_flagged(self):
+        (v,) = check_task_conservation(*ledgers([1], [1, 9], []))
+        assert "never submitted" in v.detail
+
+
+class TestVersionMonotonic:
+    def test_increasing_stream_passes(self):
+        probe = SimpleNamespace(versions={"Pod": [1, 2, 5, 9], "Node": []})
+        assert check_version_monotonic(probe) == []
+
+    def test_regression_flagged_once_per_kind(self):
+        probe = SimpleNamespace(versions={"Pod": [1, 5, 3, 2]})
+        (v,) = check_version_monotonic(probe)
+        assert v.invariant == "version-monotonic"
+        assert "version 3 after 5" in v.detail
+
+
+class TestJournalReplay:
+    @pytest.fixture
+    def quiesced_master(self, engine):
+        master = Master(
+            engine, Link(engine, 100.0), estimator=DeclaredResourceEstimator()
+        )
+        Worker(engine, master, "w1", ResourceVector(4, 4096, 4096))
+        foot = ResourceVector(1, 512, 128)
+        for _ in range(3):
+            master.submit(Task("c", execute_s=30.0, footprint=foot, declared=foot))
+        engine.run(until=500.0)
+        assert len(master.done) == 3
+        return master
+
+    def test_quiesced_master_replays_exactly(self, quiesced_master):
+        assert check_journal_replay(quiesced_master) == []
+
+    def test_tampered_done_ledger_flagged(self, quiesced_master):
+        quiesced_master.done.pop()
+        violations = check_journal_replay(quiesced_master)
+        assert any(v.invariant == "journal-replay" for v in violations)
+
+    def test_reordered_ledger_flagged_as_order_only(self, quiesced_master):
+        quiesced_master.done.reverse()
+        (v,) = check_journal_replay(quiesced_master)
+        assert "order_only=True" in v.detail
+
+
+class TestTraceConsistency:
+    def test_disabled_tracer_is_vacuously_consistent(self):
+        master = SimpleNamespace(done=[], abandoned=[])
+        assert check_trace_consistency(master, None, NULL_TRACER) == []
