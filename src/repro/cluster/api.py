@@ -11,8 +11,9 @@ client of exactly this watch interface).
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Set, Type
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Type
 
 from repro.cluster.node import Node
 from repro.cluster.objects import KubeObject, Service, StatefulSet
@@ -87,7 +88,24 @@ class KubeApiServer:
             "api_outages_total", "injected API-server outage windows"
         )
         self._stores: Dict[str, Dict[str, KubeObject]] = {k: {} for k in self.KINDS}
-        self._watchers: Dict[str, List[WatchHandler]] = {k: [] for k in self.KINDS}
+        # Memoized unfiltered list() result per kind. The sort key
+        # (creation_time, name) is immutable per object, so the order can
+        # only change when membership does — create/delete drop the entry.
+        self._sorted_cache: Dict[str, List[KubeObject]] = {}
+        # Watchers are stored as (position, handler) so deliveries can be
+        # merged with the node-keyed pod watchers below in exact
+        # registration order (same-instant handler execution order is
+        # part of determinism).
+        self._watchers: Dict[str, List[Tuple[int, WatchHandler]]] = {
+            k: [] for k in self.KINDS
+        }
+        self._watch_pos = itertools.count()
+        #: Node-scoped pod watchers (the kubelets): a pod event is
+        #: delivered only to the watcher keyed by the pod's bound node,
+        #: instead of fanning out one engine event per kubelet per pod —
+        #: the O(pods x nodes) churn that dominated large-fleet runs.
+        self._pod_node_watchers: Dict[str, List[Tuple[int, WatchHandler]]] = {}
+        self._n_keyed_pod_watchers = 0
         self.writes = 0  # diagnostic: API write volume
         #: Per-kind resourceVersion head, bumped on every notification.
         self._versions: Dict[str, int] = {k: 0 for k in self.KINDS}
@@ -123,6 +141,7 @@ class KubeApiServer:
             raise ConflictError(f"{obj.kind} {obj.name!r} already exists")
         obj.meta.creation_time = self.engine.now
         store[obj.name] = obj
+        self._sorted_cache.pop(obj.kind, None)
         self.writes += 1
         self._notify(WatchEventType.ADDED, obj)
         return obj
@@ -138,10 +157,18 @@ class KubeApiServer:
         return self._store(kind).get(name)
 
     def list(self, kind: str, selector: Optional[Dict[str, str]] = None) -> List[KubeObject]:
-        objs: Iterable[KubeObject] = self._store(kind).values()
         if selector:
+            objs: Iterable[KubeObject] = self._store(kind).values()
             objs = (o for o in objs if o.meta.matches(selector))
-        return sorted(objs, key=lambda o: (o.meta.creation_time, o.name))
+            return sorted(objs, key=lambda o: (o.meta.creation_time, o.name))
+        cached = self._sorted_cache.get(kind)
+        if cached is None:
+            cached = sorted(
+                self._store(kind).values(),
+                key=lambda o: (o.meta.creation_time, o.name),
+            )
+            self._sorted_cache[kind] = cached
+        return list(cached)  # callers may filter/mutate their copy
 
     def mark_modified(self, obj: KubeObject) -> None:
         """Record an in-place status update and notify watchers.
@@ -161,6 +188,7 @@ class KubeApiServer:
             obj = store.pop(name)
         except KeyError:
             raise NotFoundError(f"{kind} {name!r} not found") from None
+        self._sorted_cache.pop(kind, None)
         self.writes += 1
         if isinstance(obj, Pod):
             self._teardown_pod(obj)
@@ -231,7 +259,10 @@ class KubeApiServer:
 
     def watcher_count(self, kind: str) -> int:
         """Registered watch handlers for ``kind`` (leak regression hook)."""
-        return len(self._watchers[kind])
+        n = len(self._watchers[kind])
+        if kind == "Pod":
+            n += self._n_keyed_pod_watchers
+        return n
 
     # --------------------------------------------------------------- watch
     def watch(self, kind: str, handler: WatchHandler, *, replay_existing: bool = True) -> None:
@@ -240,7 +271,7 @@ class KubeApiServer:
         With ``replay_existing`` (informer semantics) the handler first
         receives ADDED for every object already in the store.
         """
-        self._watchers[kind].append(handler)
+        self._watchers[kind].append((next(self._watch_pos), handler))
         if replay_existing:
             for obj in self.list(kind):
                 self.engine.call_soon(
@@ -253,11 +284,51 @@ class KubeApiServer:
                     ),
                 )
 
+    def watch_pods_on_node(
+        self, node: Node, handler: WatchHandler, *, replay_existing: bool = True
+    ) -> None:
+        """Subscribe to pod events scoped to ``node`` (kubelet semantics:
+        a fieldSelector on ``spec.nodeName``).
+
+        Delivery (including ordering relative to unscoped pod watchers)
+        matches what an unscoped watch whose handler ignored other nodes'
+        pods would observe — the API server just skips scheduling the
+        no-op deliveries. Replay covers pods currently bound to the node.
+        """
+        self._pod_node_watchers.setdefault(node.name, []).append(
+            (next(self._watch_pos), handler)
+        )
+        self._n_keyed_pod_watchers += 1
+        if replay_existing:
+            store = self._store("Pod")
+            bound = sorted(
+                (p for p in node.pods if store.get(p.name) is p),
+                key=lambda o: (o.meta.creation_time, o.name),
+            )
+            for obj in bound:
+                self.engine.call_soon(
+                    handler,
+                    WatchEvent(
+                        WatchEventType.ADDED,
+                        obj,
+                        self.engine.now,
+                        version=obj.meta.resource_version,
+                    ),
+                )
+
     def unwatch(self, kind: str, handler: WatchHandler) -> None:
-        try:
-            self._watchers[kind].remove(handler)
-        except ValueError:
-            pass
+        entries = self._watchers[kind]
+        for i, (_, h) in enumerate(entries):
+            if h == handler:
+                del entries[i]
+                return
+        if kind == "Pod":
+            for keyed in self._pod_node_watchers.values():
+                for i, (_, h) in enumerate(keyed):
+                    if h == handler:
+                        del keyed[i]
+                        self._n_keyed_pod_watchers -= 1
+                        return
 
     def _notify(self, event_type: WatchEventType, obj: KubeObject) -> None:
         version = self._versions[obj.kind] + 1
@@ -268,10 +339,25 @@ class KubeApiServer:
             # The notification plane is down (outage) or this kind's
             # streams are broken (drop window): the write happened, the
             # version advanced, but nobody hears about it.
-            self._c_dropped.inc(len(self._watchers[obj.kind]), kind=obj.kind)
+            self._c_dropped.inc(self.watcher_count(obj.kind), kind=obj.kind)
             return
         event = WatchEvent(event_type, obj, self.engine.now, version=version)
-        for handler in list(self._watchers[obj.kind]):
+        targets = self._watchers[obj.kind]
+        if obj.kind == "Pod":
+            node = obj.node  # type: ignore[attr-defined]
+            keyed = (
+                self._pod_node_watchers.get(node.name)
+                if node is not None
+                else None
+            )
+            if keyed:
+                # Merge back into registration order so same-instant
+                # handler execution order is identical to the unscoped-
+                # watch behaviour.
+                targets = sorted(
+                    targets + keyed, key=lambda entry: entry[0]
+                )
+        for _, handler in list(targets):
             self.engine.call_soon(handler, event)
 
     # ------------------------------------------------------------- helpers

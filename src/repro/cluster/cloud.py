@@ -259,38 +259,88 @@ class CloudController:
         cluster autoscaler runs the same simulated-scheduling check).
         Each pool packs only into its own nodes.
         """
+        # Hot at depth (tens of thousands of pending pods against a
+        # thousand-node fleet), so the two first-fit scans run over
+        # component floats instead of ResourceVectors, and consecutive
+        # identical requests resume where the previous one landed: the
+        # entries before a request's landing slot were left unchanged, so
+        # they would reject an identical request again. Both shortcuts
+        # reproduce the original packing (and therefore the returned node
+        # count) bit-for-bit.
         alloc = machine_type.allocatable
+        alloc_c, alloc_m, alloc_d = alloc.cores, alloc.memory_mb, alloc.disk_mb
+        eps = 1e-9  # fits_in's float-drift epsilon
         requests = sorted(
             (p.spec.request for p in pending),
             key=lambda r: r.cores,
             reverse=True,
         )
-        existing_free: List[ResourceVector] = [
-            n.free()
-            for n in self.api.ready_nodes()
-            if not n.unschedulable and n.preemptible == preemptible
-        ]
-        bins: List[ResourceVector] = []
+        free_c: List[float] = []
+        free_m: List[float] = []
+        free_d: List[float] = []
+        for n in self.api.ready_nodes():
+            if not n.unschedulable and n.preemptible == preemptible:
+                free = n.free()
+                free_c.append(free.cores)
+                free_m.append(free.memory_mb)
+                free_d.append(free.disk_mb)
+        bins_c: List[float] = []
+        bins_m: List[float] = []
+        bins_d: List[float] = []
         unpackable = 0
+        prev_req: Optional[ResourceVector] = None
+        free_start = 0      # resume index into the existing-free scan
+        free_exhausted = False  # previous identical request fit no node
+        bins_start = 0      # resume index into the new-bins scan
         for req in requests:
-            if not req.fits_in(alloc):
+            if req != prev_req:
+                prev_req = req
+                free_start = 0
+                free_exhausted = False
+                bins_start = 0
+            if not (
+                req.cores <= alloc_c + eps
+                and req.memory_mb <= alloc_m + eps
+                and req.disk_mb <= alloc_d + eps
+            ):
                 unpackable += 1  # can never fit; don't provision for it
                 continue
+            req_c, req_m, req_d = req.cores, req.memory_mb, req.disk_mb
             placed = False
-            for i, free in enumerate(existing_free):
-                if req.fits_in(free):
-                    existing_free[i] = (free - req).clamp_floor(0.0)
-                    placed = True
-                    break
+            if not free_exhausted:
+                for i in range(free_start, len(free_c)):
+                    if (
+                        req_c <= free_c[i] + eps
+                        and req_m <= free_m[i] + eps
+                        and req_d <= free_d[i] + eps
+                    ):
+                        free_c[i] = max(free_c[i] - req_c, 0.0)
+                        free_m[i] = max(free_m[i] - req_m, 0.0)
+                        free_d[i] = max(free_d[i] - req_d, 0.0)
+                        free_start = i
+                        placed = True
+                        break
+                else:
+                    free_exhausted = True
             if placed:
                 continue
-            for i, used in enumerate(bins):
-                if req.fits_in(alloc - used):
-                    bins[i] = used + req
+            for i in range(bins_start, len(bins_c)):
+                if (
+                    req_c <= (alloc_c - bins_c[i]) + eps
+                    and req_m <= (alloc_m - bins_m[i]) + eps
+                    and req_d <= (alloc_d - bins_d[i]) + eps
+                ):
+                    bins_c[i] = bins_c[i] + req_c
+                    bins_m[i] = bins_m[i] + req_m
+                    bins_d[i] = bins_d[i] + req_d
+                    bins_start = i
                     break
             else:
-                bins.append(req)
-        return len(bins)
+                bins_c.append(req_c)
+                bins_m.append(req_m)
+                bins_d.append(req_d)
+                bins_start = len(bins_c) - 1
+        return len(bins_c)
 
     def _reserve_node(self, *, preemptible: bool = False) -> None:
         if preemptible:

@@ -74,6 +74,12 @@ class Informer:
         #: Last resourceVersion observed per object (detects missed
         #: MODIFIEDs during resync).
         self._seen_versions: Dict[str, int] = {}
+        #: True once a delivered event's version skipped past
+        #: ``last_version + 1`` — i.e. some notification between was lost
+        #: even though a later one arrived. While False and
+        #: ``last_version`` equals the store head, the cache provably saw
+        #: every write, so :meth:`resync` can skip the O(store) relist.
+        self._gap_seen = False
         self._resync_loop: Optional[PeriodicTask] = None
         api.watch(kind, self._handle, replay_existing=True)
         if resync_period_s is not None:
@@ -117,6 +123,18 @@ class Informer:
         if self.closed or not self.api.available:
             return 0
         target = self.api.kind_version(self.kind)
+        if target == self.last_version and not self._gap_seen:
+            # Every write up to the head was delivered in order: the
+            # cache cannot differ from the store, so reconciling would
+            # synthesize nothing. Keep the counters/trace identical to a
+            # full pass that found nothing.
+            self.resyncs += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "cluster", "informer.resync",
+                    kind=self.kind, synthesized=0,
+                )
+            return 0
         store = {o.name: o for o in self.api.list(self.kind)}
         now = self.api.engine.now
         synthesized = 0
@@ -143,6 +161,10 @@ class Informer:
                 WatchEvent(WatchEventType.DELETED, self.cache[name], now, version=target)
             )
         self.last_version = max(self.last_version, target)
+        # Reconciled against the store head: any previously-detected gap
+        # is healed (the _apply calls above may have re-tripped the flag
+        # with their jumping versions — that jump is the resync itself).
+        self._gap_seen = False
         self.resyncs += 1
         self.events_synthesized += synthesized
         if self.tracer.enabled:
@@ -179,6 +201,10 @@ class Informer:
     def _apply(self, event: WatchEvent) -> None:
         obj = event.obj
         version = event.version or obj.meta.resource_version
+        if version > self.last_version + 1:
+            # A notification between last_version and this one was lost
+            # (store writes bump the version by exactly one).
+            self._gap_seen = True
         self.last_version = max(self.last_version, version)
         if event.type is WatchEventType.ADDED:
             self.cache[obj.name] = obj

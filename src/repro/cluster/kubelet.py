@@ -43,7 +43,9 @@ class Kubelet:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._admitted: Set[str] = set()
         self._pending_starts: Dict[str, ScheduledEvent] = {}
-        api.watch("Pod", self._on_pod_event, replay_existing=True)
+        # Node-scoped watch: this kubelet only ever reacts to pods bound
+        # to its node, so the API server skips the per-kubelet fan-out.
+        api.watch_pods_on_node(node, self._on_pod_event, replay_existing=True)
 
     # --------------------------------------------------------------- events
     def _on_pod_event(self, event: WatchEvent) -> None:

@@ -66,6 +66,12 @@ PREEMPTIBLE_LABEL = "preemptible"
 class Node(KubeObject):
     """A cluster node: allocatable capacity, bound pods, image cache."""
 
+    __slots__ = (
+        "machine_type", "preemptible", "preemption_notice_at",
+        "preemption_grace_s", "ready", "ready_time", "pods",
+        "_requested_cache", "cached_images", "unschedulable", "deleted",
+    )
+
     kind = "Node"
 
     def __init__(
@@ -98,6 +104,11 @@ class Node(KubeObject):
         self.ready = False
         self.ready_time: Optional[float] = None
         self.pods: List[Pod] = []
+        #: Memoized :meth:`requested` fold; dropped on bind/unbind and on
+        #: a bound pod turning terminal (the only events that change the
+        #: fold). Recomputed with the original loop so the cached floats
+        #: are bit-identical to an on-demand fold.
+        self._requested_cache: Optional[ResourceVector] = None
         self.cached_images: Set[str] = set()
         self.unschedulable = False  # cordoned during drain-for-removal
         self.deleted = False
@@ -113,11 +124,18 @@ class Node(KubeObject):
 
     def requested(self) -> ResourceVector:
         """Sum of resource requests of non-terminal pods bound here."""
-        total = ResourceVector.zero()
-        for pod in self.pods:
-            if not pod.phase.terminal:
-                total = total + pod.spec.request
-        return total
+        cached = self._requested_cache
+        if cached is None:
+            cached = ResourceVector.zero()
+            for pod in self.pods:
+                if not pod.phase.terminal:
+                    cached = cached + pod.spec.request
+            self._requested_cache = cached
+        return cached
+
+    def invalidate_requested(self) -> None:
+        """The bound-pod set (or a bound pod's phase) changed."""
+        self._requested_cache = None
 
     def free(self) -> ResourceVector:
         return (self.allocatable - self.requested()).clamp_floor(0.0)
@@ -135,12 +153,14 @@ class Node(KubeObject):
         if pod in self.pods:
             raise RuntimeError(f"pod {pod.name} already bound to {self.name}")
         self.pods.append(pod)
+        self._requested_cache = None
 
     def unbind(self, pod: Pod) -> None:
         try:
             self.pods.remove(pod)
         except ValueError:
             pass
+        self._requested_cache = None
 
     def active_pods(self) -> List[Pod]:
         return [p for p in self.pods if not p.phase.terminal]

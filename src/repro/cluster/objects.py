@@ -53,6 +53,10 @@ class ObjectMeta:
 class KubeObject:
     """Base class for objects stored in the API server."""
 
+    # The whole hierarchy is slotted: pods and nodes exist in the tens of
+    # thousands in the large benchmark configurations.
+    __slots__ = ("meta",)
+
     kind: str = "Object"
 
     def __init__(
@@ -84,6 +88,8 @@ class Service(KubeObject):
     of the cluster").
     """
 
+    __slots__ = ("selector", "service_type", "port")
+
     kind = "Service"
 
     def __init__(
@@ -113,6 +119,8 @@ class StatefulSet(KubeObject):
     replica count; the actual pod lifecycle is driven by the controller in
     :mod:`repro.cluster.cluster`.
     """
+
+    __slots__ = ("replicas", "selector", "volume_gb", "template", "ready_replicas")
 
     kind = "StatefulSet"
 

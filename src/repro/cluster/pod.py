@@ -95,6 +95,11 @@ class Pod(KubeObject):
     draining through Work Queue instead).
     """
 
+    __slots__ = (
+        "spec", "phase", "node", "events", "scheduled_time", "started_time",
+        "finished_time", "deletion_requested", "cpu_usage_fn", "on_stop",
+    )
+
     kind = "Pod"
 
     def __init__(self, name: str, spec: PodSpec, creation_time: float = 0.0) -> None:
@@ -144,6 +149,9 @@ class Pod(KubeObject):
         if self.phase.terminal:
             return
         self.phase = PodPhase.SUCCEEDED if succeeded else PodPhase.FAILED
+        if self.node is not None:
+            # Terminal pods drop out of the node's requested() fold.
+            self.node.invalidate_requested()
         self.finished_time = time
         self.add_event(time, REASON_COMPLETED if succeeded else REASON_KILLED)
 

@@ -9,8 +9,8 @@ same component-wise *fits* partial order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,6 +27,17 @@ class ResourceVector:
     cores: float = 0.0
     memory_mb: float = 0.0
     disk_mb: float = 0.0
+    #: Lazily memoized hash — vectors key the placement memo tables on
+    #: the dispatch hot path, where the generated hash (a fresh tuple per
+    #: call) showed up as a top cost. Excluded from eq/repr.
+    _hash: Optional[int] = field(default=None, init=False, repr=False, compare=False)
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.cores, self.memory_mb, self.disk_mb))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     # ---------------------------------------------------------- constructors
     @staticmethod

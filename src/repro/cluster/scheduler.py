@@ -45,6 +45,13 @@ class KubeScheduler:
         self.strategy = strategy
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.binds = 0
+        #: (Pod, Node) kind versions as of the end of the last pass. Every
+        #: cluster mutation a pass can observe (pod added/bound/phased,
+        #: node ready/cordoned/deleted) flows through the API server's
+        #: notify and bumps one of the two, so matching versions mean the
+        #: pass would repeat the previous one exactly: bind nothing and
+        #: re-record nothing (FailedScheduling events are once-per-episode).
+        self._synced_state: Optional[tuple] = None
         self._loop = PeriodicTask(engine, sync_period, self.sync, start_after=0.0)
         api.watch("Pod", self._on_pod_event, replay_existing=False)
         api.watch("Node", self._on_node_event, replay_existing=False)
@@ -66,10 +73,42 @@ class KubeScheduler:
     # ----------------------------------------------------------------- sync
     def sync(self) -> int:
         """One scheduling pass; returns the number of pods bound."""
+        state = (self.api.kind_version("Pod"), self.api.kind_version("Node"))
+        if state == self._synced_state:
+            return 0  # nothing changed since the last pass; see __init__
         bound = 0
-        for pod in self.api.pending_pods():
-            node = self._select_node(pod)
+        pending = self.api.pending_pods()
+        if not pending:
+            self._synced_state = state
+            return 0
+        # One relist per pass: binding mutates node *state*, never the
+        # node set, and can_fit re-checks ready/cordoned/deleted per pod,
+        # so the per-pod relist the loop used to do was pure overhead.
+        nodes = self.api.nodes()
+        # Within a pass capacity only shrinks, so once a request (plus
+        # node-selector) finds no seat, every identical pending pod after
+        # it fails too — skip their node scans, but still record the
+        # FailedScheduling event per pod exactly as before.
+        unplaceable: set = set()
+        for pod in pending:
+            selector = pod.spec.node_selector
+            sig = (
+                pod.spec.request,
+                tuple(sorted(selector.items())) if selector else None,
+            )
+            if sig in unplaceable:
+                # Inline _record_unschedulable's common early-exit (the
+                # episode is already recorded) — at depth this branch runs
+                # once per pending pod per pass.
+                if not (
+                    pod.events
+                    and pod.events[-1].reason == REASON_FAILED_SCHEDULING
+                ):
+                    self._record_unschedulable(pod)
+                continue
+            node = self._select_node(pod, nodes)
             if node is None:
+                unplaceable.add(sig)
                 self._record_unschedulable(pod)
                 continue
             pod.mark_scheduled(self.engine.now, node)
@@ -81,6 +120,11 @@ class KubeScheduler:
                 self.tracer.emit(
                     "cluster", "scheduler.bind", pod=pod.name, node=node.name
                 )
+        # Recompute: the pass itself bumps versions (binds, events).
+        self._synced_state = (
+            self.api.kind_version("Pod"),
+            self.api.kind_version("Node"),
+        )
         return bound
 
     @staticmethod
@@ -91,10 +135,12 @@ class KubeScheduler:
         labels = node.meta.labels
         return all(labels.get(k) == v for k, v in selector.items())
 
-    def _select_node(self, pod: Pod) -> Optional[Node]:
+    def _select_node(self, pod: Pod, nodes: Optional[List[Node]] = None) -> Optional[Node]:
+        if nodes is None:
+            nodes = self.api.ready_nodes()
         candidates: List[Node] = [
             n
-            for n in self.api.ready_nodes()
+            for n in nodes
             if self._selector_matches(pod, n) and n.can_fit(pod.spec.request)
         ]
         if not candidates:

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig10,
     fig11,
     forecast_cmp,
+    perf,
     preemption,
     recovery,
     resilience,
@@ -42,6 +43,7 @@ _MODULES = {
     "fig10": fig10,
     "fig11": fig11,
     "forecast": forecast_cmp,
+    "perf": perf,
     "preemption": preemption,
     "recovery": recovery,
     "resilience": resilience,
@@ -49,7 +51,7 @@ _MODULES = {
 }
 
 #: Experiments whose ``main`` accepts a ``smoke=`` reduced-scale mode.
-_SMOKE_CAPABLE = {"recovery", "resilience", "preemption", "soak"}
+_SMOKE_CAPABLE = {"perf", "recovery", "resilience", "preemption", "soak"}
 
 FIGURES: Dict[str, Callable[[int], str]] = {
     name: module.main for name, module in _MODULES.items()
@@ -60,6 +62,32 @@ DESCRIPTIONS: Dict[str, str] = {
     name: (module.__doc__ or "").strip().splitlines()[0].rstrip(".")
     for name, module in _MODULES.items()
 }
+
+
+def _run_profiled(name: str, out_dir: str, run: Callable[[], object]) -> None:
+    """Run one experiment under cProfile; dump binary stats plus a
+    cumulative-sorted text report next to them."""
+    import cProfile
+    import io
+    import pstats
+    from pathlib import Path
+
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run()
+    finally:
+        profiler.disable()
+        binary = directory / f"{name}.prof"
+        profiler.dump_stats(binary)
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(60)
+        text = directory / f"{name}.prof.txt"
+        text.write_text(buffer.getvalue())
+        print(f"\n[profile: {binary} (+ {text.name}, top 60 by cumulative)]")
 
 
 def _print_registry() -> None:
@@ -150,6 +178,29 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the autoscaler's per-cycle decision audit after each run",
     )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="perf only: enforce the regression gate against the committed baseline",
+    )
+    parser.add_argument(
+        "--bench-out",
+        metavar="DIR",
+        default=None,
+        help="perf only: result directory (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        nargs="?",
+        const=".",
+        default=None,
+        help=(
+            "wrap each experiment run in cProfile and dump sorted "
+            "cumulative stats (<name>.prof + <name>.prof.txt) to DIR "
+            "(default: current directory)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if "list" in args.figures:
@@ -188,7 +239,14 @@ def main(argv: list[str] | None = None) -> int:
                 outage_duration_s=args.outage_duration,
                 restart_delay_s=args.restart_delay,
             )
-        FIGURES[name](args.seed, **kwargs)
+        if name == "perf":
+            kwargs["gate"] = args.gate
+            if args.bench_out is not None:
+                kwargs["out_dir"] = args.bench_out
+        if args.profile is not None:
+            _run_profiled(name, args.profile, lambda: FIGURES[name](args.seed, **kwargs))
+        else:
+            FIGURES[name](args.seed, **kwargs)
         print(f"\n[{name} regenerated in {time.time() - started:.1f}s wall time]")
 
     if sink is not None:

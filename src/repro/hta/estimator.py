@@ -272,18 +272,55 @@ class ResourceEstimator:
         return min(by_capacity, idle_workers)
 
     def _workers_required(self, waiting: Sequence[SimulatedTask]) -> int:
-        """First-fit-decreasing packing of waiting tasks into workers."""
-        bins: List[ResourceVector] = []
+        """First-fit-decreasing packing of waiting tasks into workers.
+
+        Implementation notes, because this is the hottest loop of the HTA
+        controller at large queue depths: bins are kept as component
+        floats (the naive ResourceVector version allocated two vectors
+        per probe), and the scan start is carried over between tasks with
+        identical resources. Both preserve the packing bit-for-bit: the
+        comparisons and accumulations below perform exactly the float
+        operations ``fits_in(capacity - used)`` / ``used + res`` did, and
+        after a task lands in bin *i*, bins before *i* are unchanged, so
+        they would reject an identical next task again — the first-fit
+        scan for it may legally resume at *i*.
+        """
+        cap = self.worker_capacity
+        cap_c, cap_m, cap_d = cap.cores, cap.memory_mb, cap.disk_mb
+        eps = 1e-9  # fits_in's float-drift epsilon
+        bins_c: List[float] = []
+        bins_m: List[float] = []
+        bins_d: List[float] = []
+        prev_res: Optional[ResourceVector] = None
+        start = 0
         for task in sorted(waiting, key=lambda t: t.resources.cores, reverse=True):
             res = task.resources
-            if not res.fits_in(self.worker_capacity):
+            if res != prev_res:
+                prev_res = res
+                start = 0
+            if not res.fits_in(cap):
                 # Will never fit a worker; clamp to one dedicated worker.
-                bins.append(self.worker_capacity)
+                bins_c.append(cap_c)
+                bins_m.append(cap_m)
+                bins_d.append(cap_d)
                 continue
-            for i, used in enumerate(bins):
-                if res.fits_in(self.worker_capacity - used):
-                    bins[i] = used + res
+            res_c, res_m, res_d = res.cores, res.memory_mb, res.disk_mb
+            for i in range(start, len(bins_c)):
+                if (
+                    res_c <= (cap_c - bins_c[i]) + eps
+                    and res_m <= (cap_m - bins_m[i]) + eps
+                    and res_d <= (cap_d - bins_d[i]) + eps
+                ):
+                    bins_c[i] = bins_c[i] + res_c
+                    bins_m[i] = bins_m[i] + res_m
+                    bins_d[i] = bins_d[i] + res_d
+                    start = i
                     break
             else:
-                bins.append(res)
-        return len(bins)
+                bins_c.append(res_c)
+                bins_m.append(res_m)
+                bins_d.append(res_d)
+                start = len(bins_c) - 1
+            # ``start`` is where this task landed; an identical next task
+            # cannot land earlier, so its scan resumes there.
+        return len(bins_c)

@@ -155,6 +155,11 @@ class WorkerProvisioner:
         self.breaker_closes = 0
         #: Creations skipped because the API server was unavailable.
         self.creations_deferred = 0
+        #: Creations refused because :meth:`stop` already ran — a pending
+        #: retry scheduled by :meth:`_check_pending` can fire after the
+        #: clean-up drain; creating then would leak an undrainable worker.
+        self.creations_after_stop = 0
+        self._stopped = False
         self._check_loop: Optional[PeriodicTask] = None
         if fault_config is not None:
             self._check_loop = PeriodicTask(
@@ -165,6 +170,7 @@ class WorkerProvisioner:
     def stop(self) -> None:
         """Stop the defensive-provisioning loop and unsubscribe from the
         API server (clean-up stage; experiments share one server)."""
+        self._stopped = True
         if self._check_loop is not None:
             self._check_loop.stop()
             self._check_loop = None
@@ -173,6 +179,12 @@ class WorkerProvisioner:
     # -------------------------------------------------------------- scaling
     def create_workers(self, count: int) -> List[Pod]:
         """Create ``count`` worker pods (whole-node sized)."""
+        if self._stopped:
+            # The clean-up drain already ran; a pod created now (e.g. a
+            # pending-timeout retry that was in flight) would spawn a
+            # worker no drain pass will ever visit.
+            self.creations_after_stop += max(0, count)
+            return []
         if not getattr(self.api, "available", True):
             # API server down: the create calls would fail. The next
             # (degraded) cycle re-evaluates demand and retries.

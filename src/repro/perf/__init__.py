@@ -1,0 +1,51 @@
+"""Macro-benchmark subsystem: the simulator's performance trajectory.
+
+``repro.perf`` answers one question the figure harnesses never ask:
+*how fast is the simulator itself?* Every later direction on the
+roadmap (million-task sharding, serving colocation, budget-constrained
+planning) needs configurations orders of magnitude beyond today's
+hundreds of tasks, so raw sim-seconds-per-wall-second is a tracked,
+regression-gated quantity like any correctness metric:
+
+- :mod:`repro.perf.scenarios` — the named scaling ladder
+  (1k/10k/100k tasks x 100/1k/10k nodes, across the ``hta``/``hpa``/
+  ``predictive`` policy registry entries).
+- :mod:`repro.perf.bench` — the sweep driver: per-run result
+  directories, measured sim-s/wall-s + events/sec + peak RSS, and the
+  ``BENCH_PERF.json`` emitter.
+- :mod:`repro.perf.gate` — the regression gate comparing a fresh
+  ``BENCH_PERF.json`` against the committed baseline, failing on >20%
+  slowdown or any deterministic drift in event counts.
+- :mod:`repro.perf.fidelity` — the safety proof: fixed-seed
+  chaos-enabled runs must reproduce the committed pre-optimization
+  journal digests bit-for-bit, so every hot-path optimization is
+  behavior-preserving by construction.
+"""
+
+from repro.perf.bench import BenchConfig, BenchReport, RunMeasurement, run_bench
+from repro.perf.fidelity import check_fidelity, load_golden
+from repro.perf.gate import GateResult, check_regression, load_report
+from repro.perf.scenarios import (
+    LADDER,
+    SMOKE_SCENARIO,
+    PerfScenario,
+    ladder_scenarios,
+    scenario_by_name,
+)
+
+__all__ = [
+    "BenchConfig",
+    "BenchReport",
+    "RunMeasurement",
+    "run_bench",
+    "check_fidelity",
+    "load_golden",
+    "GateResult",
+    "check_regression",
+    "load_report",
+    "LADDER",
+    "SMOKE_SCENARIO",
+    "PerfScenario",
+    "ladder_scenarios",
+    "scenario_by_name",
+]

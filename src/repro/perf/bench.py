@@ -1,0 +1,255 @@
+"""The macro-benchmark sweep driver and ``BENCH_PERF.json`` emitter.
+
+Modeled on the megaphone-style bench harness: a named scenario list, one
+result directory per run, and a single machine-readable report at the
+top. Unlike the figure harnesses this driver owns its drive loop so it
+can *time-box* a run by wall clock: a configuration too slow to finish
+(the whole point of benchmarking a pre-optimization simulator on the
+100k-task rung) still yields a valid sim-seconds/wall-second sample
+from the partial run — throughput is a rate, not a total.
+
+Measured per run:
+
+- ``wall_s`` / ``sim_s`` / ``sim_per_wall`` — the headline metric.
+- ``events`` / ``events_per_sec`` — engine-level throughput, and the
+  deterministic side of the regression gate: for a fixed seed the event
+  count must not drift across behavior-preserving optimizations once a
+  run completes.
+- ``peak_rss_mb`` — ``ru_maxrss`` at run end. Process-wide high-water
+  mark, so in a multi-scenario sweep later runs inherit earlier peaks;
+  the CI smoke job runs a single scenario for a clean reading.
+- ``tasks_completed`` / ``tasks_total`` / ``completed`` — whether the
+  workload finished inside the wall budget.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import (
+    POLICIES,
+    WorkflowFailed,
+    _make_accountant,
+    _reject_unknown,
+    _Stack,
+    ensure_graph,
+)
+from repro.makeflow.manager import WorkflowManager
+from repro.perf.scenarios import LADDER, PerfScenario
+from repro.telemetry.session import TelemetryConfig
+
+#: Report schema version (bump when the JSON shape changes).
+SCHEMA = 1
+
+
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover — bytes on macOS
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+@dataclass
+class RunMeasurement:
+    """One scenario's measured numbers."""
+
+    scenario: str
+    policy: str
+    n_tasks: int
+    max_nodes: int
+    wall_s: float
+    sim_s: float
+    events: int
+    tasks_total: int
+    tasks_completed: int
+    completed: bool
+    peak_rss_mb: float
+
+    @property
+    def sim_per_wall(self) -> float:
+        return self.sim_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def row(self) -> Dict[str, object]:
+        d = asdict(self)
+        d["sim_per_wall"] = round(self.sim_per_wall, 2)
+        d["events_per_sec"] = round(self.events_per_sec, 1)
+        return d
+
+
+@dataclass
+class BenchConfig:
+    """One sweep: which scenarios, where, and the per-run wall budget."""
+
+    scenarios: List[PerfScenario] = field(default_factory=lambda: list(LADDER))
+    out_dir: Path = Path("bench-results")
+    #: Per-run wall-clock budget; None drives every run to completion.
+    max_wall_s: Optional[float] = 120.0
+    #: A prior report to compute speedups against (e.g. the committed
+    #: pre-optimization capture); folded into the emitted report.
+    reference_path: Optional[Path] = None
+
+
+@dataclass
+class BenchReport:
+    """The sweep's collected measurements plus derived comparisons."""
+
+    runs: List[RunMeasurement]
+    #: scenario name -> sim_per_wall ratio vs the reference report.
+    speedup_vs_reference: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "runs": {m.scenario: m.row() for m in self.runs},
+            "speedup_vs_reference": {
+                k: round(v, 2) for k, v in self.speedup_vs_reference.items()
+            },
+        }
+
+    def table(self) -> str:
+        header = (
+            f"{'scenario':<26} {'tasks':>7} {'nodes':>6} {'wall_s':>8} "
+            f"{'sim_s':>9} {'sim/wall':>9} {'events/s':>10} {'rss_mb':>8} done"
+        )
+        lines = [header, "-" * len(header)]
+        for m in self.runs:
+            lines.append(
+                f"{m.scenario:<26} {m.n_tasks:>7} {m.max_nodes:>6} "
+                f"{m.wall_s:>8.1f} {m.sim_s:>9.0f} {m.sim_per_wall:>9.1f} "
+                f"{m.events_per_sec:>10.0f} {m.peak_rss_mb:>8.0f} "
+                f"{'yes' if m.completed else 'NO'}"
+            )
+        for name, ratio in sorted(self.speedup_vs_reference.items()):
+            lines.append(f"speedup vs reference  {name}: {ratio:.1f}x")
+        return "\n".join(lines)
+
+
+def run_scenario(
+    scenario: PerfScenario, *, max_wall_s: Optional[float] = None
+) -> RunMeasurement:
+    """Execute one scenario under the bench's wall-boxed drive loop.
+
+    Mirrors :func:`repro.experiments.runner.run_experiment`'s assembly —
+    same registry, same stack, same accountant — but drives the engine
+    in sim-time chunks with a wall-clock check between chunks, so a slow
+    configuration yields a partial-but-valid throughput sample instead
+    of hanging the sweep. Telemetry stays disabled: the benchmark
+    measures the simulator's production fast path.
+    """
+    policy = POLICIES[scenario.policy]
+    spec = scenario.build_spec()
+    options: Dict = dict(spec.options)
+    if policy.validate is not None:
+        policy.validate(options)
+    assert spec.stack is not None
+    started = time.perf_counter()
+    with _Stack(
+        spec.stack,
+        estimator_kind=policy.estimator_kind(options),
+        telemetry=TelemetryConfig(enabled=False),
+    ) as stack:
+        graph = ensure_graph(spec.workload)
+        harness = policy.build(stack, spec.stack, graph, options)
+        _reject_unknown(scenario.policy, options)
+        manager = WorkflowManager(
+            stack.engine, graph, harness.submitter, recorder=stack.recorder
+        )
+        if harness.on_manager is not None:
+            harness.on_manager(manager)
+        accountant = _make_accountant(
+            stack,
+            shortage_extra=harness.shortage_extra,
+            extra_gauges=harness.gauges or None,
+        )
+        if harness.start is not None:
+            harness.start()
+        engine = stack.engine
+        limit = spec.stack.max_sim_time_s
+        accountant.start()
+        manager.start()
+        while not manager.done:
+            if manager.failed:
+                raise WorkflowFailed(
+                    f"{scenario.name}: task(s) permanently abandoned at "
+                    f"t={engine.now:.0f}s"
+                )
+            if engine.now >= limit or engine.peek() is None:
+                break
+            if (
+                max_wall_s is not None
+                and time.perf_counter() - started > max_wall_s
+            ):
+                break
+            # Event-bounded chunks keep the wall box tight even when
+            # the simulation is inside a same-timestamp event burst
+            # (where a sim-time chunk boundary could never trip). The
+            # chunk boundary is the only place the wall clock is
+            # checked; chunking does not affect the simulation's
+            # behaviour, only where the box lands.
+            engine.run(until=limit, max_events=4096)
+        accountant.stop()
+        if manager.done and harness.finish is not None:
+            harness.finish()
+        wall = time.perf_counter() - started
+        return RunMeasurement(
+            scenario=scenario.name,
+            policy=scenario.policy,
+            n_tasks=scenario.n_tasks,
+            max_nodes=scenario.max_nodes,
+            wall_s=wall,
+            sim_s=engine.now,
+            events=engine.events_fired,
+            tasks_total=len(graph),
+            tasks_completed=len(stack.master.done),
+            completed=bool(manager.done),
+            peak_rss_mb=_peak_rss_mb(),
+        )
+
+
+def run_bench(config: BenchConfig, *, echo=print) -> BenchReport:
+    """Run the sweep; write per-run results and ``BENCH_PERF.json``."""
+    out_dir = Path(config.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    reference: Dict[str, Dict] = {}
+    if config.reference_path is not None and Path(config.reference_path).exists():
+        with open(config.reference_path) as f:
+            reference = json.load(f).get("runs", {})
+    runs: List[RunMeasurement] = []
+    for scenario in config.scenarios:
+        echo(f"perf: running {scenario.name} "
+             f"({scenario.n_tasks} tasks, {scenario.max_nodes} nodes)...")
+        measurement = run_scenario(scenario, max_wall_s=config.max_wall_s)
+        runs.append(measurement)
+        run_dir = out_dir / scenario.name
+        run_dir.mkdir(parents=True, exist_ok=True)
+        with open(run_dir / "result.json", "w") as f:
+            json.dump(measurement.row(), f, indent=2, sort_keys=True)
+        echo(
+            f"perf: {scenario.name}: {measurement.sim_per_wall:.1f} sim-s/wall-s, "
+            f"{measurement.events_per_sec:.0f} events/s"
+            + ("" if measurement.completed else " (wall budget hit)")
+        )
+    report = BenchReport(runs=runs)
+    for m in runs:
+        ref = reference.get(m.scenario)
+        if ref and ref.get("sim_per_wall"):
+            report.speedup_vs_reference[m.scenario] = (
+                m.sim_per_wall / float(ref["sim_per_wall"])
+            )
+    with open(out_dir / "BENCH_PERF.json", "w") as f:
+        json.dump(report.to_json(), f, indent=2, sort_keys=True)
+    return report

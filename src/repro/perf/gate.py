@@ -1,0 +1,86 @@
+"""The perf regression gate.
+
+Compares a freshly emitted ``BENCH_PERF.json`` against the committed
+baseline (``benchmarks/baselines/BENCH_PERF_BASELINE.json``) and fails
+on either of two signals:
+
+- **Throughput**: a scenario's ``sim_per_wall`` dropped more than
+  ``tolerance`` (default 20%) below baseline. Wall-clock numbers move
+  with the host, so the tolerance is deliberately generous and the
+  baseline should be refreshed when hardware changes.
+- **Determinism**: for a scenario that ran to completion in both
+  reports, the fixed-seed event count drifted. That is never a hardware
+  effect — it means an "optimization" changed simulation behavior, the
+  exact failure mode the journal-fidelity suite exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+#: Allowed fractional throughput drop before the gate fails.
+DEFAULT_TOLERANCE = 0.20
+
+
+def load_report(path: Path) -> Dict[str, Dict]:
+    """The ``runs`` table of a ``BENCH_PERF.json``."""
+    with open(path) as f:
+        return json.load(f).get("runs", {})
+
+
+@dataclass
+class GateResult:
+    """What the comparison found."""
+
+    failures: List[str] = field(default_factory=list)
+    compared: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [
+            f"perf gate: {'OK' if self.ok else 'FAIL'} "
+            f"({len(self.compared)} scenario(s) compared, "
+            f"{len(self.skipped)} skipped)"
+        ]
+        lines += [f"  FAIL {f}" for f in self.failures]
+        lines += [f"  skipped {s} (not in both reports)" for s in self.skipped]
+        return "\n".join(lines)
+
+
+def check_regression(
+    current: Dict[str, Dict],
+    baseline: Dict[str, Dict],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateResult:
+    """Gate ``current`` against ``baseline``; see module docstring."""
+    result = GateResult()
+    for name in sorted(set(current) | set(baseline)):
+        cur, base = current.get(name), baseline.get(name)
+        if cur is None or base is None:
+            result.skipped.append(name)
+            continue
+        result.compared.append(name)
+        cur_tp = float(cur.get("sim_per_wall", 0.0))
+        base_tp = float(base.get("sim_per_wall", 0.0))
+        if base_tp > 0 and cur_tp < base_tp * (1.0 - tolerance):
+            result.failures.append(
+                f"{name}: sim_per_wall {cur_tp:.1f} is "
+                f"{(1 - cur_tp / base_tp):.0%} below baseline {base_tp:.1f} "
+                f"(tolerance {tolerance:.0%})"
+            )
+        if cur.get("completed") and base.get("completed"):
+            if int(cur.get("events", -1)) != int(base.get("events", -2)):
+                result.failures.append(
+                    f"{name}: fixed-seed event count drifted "
+                    f"({base.get('events')} -> {cur.get('events')}); "
+                    f"a change altered simulation behavior"
+                )
+    return result

@@ -78,7 +78,10 @@ class Engine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[ScheduledEvent] = []
+        # Heap entries are (time, seq, event) tuples: (time, seq) is unique,
+        # so heap comparisons never fall through to the event object and
+        # stay C-level tuple compares instead of Python __lt__ calls.
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = itertools.count()
         self._running = False
         self._fired_count = 0
@@ -104,7 +107,7 @@ class Engine:
                 f"cannot schedule event at t={time} in the past (now={self._now})"
             )
         ev = ScheduledEvent(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, ev.seq, ev))
         return ev
 
     def call_in(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
@@ -122,10 +125,10 @@ class Engine:
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
 
     def step(self) -> bool:
@@ -133,7 +136,7 @@ class Engine:
         self._drop_cancelled()
         if not self._heap:
             return False
-        ev = heapq.heappop(self._heap)
+        ev = heapq.heappop(self._heap)[2]
         self._now = ev.time
         ev.fired = True
         fn, args = ev.fn, ev.args
@@ -160,13 +163,13 @@ class Engine:
                 self._drop_cancelled()
                 if not self._heap:
                     break
-                nxt = self._heap[0].time
+                nxt = self._heap[0][0]
                 if until is not None and nxt > until:
                     self._now = max(self._now, until)
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                ev = heapq.heappop(self._heap)
+                ev = heapq.heappop(self._heap)[2]
                 self._now = ev.time
                 ev.fired = True
                 fn, args = ev.fn, ev.args
@@ -186,7 +189,7 @@ class Engine:
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         self._drop_cancelled()
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine t={self._now:.3f} pending={len(self._heap)}>"

@@ -91,6 +91,10 @@ class SoakReport:
     violations: List[Violation]
     quiesced: bool
     stats: Dict[str, float] = field(default_factory=dict)
+    #: SHA-256 of the master's transaction journal (canonical form) at
+    #: the end of the run — the fixed-seed bit-fidelity oracle the perf
+    #: subsystem checks optimizations against.
+    journal_digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -277,12 +281,14 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
             "workers_evacuated": float(responder.workers_evacuated),
             "journal_records": float(len(master.journal)),
         }
+        journal_digest = master.journal.digest()
     return SoakReport(
         seed=seed,
         events=events,
         violations=violations,
         quiesced=quiesced,
         stats=stats,
+        journal_digest=journal_digest,
     )
 
 

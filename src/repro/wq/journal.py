@@ -27,6 +27,7 @@ recovery experiment measures what that costs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -125,6 +126,45 @@ class TransactionJournal:
 
     def record_abandon(self, time: float, task: Task) -> None:
         self._append(JournalRecord("abandon", time, task, attempt=task.attempts))
+
+    # --------------------------------------------------------------- digest
+    def digest(self) -> str:
+        """SHA-256 over a canonical serialization of every record.
+
+        ``repr(float)`` round-trips exactly, so two journals digest
+        equal iff every op, timestamp, task identity, attempt counter,
+        result field, and escalation floor matches bit-for-bit — the
+        fixed-seed fidelity oracle that proves an optimization preserved
+        the master's entire observable transition history. Task ids are
+        renumbered by first appearance so the digest is invariant to the
+        process-global id counter (two same-seed runs in one process
+        digest equal).
+        """
+        h = hashlib.sha256()
+        canon: Dict[int, int] = {}
+        for rec in self.records:
+            tid = canon.setdefault(rec.task.id, len(canon))
+            parts = [rec.op, repr(rec.time), str(tid), str(rec.attempt)]
+            if rec.result is not None:
+                r = rec.result
+                parts += [
+                    r.worker_name,
+                    repr(r.submit_time),
+                    repr(r.dispatch_time),
+                    repr(r.start_time),
+                    repr(r.finish_time),
+                    repr(r.execute_seconds),
+                    repr(r.measured_resources.cores),
+                    repr(r.measured_resources.memory_mb),
+                    repr(r.measured_resources.disk_mb),
+                    str(r.attempts),
+                ]
+            if rec.escalate_to is not None:
+                e = rec.escalate_to
+                parts += [repr(e.cores), repr(e.memory_mb), repr(e.disk_mb)]
+            h.update("|".join(parts).encode())
+            h.update(b"\n")
+        return h.hexdigest()
 
     # --------------------------------------------------------------- replay
     def replay(self, *, completions: bool = True) -> ReplayedState:

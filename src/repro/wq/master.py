@@ -21,6 +21,7 @@ estimates) subscribe to.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.resources import ResourceVector
@@ -117,10 +118,38 @@ class Master:
         self.workers: Dict[str, Worker] = {}
         self.running: Dict[int, Task] = {}
         self.done: List[Task] = []
+        # ------------------------------------------- dispatch-path indexes
+        #: Mirror of the subset of ``workers`` whose ``accepting`` flag is
+        #: true, maintained through :meth:`worker_status_changed`, so a
+        #: dispatch pass touches only real candidates instead of scanning
+        #: every connected worker. The best-fit key ends in the unique
+        #: worker name, so the winner is independent of iteration order.
+        self._accepting: Dict[str, Worker] = {}
+        #: Last-seen (accepting, idle, busy, draining) per worker; the
+        #: deltas keep the integer counters below exact.
+        self._worker_flags: Dict[str, Tuple[bool, bool, bool, bool]] = {}
+        self._n_idle = 0
+        self._n_busy = 0
+        self._n_draining = 0
+        #: Ids of tasks currently in ``queue`` — O(1) membership for the
+        #: completion/reconnect paths that used to scan the whole list.
+        self._queued_ids: Set[int] = set()
+        #: Queued tasks with nonzero priority; while zero (the default for
+        #: every workload) the dispatch order is plain queue order and the
+        #: per-pass sort is skipped.
+        self._queued_priority = 0
+        #: Bumped on every queue mutation; lets O(queue) aggregates such
+        #: as :meth:`cores_waiting` memoize their fold between mutations
+        #: (the recompute keeps the original iteration order, so the
+        #: cached float is bit-identical to an on-demand fold).
+        self._queue_rev = 0
+        self._cores_waiting_cache: Tuple[int, float] = (-1, 0.0)
         #: Tasks given up on after max_retries worker losses.
         self.abandoned: List[Task] = []
-        self._abandoned_callbacks: List[Callable[[Task], None]] = []
-        self._callbacks: List[CompletionCallback] = []
+        # Callback registries are tuples so notification loops iterate a
+        # natural snapshot instead of copying a list per completion.
+        self._abandoned_callbacks: Tuple[Callable[[Task], None], ...] = ()
+        self._callbacks: Tuple[CompletionCallback, ...] = ()
         self._dispatch_pending = False
         self.tasks_submitted = 0
         self.tasks_requeued = 0
@@ -201,11 +230,45 @@ class Master:
 
     # ------------------------------------------------------------ callbacks
     def on_complete(self, fn: CompletionCallback) -> None:
-        self._callbacks.append(fn)
+        self._callbacks = self._callbacks + (fn,)
 
     def on_abandoned(self, fn: Callable[[Task], None]) -> None:
         """Register for tasks permanently given up after max_retries."""
-        self._abandoned_callbacks.append(fn)
+        self._abandoned_callbacks = self._abandoned_callbacks + (fn,)
+
+    # ------------------------------------------------------- queue indexing
+    # Every mutation of ``queue`` goes through these helpers so the id set
+    # and the nonzero-priority count stay exact.
+    def _enqueue_back(self, task: Task) -> None:
+        self.queue.append(task)
+        self._queued_ids.add(task.id)
+        self._queue_rev += 1
+        if task.priority:
+            self._queued_priority += 1
+
+    def _enqueue_front(self, task: Task) -> None:
+        self.queue.insert(0, task)
+        self._queued_ids.add(task.id)
+        self._queue_rev += 1
+        if task.priority:
+            self._queued_priority += 1
+
+    def _dequeue(self, task: Task) -> None:
+        """Remove ``task`` from the queue if present (O(1) when absent —
+        the common case on the completion path)."""
+        if task.id not in self._queued_ids:
+            return
+        self.queue = [t for t in self.queue if t is not task]
+        self._queued_ids.discard(task.id)
+        self._queue_rev += 1
+        if task.priority:
+            self._queued_priority -= 1
+
+    def _reset_queue(self, tasks: List[Task]) -> None:
+        self.queue = tasks
+        self._queued_ids = {t.id for t in tasks}
+        self._queue_rev += 1
+        self._queued_priority = sum(1 for t in tasks if t.priority)
 
     # ------------------------------------------------------------- submit
     def submit(self, task: Task) -> None:
@@ -219,7 +282,7 @@ class Master:
             self.tracer.emit(
                 "wq", "task.submit", task.category, task_id=task.id
             )
-        self.queue.append(task)
+        self._enqueue_back(task)
         self._ensure_speculation_loop()
         self._schedule_dispatch()
 
@@ -230,14 +293,64 @@ class Master:
     # -------------------------------------------------------------- workers
     def register_worker(self, worker: Worker) -> None:
         self.workers[worker.name] = worker
+        self._refresh_worker_cache(worker)
         self._schedule_dispatch()
 
     def unregister_worker(self, worker: Worker) -> None:
         self.workers.pop(worker.name, None)
+        self._refresh_worker_cache(worker)
 
     def worker_draining(self, worker: Worker) -> None:
         """A drain started; nothing to do — dispatch skips non-accepting
         workers — but the hook keeps the protocol explicit."""
+
+    def worker_status_changed(self, worker: Worker) -> None:
+        """Worker-side hook: its accepting/idle/busy state may have
+        flipped (a run started or ended, a drain began, the connection
+        dropped). Refreshes the dispatch index and stat counters."""
+        self._refresh_worker_cache(worker)
+
+    def _refresh_worker_cache(self, worker: Worker) -> None:
+        """Reconcile the accepting index and stat counters with one
+        worker's live flags. Exact by construction: the old contribution
+        is retired, the new one recomputed from the worker itself, and a
+        worker no longer registered under its name contributes nothing."""
+        name = worker.name
+        old = self._worker_flags.pop(name, None)
+        if old is not None:
+            was_accepting, was_idle, was_busy, was_draining = old
+            if was_accepting:
+                self._accepting.pop(name, None)
+            if was_idle:
+                self._n_idle -= 1
+            if was_busy:
+                self._n_busy -= 1
+            if was_draining:
+                self._n_draining -= 1
+        if self.workers.get(name) is not worker:
+            return
+        accepting = worker.accepting
+        idle = worker.idle
+        draining = worker.state is WorkerState.DRAINING
+        busy = bool(worker.runs) and (
+            worker.state is WorkerState.READY or draining
+        )
+        self._worker_flags[name] = (accepting, idle, busy, draining)
+        if accepting:
+            self._accepting[name] = worker
+        if idle:
+            self._n_idle += 1
+        if busy:
+            self._n_busy += 1
+        if draining:
+            self._n_draining += 1
+
+    def _reset_worker_caches(self) -> None:
+        self._accepting.clear()
+        self._worker_flags.clear()
+        self._n_idle = 0
+        self._n_busy = 0
+        self._n_draining = 0
 
     # ----------------------------------------------------- partition liveness
     def worker_unreachable(self, worker: Worker) -> None:
@@ -344,7 +457,7 @@ class Master:
                     attempt=task.attempts,
                     worker=worker.name,
                 )
-            self.queue.insert(0, task)
+            self._enqueue_front(task)
             requeued.append(task)
         if requeued:
             self._schedule_dispatch()
@@ -355,6 +468,7 @@ class Master:
         tasks that have already burned ``max_retries`` attempts are
         abandoned (reported through ``on_abandoned``)."""
         self.workers.pop(worker.name, None)
+        self._refresh_worker_cache(worker)
         for task in reversed(lost_tasks):
             if task.result is not None:
                 # Already completed (a requeued copy finished elsewhere,
@@ -385,7 +499,7 @@ class Master:
                     attempt=task.attempts,
                     worker=worker.name,
                 )
-            self.queue.insert(0, task)
+            self._enqueue_front(task)
         if lost_tasks:
             self._schedule_dispatch()
 
@@ -445,7 +559,7 @@ class Master:
                     reason=fault.kind,
                     attempt=task.attempts,
                 )
-            self.queue.insert(0, task)
+            self._enqueue_front(task)
             self._schedule_dispatch()
         else:
             self._backoff_pending += 1
@@ -469,7 +583,7 @@ class Master:
                 reason="backoff",
                 attempt=task.attempts,
             )
-        self.queue.insert(0, task)
+        self._enqueue_front(task)
         self._schedule_dispatch()
 
     def _abandon(self, task: Task) -> None:
@@ -484,7 +598,7 @@ class Master:
                 attempts=task.attempts,
             )
         self.abandoned.append(task)
-        for fn in list(self._abandoned_callbacks):
+        for fn in self._abandoned_callbacks:
             fn(task)
 
     def _charge_waste(self, task: Task) -> None:
@@ -519,7 +633,8 @@ class Master:
             return
         self.available = False
         self.outages += 1
-        self.tracer.emit("wq", "master.pause", outages=self.outages)
+        if self.tracer.enabled:
+            self.tracer.emit("wq", "master.pause", outages=self.outages)
 
     def resume(self) -> None:
         """The master is back (sticky identity + persistent volume): the
@@ -529,9 +644,10 @@ class Master:
         if self.crashed:
             return  # a crashed master needs recover(), not resume()
         self.available = True
-        self.tracer.emit(
-            "wq", "master.resume", buffered=len(self._buffered_completions)
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq", "master.resume", buffered=len(self._buffered_completions)
+            )
         buffered, self._buffered_completions = self._buffered_completions, []
         for worker, task in buffered:
             self._finalize_completion(worker, task)
@@ -551,22 +667,26 @@ class Master:
         self.crashed = True
         self.crashes += 1
         self.last_crash_at = self.engine.now
-        self.tracer.emit(
-            "wq",
-            "master.crash",
-            queued=len(self.queue),
-            running=len(self.running),
-            workers=len(self.workers),
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "master.crash",
+                queued=len(self.queue),
+                running=len(self.running),
+                workers=len(self.workers),
+            )
         self.first_completion_after_recovery_at = None
         if self.available:
             self.available = False
             self.outages += 1
         self._incarnation += 1
-        for worker in list(self.workers.values()):
+        # ``master_lost`` never re-enters the worker table, so iterating
+        # the live view (no defensive copy) is safe here.
+        for worker in self.workers.values():
             worker.master_lost()
         self.workers.clear()
-        self.queue.clear()
+        self._reset_worker_caches()
+        self._reset_queue([])
         self.running.clear()
         self.done.clear()
         self.abandoned.clear()
@@ -602,11 +722,11 @@ class Master:
         state = self.journal.replay(completions=use_replay)
         self.tasks_submitted = state.submitted
         if use_replay:
-            self.queue = list(state.ready)
+            self._reset_queue(list(state.ready))
             self._unclaimed = dict(state.unclaimed)
             self._delivered = set(state.delivered)
             self.abandoned = list(state.abandoned)
-            for task in list(self._unclaimed.values()) + self.queue:
+            for task in chain(self._unclaimed.values(), self.queue):
                 if task.id in state.attempts:
                     task.attempts = state.attempts[task.id]
             for task, result in state.completions:
@@ -617,7 +737,7 @@ class Master:
             for category, floor in state.escalations:
                 self.monitor.observe_exhaustion(category, floor)
         else:
-            self.queue = []
+            ready: List[Task] = []
             for task in state.ready:
                 if task.result is not None:
                     # Completed before the crash; the cold restart
@@ -628,19 +748,21 @@ class Master:
                 task.attempts = 0
                 task.min_allocation = None
                 task.reset_for_retry()
-                self.queue.append(task)
+                ready.append(task)
+            self._reset_queue(ready)
         self.recovered_queue_depth = len(self.queue)
         self.crashed = False
         self.available = True
         self.last_recovered_at = self.engine.now
-        self.tracer.emit(
-            "wq",
-            "master.recover",
-            strategy="journal" if use_replay else "cold",
-            queue_depth=self.recovered_queue_depth,
-            unclaimed=len(self._unclaimed),
-            completions_restored=len(self.done),
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "master.recover",
+                strategy="journal" if use_replay else "cold",
+                queue_depth=self.recovered_queue_depth,
+                unclaimed=len(self._unclaimed),
+                completions_restored=len(self.done),
+            )
         buffered, self._buffered_completions = self._buffered_completions, []
         for worker, task in buffered:
             self._finalize_completion(worker, task)
@@ -677,7 +799,7 @@ class Master:
                     reason="unclaimed",
                     attempt=task.attempts,
                 )
-            self.queue.insert(0, task)
+            self._enqueue_front(task)
         if leftovers:
             self._schedule_dispatch()
 
@@ -690,7 +812,9 @@ class Master:
         if worker.state not in (WorkerState.READY, WorkerState.DRAINING):
             return
         self.workers[worker.name] = worker
+        self._refresh_worker_cache(worker)
         self._unreachable.pop(worker.name, None)
+        # Snapshot once: ``cancel_run`` below mutates ``worker.runs``.
         for run in list(worker.runs.values()):
             task = run.task
             adoptable = (
@@ -711,14 +835,14 @@ class Master:
                         task.speculation_of is None
                         and (
                             task.id in self._unclaimed
-                            or any(t is task for t in self.queue)
+                            or task.id in self._queued_ids
                         )
                     )
                 )
             )
             if adoptable:
                 self._unclaimed.pop(task.id, None)
-                self.queue = [t for t in self.queue if t is not task]
+                self._dequeue(task)
                 self.running[task.id] = task
             else:
                 self._charge_waste(task)
@@ -733,51 +857,92 @@ class Master:
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False
-        if not self.queue or not self.available:
+        if not self.queue or not self.available or not self._accepting:
             return
         # Higher priority first; FIFO (stable sort over queue order)
         # within a priority level. Requeued tasks sit at the queue front
         # already, keeping retry-first semantics among equal priorities.
-        ordered = sorted(self.queue, key=lambda t: -t.priority)
-        placed_ids = set()
+        # When every queued priority is the default 0 (tracked by the
+        # queue helpers) the sorted order IS the queue order, so the
+        # per-pass sort is skipped.
+        if self._queued_priority:
+            ordered = sorted(self.queue, key=lambda t: -t.priority)
+        else:
+            ordered = self.queue
+        # Within one synchronous pass worker capacity only shrinks, so a
+        # task that found no seat proves the same for every later task
+        # with the same placement inputs (category drives the estimate;
+        # footprint/min_allocation/declared drive the sizing). Memoizing
+        # the failures turns the tail of a saturated pass into O(1) per
+        # task instead of a full candidate scan each.
+        unplaceable: Set[Tuple] = set()
+        placed: List[Task] = []
         for task in ordered:
+            sig = (task.category, task.footprint, task.min_allocation, task.declared)
+            if sig in unplaceable:
+                continue
             if self._try_place(task):
-                placed_ids.add(task.id)
-        if placed_ids:
+                placed.append(task)
+            else:
+                unplaceable.add(sig)
+        if placed:
+            placed_ids = {t.id for t in placed}
             self.queue = [t for t in self.queue if t.id not in placed_ids]
+            self._queued_ids -= placed_ids
+            self._queue_rev += 1
+            if self._queued_priority:
+                self._queued_priority -= sum(1 for t in placed if t.priority)
+
+    #: Sentinel distinguishing "capacity not sized yet" from "sized to
+    #: None (task cannot fit this capacity at all)" in the dispatch memo.
+    _UNSIZED = object()
 
     def _try_place(self, task: Task, exclude: Optional[Worker] = None) -> bool:
-        candidates = [
-            w for w in self.workers.values() if w.accepting and w is not exclude
-        ]
-        if not candidates:
-            return False
         best: Optional[Worker] = None
         best_alloc: Optional[ResourceVector] = None
         best_key = None
-        for worker in candidates:
-            alloc = self.estimator.allocation_for(task, worker.capacity)
-            if alloc is None:
-                alloc = worker.capacity  # whole-worker (conservative/probe)
-            else:
-                # Never allocate less than the task actually needs, and
-                # never more than the worker has in total.
-                alloc = alloc.max_with(task.footprint)
-                if task.min_allocation is not None:
-                    # Escalated retry: grant the post-escalation size,
-                    # capped at the whole worker so the task can still
-                    # be placed somewhere.
-                    alloc = (
-                        alloc.max_with(task.min_allocation)
-                        .min_with(worker.capacity)
-                        .max_with(task.footprint)
-                    )
-                if not alloc.fits_in(worker.capacity):
-                    continue
-            if not worker.can_fit(alloc):
+        estimator = self.estimator
+        footprint = task.footprint
+        min_allocation = task.min_allocation
+        # The sized allocation depends on the task and the *capacity*, not
+        # the worker; in the (typical) homogeneous fleet it is computed
+        # once instead of once per candidate. None marks a capacity the
+        # task can never fit.
+        alloc_by_capacity: Dict[ResourceVector, Optional[ResourceVector]] = {}
+        for worker in self._accepting.values():
+            if worker is exclude or not worker.accepting:
                 continue
-            # Prefer cache hits; then best-fit by remaining cores.
-            key = (worker.has_cached(task), -worker.available().cores, worker.name)
+            capacity = worker.capacity
+            alloc = alloc_by_capacity.get(capacity, Master._UNSIZED)
+            if alloc is Master._UNSIZED:
+                alloc = estimator.allocation_for(task, capacity)
+                if alloc is None:
+                    alloc = capacity  # whole-worker (conservative/probe)
+                else:
+                    # Never allocate less than the task actually needs,
+                    # and never more than the worker has in total.
+                    alloc = alloc.max_with(footprint)
+                    if min_allocation is not None:
+                        # Escalated retry: grant the post-escalation
+                        # size, capped at the whole worker so the task
+                        # can still be placed somewhere.
+                        alloc = (
+                            alloc.max_with(min_allocation)
+                            .min_with(capacity)
+                            .max_with(footprint)
+                        )
+                    if not alloc.fits_in(capacity):
+                        alloc = None
+                alloc_by_capacity[capacity] = alloc
+            if alloc is None:
+                continue
+            available = worker.available()
+            if not alloc.fits_in(available):
+                continue
+            # Prefer cache hits; then best-fit by remaining cores. The
+            # unique name tiebreak makes the winner independent of the
+            # order the index is walked in.
+            key = (worker.has_cached(task), -available.cores, worker.name)
             if best_key is None or key > best_key:
                 best, best_alloc, best_key = worker, alloc, key
         if best is None or best_alloc is None:
@@ -923,8 +1088,7 @@ class Master:
             self._cancel_speculation_for(task)
         self.running.pop(task.id, None)
         self._unclaimed.pop(task.id, None)
-        if self.queue:
-            self.queue = [t for t in self.queue if t is not task]
+        self._dequeue(task)
         task.state = TaskState.DONE
         task.finish_time = self.engine.now
         assert task.submit_time is not None
@@ -946,7 +1110,7 @@ class Master:
         self._record_acceptance(task, result)
         self.done.append(task)
         self.monitor.record(result)
-        for fn in list(self._callbacks):
+        for fn in self._callbacks:
             fn(task, result)
         self._schedule_dispatch()
 
@@ -1003,8 +1167,7 @@ class Master:
         self._spec.pop(original.id, None)
         self.speculation_wins += 1
         self.running.pop(original.id, None)
-        if original in self.queue:
-            self.queue.remove(original)
+        self._dequeue(original)
         host = self._worker_running(original.id)
         if host is not None:
             self._charge_waste(original)
@@ -1032,7 +1195,7 @@ class Master:
         self._record_acceptance(original, result)
         self.done.append(original)
         self.monitor.record(result)
-        for fn in list(self._callbacks):
+        for fn in self._callbacks:
             fn(original, result)
         self._schedule_dispatch()
 
@@ -1052,24 +1215,18 @@ class Master:
 
     # ----------------------------------------------------------------- stats
     def stats(self) -> MasterStats:
-        idle = sum(1 for w in self.workers.values() if w.idle)
-        draining = sum(
-            1 for w in self.workers.values() if w.state is WorkerState.DRAINING
-        )
-        busy = sum(
-            1
-            for w in self.workers.values()
-            if w.state in (WorkerState.READY, WorkerState.DRAINING) and w.runs
-        )
+        # O(1): the counters are maintained exactly by the worker status
+        # hooks (see _refresh_worker_cache) instead of recounted over
+        # every connected worker per accounting sample.
         return MasterStats(
             time=self.engine.now,
             waiting=len(self.queue),
             running=len(self.running),
             done=len(self.done),
             workers_connected=len(self.workers),
-            workers_idle=idle,
-            workers_busy=busy,
-            workers_draining=draining,
+            workers_idle=self._n_idle,
+            workers_busy=self._n_busy,
+            workers_draining=self._n_draining,
         )
 
     def waiting_tasks(self) -> List[Task]:
@@ -1110,8 +1267,18 @@ class Master:
 
     def cores_waiting(self) -> float:
         """RSH ingredient: cores desired by queued tasks (true footprints;
-        the evaluation measures actual shortage, per §VI)."""
-        return sum(t.footprint.cores for t in self.queue)
+        the evaluation measures actual shortage, per §VI).
+
+        Memoized against :attr:`_queue_rev`: metric samplers and the
+        forecast scaler poll this between queue mutations, and the fold
+        is O(queue). The recompute preserves queue order, so the cached
+        float is bit-identical to the unmemoized sum.
+        """
+        rev, value = self._cores_waiting_cache
+        if rev != self._queue_rev:
+            value = sum(t.footprint.cores for t in self.queue)
+            self._cores_waiting_cache = (self._queue_rev, value)
+        return value
 
     def supplied_cores(self) -> float:
         """RS in cores: capacity of connected, accepting workers."""

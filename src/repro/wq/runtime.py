@@ -51,6 +51,12 @@ class WorkerPodRuntime:
         self.workers_killed = 0
         self.resyncs = 0
         self.pods_adopted = 0
+        #: Pod kind-version as of the last full resync scan. Every event
+        #: that could create adoptable work (a pod turning Running, a
+        #: worker's pod being deleted or completed) bumps the Pod
+        #: version, so an unchanged head means the relist would find
+        #: nothing to adopt and can be skipped.
+        self._resync_version = -1
         self._resync_loop: Optional[PeriodicTask] = None
         api.watch("Pod", self._on_pod_event, replay_existing=True)
         if resync_period_s is not None:
@@ -74,6 +80,9 @@ class WorkerPodRuntime:
         if not self.api.available:
             return 0  # a relist would fail too
         self.resyncs += 1
+        version = self.api.kind_version("Pod")
+        if version == self._resync_version:
+            return 0  # no pod writes since the last scan; see __init__
         adopted = 0
         for pod in self.api.list("Pod"):
             if not isinstance(pod, Pod):
@@ -83,6 +92,7 @@ class WorkerPodRuntime:
             if pod.phase is PodPhase.RUNNING and pod.name not in self.workers:
                 self._start_worker(pod)
                 adopted += 1
+        self._resync_version = version
         self.pods_adopted += adopted
         return adopted
 

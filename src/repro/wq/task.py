@@ -82,6 +82,17 @@ class TaskResult:
 class Task:
     """A schedulable job; see module docstring for the execution model."""
 
+    # Tasks are the highest-volume mutable objects in a run (one per job
+    # plus retries/speculative copies); slots cut their per-instance
+    # memory and speed up the attribute access the dispatch loop lives on.
+    __slots__ = (
+        "id", "category", "command", "tag", "priority", "execute_s",
+        "cpu_fraction", "footprint", "declared", "inputs", "outputs",
+        "state", "attempts", "submit_time", "dispatch_time", "start_time",
+        "finish_time", "allocation", "min_allocation", "speculation_of",
+        "result",
+    )
+
     def __init__(
         self,
         category: str,

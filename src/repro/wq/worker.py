@@ -97,6 +97,15 @@ class Worker:
         #: duplicating it (Work Queue's per-worker file semantics).
         self._inflight_cacheable: Dict[str, List[_TaskRun]] = {}
         self.runs: Dict[int, _TaskRun] = {}
+        #: Cached fold of the live runs' allocations plus the matching
+        #: remainder. ``allocated()`` used to refold on every read and
+        #: the master's best-fit scan reads it O(workers) times per
+        #: dispatch pass, which made it the simulator's hottest
+        #: function; instead it is recomputed once per runs-set
+        #: mutation. The recompute keeps the original fold order so the
+        #: cached floats are bit-identical to the on-demand values.
+        self._allocated = ResourceVector.zero()
+        self._available = (capacity - self._allocated).clamp_floor(0.0)
         self.tasks_completed = 0
         self.tasks_failed = 0
         #: True while the master connection is down (its pod crashed);
@@ -172,6 +181,10 @@ class Worker:
         if self._detached:
             return
         self._detached = True
+        # Models the master's side of the dropped connection: its dispatch
+        # view stops offering this worker the moment the link dies (the
+        # live ``accepting`` read did the same before the index existed).
+        self.master.worker_status_changed(self)
         self._reconnect_attempt = 0
         self.engine.call_in(self.RECONNECT_BASE_S, self._try_reconnect)
 
@@ -208,6 +221,7 @@ class Worker:
             self._exited()
             return
         self.state = WorkerState.DRAINING
+        self.master.worker_status_changed(self)
         if self._detached:
             # The master is unreachable (partition or crash): we cannot
             # unregister, and held results must not die with us. The
@@ -234,6 +248,7 @@ class Worker:
             run.task.state = TaskState.FAILED
             lost.append(run.task)
         self.runs.clear()
+        self._runs_changed()
         self._inflight_cacheable.clear()
         if was_registered and not self._detached:
             self.master.worker_lost(self, lost)
@@ -259,14 +274,21 @@ class Worker:
             self.on_exit(self)
 
     # ------------------------------------------------------------- capacity
-    def allocated(self) -> ResourceVector:
+    def _runs_changed(self) -> None:
+        """The runs set mutated: refold the allocation cache and tell the
+        master its dispatch-side caches for this worker are stale."""
         total = ResourceVector.zero()
         for run in self.runs.values():
             total = total + run.allocation
-        return total
+        self._allocated = total
+        self._available = (self.capacity - total).clamp_floor(0.0)
+        self.master.worker_status_changed(self)
+
+    def allocated(self) -> ResourceVector:
+        return self._allocated
 
     def available(self) -> ResourceVector:
-        return (self.capacity - self.allocated()).clamp_floor(0.0)
+        return self._available
 
     @property
     def idle(self) -> bool:
@@ -293,6 +315,7 @@ class Worker:
             )
         run = _TaskRun(task, allocation)
         self.runs[task.id] = run
+        self._runs_changed()
         task.allocation = allocation
         task.dispatch_time = self.engine.now
         task.state = TaskState.FETCHING
@@ -383,6 +406,7 @@ class Worker:
         task = run.task
         run.exec_event = None
         del self.runs[task.id]
+        self._runs_changed()
         task.state = TaskState.FAILED
         self.tasks_failed += 1
         if self._detached:
@@ -416,6 +440,7 @@ class Worker:
         run = self.runs.pop(task.id, None)
         if run is None:
             return False
+        self._runs_changed()
         if run.exec_event is not None:
             run.exec_event.cancel()
             run.exec_event = None
@@ -441,6 +466,7 @@ class Worker:
             return
         task = run.task
         del self.runs[task.id]
+        self._runs_changed()
         self.tasks_completed += 1
         if self._detached:
             # No master to report to; hold the outputs until reconnect.

@@ -158,3 +158,30 @@ class TestCircuitBreaker:
         provisioner.stop()
         assert provisioner._check_loop is None
         provisioner.stop()  # idempotent
+
+
+class TestStopGuard:
+    """A pending-timeout retry can fire after the clean-up drain; the
+    provisioner must refuse to create workers once stopped (seed-33298
+    soak regression: the late pod spawned a worker no drain visited)."""
+
+    def test_create_after_stop_is_refused(self, engine, stack):
+        cluster, provisioner = stack
+        provisioner.stop()
+        assert provisioner.create_workers(3) == []
+        assert provisioner.creations_after_stop == 3
+        assert provisioner.pods_created == 0
+        assert not cluster.api.list("Pod")
+
+    def test_scheduled_retry_firing_after_stop_creates_nothing(
+        self, engine, stack
+    ):
+        cluster, provisioner = stack
+        provisioner.create_workers(1)
+        # Let the pod go stuck-pending, be reaped, and a retry scheduled
+        # (every reservation in this fixture fails to boot).
+        engine.run(until=200.0)
+        provisioner.stop()
+        before = provisioner.pods_created
+        engine.run(until=600.0)  # any in-flight retry fires in here
+        assert provisioner.pods_created == before

@@ -1,0 +1,89 @@
+"""The bench driver: measurement, report emission, and wall-boxing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import BenchConfig, BenchReport, run_bench, run_scenario
+from repro.perf.scenarios import PerfScenario
+
+#: Small enough to finish in a couple of wall seconds, big enough to
+#: exercise scale-up, dispatch, and drain.
+TINY = PerfScenario(
+    name="tiny-perf",
+    n_tasks=40,
+    max_nodes=10,
+    policy="hta",
+    execute_s=10.0,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    return run_scenario(TINY, max_wall_s=120.0)
+
+
+class TestRunScenario:
+    def test_completes_and_measures(self, tiny_run):
+        m = tiny_run
+        assert m.scenario == "tiny-perf" and m.policy == "hta"
+        assert m.completed
+        assert m.tasks_completed == m.tasks_total == 40
+        assert m.events > 0 and m.sim_s > 0 and m.wall_s > 0
+        assert m.peak_rss_mb > 0
+
+    def test_derived_rates(self, tiny_run):
+        m = tiny_run
+        assert m.sim_per_wall == pytest.approx(m.sim_s / m.wall_s)
+        assert m.events_per_sec == pytest.approx(m.events / m.wall_s)
+        row = m.row()
+        assert row["sim_per_wall"] == round(m.sim_per_wall, 2)
+        assert row["completed"] is True
+
+    def test_fixed_seed_event_count_is_reproducible(self, tiny_run):
+        """The determinism signal the gate relies on."""
+        again = run_scenario(TINY, max_wall_s=120.0)
+        assert again.events == tiny_run.events
+        assert again.sim_s == tiny_run.sim_s
+
+    def test_wall_box_yields_partial_run(self):
+        m = run_scenario(TINY, max_wall_s=0.0)
+        assert not m.completed
+        assert m.tasks_completed < m.tasks_total
+
+
+class TestRunBench:
+    def test_emits_report_and_per_run_results(self, tmp_path):
+        config = BenchConfig(
+            scenarios=[TINY], out_dir=tmp_path / "out", max_wall_s=120.0
+        )
+        report = run_bench(config, echo=lambda *_: None)
+        assert [m.scenario for m in report.runs] == ["tiny-perf"]
+        per_run = tmp_path / "out" / "tiny-perf" / "result.json"
+        assert json.loads(per_run.read_text())["scenario"] == "tiny-perf"
+        top = json.loads((tmp_path / "out" / "BENCH_PERF.json").read_text())
+        assert top["schema"] == 1
+        assert "tiny-perf" in top["runs"]
+        assert top["runs"]["tiny-perf"]["events"] == report.runs[0].events
+
+    def test_speedup_vs_reference(self, tmp_path):
+        reference = tmp_path / "reference.json"
+        reference.write_text(
+            json.dumps({"runs": {"tiny-perf": {"sim_per_wall": 1.0}}})
+        )
+        config = BenchConfig(
+            scenarios=[TINY],
+            out_dir=tmp_path / "out",
+            max_wall_s=120.0,
+            reference_path=reference,
+        )
+        report = run_bench(config, echo=lambda *_: None)
+        ratio = report.speedup_vs_reference["tiny-perf"]
+        assert ratio == pytest.approx(report.runs[0].sim_per_wall)
+        assert f"{ratio:.1f}x" in report.table()
+
+
+def test_table_renders_without_runs():
+    assert "scenario" in BenchReport(runs=[]).table()

@@ -1,0 +1,30 @@
+"""Fixed-seed bit-fidelity against the pre-optimization golden capture.
+
+The golden file was generated from the unoptimized simulator (commit
+before the perf subsystem landed) by running chaos-enabled smoke soaks
+and recording each seed's journal digest, final metric dict, and
+quiescence outcome. Every optimization since must reproduce all three
+bit-for-bit: these runs include preemption waves, API outages, and
+image-pull stalls, so the fidelity proof covers the hostile paths too.
+"""
+
+from __future__ import annotations
+
+from repro.perf.fidelity import GOLDEN_PATH, check_fidelity, load_golden
+
+
+def test_golden_capture_exists_and_is_well_formed():
+    golden = load_golden()
+    assert golden, f"empty golden capture at {GOLDEN_PATH}"
+    for seed, entry in golden.items():
+        int(seed)  # keys are stringified seeds
+        assert entry["journal_digest"], seed
+        assert isinstance(entry["stats"], dict) and entry["stats"], seed
+        assert "quiesced" in entry
+
+
+def test_optimized_simulator_matches_pre_optimization_journals():
+    """The oracle itself: re-run every golden seed on the current code
+    and demand identical journals, metrics, and quiescence."""
+    problems = check_fidelity(load_golden())
+    assert not problems, "\n".join(problems)

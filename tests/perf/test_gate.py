@@ -1,0 +1,78 @@
+"""Unit tests for the perf regression gate."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.gate import DEFAULT_TOLERANCE, check_regression, load_report
+
+
+def _row(sim_per_wall=10.0, events=5000, completed=True):
+    return {
+        "sim_per_wall": sim_per_wall,
+        "events": events,
+        "completed": completed,
+    }
+
+
+class TestThroughput:
+    def test_equal_reports_pass(self):
+        runs = {"a": _row(), "b": _row(20.0)}
+        result = check_regression(runs, runs)
+        assert result.ok
+        assert result.compared == ["a", "b"]
+
+    def test_small_slowdown_within_tolerance_passes(self):
+        current = {"a": _row(sim_per_wall=8.5)}  # -15% < 20% tolerance
+        assert check_regression(current, {"a": _row(10.0)}).ok
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        current = {"a": _row(sim_per_wall=7.0)}  # -30%
+        result = check_regression(current, {"a": _row(10.0)})
+        assert not result.ok
+        assert "sim_per_wall" in result.failures[0]
+
+    def test_speedup_passes(self):
+        assert check_regression({"a": _row(99.0)}, {"a": _row(10.0)}).ok
+
+    def test_custom_tolerance(self):
+        current = {"a": _row(sim_per_wall=8.5)}
+        assert not check_regression(
+            current, {"a": _row(10.0)}, tolerance=0.10
+        ).ok
+        assert DEFAULT_TOLERANCE == 0.20
+
+
+class TestDeterminism:
+    def test_event_drift_on_completed_runs_fails(self):
+        current = {"a": _row(events=5001)}
+        result = check_regression(current, {"a": _row(events=5000)})
+        assert not result.ok
+        assert "drifted" in result.failures[0]
+
+    def test_event_drift_ignored_for_partial_runs(self):
+        """Wall-boxed partial runs stop at host-dependent points; their
+        event counts are not comparable."""
+        current = {"a": _row(events=5001, completed=False)}
+        assert check_regression(current, {"a": _row(events=5000)}).ok
+
+
+class TestCoverage:
+    def test_scenarios_missing_from_either_side_are_skipped(self):
+        result = check_regression(
+            {"a": _row(), "only-current": _row()},
+            {"a": _row(), "only-baseline": _row()},
+        )
+        assert result.ok
+        assert sorted(result.skipped) == ["only-baseline", "only-current"]
+
+    def test_describe_mentions_failures(self):
+        result = check_regression({"a": _row(1.0)}, {"a": _row(10.0)})
+        text = result.describe()
+        assert "FAIL" in text and "a" in text
+
+
+def test_load_report_reads_runs_table(tmp_path):
+    path = tmp_path / "BENCH_PERF.json"
+    path.write_text(json.dumps({"schema": 1, "runs": {"a": _row()}}))
+    assert load_report(path) == {"a": _row()}

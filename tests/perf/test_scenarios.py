@@ -1,0 +1,61 @@
+"""The scenario ladder: shape, naming, and spec materialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import POLICIES
+from repro.perf.scenarios import (
+    LADDER,
+    POLICY_KEYS,
+    RUNGS,
+    SMOKE_SCENARIO,
+    largest_scenario,
+    scenario_by_name,
+)
+
+
+def test_ladder_covers_every_rung_and_policy():
+    assert len(LADDER) == len(RUNGS) * len(POLICY_KEYS) == 9
+    names = {s.name for s in LADDER}
+    assert len(names) == len(LADDER)
+    for tag, n_tasks, max_nodes, _ in RUNGS:
+        for policy in POLICY_KEYS:
+            s = scenario_by_name(f"ladder-{tag}-{policy}")
+            assert (s.n_tasks, s.max_nodes, s.policy) == (
+                n_tasks, max_nodes, policy,
+            )
+
+
+def test_policies_resolve_through_the_experiment_registry():
+    for key in POLICY_KEYS:
+        assert key in POLICIES
+
+
+def test_smoke_scenario_is_the_smallest_rung():
+    smoke = scenario_by_name(SMOKE_SCENARIO)
+    assert smoke.n_tasks == min(s.n_tasks for s in LADDER)
+    assert smoke.policy == "hta"
+
+
+def test_largest_scenario_is_the_issue_target():
+    top = largest_scenario()
+    assert top.name == "ladder-100k-10k-hta"
+    assert top.n_tasks == 100_000 and top.max_nodes == 10_000
+
+
+def test_unknown_scenario_raises_with_known_names():
+    with pytest.raises(KeyError, match="ladder-1k-100-hta"):
+        scenario_by_name("nope")
+
+
+def test_build_spec_is_deterministic_and_self_contained():
+    scenario = scenario_by_name(SMOKE_SCENARIO)
+    spec_a, spec_b = scenario.build_spec(), scenario.build_spec()
+    assert len(spec_a.workload) == scenario.n_tasks
+    assert spec_a.stack.cluster.max_nodes == scenario.max_nodes
+    assert spec_a.stack.seed == spec_b.stack.seed == scenario.seed
+    # Workload generation is seeded: same runtimes in the same order.
+    assert [t.execute_s for t in spec_a.workload] == [
+        t.execute_s for t in spec_b.workload
+    ]
