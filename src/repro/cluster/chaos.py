@@ -100,6 +100,11 @@ class ChaosInjector:
     def partition_windows(self) -> int:
         return int(self._c_injections.value(kind="partition"))
 
+    @property
+    def migrations_injected(self) -> int:
+        """Checkpoint/restore drains fired against live workers."""
+        return int(self._c_injections.value(kind="migrate"))
+
     # ------------------------------------------------------------- directed
     def kill_node(self, node: Node) -> List[Pod]:
         """Crash a node: every pod on it fails, then the node vanishes."""
@@ -181,6 +186,31 @@ class ChaosInjector:
         correlated capacity loss real spot pools exhibit when the
         provider needs machines back."""
         self.engine.call_at(at_s, self.preempt_random_spot_nodes, count)
+
+    # --------------------------------------------------- live-drain migration
+    def migrate_random_worker(self, master: "Master", coordinator):
+        """Drain a random busy, reachable worker through the
+        checkpoint/restore migration protocol (its runs snapshot, ship,
+        and resume elsewhere with banked progress). Returns the worker
+        struck, or ``None`` if nothing was eligible."""
+        candidates = [
+            w
+            for w in master.connected_workers()
+            if w.runs
+            and not w.partitioned
+            and w.state.value in ("ready", "draining")
+        ]
+        if not candidates:
+            return None
+        idx = int(self.rng.stream("chaos.migrate").integers(0, len(candidates)))
+        worker = candidates[idx]
+        started = coordinator.drain_worker(worker, reason="chaos")
+        self._c_injections.inc(kind="migrate")
+        self.tracer.emit(
+            "cluster", "chaos.migrate", "chaos",
+            worker=worker.name, migrations=started,
+        )
+        return worker
 
     # ---------------------------------------------------- network partitions
     def begin_partition(

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig10,
     fig11,
     forecast_cmp,
+    migration,
     perf,
     preemption,
     recovery,
@@ -43,6 +44,7 @@ _MODULES = {
     "fig10": fig10,
     "fig11": fig11,
     "forecast": forecast_cmp,
+    "migration": migration,
     "perf": perf,
     "preemption": preemption,
     "recovery": recovery,
@@ -51,7 +53,7 @@ _MODULES = {
 }
 
 #: Experiments whose ``main`` accepts a ``smoke=`` reduced-scale mode.
-_SMOKE_CAPABLE = {"perf", "recovery", "resilience", "preemption", "soak"}
+_SMOKE_CAPABLE = {"perf", "recovery", "resilience", "preemption", "migration", "soak"}
 
 FIGURES: Dict[str, Callable[[int], str]] = {
     name: module.main for name, module in _MODULES.items()
@@ -157,6 +159,15 @@ def main(argv: list[str] | None = None) -> int:
         help="soak only: run N consecutive seeds starting at --seed",
     )
     parser.add_argument(
+        "--migrate",
+        action="store_true",
+        help=(
+            "soak only: enable checkpoint/restore migration (the "
+            "'migrate' chaos primitive joins the schedule pool and "
+            "preemption drains migrate instead of requeueing)"
+        ),
+    )
+    parser.add_argument(
         "--restart-delay",
         type=float,
         default=60.0,
@@ -232,6 +243,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["smoke"] = True
         if name == "soak" and args.runs != 1:
             kwargs["runs"] = args.runs
+        if name == "soak" and args.migrate:
+            kwargs["migrate"] = True
         if name == "recovery":
             kwargs.update(
                 crash_at_s=args.crash_at,

@@ -83,6 +83,7 @@ from repro.wq.faults import (
 )
 from repro.wq.link import Link
 from repro.wq.master import Master
+from repro.wq.migration import MigrationConfig, MigrationCoordinator
 from repro.wq.monitor import ResourceMonitor
 from repro.wq.runtime import WorkerPodRuntime
 from repro.wq.task import Task
@@ -699,6 +700,11 @@ def _build_hta(
     #: "vanilla" HTA that buys spot but ignores reclamation).
     spot_policy = _take(options, "spot_policy")
     spot_aware = bool(_take(options, "spot_aware", False))
+    #: Optional checkpoint/restore migration: a MigrationConfig (or a
+    #: bare policy string like "batched-fluid") builds a coordinator the
+    #: preemption responder drains doomed spot workers through instead
+    #: of requeueing them from scratch. Requires ``spot_aware``.
+    migration_opt = _take(options, "migration")
     if hta_config is None:
         hta_config = HtaConfig(
             initial_workers=cfg.cluster.min_nodes,
@@ -713,6 +719,22 @@ def _build_hta(
         fault_config=cfg.faults.provisioner if cfg.faults is not None else None,
         spot_policy=spot_policy,
     )
+    migration = None
+    if migration_opt is not None:
+        if not spot_aware:
+            raise ValueError("migration= requires spot_aware=True")
+        mig_config = (
+            MigrationConfig(policy=migration_opt)
+            if isinstance(migration_opt, str)
+            else migration_opt
+        )
+        migration = MigrationCoordinator(
+            stack.engine,
+            stack.master,
+            mig_config,
+            tracer=stack.tracer,
+            metrics=stack.metrics,
+        )
     responder = None
     if spot_aware:
         responder = PreemptionResponder(
@@ -722,6 +744,7 @@ def _build_hta(
             stack.runtime,
             provisioner,
             tracer=stack.tracer,
+            migration=migration,
         )
     tracker = _hta_tracker(stack, cfg, fixed_init_time_s, resync=True)
     operator = HtaOperator(
@@ -754,6 +777,13 @@ def _build_hta(
             extras["workers_evacuated"] = float(responder.workers_evacuated)
             extras["evac_runs_requeued"] = float(responder.runs_requeued)
             extras["spot_survival_rate"] = responder.tracker.survival_rate()
+        if migration is not None:
+            extras["migrations_requested"] = float(responder.migrations_requested)
+            extras["migrations_started"] = float(migration.migrations_started)
+            extras["migrations_completed"] = float(migration.migrations_completed)
+            extras["migrations_accepted"] = float(stack.master.migrations_accepted)
+            extras["migrations_stale"] = float(stack.master.migrations_stale)
+            extras["migration_fallbacks"] = float(migration.migration_fallbacks)
         return extras
 
     return _PolicyHarness(

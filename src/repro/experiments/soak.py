@@ -14,7 +14,10 @@ failing seed, which is a complete reproduction recipe::
     python -m repro.experiments soak --seed 41 --smoke
 
 ``--runs N`` sweeps seeds ``seed .. seed+N-1``; the process exits
-nonzero on the first violating seed (CI runs ``soak --smoke --runs 3``).
+nonzero on the first violating seed (CI runs ``soak --smoke --runs 3``
+with and without ``--migrate``). ``--migrate`` opts the schedule into
+the checkpoint/restore ``migrate`` primitive and arms the migration
+machinery on every other strike (preemptions drain via checkpoint).
 """
 
 from __future__ import annotations
@@ -22,10 +25,14 @@ from __future__ import annotations
 from repro.soak.harness import SoakConfig, first_violation, run_soak_batch
 
 
-def main(seed: int = 0, *, smoke: bool = False, runs: int = 1) -> str:
+def main(
+    seed: int = 0, *, smoke: bool = False, runs: int = 1, migrate: bool = False
+) -> str:
     if runs < 1:
         raise ValueError("runs must be >= 1")
-    config = SoakConfig().smoke() if smoke else SoakConfig()
+    config = SoakConfig(migrate=migrate)
+    if smoke:
+        config = config.smoke()
     seeds = list(range(seed, seed + runs))
     reports = run_soak_batch(seeds, config)
     out = "\n".join(report.describe() for report in reports)

@@ -30,6 +30,7 @@ from repro.hta.provisioner import WorkerProvisioner
 from repro.sim.engine import Engine
 from repro.telemetry.events import NULL_TRACER, Tracer
 from repro.wq.master import Master
+from repro.wq.migration import MigrationCoordinator
 from repro.wq.runtime import WorkerPodRuntime
 
 
@@ -83,6 +84,7 @@ class PreemptionResponder:
         *,
         tracker: Optional[SurvivalTracker] = None,
         tracer: Optional[Tracer] = None,
+        migration: Optional[MigrationCoordinator] = None,
     ) -> None:
         self.engine = engine
         self.api = api
@@ -91,10 +93,15 @@ class PreemptionResponder:
         self.provisioner = provisioner
         self.tracker = tracker if tracker is not None else SurvivalTracker()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional checkpoint-migration coordinator: doomed runs that
+        #: can checkpoint inside the grace window migrate instead of
+        #: being requeued from scratch.
+        self.migration = migration
         self._handled: Set[str] = set()
         self.notices_seen = 0
         self.workers_evacuated = 0
         self.runs_requeued = 0
+        self.migrations_requested = 0
         api.watch("Node", self._on_node_event, replay_existing=False)
         api.watch("Pod", self._on_pod_event, replay_existing=False)
 
@@ -137,15 +144,21 @@ class PreemptionResponder:
     GRACE_MARGIN = 0.8
 
     def _evacuate_node(self, node: Node) -> None:
-        """Grace-window response: requeue doomed runs, drain workers.
+        """Grace-window response: move doomed runs, drain workers.
 
         Grace-aware triage per run: a task predicted to finish inside
         the grace window is *left running* — cancelling it would throw
         away nearly-complete work the node can still deliver — while
-        everything longer is requeued immediately so it restarts
-        elsewhere ~one grace window earlier than a crash would allow.
+        everything longer leaves immediately. With a migration
+        coordinator, doomed runs that can checkpoint inside the notice
+        migrate (keeping their banked progress); without one — or when
+        the checkpoint does not fit the remaining notice — they are
+        requeued from scratch. Victims are collected across every pod
+        on the node before a single seq-keyed evacuation, so the
+        requeue preserves relative submit order.
         """
         grace = node.preemption_grace_s if node.preemption_grace_s is not None else 0.0
+        triaged = []
         for pod in list(node.pods):
             if pod.meta.labels.get("app") != self.provisioner.app_label:
                 continue
@@ -158,10 +171,26 @@ class PreemptionResponder:
                 for run in list(worker.runs.values())
                 if self._remaining_estimate(run.task) > grace * self.GRACE_MARGIN
             ]
-            requeued = self.master.evacuate_worker(worker, doomed)
+            triaged.append((worker, doomed))
+        if self.migration is not None:
+            for worker, doomed in triaged:
+                started = self.migration.drain_worker(
+                    worker,
+                    tasks=doomed,
+                    reason="preemption",
+                    deadline_s=grace,
+                )
+                self.migrations_requested += started
+                self.runs_requeued += len(doomed) - started
+        else:
+            # One node-wide evacuation call keeps the requeue seq-keyed
+            # across workers that share the doomed node.
+            pairs = [(w, t) for w, doomed in triaged for t in doomed]
+            requeued = self.master.evacuate(pairs)
+            self.runs_requeued += len(requeued)
+        for worker, doomed in triaged:
             worker.drain()
             self.workers_evacuated += 1
-            self.runs_requeued += len(requeued)
             if self.tracer.enabled:
                 self.tracer.emit(
                     "hta",
@@ -169,7 +198,8 @@ class PreemptionResponder:
                     "preemption",
                     node=node.name,
                     worker=worker.name,
-                    requeued=len(requeued),
+                    doomed=len(doomed),
+                    migration=self.migration is not None,
                     left_racing=len(worker.runs),
                     survival_rate=self.tracker.survival_rate(),
                 )

@@ -17,7 +17,7 @@ happens.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.cluster.cloud import PreemptiblePoolConfig
@@ -33,6 +33,7 @@ from repro.soak.invariants import (
     VersionProbe,
     Violation,
     check_journal_replay,
+    check_migration_protocol,
     check_no_worker_leaks,
     check_task_conservation,
     check_trace_consistency,
@@ -41,6 +42,7 @@ from repro.soak.invariants import (
 from repro.soak.schedule import FaultEvent, SoakScheduleConfig, generate_schedule
 from repro.telemetry.session import TelemetryConfig
 from repro.workloads.synthetic import uniform_bag
+from repro.wq.migration import CheckpointSpec, MigrationCoordinator
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,6 +64,12 @@ class SoakConfig:
     #: Extra simulated time after quiescence for drains/reaping to land.
     drain_grace_s: float = 1200.0
     schedule: SoakScheduleConfig = field(default_factory=SoakScheduleConfig)
+    #: Opt-in checkpoint/restore migration: tasks get a checkpoint spec,
+    #: a MigrationCoordinator joins the stack (so preemption drains
+    #: migrate instead of requeueing), and the ``migrate`` chaos
+    #: primitive enters the schedule's sampling pool. Off by default so
+    #: existing seeds replay bit-identically.
+    migrate: bool = False
 
     def smoke(self) -> "SoakConfig":
         """A shrunk copy for CI: fewer tasks, fewer strikes."""
@@ -77,8 +85,13 @@ class SoakConfig:
             quiescence_timeout_s=6000.0,
             drain_grace_s=self.drain_grace_s,
             schedule=SoakScheduleConfig(
-                horizon_s=450.0, start_after_s=120.0, min_events=3, max_events=6
+                horizon_s=450.0,
+                start_after_s=120.0,
+                min_events=3,
+                max_events=6,
+                migrate=self.migrate,
             ),
+            migrate=self.migrate,
         )
 
 
@@ -120,11 +133,18 @@ class SoakReport:
         return "\n".join(lines)
 
 
-def _apply_event(stack: _Stack, event: FaultEvent) -> None:
+def _apply_event(
+    stack: _Stack,
+    event: FaultEvent,
+    migration: Optional[MigrationCoordinator] = None,
+) -> None:
     """Translate one scheduled strike into a chaos-injector call."""
     chaos = stack.chaos
     assert chaos is not None
-    if event.kind == "node_kill":
+    if event.kind == "migrate":
+        assert migration is not None, "migrate strike needs a coordinator"
+        chaos.migrate_random_worker(stack.master, migration)
+    elif event.kind == "node_kill":
         chaos.kill_random_node()
     elif event.kind == "pod_eviction":
         chaos.evict_random_pod()
@@ -154,7 +174,10 @@ def _apply_event(stack: _Stack, event: FaultEvent) -> None:
 
 def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
     """One seeded soak run; see the module docstring."""
-    events = generate_schedule(seed, config.schedule)
+    schedule_cfg = config.schedule
+    if config.migrate and not schedule_cfg.migrate:
+        schedule_cfg = replace(schedule_cfg, migrate=True)
+    events = generate_schedule(seed, schedule_cfg)
     stack_cfg = StackConfig(
         cluster=ClusterConfig(
             max_nodes=config.max_nodes,
@@ -175,6 +198,16 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
             rng=RngRegistry(seed + 4099),
             runtime_cv=config.runtime_cv,
         )
+        migration: Optional[MigrationCoordinator] = None
+        if config.migrate:
+            for task in graph_tasks:
+                task.checkpoint = CheckpointSpec()
+            migration = MigrationCoordinator(
+                stack.engine,
+                stack.master,
+                tracer=stack.tracer,
+                metrics=stack.metrics,
+            )
         provisioner = WorkerProvisioner(
             stack.engine,
             stack.cluster.api,
@@ -191,6 +224,7 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
             stack.runtime,
             provisioner,
             tracer=stack.tracer,
+            migration=migration,
         )
         tracker = InitTimeTracker(
             stack.cluster.api,
@@ -218,7 +252,7 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
         manager = WorkflowManager(stack.engine, graph, operator)
         manager.done_signal.add_waiter(lambda _mgr: operator.notify_no_more_jobs())
         for event in events:
-            stack.engine.call_at(event.at_s, _apply_event, stack, event)
+            stack.engine.call_at(event.at_s, _apply_event, stack, event, migration)
 
         manager.start()
         operator.start()
@@ -263,6 +297,7 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
                 check_no_worker_leaks(stack.runtime, provisioner, master)
             )
             violations.extend(check_journal_replay(master))
+        violations.extend(check_migration_protocol(master))
         violations.extend(check_version_monotonic(probe))
         violations.extend(check_trace_consistency(master, stack.chaos, stack.tracer))
         probe.close()
@@ -280,7 +315,16 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
             "pods_killed": float(stack.chaos.pods_killed if stack.chaos else 0),
             "workers_evacuated": float(responder.workers_evacuated),
             "journal_records": float(len(master.journal)),
+            "migrations_accepted": float(master.migrations_accepted),
+            "migrations_stale": float(master.migrations_stale),
         }
+        if migration is not None:
+            stats["migrations_started"] = float(migration.migrations_started)
+            stats["migrations_completed"] = float(migration.migrations_completed)
+            stats["migration_fallbacks"] = float(migration.migration_fallbacks)
+            stats["migrations_injected"] = float(
+                stack.chaos.migrations_injected if stack.chaos else 0
+            )
         journal_digest = master.journal.digest()
     return SoakReport(
         seed=seed,

@@ -218,6 +218,58 @@ def check_journal_replay(master) -> List[Violation]:
     return violations
 
 
+def check_migration_protocol(master) -> List[Violation]:
+    """Checkpoint/restore migrations obeyed their safety contract.
+
+    Three properties, read straight off the journal: banked progress is
+    monotonically nondecreasing per task (a later checkpoint never
+    forgets work an earlier one banked); no checkpoint banks more
+    execute-seconds than the task has; and resumes are at-most-once — a
+    task is never dispatched (``dispatch``/``migrate_in``) while a prior
+    attempt is still outstanding, which is the double-resume the
+    handshake's stale-guards exist to prevent.
+    """
+    violations: List[Violation] = []
+    last_progress: Dict[int, float] = {}
+    in_flight: Dict[int, str] = {}
+    for rec in master.journal.records:
+        tid = rec.task.id
+        if rec.op == "checkpoint":
+            progress = rec.progress if rec.progress is not None else 0.0
+            if progress < last_progress.get(tid, 0.0) - 1e-9:
+                violations.append(
+                    Violation(
+                        "migration-protocol",
+                        f"task {tid} checkpoint progress regressed "
+                        f"{last_progress[tid]:.6g} -> {progress:.6g}",
+                    )
+                )
+            if progress > rec.task.execute_s + 1e-9:
+                violations.append(
+                    Violation(
+                        "migration-protocol",
+                        f"task {tid} banked {progress:.6g}s of progress, "
+                        f"more than its {rec.task.execute_s:.6g}s of work",
+                    )
+                )
+            last_progress[tid] = max(last_progress.get(tid, 0.0), progress)
+        elif rec.op in ("dispatch", "migrate_in"):
+            prior = in_flight.get(tid)
+            if prior is not None:
+                violations.append(
+                    Violation(
+                        "migration-protocol",
+                        f"task {tid} dispatched ({rec.op}) while a prior "
+                        f"attempt ({prior}) was still outstanding — "
+                        f"duplicate resume",
+                    )
+                )
+            in_flight[tid] = rec.op
+        elif rec.op in ("retry", "migrate_out", "complete", "abandon"):
+            in_flight.pop(tid, None)
+    return violations
+
+
 def check_trace_consistency(master, chaos, tracer) -> List[Violation]:
     """Counters, ledgers, and the trace tell the same story."""
     violations: List[Violation] = []
@@ -267,6 +319,15 @@ def check_trace_consistency(master, chaos, tracer) -> List[Violation]:
                     "trace-consistency",
                     f"partition counter {chaos.partition_windows} != "
                     f"{traced_partitions} chaos.partition trace events",
+                )
+            )
+        traced_migrations = sum(1 for e in events if e.name == "chaos.migrate")
+        if chaos.migrations_injected != traced_migrations:
+            violations.append(
+                Violation(
+                    "trace-consistency",
+                    f"migrate counter {chaos.migrations_injected} != "
+                    f"{traced_migrations} chaos.migrate trace events",
                 )
             )
     return violations

@@ -34,6 +34,11 @@ FAULT_KIND_WEIGHTS: Dict[str, float] = {
 
 FAULT_KINDS: Tuple[str, ...] = tuple(FAULT_KIND_WEIGHTS)
 
+#: Sampling weight the ``migrate`` primitive gets when a schedule opts
+#: in (:attr:`SoakScheduleConfig.migrate`). Kept out of
+#: :data:`FAULT_KIND_WEIGHTS` so default schedules stay bit-identical.
+MIGRATE_WEIGHT: float = 1.5
+
 
 @dataclass(frozen=True, slots=True)
 class FaultEvent:
@@ -70,6 +75,10 @@ class SoakScheduleConfig:
     max_master_crashes: int = 1
     #: At most this many API outages per schedule.
     max_api_outages: int = 1
+    #: Opt-in: add the ``migrate`` primitive (checkpoint/restore drain of
+    #: a random busy worker) to the sampling pool. Off by default so the
+    #: seeded draws of existing schedules stay bit-identical.
+    migrate: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon_s <= self.start_after_s:
@@ -117,6 +126,9 @@ def generate_schedule(
     n = int(s.integers(config.min_events, config.max_events + 1))
     kinds = list(FAULT_KIND_WEIGHTS)
     weights = [FAULT_KIND_WEIGHTS[k] for k in kinds]
+    if config.migrate:
+        kinds.append("migrate")
+        weights.append(MIGRATE_WEIGHT)
     total = sum(weights)
     probs = [w / total for w in weights]
     events: List[FaultEvent] = []

@@ -23,6 +23,11 @@ exercises:
 from repro.wq.task import FileSpec, Task, TaskState, TaskResult
 from repro.wq.link import Link, Transfer
 from repro.wq.journal import JournalRecord, ReplayedState, TransactionJournal
+from repro.wq.migration import (
+    CheckpointSpec,
+    MigrationConfig,
+    MigrationCoordinator,
+)
 from repro.wq.monitor import CategoryStats, ResourceMonitor
 from repro.wq.estimator import (
     AllocationEstimator,
@@ -45,6 +50,9 @@ __all__ = [
     "JournalRecord",
     "ReplayedState",
     "TransactionJournal",
+    "CheckpointSpec",
+    "MigrationConfig",
+    "MigrationCoordinator",
     "CategoryStats",
     "ResourceMonitor",
     "AllocationEstimator",

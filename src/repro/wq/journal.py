@@ -35,7 +35,10 @@ from repro.cluster.resources import ResourceVector
 from repro.wq.task import Task, TaskResult
 
 #: Valid journal operations, in no particular order.
-OPS = ("submit", "dispatch", "retry", "complete", "abandon", "escalate")
+OPS = (
+    "submit", "dispatch", "retry", "complete", "abandon", "escalate",
+    "checkpoint", "migrate_out", "migrate_in",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +58,10 @@ class JournalRecord:
     result: Optional[TaskResult] = None
     #: Escalation records carry the post-exhaustion allocation floor.
     escalate_to: Optional[ResourceVector] = None
+    #: Migration records carry banked progress: checkpoint — the
+    #: execute-seconds the accepted snapshot preserves; migrate_in —
+    #: the progress the new attempt resumes from.
+    progress: Optional[float] = None
 
 
 @dataclass
@@ -80,6 +87,9 @@ class ReplayedState:
     #: ``(task_id, attempt)`` keys already accepted — the idempotency
     #: set that suppresses duplicate result deliveries after recovery.
     delivered: Set[Tuple[int, int]] = field(default_factory=set)
+    #: Last banked checkpoint progress per task id (execute-seconds a
+    #: resumed attempt skips); restored onto recovered tasks.
+    progress: Dict[int, float] = field(default_factory=dict)
 
 
 class TransactionJournal:
@@ -127,6 +137,30 @@ class TransactionJournal:
     def record_abandon(self, time: float, task: Task) -> None:
         self._append(JournalRecord("abandon", time, task, attempt=task.attempts))
 
+    def record_checkpoint(self, time: float, task: Task, progress: float) -> None:
+        """An accepted checkpoint banked ``progress`` execute-seconds
+        for the task (the snapshot now lives on the master's PV)."""
+        self._append(
+            JournalRecord(
+                "checkpoint", time, task, attempt=task.attempts, progress=progress
+            )
+        )
+
+    def record_migrate_out(self, time: float, task: Task) -> None:
+        """The migrating task left its worker and re-entered the queue
+        front. Like a retry, but no attempt burned — migration is
+        voluntary, not a failure."""
+        self._append(JournalRecord("migrate_out", time, task, attempt=task.attempts))
+
+    def record_migrate_in(self, time: float, task: Task, progress: float) -> None:
+        """The task was dispatched resuming from banked progress —
+        the dispatch record of a migrated attempt."""
+        self._append(
+            JournalRecord(
+                "migrate_in", time, task, attempt=task.attempts, progress=progress
+            )
+        )
+
     # --------------------------------------------------------------- digest
     def digest(self) -> str:
         """SHA-256 over a canonical serialization of every record.
@@ -162,6 +196,8 @@ class TransactionJournal:
             if rec.escalate_to is not None:
                 e = rec.escalate_to
                 parts += [repr(e.cores), repr(e.memory_mb), repr(e.disk_mb)]
+            if rec.progress is not None:
+                parts.append(repr(rec.progress))
             h.update("|".join(parts).encode())
             h.update(b"\n")
         return h.hexdigest()
@@ -209,6 +245,22 @@ class TransactionJournal:
                 state.unclaimed.pop(task.id, None)
                 self._remove(state.ready, task)
                 state.abandoned.append(task)
+            elif rec.op == "checkpoint":
+                assert rec.progress is not None
+                state.progress[task.id] = rec.progress
+            elif rec.op == "migrate_out":
+                # Exactly a retry's queue motion, without the attempt
+                # bump: the task left its worker and waits at the front.
+                state.unclaimed.pop(task.id, None)
+                self._remove(state.ready, task)
+                state.ready.insert(0, task)
+                state.attempts[task.id] = rec.attempt
+            elif rec.op == "migrate_in":
+                assert rec.progress is not None
+                self._remove(state.ready, task)
+                state.unclaimed[task.id] = task
+                state.attempts[task.id] = rec.attempt
+                state.progress[task.id] = rec.progress
         return state
 
     @staticmethod

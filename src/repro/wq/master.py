@@ -227,6 +227,19 @@ class Master:
         #: In-flight runs proactively pulled off doomed (preemption-
         #: noticed) workers inside the grace window.
         self.tasks_evacuated = 0
+        # ------------------------------------------------------- migration
+        #: Checkpoints accepted (task requeued resuming from progress)
+        #: and dropped as stale (attempt superseded while shipping).
+        self.migrations_accepted = 0
+        self.migrations_stale = 0
+        #: Called on every checkpoint delivery with
+        #: ``(worker, task, accepted, ship_s)`` — the migration
+        #: coordinator paces its fluid policies off this.
+        self._migration_listeners: Tuple[Callable, ...] = ()
+        #: Called with the worker at the top of :meth:`worker_lost`, so
+        #: the coordinator can write off in-flight checkpoints that died
+        #: with their node.
+        self._worker_lost_listeners: Tuple[Callable[[Worker], None], ...] = ()
 
     # ------------------------------------------------------------ callbacks
     def on_complete(self, fn: CompletionCallback) -> None:
@@ -235,6 +248,16 @@ class Master:
     def on_abandoned(self, fn: Callable[[Task], None]) -> None:
         """Register for tasks permanently given up after max_retries."""
         self._abandoned_callbacks = self._abandoned_callbacks + (fn,)
+
+    def add_migration_listener(self, fn: Callable) -> None:
+        """Register for checkpoint deliveries: called with
+        ``(worker, task, accepted, ship_s)`` after every
+        :meth:`migration_arrived`."""
+        self._migration_listeners = self._migration_listeners + (fn,)
+
+    def add_worker_lost_listener(self, fn: Callable[[Worker], None]) -> None:
+        """Register for worker deaths (called before the requeue loop)."""
+        self._worker_lost_listeners = self._worker_lost_listeners + (fn,)
 
     # ------------------------------------------------------- queue indexing
     # Every mutation of ``queue`` goes through these helpers so the id set
@@ -423,8 +446,21 @@ class Master:
             victims = [run.task for run in list(worker.runs.values())]
         else:
             victims = [t for t in tasks if t.id in worker.runs]
+        return self.evacuate([(worker, t) for t in victims])
+
+    def evacuate(self, pairs: List[Tuple[Worker, Task]]) -> List[Task]:
+        """Evacuate ``(worker, task)`` runs — possibly spanning several
+        workers (every pod on a preempted node). Requeues in submit
+        (seq) order: front-inserting in descending id order leaves the
+        queue front ascending by id no matter how many workers evacuate
+        in the same tick — and matches what journal replay (one
+        ``insert(0)`` per retry record) reconstructs, record for
+        record."""
+        ordered = sorted(pairs, key=lambda pair: pair[1].id, reverse=True)
         requeued: List[Task] = []
-        for task in victims:
+        for worker, task in ordered:
+            if task.id not in worker.runs:
+                continue
             if task.result is not None or (
                 task.speculation_of is None
                 and self.running.get(task.id) is not task
@@ -463,10 +499,102 @@ class Master:
             self._schedule_dispatch()
         return requeued
 
+    # ------------------------------------------------------------- migration
+    def migration_arrived(
+        self,
+        worker: Worker,
+        task: Task,
+        new_progress: float,
+        lost_s: float,
+        started_at: Optional[float] = None,
+    ) -> bool:
+        """A shipped checkpoint reached the master. At-most-once resume:
+        the snapshot is accepted only while this worker's attempt is
+        still the canonical one — the same ``_running_elsewhere`` guard
+        that protects result delivery. A stale checkpoint (the task
+        completed, was requeued by a liveness expiry, or is a
+        speculative copy) is dropped without touching the ledgers.
+
+        An accepted checkpoint banks ``new_progress`` on the task,
+        journals CHECKPOINT + MIGRATE_OUT, charges only the un-banked
+        tail (``lost_s``) as waste, cancels any speculative clone (it
+        would race the resumed attempt to a double-completion), and
+        requeues the task at the front — no attempt burned."""
+        # Canonical = the master's books still bind this execution to
+        # the delivering worker: live in ``running``, or waiting in the
+        # post-recovery unclaimed set (same rule reconnect adoption
+        # uses). A task requeued by a liveness expiry is neither, a
+        # re-dispatched copy elsewhere trips ``_running_elsewhere``, and
+        # a delivery while the task is still in the delivering worker's
+        # own run table is a replay of an already-consumed snapshot (the
+        # ship removes the run before any legitimate delivery).
+        canonical = (
+            self.running.get(task.id) is task
+            or self._unclaimed.get(task.id) is task
+        )
+        accepted = not (
+            task.result is not None
+            or task.speculation_of is not None
+            or not canonical
+            or self._running_elsewhere(task, worker)
+            or task.id in worker.runs
+        )
+        ship_s = (
+            self.engine.now - started_at if started_at is not None else 0.0
+        )
+        if not accepted:
+            self.migrations_stale += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wq",
+                    "task.migrate_stale",
+                    task.category,
+                    task_id=task.id,
+                    worker=worker.name,
+                )
+            for fn in self._migration_listeners:
+                fn(worker, task, False, ship_s)
+            return False
+        self.migrations_accepted += 1
+        # Satellite of the migration protocol: a live speculative clone
+        # of the migrating task must die here — first-completion-wins
+        # against a clone would complete the task while its resumed
+        # attempt re-runs, double-completing the migrated attempt.
+        self._cancel_speculation_for(task)
+        self.running.pop(task.id, None)
+        self._unclaimed.pop(task.id, None)
+        if lost_s > 0:
+            cores = task.footprint.cores
+            if task.allocation is not None:
+                cores = min(cores, task.allocation.cores)
+            self.wasted_core_s += lost_s * cores
+        task.progress_s = new_progress
+        task.reset_for_retry()
+        self.journal.record_checkpoint(self.engine.now, task, new_progress)
+        self.journal.record_migrate_out(self.engine.now, task)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.migrate_out",
+                task.category,
+                task_id=task.id,
+                worker=worker.name,
+                progress_s=new_progress,
+                lost_s=lost_s,
+                ship_s=ship_s,
+            )
+        self._enqueue_front(task)
+        self._schedule_dispatch()
+        for fn in self._migration_listeners:
+            fn(worker, task, True, ship_s)
+        return True
+
     def worker_lost(self, worker: Worker, lost_tasks: List[Task]) -> None:
         """A worker died (pod deleted). Requeue its tasks at the front;
         tasks that have already burned ``max_retries`` attempts are
         abandoned (reported through ``on_abandoned``)."""
+        for fn in self._worker_lost_listeners:
+            fn(worker)
         self.workers.pop(worker.name, None)
         self._refresh_worker_cache(worker)
         for task in reversed(lost_tasks):
@@ -606,7 +734,10 @@ class Master:
         produce a result (killed, failed, or a losing duplicate)."""
         if task.start_time is None or task.state is TaskState.DONE:
             return
-        elapsed = min(self.engine.now - task.start_time, task.execute_s)
+        # A resumed attempt only ever executes the un-banked remainder,
+        # so that is all a kill can waste (identical to ``execute_s``
+        # while progress is zero).
+        elapsed = min(self.engine.now - task.start_time, task.remaining_execute_s())
         if elapsed <= 0:
             return
         cores = task.footprint.cores
@@ -729,6 +860,8 @@ class Master:
             for task in chain(self._unclaimed.values(), self.queue):
                 if task.id in state.attempts:
                     task.attempts = state.attempts[task.id]
+                if task.id in state.progress:
+                    task.progress_s = state.progress[task.id]
             for task, result in state.completions:
                 task.state = TaskState.DONE
                 task.result = result
@@ -747,6 +880,8 @@ class Master:
                 task.finish_time = None
                 task.attempts = 0
                 task.min_allocation = None
+                # The cold restart lost the PV, checkpoints included.
+                task.progress_s = 0.0
                 task.reset_for_retry()
                 ready.append(task)
             self._reset_queue(ready)
@@ -951,8 +1086,15 @@ class Master:
         best.assign(task, best_alloc)
         if task.speculation_of is None:
             # Speculative copies are a master-local optimization; the
-            # journal only tracks the canonical attempt.
-            self.journal.record_dispatch(self.engine.now, task)
+            # journal only tracks the canonical attempt. A dispatch
+            # resuming from banked checkpoint progress journals
+            # MIGRATE_IN so replay reconstructs the resumed progress.
+            if task.progress_s > 0:
+                self.journal.record_migrate_in(
+                    self.engine.now, task, task.progress_s
+                )
+            else:
+                self.journal.record_dispatch(self.engine.now, task)
         if self._h_queue_wait is not None and task.submit_time is not None:
             self._h_queue_wait.observe(
                 self.engine.now - task.submit_time, category=task.category

@@ -1,0 +1,348 @@
+"""Checkpoint/restore task migration: drain without losing progress.
+
+Every capacity shrink used to discard in-flight progress via
+kill-and-requeue (evacuation). This module adds the alternative the
+paper's wasted-work accounting begs for: snapshot a running task's
+progress on its worker, ship the checkpoint to the master, and resume
+the task elsewhere from the banked progress.
+
+The model, layer by layer:
+
+* **Checkpoint model** (:class:`CheckpointSpec`, attached per task):
+  tasks checkpoint at a fixed cadence (``interval_s``), so a snapshot
+  can only bank progress up to the last completed interval — work since
+  then is lost (``lost_s``). Cutting the snapshot pauses execution for
+  ``cost_s`` and ships ``size_mb`` over the shared master link. Tasks
+  without a spec cannot migrate and fall back to evacuation.
+
+* **Worker handshake** (``Worker.migrate_out``): pause → cut (cost) →
+  ship (link transfer) → deliver to ``Master.migration_arrived``. The
+  run keeps its allocation until the checkpoint is off the node; a kill
+  mid-snapshot loses the cut and degrades to the plain worker-lost
+  path. Detached/partitioned workers hold shipped checkpoints locally
+  and re-deliver on reconnect, exactly like held results.
+
+* **Master resume** (``Master.migration_arrived``): at-most-once,
+  guarded by the same ``_running_elsewhere`` machinery that protects
+  result delivery — a stale checkpoint from a superseded attempt is
+  dropped. An accepted checkpoint journals CHECKPOINT + MIGRATE_OUT,
+  banks ``task.progress_s``, requeues the task at the queue front
+  (no attempt burned — migration is voluntary), and the next dispatch
+  journals MIGRATE_IN with the resumed progress so replay is
+  bit-faithful.
+
+* **Policies** (:class:`MigrationCoordinator`): Megaphone's vocabulary —
+  ``sudden`` moves everything at once (fast but floods the link),
+  ``fluid`` trickles one task at a time (cheap but slow), and
+  ``batched-fluid`` moves fixed-size batches (the compromise that wins
+  under preemption notices). The coordinator triages each run against
+  the drain deadline and falls back to evacuation when the estimated
+  checkpoint time does not fit the remaining notice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+    from repro.wq.master import Master
+    from repro.wq.task import Task
+    from repro.wq.worker import Worker
+
+#: Valid migration policies (Megaphone's pattern vocabulary).
+POLICIES = ("sudden", "fluid", "batched-fluid")
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointSpec:
+    """How a task category checkpoints (seeded per workload).
+
+    ``interval_s`` — cadence of internal checkpoints: a snapshot banks
+    progress up to the last completed interval (0 = continuous, banks
+    everything). ``cost_s`` — pause to cut the snapshot. ``size_mb`` —
+    checkpoint image shipped over the master link.
+    """
+
+    interval_s: float = 30.0
+    cost_s: float = 2.0
+    size_mb: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s < 0:
+            raise ValueError(f"interval_s must be >= 0, got {self.interval_s}")
+        if self.cost_s < 0:
+            raise ValueError(f"cost_s must be >= 0, got {self.cost_s}")
+        if self.size_mb < 0:
+            raise ValueError(f"size_mb must be >= 0, got {self.size_mb}")
+
+    def banked_progress(self, elapsed_s: float) -> float:
+        """Progress a snapshot cut after ``elapsed_s`` of execution can
+        bank: the last completed checkpoint interval."""
+        if elapsed_s <= 0:
+            return 0.0
+        if self.interval_s <= 0:
+            return elapsed_s
+        return min(elapsed_s, math.floor(elapsed_s / self.interval_s) * self.interval_s)
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationConfig:
+    """Coordinator knobs.
+
+    ``policy`` is the default pacing; ``policy_for_reason`` overrides it
+    per drain reason (e.g. ``{"preemption": "sudden"}`` when the notice
+    is short). ``deadline_margin`` scales the drain deadline before the
+    fit check — 0.8 keeps the same safety factor the preemption
+    responder's grace triage uses.
+    """
+
+    policy: str = "batched-fluid"
+    batch_size: int = 2
+    deadline_margin: float = 0.8
+    policy_for_reason: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; known: {POLICIES}")
+        for reason, policy in self.policy_for_reason.items():
+            if policy not in POLICIES:
+                raise ValueError(
+                    f"unknown policy {policy!r} for reason {reason!r}; "
+                    f"known: {POLICIES}"
+                )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not 0.0 < self.deadline_margin <= 1.0:
+            raise ValueError(
+                f"deadline_margin must be in (0, 1], got {self.deadline_margin}"
+            )
+
+    def policy_for(self, reason: str) -> str:
+        return self.policy_for_reason.get(reason, self.policy)
+
+
+class _Drain:
+    """One worker being drained: its pending/in-flight migration queues."""
+
+    __slots__ = ("worker", "policy", "reason", "pending", "in_flight")
+
+    def __init__(self, worker: "Worker", policy: str, reason: str):
+        self.worker = worker
+        self.policy = policy
+        self.reason = reason
+        #: Tasks triaged as migratable, not yet snapshotting (id order).
+        self.pending: List["Task"] = []
+        #: Task ids currently snapshotting/shipping off this worker.
+        self.in_flight: set = set()
+
+
+class MigrationCoordinator:
+    """Paces checkpoint migrations off draining workers.
+
+    One coordinator serves the whole stack; callers hand it a worker and
+    a drain reason (+ optional deadline) and it triages every run:
+    checkpointable tasks whose estimated snapshot+ship time fits the
+    margin-scaled deadline migrate under the reason's policy, everything
+    else falls back to ``Master.evacuate_worker`` (kill-and-requeue).
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        master: "Master",
+        config: Optional[MigrationConfig] = None,
+        *,
+        tracer=None,
+        metrics=None,
+    ) -> None:
+        from repro.telemetry import NULL_TRACER
+
+        self.engine = engine
+        self.master = master
+        self.config = config if config is not None else MigrationConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._drains: Dict[str, _Drain] = {}
+        self.migrations_started = 0
+        self.migrations_completed = 0
+        self.migrations_aborted = 0
+        self.migration_fallbacks = 0
+        self._c_migrations = None
+        self._h_ship = None
+        if metrics is not None:
+            self._c_migrations = metrics.counter(
+                "migrations_total", "Migration outcomes by policy"
+            )
+            self._h_ship = metrics.histogram(
+                "migration_ship_seconds", "Snapshot-cut to resume-accept latency"
+            )
+        master.add_migration_listener(self._migration_resolved)
+        master.add_worker_lost_listener(self.worker_gone)
+
+    # ------------------------------------------------------------- triage
+    def estimate_checkpoint_s(self, task: "Task") -> float:
+        """Snapshot cut + ship time at the link's nominal rate (ignores
+        contention — this is planning, not simulation)."""
+        spec = task.checkpoint
+        assert spec is not None
+        rate = self.master.link.capacity_mbps
+        ship = spec.size_mb / rate if rate > 0 else 0.0
+        return spec.cost_s + ship
+
+    def drain_worker(
+        self,
+        worker: "Worker",
+        *,
+        reason: str,
+        deadline_s: Optional[float] = None,
+        tasks: Optional[List["Task"]] = None,
+    ) -> int:
+        """Migrate what fits, evacuate the rest. ``tasks`` restricts the
+        drain to a subset of the worker's runs (the preemption responder
+        leaves nearly-finished runs racing the grace clock); None drains
+        everything. Returns the number of migrations started (or queued
+        behind the pacing policy)."""
+        policy = self.config.policy_for(reason)
+        budget = (
+            deadline_s * self.config.deadline_margin
+            if deadline_s is not None
+            else math.inf
+        )
+        migrate: List["Task"] = []
+        evacuate: List["Task"] = []
+        if tasks is None:
+            candidates = [run.task for run in worker.runs.values()]
+        else:
+            candidates = [t for t in tasks if t.id in worker.runs]
+        # id order: deterministic, and matches the seq-keyed evacuation
+        # order so mixed migrate/evacuate drains stay reproducible.
+        candidates.sort(key=lambda t: t.id)
+        spent = 0.0
+        for task in candidates:
+            if task.id in self._inflight_ids(worker):
+                continue  # already migrating off this worker
+            decision, estimate = self._triage(task, policy, budget, spent)
+            if decision == "migrate":
+                # Fluid pacing ships sequentially, so later tasks pay
+                # for everything queued ahead of them; sudden ships
+                # concurrently and each task only pays its own estimate.
+                if policy != "sudden":
+                    spent += estimate
+                migrate.append(task)
+            else:
+                evacuate.append(task)
+                self.migration_fallbacks += 1
+            self.tracer.emit(
+                "wq",
+                "migration.decision",
+                "migration",
+                task_id=task.id,
+                worker=worker.name,
+                reason=reason,
+                policy=policy,
+                action=decision,
+                estimate_s=estimate,
+                budget_s=budget if budget != math.inf else -1.0,
+                state=task.state.value,
+            )
+        if evacuate:
+            self.master.evacuate_worker(worker, evacuate)
+        if migrate:
+            drain = self._drains.setdefault(worker.name, _Drain(worker, policy, reason))
+            drain.pending.extend(migrate)
+            self._pump(drain)
+        return len(migrate)
+
+    def _triage(self, task, policy: str, budget: float, spent: float):
+        from repro.wq.task import TaskState
+
+        if task.checkpoint is None:
+            return "evacuate", 0.0
+        if task.state is not TaskState.RUNNING:
+            # Still fetching inputs (nothing to bank) or already
+            # returning — evacuation loses nothing here.
+            return "evacuate", 0.0
+        estimate = self.estimate_checkpoint_s(task)
+        if spent + estimate > budget:
+            return "evacuate", estimate
+        elapsed = self.engine.now - task.start_time
+        if task.checkpoint.banked_progress(elapsed) <= 0 and task.progress_s <= 0:
+            # Nothing to save yet; a checkpoint would only add cost.
+            return "evacuate", estimate
+        return "migrate", estimate
+
+    def _inflight_ids(self, worker: "Worker") -> set:
+        drain = self._drains.get(worker.name)
+        return drain.in_flight if drain is not None else set()
+
+    # ------------------------------------------------------------- pacing
+    def _pump(self, drain: _Drain) -> None:
+        """Start pending migrations up to the policy's concurrency."""
+        from repro.wq.worker import WorkerState
+
+        if drain.worker.state in (WorkerState.KILLED, WorkerState.STOPPED):
+            self.worker_gone(drain.worker)
+            return
+        width = {
+            "sudden": len(drain.pending) + len(drain.in_flight),
+            "fluid": 1,
+            "batched-fluid": self.config.batch_size,
+        }[drain.policy]
+        while drain.pending and len(drain.in_flight) < width:
+            task = drain.pending.pop(0)
+            if not drain.worker.migrate_out(task):
+                # Finished/failed/killed since triage; nothing to move.
+                self.migrations_aborted += 1
+                self._count(drain.policy, "aborted")
+                continue
+            drain.in_flight.add(task.id)
+            self.migrations_started += 1
+            self._count(drain.policy, "started")
+        if not drain.pending and not drain.in_flight:
+            self._drains.pop(drain.worker.name, None)
+
+    def _migration_resolved(
+        self, worker: "Worker", task: "Task", accepted: bool, ship_s: float
+    ) -> None:
+        """Master-side notification: a shipped checkpoint was accepted
+        (or dropped as stale). Frees the drain slot and pumps the next
+        pending migration — fluid pacing lives here."""
+        drain = self._drains.get(worker.name)
+        if accepted:
+            self.migrations_completed += 1
+            self._count(drain.policy if drain else self.config.policy, "completed")
+            if self._h_ship is not None:
+                self._h_ship.observe(ship_s)
+        else:
+            self.migrations_aborted += 1
+            self._count(drain.policy if drain else self.config.policy, "stale")
+        if drain is None:
+            return
+        drain.in_flight.discard(task.id)
+        self._pump(drain)
+
+    def worker_gone(self, worker: "Worker") -> None:
+        """The worker died mid-drain; in-flight checkpoints are lost and
+        the plain worker-lost path owns the requeue."""
+        drain = self._drains.pop(worker.name, None)
+        if drain is None:
+            return
+        lost = len(drain.in_flight) + len(drain.pending)
+        self.migrations_aborted += lost
+        for _ in range(lost):
+            self._count(drain.policy, "lost")
+
+    def _count(self, policy: str, outcome: str) -> None:
+        if self._c_migrations is not None:
+            self._c_migrations.inc(policy=policy, outcome=outcome)
+
+    # -------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, int]:
+        return {
+            "migrations_started": self.migrations_started,
+            "migrations_completed": self.migrations_completed,
+            "migrations_aborted": self.migrations_aborted,
+            "migration_fallbacks": self.migration_fallbacks,
+        }

@@ -49,6 +49,7 @@ class TaskState(enum.Enum):
     WAITING = "waiting"
     FETCHING = "fetching"    # inputs in flight to the worker
     RUNNING = "running"      # executing
+    MIGRATING = "migrating"  # paused: checkpoint being cut/shipped
     RETURNING = "returning"  # outputs in flight to the master
     DONE = "done"
     FAILED = "failed"        # worker killed mid-run; will be resubmitted
@@ -90,7 +91,7 @@ class Task:
         "cpu_fraction", "footprint", "declared", "inputs", "outputs",
         "state", "attempts", "submit_time", "dispatch_time", "start_time",
         "finish_time", "allocation", "min_allocation", "speculation_of",
-        "result",
+        "result", "checkpoint", "progress_s",
     )
 
     def __init__(
@@ -106,6 +107,7 @@ class Task:
         command: str = "",
         tag: str = "",
         priority: int = 0,
+        checkpoint=None,
     ) -> None:
         if execute_s < 0:
             raise ValueError(f"execute_s must be non-negative, got {execute_s}")
@@ -147,6 +149,13 @@ class Task:
         #: duplicates (first completion wins; the loser is cancelled).
         self.speculation_of: Optional[int] = None
         self.result: Optional[TaskResult] = None
+        #: Checkpoint model (a :class:`repro.wq.migration.CheckpointSpec`)
+        #: or ``None`` for tasks that cannot be migrated.
+        self.checkpoint = checkpoint
+        #: Durable progress: execute-seconds already banked in a shipped
+        #: checkpoint. Survives retries (the checkpoint lives with the
+        #: master); only a cold master restart resets it.
+        self.progress_s = 0.0
 
     # ---------------------------------------------------------------- sizes
     def input_bytes_mb(self, cached: bool = False) -> float:
@@ -164,8 +173,16 @@ class Task:
         # not its possibly-padded allocation.
         return min(self.footprint.cores, self.allocation.cores) * self.cpu_fraction
 
+    def remaining_execute_s(self) -> float:
+        """Execute-seconds left after resuming from banked progress."""
+        return max(0.0, self.execute_s - self.progress_s)
+
     def reset_for_retry(self) -> None:
-        """Return the task to the waiting state after a worker loss."""
+        """Return the task to the waiting state after a worker loss.
+
+        ``progress_s`` is deliberately preserved: a shipped checkpoint is
+        durable master-side state, so the next attempt resumes from it.
+        """
         self.state = TaskState.WAITING
         self.dispatch_time = None
         self.start_time = None

@@ -117,6 +117,10 @@ class Worker:
         #: results) but reconnect polls fail until :meth:`heal`.
         self._partitioned = False
         self._held_results: List[Task] = []
+        #: Shipped checkpoints the partition kept from the master:
+        #: (task, banked progress, lost seconds, migrate-out start) —
+        #: re-delivered on reconnect exactly like held results.
+        self._held_migrations: List[tuple] = []
         #: Tasks that died when the worker was killed while detached —
         #: there was no master to tell, so the ids are kept for the
         #: liveness expiry to requeue (see :meth:`unfinished_task_ids`).
@@ -152,6 +156,7 @@ class Worker:
         misses held results and is empty after a kill."""
         ids: Set[int] = set(self.runs)
         ids.update(t.id for t in self._held_results)
+        ids.update(t.id for t, _p, _l, _s in self._held_migrations)
         ids.update(self._lost_detached_ids)
         return ids
 
@@ -201,6 +206,11 @@ class Worker:
             held, self._held_results = self._held_results, []
             for task in held:
                 self.master.task_finished(self, task)
+            shipped, self._held_migrations = self._held_migrations, []
+            for task, progress, lost_s, started_at in shipped:
+                self.master.migration_arrived(
+                    self, task, progress, lost_s, started_at
+                )
             if self.state is WorkerState.DRAINING and not self.runs:
                 self._stop()
             return
@@ -261,7 +271,14 @@ class Worker:
             # held results whose outputs are now gone.
             self._lost_detached_ids = {t.id for t in lost}
             self._lost_detached_ids.update(t.id for t in self._held_results)
+            # Shipped-but-undelivered checkpoints die with us too; the
+            # liveness expiry requeues the tasks at their last progress
+            # the master actually accepted.
+            self._lost_detached_ids.update(
+                t.id for t, _p, _l, _s in self._held_migrations
+            )
         self._held_results.clear()
+        self._held_migrations.clear()
         self._exited()
 
     def _stop(self) -> None:
@@ -390,14 +407,18 @@ class Worker:
         task.state = TaskState.RUNNING
         task.start_time = self.engine.now
         run.transfers.clear()
+        # Resume from banked checkpoint progress: only the remaining
+        # execute-seconds run here (the full execute_s when progress is
+        # zero, which keeps migration-free runs bit-identical).
+        remaining = task.remaining_execute_s()
         fault = self.master.draw_fault(task, run.allocation)
         if fault is not None:
-            delay = max(0.0, fault.at_fraction * task.execute_s)
+            delay = max(0.0, fault.at_fraction * remaining)
             run.exec_event = self.engine.call_in(
                 delay, self._execution_failed, run, fault
             )
             return
-        run.exec_event = self.engine.call_in(task.execute_s, self._execution_done, run)
+        run.exec_event = self.engine.call_in(remaining, self._execution_done, run)
 
     def _execution_failed(self, run: _TaskRun, fault) -> None:
         """The attempt died (nonzero exit or allocation enforcement)."""
@@ -431,6 +452,74 @@ class Worker:
             on_complete=lambda _t, r=run: self._outputs_delivered(r),
         )
         run.transfers.append(t)
+
+    # ------------------------------------------------------------ migration
+    def migrate_out(self, task: Task) -> bool:
+        """Checkpoint a running task and ship the snapshot to the master
+        (pause → cut → ship → ``Master.migration_arrived``). Returns
+        False when the task cannot migrate here: not on this worker, not
+        executing yet (nothing to bank), or not checkpointable.
+
+        The run keeps its seat (allocation) until the checkpoint is off
+        the node; a kill mid-snapshot or mid-ship loses the cut and the
+        task falls back to the plain worker-lost requeue at whatever
+        progress the master last accepted."""
+        run = self.runs.get(task.id)
+        if run is None or task.state is not TaskState.RUNNING:
+            return False
+        spec = task.checkpoint
+        if spec is None:
+            return False
+        started_at = self.engine.now
+        elapsed = started_at - task.start_time
+        banked = spec.banked_progress(elapsed)
+        new_progress = min(task.execute_s, task.progress_s + banked)
+        lost_s = max(0.0, elapsed - banked)
+        if run.exec_event is not None:
+            run.exec_event.cancel()
+        task.state = TaskState.MIGRATING  # paused: burns no CPU
+        run.exec_event = self.engine.call_in(
+            spec.cost_s, self._checkpoint_cut, run, new_progress, lost_s, started_at
+        )
+        return True
+
+    def _checkpoint_cut(
+        self, run: _TaskRun, new_progress: float, lost_s: float, started_at: float
+    ) -> None:
+        """The snapshot is on local disk; ship it over the master link."""
+        task = run.task
+        if task.id not in self.runs:
+            return  # killed or cancelled mid-snapshot
+        run.exec_event = None
+        assert task.checkpoint is not None
+        t = self.master.link.start_transfer(
+            f"{self.name}:ckpt:{task.id}",
+            task.checkpoint.size_mb,
+            rate_cap_mbps=self.nic_bandwidth_mbps,
+            on_complete=lambda _t, r=run: self._checkpoint_shipped(
+                r, new_progress, lost_s, started_at
+            ),
+        )
+        run.transfers.append(t)
+
+    def _checkpoint_shipped(
+        self, run: _TaskRun, new_progress: float, lost_s: float, started_at: float
+    ) -> None:
+        task = run.task
+        if task.id not in self.runs:
+            return
+        del self.runs[task.id]
+        self._runs_changed()
+        if self._detached:
+            # No master to deliver to; hold the checkpoint like a held
+            # result and re-deliver on reconnect. The master's
+            # at-most-once guard drops it if the task was requeued
+            # meanwhile.
+            self._held_migrations.append((task, new_progress, lost_s, started_at))
+            return
+        self.master.migration_arrived(self, task, new_progress, lost_s, started_at)
+        if self.state is WorkerState.DRAINING and not self.runs:
+            self._stop()
 
     def cancel_run(self, task: Task) -> bool:
         """Abort one task without touching the rest of the worker (the

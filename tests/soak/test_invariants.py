@@ -13,6 +13,7 @@ import pytest
 
 from repro.soak.invariants import (
     check_journal_replay,
+    check_migration_protocol,
     check_task_conservation,
     check_trace_consistency,
     check_version_monotonic,
@@ -99,6 +100,97 @@ class TestJournalReplay:
         quiesced_master.done.reverse()
         (v,) = check_journal_replay(quiesced_master)
         assert "order_only=True" in v.detail
+
+
+def migration_journal(*records):
+    """A duck-typed master exposing only ``journal.records``."""
+
+    def rec(op, tid, progress=None, execute_s=100.0):
+        return SimpleNamespace(
+            op=op,
+            task=SimpleNamespace(id=tid, execute_s=execute_s),
+            progress=progress,
+        )
+
+    return SimpleNamespace(
+        journal=SimpleNamespace(records=[rec(*r[:2], **r[2]) for r in records])
+    )
+
+
+class TestMigrationProtocol:
+    def test_clean_migration_sequence_passes(self):
+        master = migration_journal(
+            ("submit", 1, {}),
+            ("dispatch", 1, {}),
+            ("checkpoint", 1, {"progress": 10.0}),
+            ("checkpoint", 1, {"progress": 20.0}),
+            ("migrate_out", 1, {"progress": 20.0}),
+            ("migrate_in", 1, {"progress": 20.0}),
+            ("complete", 1, {}),
+        )
+        assert check_migration_protocol(master) == []
+
+    def test_progress_regression_flagged(self):
+        master = migration_journal(
+            ("checkpoint", 1, {"progress": 20.0}),
+            ("checkpoint", 1, {"progress": 10.0}),
+        )
+        (v,) = check_migration_protocol(master)
+        assert v.invariant == "migration-protocol"
+        assert "regressed" in v.detail
+
+    def test_overbanked_progress_flagged(self):
+        master = migration_journal(
+            ("checkpoint", 1, {"progress": 150.0, "execute_s": 100.0}),
+        )
+        (v,) = check_migration_protocol(master)
+        assert "more than its" in v.detail
+
+    def test_duplicate_resume_flagged(self):
+        master = migration_journal(
+            ("dispatch", 1, {}),
+            ("migrate_in", 1, {}),  # no migrate_out cleared the attempt
+        )
+        (v,) = check_migration_protocol(master)
+        assert "duplicate resume" in v.detail
+
+    def test_interleaved_tasks_tracked_independently(self):
+        master = migration_journal(
+            ("dispatch", 1, {}),
+            ("dispatch", 2, {}),
+            ("migrate_out", 1, {"progress": 10.0}),
+            ("migrate_in", 1, {"progress": 10.0}),
+            ("complete", 2, {}),
+            ("complete", 1, {}),
+        )
+        assert check_migration_protocol(master) == []
+
+    def test_real_migrated_run_passes(self, engine):
+        """A production master that actually migrated satisfies the
+        checker (not just the synthetic journals above)."""
+        from repro.wq.migration import CheckpointSpec
+
+        master = Master(
+            engine, Link(engine, 100.0), estimator=DeclaredResourceEstimator()
+        )
+        Worker(engine, master, "w1", ResourceVector(4, 4096, 4096))
+        Worker(engine, master, "w2", ResourceVector(4, 4096, 4096))
+        foot = ResourceVector(1, 512, 128)
+        task = Task(
+            "c",
+            execute_s=60.0,
+            footprint=foot,
+            declared=foot,
+            checkpoint=CheckpointSpec(interval_s=10.0, cost_s=1.0, size_mb=10.0),
+        )
+        master.submit(task)
+        engine.run(until=30.0)
+        host = next(w for w in master.workers.values() if task.id in w.runs)
+        assert host.migrate_out(task)
+        engine.run(until=200.0)
+        assert len(master.done) == 1
+        assert master.migrations_accepted == 1
+        assert check_migration_protocol(master) == []
 
 
 class TestTraceConsistency:

@@ -15,6 +15,7 @@ from repro.cluster.resources import ResourceVector
 from repro.wq.estimator import DeclaredResourceEstimator
 from repro.wq.link import Link
 from repro.wq.master import Master
+from repro.wq.migration import CheckpointSpec
 from repro.wq.task import Task, TaskState
 from repro.wq.worker import Worker, WorkerState
 
@@ -185,6 +186,78 @@ class TestPartitionResultDelivery:
         engine.run(until=1200.0)
         assert t_run.state is TaskState.DONE
         assert t_held.state is TaskState.DONE
+
+
+class TestPartitionedMigration:
+    """Checkpoint shipped, link partitioned before the resume-ack: the
+    worker holds the checkpoint like a held result and the at-most-once
+    guard decides its fate on reconnect."""
+
+    SPEC = CheckpointSpec(interval_s=10.0, cost_s=1.0, size_mb=10.0)
+
+    def make_ckpt_task(self, execute_s=200.0):
+        return Task(
+            "c",
+            execute_s=execute_s,
+            footprint=FOOT,
+            declared=FOOT,
+            checkpoint=self.SPEC,
+        )
+
+    def start_migration(self, engine, master, w, task):
+        master.submit(task)
+        engine.run(until=30.0)
+        assert task.state is TaskState.RUNNING
+        engine.run(until=task.start_time + 25.0)  # two intervals banked
+        assert w.migrate_out(task)
+
+    def test_checkpoint_held_through_partition_resumes_exactly_once(
+        self, engine, master
+    ):
+        """Partition strikes between cut and resume-ack, heals inside
+        the liveness window: the held checkpoint delivers on reconnect
+        and the task resumes exactly once with its banked progress."""
+        w = add_worker(engine, master)
+        task = self.make_ckpt_task()
+        self.start_migration(engine, master, w, task)
+        begin_partition(engine, master, w, duration_s=30.0)
+        engine.run(until=engine.now + 5.0)  # ship lands while detached
+        assert [t.id for t, _p, _l, _s in w._held_migrations] == [task.id]
+        assert master.migrations_accepted == 0
+        engine.run(until=engine.now + 60.0)  # heal + reconnect poll
+        assert not w.partitioned
+        assert master.migrations_accepted == 1
+        assert not w._held_migrations
+        assert task.progress_s == 20.0
+        assert task.attempts == 0  # no retry burned across the partition
+        engine.run(until=engine.now + 300.0)
+        assert task.state is TaskState.DONE
+        assert sum(1 for t in master.done if t.id == task.id) == 1
+
+    def test_held_checkpoint_dropped_after_liveness_requeue(self, engine, master):
+        """The partition outlives the liveness window: the master
+        requeues the task (attempt burned) and re-runs it elsewhere; the
+        healed worker's held checkpoint must be dropped as stale — a
+        resume now would double-run the task."""
+        w1 = add_worker(engine, master)
+        task = self.make_ckpt_task(execute_s=400.0)
+        self.start_migration(engine, master, w1, task)
+        begin_partition(
+            engine, master, w1, duration_s=master.liveness_timeout_s + 60.0
+        )
+        engine.run(until=engine.now + 5.0)
+        assert [t.id for t, _p, _l, _s in w1._held_migrations] == [task.id]
+        add_worker(engine, master, "w2")
+        engine.run(until=engine.now + master.liveness_timeout_s + 5.0)
+        assert master.workers_declared_lost == 1
+        assert task.attempts == 1  # liveness expiry burned a retry
+        engine.run(until=engine.now + 120.0)  # heal + reconnect delivery
+        assert master.migrations_stale == 1
+        assert master.migrations_accepted == 0
+        assert task.progress_s == 0.0  # the stale snapshot banked nothing
+        engine.run(until=engine.now + 600.0)
+        assert task.state is TaskState.DONE
+        assert sum(1 for t in master.done if t.id == task.id) == 1
 
 
 class TestStaleRunSuppression:
