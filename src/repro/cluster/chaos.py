@@ -105,6 +105,16 @@ class ChaosInjector:
         """Checkpoint/restore drains fired against live workers."""
         return int(self._c_injections.value(kind="migrate"))
 
+    @property
+    def corruptions_injected(self) -> int:
+        """Silent result corruptions planted on running attempts."""
+        return int(self._c_injections.value(kind="corrupt"))
+
+    @property
+    def black_holes_injected(self) -> int:
+        """Workers turned into black holes (fast-fail / fast-fake)."""
+        return int(self._c_injections.value(kind="black_hole"))
+
     # ------------------------------------------------------------- directed
     def kill_node(self, node: Node) -> List[Pod]:
         """Crash a node: every pod on it fails, then the node vanishes."""
@@ -211,6 +221,70 @@ class ChaosInjector:
             worker=worker.name, migrations=started,
         )
         return worker
+
+    # ------------------------------------------------------- value faults
+    def corrupt_random_result(self, master: "Master"):
+        """Silently corrupt the in-flight result of one random running
+        attempt: the task keeps executing, but the payload it will
+        deliver is damaged — only the master's content-digest check (if
+        verification is on) stands between it and COMPLETE. Returns the
+        task struck, or ``None`` if nothing was running."""
+        candidates = [
+            t for t in master.running_tasks() if not t.payload_corrupt
+        ]
+        if not candidates:
+            return None
+        idx = int(self.rng.stream("chaos.corrupt").integers(0, len(candidates)))
+        task = candidates[idx]
+        task.payload_corrupt = True
+        self._c_injections.inc(kind="corrupt")
+        self.tracer.emit(
+            "cluster", "chaos.corrupt", "chaos",
+            task_id=task.id, task_category=task.category,
+        )
+        return task
+
+    def black_hole_random_worker(self, master: "Master", profile=None):
+        """Turn one random healthy connected worker into a black hole:
+        every task it starts from now on resolves in seconds, as a
+        failure or a fake completion per ``profile`` (default
+        fast-fail). Returns the worker struck, or ``None``."""
+        if profile is None:
+            from repro.wq.faults import BlackHoleProfile
+
+            profile = BlackHoleProfile()
+        candidates = [
+            w
+            for w in master.connected_workers()
+            if w.black_hole is None
+            and not w.quarantined
+            and w.state.value in ("ready", "draining")
+        ]
+        if not candidates:
+            return None
+        idx = int(self.rng.stream("chaos.blackhole").integers(0, len(candidates)))
+        worker = candidates[idx]
+        worker.black_hole = profile
+        self._c_injections.inc(kind="black_hole")
+        self.tracer.emit(
+            "cluster", "chaos.black_hole", "chaos",
+            worker=worker.name, mode=profile.mode,
+        )
+        return worker
+
+    def schedule_black_holes(
+        self, master: "Master", *, at_s: float, count: int = 1, profile=None
+    ) -> None:
+        """At ``at_s``, turn up to ``count`` workers into black holes at
+        once — the correlated sick-rack storm the health ledger exists
+        to survive."""
+
+        def strike() -> None:
+            for _ in range(count):
+                if self.black_hole_random_worker(master, profile) is None:
+                    break
+
+        self.engine.call_at(at_s, strike)
 
     # ---------------------------------------------------- network partitions
     def begin_partition(

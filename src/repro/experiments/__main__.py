@@ -27,6 +27,7 @@ from repro.experiments import (
     fig10,
     fig11,
     forecast_cmp,
+    integrity,
     migration,
     perf,
     preemption,
@@ -44,6 +45,7 @@ _MODULES = {
     "fig10": fig10,
     "fig11": fig11,
     "forecast": forecast_cmp,
+    "integrity": integrity,
     "migration": migration,
     "perf": perf,
     "preemption": preemption,
@@ -53,7 +55,15 @@ _MODULES = {
 }
 
 #: Experiments whose ``main`` accepts a ``smoke=`` reduced-scale mode.
-_SMOKE_CAPABLE = {"perf", "recovery", "resilience", "preemption", "migration", "soak"}
+_SMOKE_CAPABLE = {
+    "perf",
+    "recovery",
+    "resilience",
+    "preemption",
+    "migration",
+    "integrity",
+    "soak",
+}
 
 FIGURES: Dict[str, Callable[[int], str]] = {
     name: module.main for name, module in _MODULES.items()
@@ -168,6 +178,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--integrity",
+        action="store_true",
+        help=(
+            "soak only: enable value faults (the 'corrupt' and "
+            "'black_hole' chaos primitives join the schedule pool, "
+            "seeded result/checkpoint corruption arms, and the health "
+            "ledger polices the workers)"
+        ),
+    )
+    parser.add_argument(
         "--restart-delay",
         type=float,
         default=60.0,
@@ -245,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["runs"] = args.runs
         if name == "soak" and args.migrate:
             kwargs["migrate"] = True
+        if name == "soak" and args.integrity:
+            kwargs["integrity"] = True
         if name == "recovery":
             kwargs.update(
                 crash_at_s=args.crash_at,

@@ -76,11 +76,15 @@ from repro.wq.estimator import (
     MonitorEstimator,
 )
 from repro.wq.faults import (
+    BlackHoleProfile,
     CategoryFaultProfile,
     RetryPolicy,
     SpeculationConfig,
     TaskFaultModel,
+    ValueFaultModel,
+    ValueFaultProfile,
 )
+from repro.wq.health import HealthConfig
 from repro.wq.link import Link
 from repro.wq.master import Master
 from repro.wq.migration import MigrationConfig, MigrationCoordinator
@@ -123,6 +127,24 @@ class FaultProfile:
     speculation: Optional[SpeculationConfig] = field(
         default_factory=SpeculationConfig
     )
+    # -- value faults (wrong data, not no data) and the integrity layer
+    #: Probability a completed attempt delivers a corrupted payload.
+    result_corruption_prob: float = 0.0
+    #: Probability a shipped migration checkpoint arrives corrupted.
+    checkpoint_corruption_prob: float = 0.0
+    #: Content-digest verification at the master. On by default (and
+    #: free when nothing corrupts); the attribution-off experiment arm
+    #: turns it off to measure what corruption costs unchecked.
+    verify: bool = True
+    #: Arm the per-worker health ledger (EWMA scoring, black-hole
+    #: quarantine, poison-task blame attribution); None leaves it off.
+    health: Optional[HealthConfig] = None
+    #: One-shot black-hole storm: at this simulated time, turn
+    #: ``black_hole_count`` random workers into black holes.
+    black_hole_at_s: Optional[float] = None
+    black_hole_count: int = 1
+    black_hole_mode: str = "fast-fail"
+    black_hole_latency_s: float = 1.0
     # -- infrastructure chaos
     node_crash_interval_s: Optional[float] = None
     pod_eviction_interval_s: Optional[float] = None
@@ -233,6 +255,7 @@ class _Stack:
         faults = config.faults
         fault_model: Optional[TaskFaultModel] = None
         retry_policy: Optional[RetryPolicy] = None
+        value_faults: Optional[ValueFaultModel] = None
         if faults is not None:
             fault_model = TaskFaultModel(
                 self.rng,
@@ -246,6 +269,19 @@ class _Stack:
                 base_backoff_s=faults.retry_backoff_base_s,
                 max_backoff_s=faults.retry_backoff_max_s,
             )
+            if (
+                faults.result_corruption_prob > 0
+                or faults.checkpoint_corruption_prob > 0
+            ):
+                value_faults = ValueFaultModel(
+                    self.rng,
+                    default=ValueFaultProfile(
+                        result_corruption_prob=faults.result_corruption_prob,
+                        checkpoint_corruption_prob=(
+                            faults.checkpoint_corruption_prob
+                        ),
+                    ),
+                )
         self.master = Master(
             self.engine,
             self.link,
@@ -255,6 +291,9 @@ class _Stack:
             retry_policy=retry_policy,
             speculation=faults.speculation if faults is not None else None,
             replay_journal=faults.journal_replay if faults is not None else True,
+            value_faults=value_faults,
+            verify=faults.verify if faults is not None else True,
+            health=faults.health if faults is not None else None,
             tracer=self.tracer,
             # The wq histograms cost one observe per dispatch/completion;
             # only armed when the run actually records telemetry.
@@ -330,6 +369,16 @@ class _Stack:
                     self.master,
                     faults.partition_interval_s,
                     duration_s=faults.partition_duration_s,
+                )
+            if faults.black_hole_at_s is not None:
+                self.chaos.schedule_black_holes(
+                    self.master,
+                    at_s=faults.black_hole_at_s,
+                    count=faults.black_hole_count,
+                    profile=BlackHoleProfile(
+                        mode=faults.black_hole_mode,
+                        latency_s=faults.black_hole_latency_s,
+                    ),
                 )
             if faults.chaos_script is not None:
                 faults.chaos_script(self)
@@ -484,6 +533,30 @@ def _collect(
             )
             if recovered is not None:
                 fault_extras["recovery_latency_s"] = recovered - master.last_crash_at
+    integrity_armed = (
+        master.value_faults is not None
+        or master.health is not None
+        or not master.verify
+        or (stack.chaos is not None and stack.chaos.black_holes_injected > 0)
+    )
+    if integrity_armed:
+        fault_extras["verify_fails"] = float(master.verify_fails)
+        fault_extras["checkpoint_verify_fails"] = float(
+            master.checkpoint_verify_fails
+        )
+        fault_extras["corrupted_completes"] = float(master.corrupted_completes)
+        fault_extras["clean_goodput_core_s"] = master.clean_goodput_core_s()
+        fault_extras["quarantines"] = float(master.quarantines)
+        fault_extras["unquarantines"] = float(master.unquarantines)
+        fault_extras["tasks_poisoned"] = float(master.tasks_poisoned)
+        fault_extras["quarantined_rejected"] = float(master.quarantined_rejected)
+        if stack.chaos is not None:
+            fault_extras["corruptions_injected"] = float(
+                stack.chaos.corruptions_injected
+            )
+            fault_extras["black_holes_injected"] = float(
+                stack.chaos.black_holes_injected
+            )
     fault_extras.update(extras)
     return ExperimentResult(
         name=name,

@@ -18,6 +18,10 @@ nonzero on the first violating seed (CI runs ``soak --smoke --runs 3``
 with and without ``--migrate``). ``--migrate`` opts the schedule into
 the checkpoint/restore ``migrate`` primitive and arms the migration
 machinery on every other strike (preemptions drain via checkpoint).
+``--integrity`` opts into value faults: the ``corrupt`` and
+``black_hole`` primitives join the pool, seeded result/checkpoint
+corruption arms, verification polices deliveries, and the health
+ledger quarantines sick workers.
 """
 
 from __future__ import annotations
@@ -26,11 +30,16 @@ from repro.soak.harness import SoakConfig, first_violation, run_soak_batch
 
 
 def main(
-    seed: int = 0, *, smoke: bool = False, runs: int = 1, migrate: bool = False
+    seed: int = 0,
+    *,
+    smoke: bool = False,
+    runs: int = 1,
+    migrate: bool = False,
+    integrity: bool = False,
 ) -> str:
     if runs < 1:
         raise ValueError("runs must be >= 1")
-    config = SoakConfig(migrate=migrate)
+    config = SoakConfig(migrate=migrate, integrity=integrity)
     if smoke:
         config = config.smoke()
     seeds = list(range(seed, seed + runs))

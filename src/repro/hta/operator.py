@@ -333,7 +333,7 @@ class HtaOperator:
         live = [
             w
             for w in self.master.connected_workers()
-            if w.state is WorkerState.READY
+            if w.state is WorkerState.READY and not w.quarantined
         ]
         backlog = 0
         if self.master.available:
@@ -382,10 +382,13 @@ class HtaOperator:
             for held_tasks in self._held.values():
                 waiting.extend(self._simulated_waiting(t) for t in held_tasks)
 
+        # Quarantined workers are dead supply: the dispatcher refuses
+        # them, so counting them would understate the workers Algorithm 1
+        # still needs to provision.
         live = [
             w
             for w in self.master.connected_workers()
-            if w.state is WorkerState.READY
+            if w.state is WorkerState.READY and not w.quarantined
         ]
         idle = sum(1 for w in live if w.idle)
         pending: List[PendingWorker] = []
@@ -475,7 +478,7 @@ class HtaOperator:
         live = [
             w
             for w in self.master.connected_workers()
-            if w.state is WorkerState.READY
+            if w.state is WorkerState.READY and not w.quarantined
         ]
         stats = self.master.stats() if self.master.available else None
         informer = getattr(self.init_tracker, "informer", None)

@@ -32,6 +32,7 @@ from repro.sim.rng import RngRegistry
 from repro.soak.invariants import (
     VersionProbe,
     Violation,
+    check_integrity_protocol,
     check_journal_replay,
     check_migration_protocol,
     check_no_worker_leaks,
@@ -42,6 +43,8 @@ from repro.soak.invariants import (
 from repro.soak.schedule import FaultEvent, SoakScheduleConfig, generate_schedule
 from repro.telemetry.session import TelemetryConfig
 from repro.workloads.synthetic import uniform_bag
+from repro.wq.faults import BLACK_HOLE_MODES, BlackHoleProfile
+from repro.wq.health import HealthConfig
 from repro.wq.migration import CheckpointSpec, MigrationCoordinator
 
 
@@ -70,6 +73,14 @@ class SoakConfig:
     #: primitive enters the schedule's sampling pool. Off by default so
     #: existing seeds replay bit-identically.
     migrate: bool = False
+    #: Opt-in integrity faults: attempts corrupt with a small seeded
+    #: probability, content-digest verification and the health ledger
+    #: arm, and the ``corrupt``/``black_hole`` chaos primitives enter
+    #: the sampling pool. Off by default for the same bit-identity
+    #: reason.
+    integrity: bool = False
+    result_corruption_prob: float = 0.02
+    checkpoint_corruption_prob: float = 0.05
 
     def smoke(self) -> "SoakConfig":
         """A shrunk copy for CI: fewer tasks, fewer strikes."""
@@ -90,8 +101,12 @@ class SoakConfig:
                 min_events=3,
                 max_events=6,
                 migrate=self.migrate,
+                integrity=self.integrity,
             ),
             migrate=self.migrate,
+            integrity=self.integrity,
+            result_corruption_prob=self.result_corruption_prob,
+            checkpoint_corruption_prob=self.checkpoint_corruption_prob,
         )
 
 
@@ -144,6 +159,16 @@ def _apply_event(
     if event.kind == "migrate":
         assert migration is not None, "migrate strike needs a coordinator"
         chaos.migrate_random_worker(stack.master, migration)
+    elif event.kind == "corrupt":
+        chaos.corrupt_random_result(stack.master)
+    elif event.kind == "black_hole":
+        chaos.black_hole_random_worker(
+            stack.master,
+            BlackHoleProfile(
+                mode=BLACK_HOLE_MODES[int(event.param("mode", 0.0))],
+                latency_s=event.param("latency_s", 1.0),
+            ),
+        )
     elif event.kind == "node_kill":
         chaos.kill_random_node()
     elif event.kind == "pod_eviction":
@@ -177,7 +202,17 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
     schedule_cfg = config.schedule
     if config.migrate and not schedule_cfg.migrate:
         schedule_cfg = replace(schedule_cfg, migrate=True)
+    if config.integrity and not schedule_cfg.integrity:
+        schedule_cfg = replace(schedule_cfg, integrity=True)
     events = generate_schedule(seed, schedule_cfg)
+    fault_profile = FaultProfile(max_retries=config.max_retries)
+    if config.integrity:
+        fault_profile = replace(
+            fault_profile,
+            result_corruption_prob=config.result_corruption_prob,
+            checkpoint_corruption_prob=config.checkpoint_corruption_prob,
+            health=HealthConfig(),
+        )
     stack_cfg = StackConfig(
         cluster=ClusterConfig(
             max_nodes=config.max_nodes,
@@ -187,7 +222,7 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
             ),
         ),
         seed=seed,
-        faults=FaultProfile(max_retries=config.max_retries),
+        faults=fault_profile,
     )
     with _Stack(stack_cfg, telemetry=TelemetryConfig(enabled=True)) as stack:
         probe = VersionProbe(stack.cluster.api)
@@ -298,6 +333,7 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
             )
             violations.extend(check_journal_replay(master))
         violations.extend(check_migration_protocol(master))
+        violations.extend(check_integrity_protocol(master))
         violations.extend(check_version_monotonic(probe))
         violations.extend(check_trace_consistency(master, stack.chaos, stack.tracer))
         probe.close()
@@ -324,6 +360,22 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
             stats["migration_fallbacks"] = float(migration.migration_fallbacks)
             stats["migrations_injected"] = float(
                 stack.chaos.migrations_injected if stack.chaos else 0
+            )
+        if config.integrity:
+            stats["verify_fails"] = float(master.verify_fails)
+            stats["checkpoint_verify_fails"] = float(
+                master.checkpoint_verify_fails
+            )
+            stats["corrupted_completes"] = float(master.corrupted_completes)
+            stats["quarantines"] = float(master.quarantines)
+            stats["unquarantines"] = float(master.unquarantines)
+            stats["tasks_poisoned"] = float(master.tasks_poisoned)
+            stats["quarantined_rejected"] = float(master.quarantined_rejected)
+            stats["corruptions_injected"] = float(
+                stack.chaos.corruptions_injected if stack.chaos else 0
+            )
+            stats["black_holes_injected"] = float(
+                stack.chaos.black_holes_injected if stack.chaos else 0
             )
         journal_digest = master.journal.digest()
     return SoakReport(

@@ -233,6 +233,8 @@ def check_migration_protocol(master) -> List[Violation]:
     last_progress: Dict[int, float] = {}
     in_flight: Dict[int, str] = {}
     for rec in master.journal.records:
+        if rec.task is None:
+            continue  # worker-scoped record (quarantine/unquarantine)
         tid = rec.task.id
         if rec.op == "checkpoint":
             progress = rec.progress if rec.progress is not None else 0.0
@@ -267,6 +269,81 @@ def check_migration_protocol(master) -> List[Violation]:
             in_flight[tid] = rec.op
         elif rec.op in ("retry", "migrate_out", "complete", "abandon"):
             in_flight.pop(tid, None)
+    return violations
+
+
+def check_integrity_protocol(master) -> List[Violation]:
+    """Result verification and quarantine obeyed their safety contract.
+
+    Read off the final ledgers and the journal: with verification on, no
+    corrupted payload ever reached COMPLETE (zero corrupted completes,
+    and no done task still carries the corruption ground-truth flag);
+    the QUARANTINE/UNQUARANTINE journal records agree with the master's
+    counters and strictly alternate per worker (a worker is never
+    condemned twice without re-admission in between)."""
+    violations: List[Violation] = []
+    if master.verify:
+        if master.corrupted_completes:
+            violations.append(
+                Violation(
+                    "integrity-protocol",
+                    f"{master.corrupted_completes} corrupted result(s) "
+                    f"reached COMPLETE despite verification",
+                )
+            )
+        tainted = sorted(
+            t.id
+            for t in master.done
+            if t.speculation_of is None and t.payload_corrupt
+        )
+        if tainted:
+            violations.append(
+                Violation(
+                    "integrity-protocol",
+                    f"done task(s) still flagged corrupt: {tainted[:10]}",
+                )
+            )
+    quarantine_recs = unquarantine_recs = 0
+    condemned: Dict[str, bool] = {}
+    for rec in master.journal.records:
+        if rec.op == "quarantine":
+            quarantine_recs += 1
+            if condemned.get(rec.worker):
+                violations.append(
+                    Violation(
+                        "integrity-protocol",
+                        f"worker {rec.worker} quarantined twice without "
+                        f"an intervening unquarantine",
+                    )
+                )
+            condemned[rec.worker] = True
+        elif rec.op == "unquarantine":
+            unquarantine_recs += 1
+            if not condemned.get(rec.worker):
+                violations.append(
+                    Violation(
+                        "integrity-protocol",
+                        f"worker {rec.worker} unquarantined while not "
+                        f"quarantined",
+                    )
+                )
+            condemned[rec.worker] = False
+    if quarantine_recs != master.quarantines:
+        violations.append(
+            Violation(
+                "integrity-protocol",
+                f"quarantine counter {master.quarantines} != "
+                f"{quarantine_recs} QUARANTINE journal records",
+            )
+        )
+    if unquarantine_recs != master.unquarantines:
+        violations.append(
+            Violation(
+                "integrity-protocol",
+                f"unquarantine counter {master.unquarantines} != "
+                f"{unquarantine_recs} UNQUARANTINE journal records",
+            )
+        )
     return violations
 
 
@@ -328,6 +405,26 @@ def check_trace_consistency(master, chaos, tracer) -> List[Violation]:
                     "trace-consistency",
                     f"migrate counter {chaos.migrations_injected} != "
                     f"{traced_migrations} chaos.migrate trace events",
+                )
+            )
+        traced_corruptions = sum(1 for e in events if e.name == "chaos.corrupt")
+        if chaos.corruptions_injected != traced_corruptions:
+            violations.append(
+                Violation(
+                    "trace-consistency",
+                    f"corrupt counter {chaos.corruptions_injected} != "
+                    f"{traced_corruptions} chaos.corrupt trace events",
+                )
+            )
+        traced_black_holes = sum(
+            1 for e in events if e.name == "chaos.black_hole"
+        )
+        if chaos.black_holes_injected != traced_black_holes:
+            violations.append(
+                Violation(
+                    "trace-consistency",
+                    f"black-hole counter {chaos.black_holes_injected} != "
+                    f"{traced_black_holes} chaos.black_hole trace events",
                 )
             )
     return violations

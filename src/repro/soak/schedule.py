@@ -39,6 +39,11 @@ FAULT_KINDS: Tuple[str, ...] = tuple(FAULT_KIND_WEIGHTS)
 #: :data:`FAULT_KIND_WEIGHTS` so default schedules stay bit-identical.
 MIGRATE_WEIGHT: float = 1.5
 
+#: Sampling weights for the value-fault primitives when a schedule opts
+#: in (:attr:`SoakScheduleConfig.integrity`); same bit-identity rule.
+CORRUPT_WEIGHT: float = 1.5
+BLACK_HOLE_WEIGHT: float = 0.75
+
 
 @dataclass(frozen=True, slots=True)
 class FaultEvent:
@@ -79,6 +84,11 @@ class SoakScheduleConfig:
     #: a random busy worker) to the sampling pool. Off by default so the
     #: seeded draws of existing schedules stay bit-identical.
     migrate: bool = False
+    #: Opt-in: add the value-fault primitives — ``corrupt`` (silently
+    #: damage one running attempt's result) and ``black_hole`` (turn one
+    #: worker into a fast-fail/fast-fake sink) — to the sampling pool.
+    #: Off by default for the same bit-identity reason.
+    integrity: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon_s <= self.start_after_s:
@@ -109,7 +119,14 @@ def _sample_params(
             ("factor", float(s.uniform(2.0, 8.0))),
             ("duration_s", float(s.uniform(60.0, 240.0))),
         )
-    return ()  # node_kill / pod_eviction need no parameters
+    if kind == "black_hole":
+        # mode: 0 = fast-fail, 1 = fast-fake (encoded as a float because
+        # FaultEvent params are frozen (str, float) pairs).
+        return (
+            ("mode", float(int(s.integers(0, 2)))),
+            ("latency_s", float(s.uniform(0.5, 3.0))),
+        )
+    return ()  # node_kill / pod_eviction / corrupt need no parameters
 
 
 def generate_schedule(
@@ -129,6 +146,11 @@ def generate_schedule(
     if config.migrate:
         kinds.append("migrate")
         weights.append(MIGRATE_WEIGHT)
+    if config.integrity:
+        kinds.append("corrupt")
+        weights.append(CORRUPT_WEIGHT)
+        kinds.append("black_hole")
+        weights.append(BLACK_HOLE_WEIGHT)
     total = sum(weights)
     probs = [w / total for w in weights]
     events: List[FaultEvent] = []

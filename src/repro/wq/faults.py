@@ -18,6 +18,25 @@ failure modes on top of pod loss:
 from the per-category stream ``faults.task.<category>``, so fault
 sequences replay bit-identically regardless of how many other streams the
 run consumes.
+
+On top of the crash/omission faults above, this module models **value
+faults** — failures that return *wrong data* instead of no data:
+
+* **silent result corruption** — the attempt runs to completion but the
+  delivered payload is damaged (bit rot, a bad NIC, a sick filesystem);
+  only content-digest verification at the master can catch it;
+* **checkpoint corruption** — a shipped migration snapshot is damaged in
+  cut or transit; resuming from it would poison the task, so the master
+  discards it and the task resumes from its last good banked progress;
+* **black-hole workers** (:class:`BlackHoleProfile`) — a sick node that
+  fails (or fake-completes) every task in seconds. Untreated it attracts
+  the entire queue, the classic HTCondor-pool failure mode the health
+  ledger (:mod:`repro.wq.health`) exists to police.
+
+:class:`ValueFaultModel` draws from dedicated streams
+(``faults.value.result.<category>`` / ``faults.value.checkpoint.<category>``)
+and consumes nothing while every probability is zero, so integrity-free
+runs stay bit-identical to builds that predate it.
 """
 
 from __future__ import annotations
@@ -120,6 +139,99 @@ class SpeculationConfig:
             raise ValueError("slowdown_factor must exceed 1")
         if self.min_samples < 1:
             raise ValueError("min_samples must be at least 1")
+
+
+@dataclass(frozen=True, slots=True)
+class ValueFaultProfile:
+    """Per-category value-fault probabilities (silent corruptions)."""
+
+    #: Probability a completed attempt's delivered result is corrupted.
+    result_corruption_prob: float = 0.0
+    #: Probability a shipped migration checkpoint arrives corrupted.
+    checkpoint_corruption_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.result_corruption_prob <= 1.0:
+            raise ValueError(
+                f"result_corruption_prob must be in [0,1], "
+                f"got {self.result_corruption_prob}"
+            )
+        if not 0.0 <= self.checkpoint_corruption_prob <= 1.0:
+            raise ValueError(
+                f"checkpoint_corruption_prob must be in [0,1], "
+                f"got {self.checkpoint_corruption_prob}"
+            )
+
+
+#: Valid black-hole behaviours.
+BLACK_HOLE_MODES = ("fast-fail", "fast-fake")
+
+
+@dataclass(frozen=True, slots=True)
+class BlackHoleProfile:
+    """A black-hole worker's behaviour: every task it starts resolves in
+    ``latency_s`` seconds — as a failure (``fast-fail``) or as a
+    fake completion whose payload never verifies (``fast-fake``)."""
+
+    mode: str = "fast-fail"
+    latency_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in BLACK_HOLE_MODES:
+            raise ValueError(
+                f"unknown black-hole mode {self.mode!r}; known: {BLACK_HOLE_MODES}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be non-negative, got {self.latency_s}")
+
+
+class ValueFaultModel:
+    """Draws value faults (silent corruptions) from seeded streams.
+
+    One uniform variate per *eligible* event — a result delivery or a
+    checkpoint ship — from per-category streams separate from the crash
+    fault streams, so arming value faults never perturbs the existing
+    fault sequences, and zero-probability profiles consume nothing.
+    """
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        *,
+        profiles: Optional[Dict[str, ValueFaultProfile]] = None,
+        default: Optional[ValueFaultProfile] = None,
+    ) -> None:
+        self.rng = rng
+        self.profiles = dict(profiles) if profiles else {}
+        self.default = default if default is not None else ValueFaultProfile()
+        self.draws = 0
+
+    def profile_for(self, category: str) -> ValueFaultProfile:
+        return self.profiles.get(category, self.default)
+
+    def draw_result_corruption(self, task: Task) -> bool:
+        """Is this attempt's delivered result silently corrupted?"""
+        profile = self.profile_for(task.category)
+        if profile.result_corruption_prob == 0.0:
+            return False
+        self.draws += 1
+        u = float(
+            self.rng.stream(f"faults.value.result.{task.category}").uniform(0.0, 1.0)
+        )
+        return u < profile.result_corruption_prob
+
+    def draw_checkpoint_corruption(self, task: Task) -> bool:
+        """Is this shipped checkpoint corrupted in cut or transit?"""
+        profile = self.profile_for(task.category)
+        if profile.checkpoint_corruption_prob == 0.0:
+            return False
+        self.draws += 1
+        u = float(
+            self.rng.stream(
+                f"faults.value.checkpoint.{task.category}"
+            ).uniform(0.0, 1.0)
+        )
+        return u < profile.checkpoint_corruption_prob
 
 
 class TaskFaultModel:

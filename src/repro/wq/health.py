@@ -1,0 +1,299 @@
+"""Per-worker health ledger: EWMA scoring, black-hole detection, blame.
+
+A black-hole node — every task fails (or fake-completes) there in
+seconds — is the most expensive failure mode an HTC pool has: retries
+route straight back to the fastest-idling worker, so one sick node eats
+the whole queue. The auto-scaling HTCondor pools in PAPERS.md police it
+with worker health checks; this ledger is the simulator's equivalent,
+driving a ``healthy → suspect → quarantined → probation`` state machine
+from two detectors:
+
+* **EWMA outcome score** — exponentially weighted success rate per
+  worker. Dropping below ``suspect_below`` marks the worker suspect;
+  below ``quarantine_below`` quarantines it.
+* **fast-fail interarrival** — ``fast_fail_window`` *consecutive*
+  failures each resolving within ``fast_fail_runtime_s`` is the
+  black-hole signature (real failures are slow and interleaved with
+  successes); it quarantines immediately, before the EWMA bottoms out.
+
+Quarantine is not forever: after ``probation_after_s`` the worker
+re-enters on **probation** — it may take work again, but a single
+failure re-quarantines it, and only ``probation_successes`` verified
+completions restore full trust.
+
+**Blame attribution** answers the dual question: is the *task* the
+problem? The ledger keeps the task×worker outcome matrix (which tasks
+failed where) and counts, per task, the distinct workers that were
+*healthy* when the failure happened. A task failing on
+``poison_k`` such workers is a **poison task** — the input, not the
+pool, is at fault — and the master isolates it (abandon + escalate its
+category floor) instead of letting it burn retries forever. Failures on
+suspect/quarantined/probation workers never count toward poison: they
+are the worker's fault. And the attribution is retroactive — when a
+worker is quarantined, its testimony is retracted from every blame row,
+so a task that bounced across several not-yet-caught black holes is not
+falsely ruled poison.
+
+The ledger is pure bookkeeping — no engine, no RNG, no timers — so the
+master stays the single owner of simulated time and the journal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+
+class WorkerHealth(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"          # degraded score; still dispatched
+    QUARANTINED = "quarantined"  # untrusted: no dispatch, results rejected
+    PROBATION = "probation"      # re-admitted; one failure re-quarantines
+
+
+@dataclass(frozen=True, slots=True)
+class HealthConfig:
+    """Detector and state-machine tunables."""
+
+    #: EWMA smoothing for the outcome score (1 = success, 0 = failure).
+    ewma_alpha: float = 0.35
+    #: Outcomes observed before the score is trusted at all.
+    min_samples: int = 3
+    #: Score below which a healthy worker turns suspect.
+    suspect_below: float = 0.55
+    #: Score below which the worker is quarantined outright.
+    quarantine_below: float = 0.30
+    #: Consecutive fast failures that quarantine immediately.
+    fast_fail_window: int = 4
+    #: A failure counting as "fast" resolved within this many seconds.
+    fast_fail_runtime_s: float = 5.0
+    #: Quarantine duration before the worker re-enters on probation;
+    #: 0 disables probation (quarantine is terminal).
+    probation_after_s: float = 300.0
+    #: Verified successes on probation that restore full health.
+    probation_successes: int = 2
+    #: Distinct healthy workers a task must fail on to be poison.
+    poison_k: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0,1], got {self.ewma_alpha}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if not 0.0 <= self.quarantine_below <= self.suspect_below <= 1.0:
+            raise ValueError(
+                "need 0 <= quarantine_below <= suspect_below <= 1, got "
+                f"{self.quarantine_below} / {self.suspect_below}"
+            )
+        if self.fast_fail_window < 1:
+            raise ValueError(
+                f"fast_fail_window must be >= 1, got {self.fast_fail_window}"
+            )
+        if self.fast_fail_runtime_s < 0:
+            raise ValueError("fast_fail_runtime_s must be non-negative")
+        if self.probation_after_s < 0:
+            raise ValueError("probation_after_s must be non-negative")
+        if self.probation_successes < 1:
+            raise ValueError("probation_successes must be >= 1")
+        if self.poison_k < 1:
+            raise ValueError(f"poison_k must be >= 1, got {self.poison_k}")
+
+
+@dataclass(frozen=True, slots=True)
+class HealthVerdict:
+    """What one recorded failure concluded."""
+
+    #: The worker just crossed into quarantine (act: pull its runs).
+    quarantine_worker: bool = False
+    #: The task just crossed the poison threshold (act: isolate it).
+    poison_task: bool = False
+
+
+class _WorkerLedger:
+    __slots__ = (
+        "score", "samples", "state", "fast_fails", "probation_wins",
+        "quarantined_at", "quarantine_count",
+    )
+
+    def __init__(self) -> None:
+        self.score = 1.0
+        self.samples = 0
+        self.state = WorkerHealth.HEALTHY
+        self.fast_fails = 0
+        self.probation_wins = 0
+        self.quarantined_at: Optional[float] = None
+        self.quarantine_count = 0
+
+
+class HealthLedger:
+    """The master's per-worker health state and task blame matrix."""
+
+    def __init__(self, config: Optional[HealthConfig] = None) -> None:
+        self.config = config if config is not None else HealthConfig()
+        self._workers: Dict[str, _WorkerLedger] = {}
+        #: task id -> names of distinct healthy workers it failed on.
+        self._task_blame: Dict[int, Set[str]] = {}
+        #: Task ids already ruled poison (the verdict fires once).
+        self.poisoned_tasks: Set[int] = set()
+        self.quarantines = 0
+        self.unquarantines = 0
+        self.poison_verdicts = 0
+
+    # --------------------------------------------------------------- queries
+    def _ledger(self, worker: str) -> _WorkerLedger:
+        led = self._workers.get(worker)
+        if led is None:
+            led = self._workers[worker] = _WorkerLedger()
+        return led
+
+    def state(self, worker: str) -> WorkerHealth:
+        led = self._workers.get(worker)
+        return led.state if led is not None else WorkerHealth.HEALTHY
+
+    def score(self, worker: str) -> float:
+        led = self._workers.get(worker)
+        return led.score if led is not None else 1.0
+
+    def is_quarantined(self, worker: str) -> bool:
+        return self.state(worker) is WorkerHealth.QUARANTINED
+
+    def is_poisoned(self, task_id: int) -> bool:
+        return task_id in self.poisoned_tasks
+
+    def known_workers(self):
+        return sorted(self._workers)
+
+    # -------------------------------------------------------------- outcomes
+    def record_success(self, worker: str, task_id: int) -> WorkerHealth:
+        """A verified completion on ``worker``; returns its new state."""
+        led = self._ledger(worker)
+        led.samples += 1
+        led.score += self.config.ewma_alpha * (1.0 - led.score)
+        led.fast_fails = 0
+        # A task that completed anywhere is proven non-poison; forget
+        # its blame row so stale failures cannot poison it later.
+        self._task_blame.pop(task_id, None)
+        if led.state is WorkerHealth.PROBATION:
+            led.probation_wins += 1
+            if led.probation_wins >= self.config.probation_successes:
+                led.state = WorkerHealth.HEALTHY
+        elif (
+            led.state is WorkerHealth.SUSPECT
+            and led.score >= self.config.suspect_below
+        ):
+            led.state = WorkerHealth.HEALTHY
+        return led.state
+
+    def record_failure(
+        self,
+        worker: str,
+        task_id: int,
+        *,
+        runtime_s: Optional[float] = None,
+        now: float = 0.0,
+    ) -> HealthVerdict:
+        """A failed (or verification-failed) attempt of ``task_id`` on
+        ``worker``. ``runtime_s`` is the attempt's time-to-outcome for
+        the fast-fail detector (None = unknown, never "fast")."""
+        cfg = self.config
+        led = self._ledger(worker)
+        was_healthy = led.state is WorkerHealth.HEALTHY
+        led.samples += 1
+        led.score += cfg.ewma_alpha * (0.0 - led.score)
+        fast = runtime_s is not None and runtime_s <= cfg.fast_fail_runtime_s
+        led.fast_fails = led.fast_fails + 1 if fast else 0
+
+        quarantine = False
+        if led.state is WorkerHealth.PROBATION:
+            # Zero tolerance on probation.
+            quarantine = True
+        elif led.state is not WorkerHealth.QUARANTINED:
+            if led.fast_fails >= cfg.fast_fail_window:
+                quarantine = True
+            elif led.samples >= cfg.min_samples:
+                if led.score < cfg.quarantine_below:
+                    quarantine = True
+                elif (
+                    led.state is WorkerHealth.HEALTHY
+                    and led.score < cfg.suspect_below
+                ):
+                    led.state = WorkerHealth.SUSPECT
+        if quarantine:
+            led.state = WorkerHealth.QUARANTINED
+            led.quarantined_at = now
+            led.quarantine_count += 1
+            led.probation_wins = 0
+            self.quarantines += 1
+            # The worker just proved itself bad: retract its testimony
+            # so its past failures cannot indict any task as poison.
+            self._expunge_blame(worker)
+
+        # Blame matrix: only failures on a then-healthy worker that did
+        # NOT just tip it into quarantine indict the task; anything else
+        # is the worker's own fault. A concurrent black-hole storm can
+        # otherwise falsely poison a task that bounced across several
+        # sinks before the fast-fail detector caught up with them.
+        poison = False
+        if was_healthy and not quarantine and task_id not in self.poisoned_tasks:
+            blamed = self._task_blame.setdefault(task_id, set())
+            blamed.add(worker)
+            if len(blamed) >= cfg.poison_k:
+                self.poisoned_tasks.add(task_id)
+                self._task_blame.pop(task_id, None)
+                self.poison_verdicts += 1
+                poison = True
+        return HealthVerdict(quarantine_worker=quarantine, poison_task=poison)
+
+    def _expunge_blame(self, worker: str) -> None:
+        """Remove a discredited worker from every task's blame row."""
+        for task_id in [t for t, b in self._task_blame.items() if worker in b]:
+            blamed = self._task_blame[task_id]
+            blamed.discard(worker)
+            if not blamed:
+                del self._task_blame[task_id]
+
+    # ------------------------------------------------------------ transitions
+    def begin_probation(self, worker: str) -> bool:
+        """Quarantine aged out: re-admit the worker on probation.
+        Returns False if it is not currently quarantined."""
+        led = self._workers.get(worker)
+        if led is None or led.state is not WorkerHealth.QUARANTINED:
+            return False
+        led.state = WorkerHealth.PROBATION
+        led.probation_wins = 0
+        led.fast_fails = 0
+        # Lift the score off the floor so the first probation failure is
+        # judged by the zero-tolerance rule, not a stale EWMA.
+        led.score = max(led.score, self.config.quarantine_below)
+        self.unquarantines += 1
+        return True
+
+    def restore_quarantine(self, worker: str) -> None:
+        """Journal replay re-applied a pre-crash quarantine: force the
+        state without counting a new quarantine event."""
+        led = self._ledger(worker)
+        if led.state is not WorkerHealth.QUARANTINED:
+            led.state = WorkerHealth.QUARANTINED
+            led.probation_wins = 0
+
+    def forget_worker(self, worker: str) -> None:
+        """A fresh pod registered under this name: its process history
+        died with the old pod, so the ledger starts over."""
+        self._workers.pop(worker, None)
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, int]:
+        states = [led.state for led in self._workers.values()]
+        return {
+            "health_quarantines": self.quarantines,
+            "health_unquarantines": self.unquarantines,
+            "health_poison_verdicts": self.poison_verdicts,
+            "workers_quarantined": sum(
+                1 for s in states if s is WorkerHealth.QUARANTINED
+            ),
+            "workers_suspect": sum(1 for s in states if s is WorkerHealth.SUSPECT),
+            "workers_probation": sum(
+                1 for s in states if s is WorkerHealth.PROBATION
+            ),
+        }

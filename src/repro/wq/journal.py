@@ -38,6 +38,7 @@ from repro.wq.task import Task, TaskResult
 OPS = (
     "submit", "dispatch", "retry", "complete", "abandon", "escalate",
     "checkpoint", "migrate_out", "migrate_in",
+    "verify_fail", "quarantine", "unquarantine",
 )
 
 
@@ -49,8 +50,9 @@ class JournalRecord:
     time: float
     #: The task object stands in for its serialized form on the PV; the
     #: simulation keeps object identity so replay recovers the same
-    #: tasks the workflow manager holds.
-    task: Task
+    #: tasks the workflow manager holds. Worker-scoped records
+    #: (quarantine/unquarantine) carry no task.
+    task: Optional[Task]
     #: ``task.attempts`` at record time (dispatch: the attempt being
     #: started; retry: the post-increment counter).
     attempt: int = 0
@@ -62,6 +64,10 @@ class JournalRecord:
     #: execute-seconds the accepted snapshot preserves; migrate_in —
     #: the progress the new attempt resumes from.
     progress: Optional[float] = None
+    #: Integrity records carry the worker involved: verify_fail — the
+    #: worker whose delivery failed content-digest verification;
+    #: quarantine/unquarantine — the worker changing health state.
+    worker: Optional[str] = None
 
 
 @dataclass
@@ -90,6 +96,9 @@ class ReplayedState:
     #: Last banked checkpoint progress per task id (execute-seconds a
     #: resumed attempt skips); restored onto recovered tasks.
     progress: Dict[int, float] = field(default_factory=dict)
+    #: Workers quarantined (and not since unquarantined) at crash time,
+    #: in quarantine order — the recovered master keeps distrusting them.
+    quarantined: List[str] = field(default_factory=list)
 
 
 class TransactionJournal:
@@ -161,6 +170,25 @@ class TransactionJournal:
             )
         )
 
+    def record_verify_fail(self, time: float, task: Task, worker: str) -> None:
+        """A delivered result (or checkpoint) failed content-digest
+        verification: the attempt is void and never reaches COMPLETE.
+        The worker name feeds post-mortem blame attribution."""
+        self._append(
+            JournalRecord(
+                "verify_fail", time, task, attempt=task.attempts, worker=worker
+            )
+        )
+
+    def record_quarantine(self, time: float, worker: str) -> None:
+        """The health ledger quarantined a worker: its runs were pulled
+        and dispatch stops trusting it until probation."""
+        self._append(JournalRecord("quarantine", time, None, worker=worker))
+
+    def record_unquarantine(self, time: float, worker: str) -> None:
+        """A quarantined worker entered probation and may take work again."""
+        self._append(JournalRecord("unquarantine", time, None, worker=worker))
+
     # --------------------------------------------------------------- digest
     def digest(self) -> str:
         """SHA-256 over a canonical serialization of every record.
@@ -177,8 +205,13 @@ class TransactionJournal:
         h = hashlib.sha256()
         canon: Dict[int, int] = {}
         for rec in self.records:
-            tid = canon.setdefault(rec.task.id, len(canon))
-            parts = [rec.op, repr(rec.time), str(tid), str(rec.attempt)]
+            # Worker-scoped records (quarantine/unquarantine) carry no
+            # task; a fixed placeholder keeps the canonical form total.
+            if rec.task is not None:
+                tid = str(canon.setdefault(rec.task.id, len(canon)))
+            else:
+                tid = "-"
+            parts = [rec.op, repr(rec.time), tid, str(rec.attempt)]
             if rec.result is not None:
                 r = rec.result
                 parts += [
@@ -198,6 +231,8 @@ class TransactionJournal:
                 parts += [repr(e.cores), repr(e.memory_mb), repr(e.disk_mb)]
             if rec.progress is not None:
                 parts.append(repr(rec.progress))
+            if rec.worker is not None:
+                parts.append(rec.worker)
             h.update("|".join(parts).encode())
             h.update(b"\n")
         return h.hexdigest()
@@ -261,6 +296,18 @@ class TransactionJournal:
                 state.unclaimed[task.id] = task
                 state.attempts[task.id] = rec.attempt
                 state.progress[task.id] = rec.progress
+            elif rec.op == "verify_fail":
+                # The voided attempt's queue motion is carried by the
+                # retry/abandon record that follows; nothing folds here.
+                pass
+            elif rec.op == "quarantine":
+                assert rec.worker is not None
+                if rec.worker not in state.quarantined:
+                    state.quarantined.append(rec.worker)
+            elif rec.op == "unquarantine":
+                assert rec.worker is not None
+                if rec.worker in state.quarantined:
+                    state.quarantined.remove(rec.worker)
         return state
 
     @staticmethod

@@ -29,7 +29,14 @@ from repro.sim.engine import Engine, PeriodicTask
 from repro.telemetry.events import NULL_TRACER, Tracer
 from repro.telemetry.metrics import MetricsRegistry
 from repro.wq.estimator import AllocationEstimator, MonitorEstimator
-from repro.wq.faults import RetryPolicy, SpeculationConfig, TaskFault, TaskFaultModel
+from repro.wq.faults import (
+    RetryPolicy,
+    SpeculationConfig,
+    TaskFault,
+    TaskFaultModel,
+    ValueFaultModel,
+)
+from repro.wq.health import HealthConfig, HealthLedger
 from repro.wq.journal import TransactionJournal
 from repro.wq.link import Link
 from repro.wq.monitor import ResourceMonitor
@@ -71,6 +78,9 @@ class Master:
         start_available: bool = True,
         max_retries: int = 5,
         fault_model: Optional[TaskFaultModel] = None,
+        value_faults: Optional[ValueFaultModel] = None,
+        verify: bool = True,
+        health: Optional[HealthConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         speculation: Optional[SpeculationConfig] = None,
         replay_journal: bool = True,
@@ -107,6 +117,18 @@ class Master:
         self.max_retries = max_retries
         #: Optional task-level fault injection (see :mod:`repro.wq.faults`).
         self.fault_model = fault_model
+        #: Optional value-fault injection (silent result/checkpoint
+        #: corruption; see :class:`~repro.wq.faults.ValueFaultModel`).
+        self.value_faults = value_faults
+        #: Content-digest verification on result and checkpoint delivery.
+        #: With no value faults armed it is pure policy (nothing can be
+        #: corrupt), so the default True costs integrity-free runs nothing.
+        self.verify = verify
+        #: Per-worker health ledger driving quarantine + blame
+        #: attribution; None disables the whole policy layer.
+        self.health: Optional[HealthLedger] = (
+            HealthLedger(health) if health is not None else None
+        )
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         #: Straggler mitigation; None disables speculative re-execution.
         self.speculation = speculation
@@ -167,6 +189,31 @@ class Master:
         self.tasks_speculated = 0
         self.speculation_wins = 0
         self.speculation_losses = 0
+        # --------------------------------------------------- integrity state
+        #: Result deliveries rejected by content-digest verification.
+        self.verify_fails = 0
+        #: Checkpoint deliveries whose snapshot failed verification.
+        self.checkpoint_verify_fails = 0
+        #: Corrupted results accepted as COMPLETE (only possible with
+        #: verification off — the ground-truth damage counter the
+        #: integrity experiment contrasts).
+        self.corrupted_completes = 0
+        #: Core-seconds of corrupt completed work, subtracted from
+        #: :meth:`goodput_core_s` by :meth:`clean_goodput_core_s`.
+        self.corrupted_goodput_core_s = 0.0
+        #: Workers quarantined / re-admitted on probation by the ledger.
+        self.quarantines = 0
+        self.unquarantines = 0
+        #: Tasks isolated by blame attribution (poison-task verdicts).
+        self.tasks_poisoned = 0
+        #: Deliveries rejected because the worker was quarantined.
+        self.quarantined_rejected = 0
+        #: Monotonic token per worker name; a probation timer fires only
+        #: if no newer quarantine superseded it.
+        self._quarantine_seq: Dict[str, int] = {}
+        #: Worker names the replayed journal says were quarantined at
+        #: crash time; re-applied as those workers reconnect.
+        self._recovered_quarantined: Set[str] = set()
         #: Core-seconds burned by killed attempts and cancelled duplicates.
         self.wasted_core_s = 0.0
         #: False while the master process is down (its pod restarting).
@@ -315,6 +362,11 @@ class Master:
 
     # -------------------------------------------------------------- workers
     def register_worker(self, worker: Worker) -> None:
+        if self.health is not None:
+            # A brand-new pod registering under a recycled name is a
+            # fresh process: its predecessor's outcome history died with
+            # the old pod and must not taint it.
+            self.health.forget_worker(worker.name)
         self.workers[worker.name] = worker
         self._refresh_worker_cache(worker)
         self._schedule_dispatch()
@@ -543,6 +595,7 @@ class Master:
             self.engine.now - started_at if started_at is not None else 0.0
         )
         if not accepted:
+            task.checkpoint_corrupt = False
             self.migrations_stale += 1
             if self.tracer.enabled:
                 self.tracer.emit(
@@ -555,6 +608,42 @@ class Master:
             for fn in self._migration_listeners:
                 fn(worker, task, False, ship_s)
             return False
+        if task.checkpoint_corrupt and self.verify:
+            # Content-digest verification rejected the snapshot: resuming
+            # from it would poison the task, so discard it — the task
+            # keeps its last *good* banked progress (at-most-once resume
+            # holds: the rejected snapshot is consumed, never replayed)
+            # and requeues at the front, no attempt burned. The execution
+            # beyond the old bank is wasted along with the lost tail.
+            task.checkpoint_corrupt = False
+            self.checkpoint_verify_fails += 1
+            self.journal.record_verify_fail(self.engine.now, task, worker.name)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wq",
+                    "task.checkpoint_verify_fail",
+                    task.category,
+                    task_id=task.id,
+                    worker=worker.name,
+                    discarded_progress_s=new_progress,
+                )
+            self._cancel_speculation_for(task)
+            self.running.pop(task.id, None)
+            self._unclaimed.pop(task.id, None)
+            unbanked_s = max(0.0, new_progress - task.progress_s) + max(0.0, lost_s)
+            if unbanked_s > 0:
+                cores = task.footprint.cores
+                if task.allocation is not None:
+                    cores = min(cores, task.allocation.cores)
+                self.wasted_core_s += unbanked_s * cores
+            task.reset_for_retry()
+            self.journal.record_migrate_out(self.engine.now, task)
+            self._enqueue_front(task)
+            self._schedule_dispatch()
+            for fn in self._migration_listeners:
+                fn(worker, task, False, ship_s)
+            return False
+        task.checkpoint_corrupt = False
         self.migrations_accepted += 1
         # Satellite of the migration protocol: a live speculative clone
         # of the migrating task must die here — first-completion-wins
@@ -639,6 +728,20 @@ class Master:
             return None
         return self.fault_model.draw(task, allocation)
 
+    def draw_result_corruption(self, task: Task) -> bool:
+        """Worker hook: is this attempt's delivered payload silently
+        corrupted? Always False without a value-fault model (and then no
+        variate is consumed — integrity-free runs stay bit-identical)."""
+        if self.value_faults is None:
+            return False
+        return self.value_faults.draw_result_corruption(task)
+
+    def draw_checkpoint_corruption(self, task: Task) -> bool:
+        """Worker hook: is this shipped checkpoint corrupted?"""
+        if self.value_faults is None:
+            return False
+        return self.value_faults.draw_checkpoint_corruption(task)
+
     def task_failed(self, worker: Worker, task: Task, fault: TaskFault) -> None:
         """A task-level failure: nonzero exit (transient) or killed by
         the worker's allocation enforcement (exhaustion). Exhaustion
@@ -648,6 +751,13 @@ class Master:
         self.running.pop(task.id, None)
         self.tasks_failed += 1
         self._charge_waste(task)
+        # Time-to-outcome for the fast-fail detector, taken before the
+        # retry reset clears the attempt's timing.
+        runtime_s = (
+            self.engine.now - task.start_time
+            if task.start_time is not None
+            else None
+        )
         if self.tracer.enabled:
             self.tracer.emit(
                 "wq",
@@ -659,8 +769,10 @@ class Master:
                 attempt=task.attempts,
             )
         if task.speculation_of is not None:
-            # A speculative copy crashed: forget it, never retry it.
+            # A speculative copy crashed: forget it, never retry it —
+            # but the outcome still scores against the worker.
             self._drop_speculation_entry(task)
+            self._health_failure(worker, task, runtime_s=runtime_s)
             return
         if fault.kind == "exhaustion" and fault.escalate_to is not None:
             self.tasks_exhausted += 1
@@ -669,6 +781,8 @@ class Master:
             task.min_allocation = floor.max_with(fault.escalate_to)
             self.monitor.observe_exhaustion(task.category, fault.escalate_to)
             self.journal.record_escalate(self.engine.now, task, fault.escalate_to)
+        if self._health_failure(worker, task, runtime_s=runtime_s):
+            return  # ruled poison and isolated; no retry
         task.attempts += 1
         if task.attempts > self.max_retries:
             self._abandon(task)
@@ -713,6 +827,191 @@ class Master:
             )
         self._enqueue_front(task)
         self._schedule_dispatch()
+
+    # ---------------------------------------------------- health / integrity
+    def _health_failure(
+        self, worker: Worker, task: Task, *, runtime_s: Optional[float]
+    ) -> bool:
+        """Score a failed (or verification-failed) attempt against the
+        health ledger and act on its verdict. Returns True when the task
+        was ruled poison and isolated — the caller must not retry it."""
+        if self.health is None:
+            return False
+        verdict = self.health.record_failure(
+            worker.name, task.id, runtime_s=runtime_s, now=self.engine.now
+        )
+        if verdict.quarantine_worker:
+            self._quarantine_worker(worker)
+        if verdict.poison_task and task.speculation_of is None:
+            self._poison_task(task)
+            return True
+        return False
+
+    def _poison_task(self, task: Task) -> None:
+        """Blame attribution ruled this task poison: it failed on
+        ``poison_k`` distinct healthy workers, so the input — not the
+        pool — is at fault. Isolate it through the existing exhaustion
+        escalation path (abandon + raise its category floor so HTA's
+        planner prices its kin realistically) instead of letting it burn
+        retries forever."""
+        self.tasks_poisoned += 1
+        self.escalations += 1
+        floor = task.min_allocation or ResourceVector.zero()
+        escalate_to = floor.max_with(task.footprint)
+        task.min_allocation = escalate_to
+        self.monitor.observe_exhaustion(task.category, escalate_to)
+        self.journal.record_escalate(self.engine.now, task, escalate_to)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.poisoned",
+                task.category,
+                task_id=task.id,
+                attempts=task.attempts,
+            )
+        self._abandon(task)
+
+    def _quarantine_worker(self, worker: Worker) -> None:
+        """The health ledger condemned this worker: stop dispatching to
+        it, evacuate its in-flight runs (deterministic id order, same as
+        preemption evacuation), and schedule its probation re-entry."""
+        if worker.quarantined:
+            return
+        worker.quarantined = True
+        self.quarantines += 1
+        self.journal.record_quarantine(self.engine.now, worker.name)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "worker.quarantine",
+                worker=worker.name,
+            )
+        self._refresh_worker_cache(worker)
+        self.evacuate_worker(worker)
+        probation_after = (
+            self.health.config.probation_after_s if self.health else 0.0
+        )
+        if probation_after > 0:
+            seq = self._quarantine_seq.get(worker.name, 0) + 1
+            self._quarantine_seq[worker.name] = seq
+            self.engine.call_in(
+                probation_after,
+                self._probation_due,
+                worker,
+                seq,
+                self._incarnation,
+            )
+
+    def _probation_due(self, worker: Worker, seq: int, incarnation: int) -> None:
+        """Quarantine aged out: re-admit the worker on probation. The
+        ``seq`` token voids timers from superseded quarantines (the
+        worker was re-quarantined, restarting the clock)."""
+        if incarnation != self._incarnation or self.crashed:
+            return
+        if self._quarantine_seq.get(worker.name) != seq:
+            return
+        if not worker.quarantined:
+            return
+        if self.health is None or not self.health.begin_probation(worker.name):
+            return
+        worker.quarantined = False
+        self.unquarantines += 1
+        self.journal.record_unquarantine(self.engine.now, worker.name)
+        if self.tracer.enabled:
+            self.tracer.emit("wq", "worker.probation", worker=worker.name)
+        if self.workers.get(worker.name) is worker:
+            self._refresh_worker_cache(worker)
+            self._schedule_dispatch()
+
+    def _verification_failed(self, worker: Worker, task: Task) -> None:
+        """Content-digest verification rejected a delivered result: the
+        payload never reaches COMPLETE. The attempt is treated as a
+        task-level failure — it burns an attempt, scores against the
+        worker's health, and retries with the standard backoff — and is
+        journalled as VERIFY_FAIL so replay carries the audit trail."""
+        self.verify_fails += 1
+        self.tasks_failed += 1
+        runtime_s = (
+            self.engine.now - task.start_time
+            if task.start_time is not None
+            else None
+        )
+        self.journal.record_verify_fail(self.engine.now, task, worker.name)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.verify_fail",
+                task.category,
+                task_id=task.id,
+                worker=worker.name,
+                attempt=task.attempts,
+            )
+        if task.id in self._spec:
+            # Satellite fix: a canonical result failing verification must
+            # not leak its speculative clone — the clone still races, but
+            # the books below reset the task to WAITING, so a later clone
+            # completion would hit the stale-delivery guard and be
+            # wasted. Cancel it and let the retry own the task.
+            self.speculation_losses += 1
+            self._cancel_speculation_for(task)
+        self.running.pop(task.id, None)
+        self._unclaimed.pop(task.id, None)
+        self._dequeue(task)
+        self._charge_waste(task)
+        poisoned = self._health_failure(worker, task, runtime_s=runtime_s)
+        task.payload_corrupt = False
+        if poisoned:
+            return
+        task.attempts += 1
+        if task.attempts > self.max_retries:
+            self._abandon(task)
+            return
+        self.tasks_requeued += 1
+        delay = self.retry_policy.backoff_s(task.attempts)
+        task.reset_for_retry()
+        if delay <= 0:
+            self.journal.record_retry(self.engine.now, task)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wq",
+                    "task.retry",
+                    task.category,
+                    task_id=task.id,
+                    reason="verify_fail",
+                    attempt=task.attempts,
+                )
+            self._enqueue_front(task)
+            self._schedule_dispatch()
+        else:
+            self._backoff_pending += 1
+            self.engine.call_in(
+                delay, self._requeue_after_backoff, task, self._incarnation
+            )
+
+    def _speculative_verify_failed(self, worker: Worker, clone: Task) -> None:
+        """A speculative clone's result failed verification. Clones are
+        never journalled, so no VERIFY_FAIL record — just drop the clone
+        (the original is still in flight) and score the worker."""
+        self.verify_fails += 1
+        runtime_s = (
+            self.engine.now - clone.start_time
+            if clone.start_time is not None
+            else None
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.verify_fail",
+                clone.category,
+                task_id=clone.id,
+                worker=worker.name,
+                speculative=True,
+            )
+        self.running.pop(clone.id, None)
+        self._charge_waste(clone)
+        self._drop_speculation_entry(clone)
+        clone.state = TaskState.FAILED
+        self._health_failure(worker, clone, runtime_s=runtime_s)
 
     def _abandon(self, task: Task) -> None:
         self._cancel_speculation_for(task)
@@ -869,7 +1168,13 @@ class Master:
                 self.monitor.record(result)
             for category, floor in state.escalations:
                 self.monitor.observe_exhaustion(category, floor)
+            # Quarantines outlive the crash: the journal knows which
+            # workers were condemned, and the verdict is re-applied when
+            # (if) each one reconnects.
+            self._recovered_quarantined = set(state.quarantined)
         else:
+            # Cold restart: the quarantine ledger died with the PV.
+            self._recovered_quarantined = set()
             ready: List[Task] = []
             for task in state.ready:
                 if task.result is not None:
@@ -949,11 +1254,31 @@ class Master:
         self.workers[worker.name] = worker
         self._refresh_worker_cache(worker)
         self._unreachable.pop(worker.name, None)
+        if worker.name in self._recovered_quarantined:
+            # The journal condemned this worker before the crash; the
+            # verdict survives its reconnect. Restart the probation clock
+            # from now — the pre-crash timer died with the old process.
+            self._recovered_quarantined.discard(worker.name)
+            if self.health is not None:
+                worker.quarantined = True
+                self.health.restore_quarantine(worker.name)
+                self._refresh_worker_cache(worker)
+                if self.health.config.probation_after_s > 0:
+                    seq = self._quarantine_seq.get(worker.name, 0) + 1
+                    self._quarantine_seq[worker.name] = seq
+                    self.engine.call_in(
+                        self.health.config.probation_after_s,
+                        self._probation_due,
+                        worker,
+                        seq,
+                        self._incarnation,
+                    )
         # Snapshot once: ``cancel_run`` below mutates ``worker.runs``.
         for run in list(worker.runs.values()):
             task = run.task
             adoptable = (
-                task.result is None
+                not worker.quarantined
+                and task.result is None
                 and task.dispatch_time is not None
                 # A task requeued while we were away may already be
                 # running on another worker — the Task object is shared,
@@ -1208,6 +1533,45 @@ class Master:
         self._finalize_completion(worker, task)
 
     def _finalize_completion(self, worker: Worker, task: Task) -> None:
+        if worker.quarantined:
+            # Results from a quarantined worker are untrusted wholesale —
+            # including ones held across a partition and redelivered
+            # after the quarantine landed. Reject, and put the canonical
+            # attempt (if this was it) back in the queue; the quarantine
+            # evacuation already requeued anything it could see, so this
+            # branch only fires for deliveries the evacuation could not
+            # reach (held results, in-flight returns).
+            self.quarantined_rejected += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wq",
+                    "task.quarantine_reject",
+                    task.category,
+                    task_id=task.id,
+                    worker=worker.name,
+                )
+            if task.speculation_of is not None:
+                self.running.pop(task.id, None)
+                self._charge_waste(task)
+                self._drop_speculation_entry(task)
+                task.state = TaskState.FAILED
+                return
+            if (
+                task.result is None
+                and self.running.get(task.id) is task
+                and not self._running_elsewhere(task, worker)
+                and task.id not in worker.runs
+            ):
+                # Still the canonical attempt: requeue it, no attempt
+                # burned (the worker is at fault, not the task).
+                self.running.pop(task.id, None)
+                self._charge_waste(task)
+                self.tasks_requeued += 1
+                task.reset_for_retry()
+                self.journal.record_retry(self.engine.now, task)
+                self._enqueue_front(task)
+                self._schedule_dispatch()
+            return
         if task.speculation_of is not None:
             self._finalize_speculative_win(worker, task)
             return
@@ -1224,6 +1588,17 @@ class Master:
             self.duplicate_results += 1
             self.running.pop(task.id, None)
             return
+        if task.payload_corrupt:
+            if self.verify:
+                # Content-digest verification: a corrupted result never
+                # reaches COMPLETE.
+                self._verification_failed(worker, task)
+                return
+            # Verification off: the corruption sails through to COMPLETE
+            # (the experiment's attribution-off baseline). Track it so
+            # goodput can be split into clean and corrupted shares.
+            self.corrupted_completes += 1
+            self.corrupted_goodput_core_s += task.execute_s * task.footprint.cores
         # First-completion-wins: the original beat its speculative copy.
         if task.id in self._spec:
             self.speculation_losses += 1
@@ -1277,6 +1652,8 @@ class Master:
         """Write-ahead bookkeeping for an accepted result: journal it,
         remember its (task_id, attempt) key, and stamp the first
         post-recovery completion (the recovery-latency marker)."""
+        if self.health is not None:
+            self.health.record_success(result.worker_name, task.id)
         self._delivered.add((task.id, result.attempts))
         self.journal.record_complete(self.engine.now, task, result)
         self._record_acceptance_telemetry(task, result)
@@ -1302,6 +1679,11 @@ class Master:
         """A speculative copy finished first: cancel the straggling
         original wherever it is and complete *the original* with the
         copy's timings (the workflow manager only knows the original)."""
+        if clone.payload_corrupt and self.verify:
+            # A corrupt clone result must not win the race: drop the
+            # clone and leave the original in flight.
+            self._speculative_verify_failed(worker, clone)
+            return
         self.running.pop(clone.id, None)
         original = self._spec_origin.pop(clone.id, None)
         if original is None:
@@ -1332,6 +1714,13 @@ class Master:
             measured_resources=original.footprint,
             attempts=original.attempts + 1,
         )
+        if clone.payload_corrupt:
+            # Verification off: the fake completion wins the race and
+            # its corrupted payload is accepted as the task's result.
+            self.corrupted_completes += 1
+            self.corrupted_goodput_core_s += (
+                result.execute_seconds * result.measured_resources.cores
+            )
         original.result = result
         self._unclaimed.pop(original.id, None)
         self._record_acceptance(original, result)
@@ -1422,10 +1811,21 @@ class Master:
             self._cores_waiting_cache = (self._queue_rev, value)
         return value
 
+    def clean_goodput_core_s(self) -> float:
+        """Goodput minus the corrupted share: completed work whose
+        results actually verify. Equal to :meth:`goodput_core_s` under
+        verification (a corrupted result never completes); strictly
+        smaller when verification is off and corruption slips through."""
+        return self.goodput_core_s() - self.corrupted_goodput_core_s
+
     def supplied_cores(self) -> float:
-        """RS in cores: capacity of connected, accepting workers."""
+        """RS in cores: capacity of connected, accepting workers.
+        Quarantined workers are excluded — their capacity is untrusted,
+        and counting it would let HTA's estimator see supply the
+        dispatcher refuses to use."""
         return sum(
             w.capacity.cores
             for w in self.workers.values()
             if w.state in (WorkerState.READY, WorkerState.DRAINING)
+            and not w.quarantined
         )

@@ -91,7 +91,8 @@ class Task:
         "cpu_fraction", "footprint", "declared", "inputs", "outputs",
         "state", "attempts", "submit_time", "dispatch_time", "start_time",
         "finish_time", "allocation", "min_allocation", "speculation_of",
-        "result", "checkpoint", "progress_s",
+        "result", "checkpoint", "progress_s", "payload_corrupt",
+        "checkpoint_corrupt",
     )
 
     def __init__(
@@ -156,6 +157,14 @@ class Task:
         #: checkpoint. Survives retries (the checkpoint lives with the
         #: master); only a cold master restart resets it.
         self.progress_s = 0.0
+        #: Value-fault ground truth for the *current* attempt: the
+        #: delivered result payload is silently corrupted (set by the
+        #: worker at execution start, caught — or not — by the master's
+        #: content-digest verification on delivery).
+        self.payload_corrupt = False
+        #: Ground truth for the checkpoint currently in flight: the
+        #: shipped snapshot is corrupted and must not be resumed from.
+        self.checkpoint_corrupt = False
 
     # ---------------------------------------------------------------- sizes
     def input_bytes_mb(self, cached: bool = False) -> float:
@@ -187,6 +196,8 @@ class Task:
         self.dispatch_time = None
         self.start_time = None
         self.allocation = None
+        self.payload_corrupt = False
+        self.checkpoint_corrupt = False
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Task #{self.id} {self.category!r} {self.state.value}>"

@@ -89,6 +89,12 @@ class Worker:
         self.nic_bandwidth_mbps = nic_bandwidth_mbps
         self.on_exit = on_exit
         self.state = WorkerState.CONNECTING
+        #: Set by the master's health ledger: an untrusted worker takes
+        #: no new work and its result deliveries are rejected.
+        self.quarantined = False
+        #: Chaos-injected sickness (a :class:`~repro.wq.faults.BlackHoleProfile`):
+        #: every task started here fast-fails or fast-fake-completes.
+        self.black_hole = None
         #: LRU file cache bounded by the worker's disk capacity.
         self.cache = WorkerCache(capacity.disk_mb)
         #: Single-flight table: cacheable file name -> runs waiting for it.
@@ -313,7 +319,11 @@ class Worker:
 
     @property
     def accepting(self) -> bool:
-        return self.state is WorkerState.READY and not self._detached
+        return (
+            self.state is WorkerState.READY
+            and not self._detached
+            and not self.quarantined
+        )
 
     def can_fit(self, allocation: ResourceVector) -> bool:
         return self.accepting and allocation.fits_in(self.available())
@@ -406,11 +416,36 @@ class Worker:
         task = run.task
         task.state = TaskState.RUNNING
         task.start_time = self.engine.now
+        task.payload_corrupt = False
         run.transfers.clear()
         # Resume from banked checkpoint progress: only the remaining
         # execute-seconds run here (the full execute_s when progress is
         # zero, which keeps migration-free runs bit-identical).
         remaining = task.remaining_execute_s()
+        bh = self.black_hole
+        if bh is not None:
+            # A black-hole node resolves every task in seconds: either a
+            # fast failure or a fake completion whose payload can never
+            # pass the master's content-digest verification. No fault
+            # stream is consumed — the sickness is the node's, not the
+            # task's, so arming it never perturbs the seeded sequences.
+            delay = min(bh.latency_s, remaining)
+            if bh.mode == "fast-fail":
+                from repro.wq.faults import TaskFault
+
+                fault = TaskFault(
+                    kind="black-hole",
+                    at_fraction=(delay / remaining) if remaining > 0 else 0.0,
+                )
+                run.exec_event = self.engine.call_in(
+                    delay, self._execution_failed, run, fault
+                )
+            else:  # fast-fake
+                task.payload_corrupt = True
+                run.exec_event = self.engine.call_in(
+                    delay, self._execution_done, run
+                )
+            return
         fault = self.master.draw_fault(task, run.allocation)
         if fault is not None:
             delay = max(0.0, fault.at_fraction * remaining)
@@ -418,6 +453,10 @@ class Worker:
                 delay, self._execution_failed, run, fault
             )
             return
+        # The attempt will complete; draw whether its payload is
+        # silently corrupted in flight (zero-cost when value faults
+        # are off — the model consumes no variate then).
+        task.payload_corrupt = self.master.draw_result_corruption(task)
         run.exec_event = self.engine.call_in(remaining, self._execution_done, run)
 
     def _execution_failed(self, run: _TaskRun, fault) -> None:
@@ -492,6 +531,10 @@ class Worker:
             return  # killed or cancelled mid-snapshot
         run.exec_event = None
         assert task.checkpoint is not None
+        # Draw whether this snapshot is damaged in cut or transit; the
+        # master's digest check on arrival decides whether to resume
+        # from it (consumes nothing while value faults are off).
+        task.checkpoint_corrupt = self.master.draw_checkpoint_corruption(task)
         t = self.master.link.start_transfer(
             f"{self.name}:ckpt:{task.id}",
             task.checkpoint.size_mb,

@@ -11,7 +11,8 @@ class TestCli:
     def test_all_figures_registered(self):
         assert set(FIGURES) == {
             "fig2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "forecast",
-            "migration", "perf", "resilience", "recovery", "preemption", "soak",
+            "integrity", "migration", "perf", "resilience", "recovery",
+            "preemption", "soak",
         }
 
     def test_smoke_flag_runs_resilience(self, capsys):

@@ -18,6 +18,7 @@ from repro.soak.schedule import SoakScheduleConfig
 
 FAST = SoakConfig().smoke()
 FAST_MIGRATE = SoakConfig(migrate=True).smoke()
+FAST_INTEGRITY = SoakConfig(integrity=True).smoke()
 
 
 @settings(max_examples=15, deadline=None)
@@ -50,6 +51,20 @@ def test_every_invariant_holds_with_migrations_enabled(seed):
     assert report.ok, report.describe()
 
 
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_every_invariant_holds_with_integrity_enabled(seed):
+    """Satellite: for any seeded chaos schedule *including value faults*
+    (silent result/checkpoint corruption, black-hole workers, health
+    ledger armed), every invariant holds — in particular journal replay
+    stays bit-identical with VERIFY_FAIL/QUARANTINE/UNQUARANTINE records
+    in the stream, and no corrupted result ever reaches COMPLETE."""
+    report = run_soak(seed, FAST_INTEGRITY)
+    assert report.quiesced, report.describe()
+    assert report.ok, report.describe()
+    assert report.stats["corrupted_completes"] == 0, report.describe()
+
+
 @settings(max_examples=50, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10**9))
 def test_schedule_generation_is_pure(seed):
@@ -63,4 +78,17 @@ def test_migrate_flag_leaves_other_draws_bit_identical(seed):
     non-migrate subsequence of a migrate-enabled schedule never loses
     determinism guarantees — generation stays pure under the flag."""
     cfg = SoakScheduleConfig(migrate=True)
+    assert generate_schedule(seed, cfg) == generate_schedule(seed, cfg)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_integrity_flag_is_opt_in_only(seed):
+    """The value-fault kinds are strictly additive: a default schedule
+    is bit-identical whether or not the ``integrity`` machinery exists,
+    and an integrity-enabled schedule is itself pure."""
+    assert generate_schedule(seed, SoakScheduleConfig()) == generate_schedule(
+        seed, SoakScheduleConfig(integrity=False)
+    )
+    cfg = SoakScheduleConfig(integrity=True)
     assert generate_schedule(seed, cfg) == generate_schedule(seed, cfg)

@@ -1,0 +1,233 @@
+"""Unit tests for the per-worker health ledger (pure bookkeeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wq.health import (
+    HealthConfig,
+    HealthLedger,
+    WorkerHealth,
+)
+
+
+def fail_fast(ledger, worker, task_id, now=0.0):
+    """One failure well inside the fast-fail runtime window."""
+    return ledger.record_failure(worker, task_id, runtime_s=1.0, now=now)
+
+
+def fail_slow(ledger, worker, task_id, now=0.0):
+    """One failure too slow to look like a black hole."""
+    return ledger.record_failure(worker, task_id, runtime_s=100.0, now=now)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            HealthConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            HealthConfig(min_samples=0)
+        with pytest.raises(ValueError):
+            HealthConfig(suspect_below=0.4, quarantine_below=0.5)
+        with pytest.raises(ValueError):
+            HealthConfig(fast_fail_window=0)
+        with pytest.raises(ValueError):
+            HealthConfig(fast_fail_runtime_s=-1.0)
+        with pytest.raises(ValueError):
+            HealthConfig(probation_after_s=-1.0)
+        with pytest.raises(ValueError):
+            HealthConfig(probation_successes=0)
+        with pytest.raises(ValueError):
+            HealthConfig(poison_k=0)
+
+
+class TestFastFailDetector:
+    def test_window_consecutive_fast_failures_quarantine(self):
+        ledger = HealthLedger(HealthConfig(fast_fail_window=3))
+        assert not fail_fast(ledger, "w", 1).quarantine_worker
+        assert not fail_fast(ledger, "w", 2).quarantine_worker
+        verdict = fail_fast(ledger, "w", 3, now=7.0)
+        assert verdict.quarantine_worker
+        assert ledger.is_quarantined("w")
+        assert ledger.quarantines == 1
+
+    def test_slow_failure_resets_the_streak(self):
+        ledger = HealthLedger(HealthConfig(fast_fail_window=3))
+        fail_fast(ledger, "w", 1)
+        fail_fast(ledger, "w", 2)
+        fail_slow(ledger, "w", 3)  # real failures are slow: streak broken
+        assert not fail_fast(ledger, "w", 4).quarantine_worker
+
+    def test_success_resets_the_streak(self):
+        ledger = HealthLedger(HealthConfig(fast_fail_window=3))
+        fail_fast(ledger, "w", 1)
+        fail_fast(ledger, "w", 2)
+        ledger.record_success("w", 99)
+        assert not fail_fast(ledger, "w", 3).quarantine_worker
+
+    def test_unknown_runtime_never_counts_as_fast(self):
+        ledger = HealthLedger(HealthConfig(fast_fail_window=2))
+        for task_id in range(5):
+            verdict = ledger.record_failure("w", task_id, runtime_s=None)
+        assert not verdict.quarantine_worker
+
+
+class TestEwmaScore:
+    def test_repeated_slow_failures_suspect_then_quarantine(self):
+        # Default quarantine_below is crossed at exactly min_samples, so
+        # widen the suspect band to observe the intermediate state.
+        ledger = HealthLedger(HealthConfig(quarantine_below=0.1))
+        states = []
+        for task_id in range(8):
+            fail_slow(ledger, "w", task_id)
+            states.append(ledger.state("w"))
+        assert WorkerHealth.SUSPECT in states
+        assert states[-1] is WorkerHealth.QUARANTINED
+        # Suspect strictly precedes quarantine.
+        assert states.index(WorkerHealth.SUSPECT) < states.index(
+            WorkerHealth.QUARANTINED
+        )
+
+    def test_score_not_trusted_before_min_samples(self):
+        ledger = HealthLedger(HealthConfig(min_samples=5))
+        for task_id in range(4):
+            verdict = fail_slow(ledger, "w", task_id)
+            assert not verdict.quarantine_worker
+        assert ledger.state("w") is WorkerHealth.HEALTHY
+
+    def test_successes_recover_a_suspect_worker(self):
+        ledger = HealthLedger(HealthConfig(quarantine_below=0.1))
+        while ledger.state("w") is WorkerHealth.HEALTHY:
+            fail_slow(ledger, "w", 1)
+        assert ledger.state("w") is WorkerHealth.SUSPECT
+        while ledger.state("w") is WorkerHealth.SUSPECT:
+            ledger.record_success("w", 2)
+        assert ledger.state("w") is WorkerHealth.HEALTHY
+
+    def test_unknown_worker_defaults_healthy(self):
+        ledger = HealthLedger()
+        assert ledger.state("nobody") is WorkerHealth.HEALTHY
+        assert ledger.score("nobody") == 1.0
+        assert not ledger.is_quarantined("nobody")
+
+
+class TestProbation:
+    def cfg(self):
+        return HealthConfig(fast_fail_window=2, probation_successes=2)
+
+    def quarantined(self):
+        ledger = HealthLedger(self.cfg())
+        fail_fast(ledger, "w", 1)
+        fail_fast(ledger, "w", 2)
+        assert ledger.is_quarantined("w")
+        return ledger
+
+    def test_begin_probation_only_from_quarantine(self):
+        ledger = HealthLedger(self.cfg())
+        assert not ledger.begin_probation("w")  # healthy: no-op
+        ledger = self.quarantined()
+        assert ledger.begin_probation("w")
+        assert ledger.state("w") is WorkerHealth.PROBATION
+        assert ledger.unquarantines == 1
+        assert not ledger.begin_probation("w")  # already out
+
+    def test_single_failure_on_probation_requarantines(self):
+        ledger = self.quarantined()
+        ledger.begin_probation("w")
+        verdict = fail_slow(ledger, "w", 3)  # even a slow one
+        assert verdict.quarantine_worker
+        assert ledger.is_quarantined("w")
+        assert ledger.quarantines == 2
+
+    def test_probation_successes_restore_health(self):
+        ledger = self.quarantined()
+        ledger.begin_probation("w")
+        ledger.record_success("w", 3)
+        assert ledger.state("w") is WorkerHealth.PROBATION
+        ledger.record_success("w", 4)
+        assert ledger.state("w") is WorkerHealth.HEALTHY
+
+    def test_restore_quarantine_counts_nothing(self):
+        ledger = HealthLedger()
+        ledger.restore_quarantine("w")
+        assert ledger.is_quarantined("w")
+        assert ledger.quarantines == 0  # replayed, not a new event
+
+    def test_forget_worker_starts_over(self):
+        ledger = self.quarantined()
+        ledger.forget_worker("w")
+        assert ledger.state("w") is WorkerHealth.HEALTHY
+        assert ledger.score("w") == 1.0
+
+
+class TestBlameAttribution:
+    def cfg(self, k=3):
+        return HealthConfig(poison_k=k, fast_fail_window=100)
+
+    def test_poison_after_k_distinct_healthy_workers(self):
+        ledger = HealthLedger(self.cfg(k=3))
+        assert not fail_slow(ledger, "w1", 7).poison_task
+        assert not fail_slow(ledger, "w2", 7).poison_task
+        assert fail_slow(ledger, "w3", 7).poison_task
+        assert ledger.is_poisoned(7)
+        assert ledger.poison_verdicts == 1
+        # The verdict fires exactly once.
+        assert not fail_slow(ledger, "w4", 7).poison_task
+
+    def test_repeat_failures_on_one_worker_do_not_poison(self):
+        ledger = HealthLedger(self.cfg(k=2))
+        for _ in range(5):
+            verdict = fail_slow(ledger, "w1", 7)
+        assert not verdict.poison_task
+
+    def test_success_anywhere_clears_the_blame_row(self):
+        ledger = HealthLedger(self.cfg(k=2))
+        fail_slow(ledger, "w1", 7)
+        ledger.record_success("w9", 7)  # completed elsewhere: not poison
+        assert not fail_slow(ledger, "w2", 7).poison_task
+
+    def test_failures_on_unhealthy_workers_never_indict(self):
+        ledger = HealthLedger(self.cfg(k=2))
+        # Drive w1 to suspect, then fail task 7 there: worker's fault.
+        while ledger.state("w1") is WorkerHealth.HEALTHY:
+            fail_slow(ledger, "w1", 1)
+        fail_slow(ledger, "w1", 7)
+        assert not fail_slow(ledger, "w2", 7).poison_task  # only 1 blame
+
+    def test_quarantine_retracts_the_workers_testimony(self):
+        """Regression: a task that bounced across several black holes
+        before the detector caught them must not be ruled poison."""
+        cfg = HealthConfig(poison_k=2, fast_fail_window=2)
+        ledger = HealthLedger(cfg)
+        fail_fast(ledger, "bh1", 7)  # bh1 healthy: blames task 7
+        fail_fast(ledger, "bh1", 8)  # second fast fail: bh1 quarantined,
+        assert ledger.is_quarantined("bh1")  # testimony retracted
+        # Task 7's row is empty again; one more healthy-worker failure
+        # must NOT reach poison_k=2.
+        assert not fail_slow(ledger, "w2", 7).poison_task
+        assert not ledger.is_poisoned(7)
+
+    def test_failure_tipping_quarantine_does_not_indict(self):
+        cfg = HealthConfig(poison_k=1, fast_fail_window=2)
+        ledger = HealthLedger(cfg)
+        fail_fast(ledger, "bh", 6)  # poisons 6 (k=1) while bh healthy
+        assert ledger.is_poisoned(6)
+        verdict = fail_fast(ledger, "bh", 7)  # tips bh into quarantine
+        assert verdict.quarantine_worker
+        assert not verdict.poison_task  # the tipping failure is retracted
+        assert not ledger.is_poisoned(7)
+
+
+class TestStats:
+    def test_stats_counts_states_and_events(self):
+        cfg = HealthConfig(fast_fail_window=2, quarantine_below=0.1)
+        ledger = HealthLedger(cfg)
+        fail_fast(ledger, "q", 1)
+        fail_fast(ledger, "q", 2)
+        while ledger.state("s") is WorkerHealth.HEALTHY:
+            fail_slow(ledger, "s", 3)
+        stats = ledger.stats()
+        assert stats["health_quarantines"] == 1
+        assert stats["workers_quarantined"] == 1
+        assert stats["workers_suspect"] == 1
+        assert ledger.known_workers() == ["q", "s"]
