@@ -55,6 +55,11 @@ __all__ = [
     "StackConfig",
     "register_policy",
     "run_experiment",
+    # -- the sharded data plane (see repro.wq for the full substrate)
+    "DispatchConfig",
+    "DispatchCore",
+    "Foreman",
+    "TaskPartitioner",
     # -- telemetry
     "MetricsRegistry",
     "TelemetryConfig",
@@ -86,6 +91,13 @@ _RUNNER_EXPORTS = {
     "run_static_experiment",
 }
 
+_WQ_EXPORTS = {
+    "DispatchConfig",
+    "DispatchCore",
+    "Foreman",
+    "TaskPartitioner",
+}
+
 _TELEMETRY_EXPORTS = {
     "MetricsRegistry",
     "TelemetryConfig",
@@ -105,6 +117,10 @@ def __getattr__(name: str):
         from repro.experiments import runner
 
         return getattr(runner, name)
+    if name in _WQ_EXPORTS:
+        import repro.wq as wq
+
+        return getattr(wq, name)
     if name in _TELEMETRY_EXPORTS:
         import repro.telemetry as telemetry
 

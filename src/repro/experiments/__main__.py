@@ -33,6 +33,7 @@ from repro.experiments import (
     preemption,
     recovery,
     resilience,
+    shards,
     soak,
 )
 
@@ -51,6 +52,7 @@ _MODULES = {
     "preemption": preemption,
     "recovery": recovery,
     "resilience": resilience,
+    "shards": shards,
     "soak": soak,
 }
 
@@ -62,6 +64,7 @@ _SMOKE_CAPABLE = {
     "preemption",
     "migration",
     "integrity",
+    "shards",
     "soak",
 }
 
@@ -218,7 +221,10 @@ def main(argv: list[str] | None = None) -> int:
         "--bench-out",
         metavar="DIR",
         default=None,
-        help="perf only: result directory (default: benchmarks/results)",
+        help=(
+            "perf/shards only: result directory "
+            "(default: benchmarks/results[/shards])"
+        ),
     )
     parser.add_argument(
         "--profile",
@@ -278,6 +284,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["gate"] = args.gate
             if args.bench_out is not None:
                 kwargs["out_dir"] = args.bench_out
+        if name == "shards" and args.bench_out is not None:
+            kwargs["out_dir"] = args.bench_out
         if args.profile is not None:
             _run_profiled(name, args.profile, lambda: FIGURES[name](args.seed, **kwargs))
         else:

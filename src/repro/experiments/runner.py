@@ -86,10 +86,12 @@ from repro.wq.faults import (
 )
 from repro.wq.health import HealthConfig
 from repro.wq.link import Link
+from repro.wq.dispatch import DispatchConfig
 from repro.wq.master import Master
 from repro.wq.migration import MigrationConfig, MigrationCoordinator
 from repro.wq.monitor import ResourceMonitor
 from repro.wq.runtime import WorkerPodRuntime
+from repro.wq.sharding import Foreman, TaskPartitioner
 from repro.wq.task import Task
 from repro.wq.worker import WorkerState
 
@@ -282,11 +284,7 @@ class _Stack:
                         ),
                     ),
                 )
-        self.master = Master(
-            self.engine,
-            self.link,
-            estimator=self._make_estimator(estimator_kind),
-            monitor=self.monitor,
+        self.dispatch_config = DispatchConfig(
             fault_model=fault_model,
             retry_policy=retry_policy,
             speculation=faults.speculation if faults is not None else None,
@@ -294,6 +292,13 @@ class _Stack:
             value_faults=value_faults,
             verify=faults.verify if faults is not None else True,
             health=faults.health if faults is not None else None,
+        )
+        self.master = Master(
+            self.engine,
+            self.link,
+            config=self.dispatch_config,
+            estimator=self._make_estimator(estimator_kind),
+            monitor=self.monitor,
             tracer=self.tracer,
             # The wq histograms cost one observe per dispatch/completion;
             # only armed when the run actually records telemetry.
@@ -875,6 +880,67 @@ def _build_hta(
 
 
 register_policy(PolicyDefinition(key="hta", build=_build_hta))
+
+
+# ------------------------------------------------------------------ sharded
+def _validate_sharded(options: Dict) -> None:
+    shards = options.get("shards", 4)
+    if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+        raise ValueError("shards must be a positive integer")
+    mode = options.get("partition_mode", "hash")
+    if mode not in ("hash", "range"):
+        raise ValueError(f"unknown partition mode {mode!r}")
+
+
+def _build_sharded(
+    stack: _Stack, cfg: StackConfig, graph: WorkflowGraph, options: Dict
+) -> _PolicyHarness:
+    """HTA over the sharded data plane: N dispatch masters behind a
+    Foreman, partitioned by seeded hash, with HTA consuming the
+    foreman's aggregate view exactly as it would one master."""
+    n_shards = int(_take(options, "shards", 4))
+    partition_mode = str(_take(options, "partition_mode", "hash"))
+    shards = [stack.master]
+    for i in range(1, n_shards):
+        # Every shard is stamped from the same DispatchConfig and feeds
+        # the same (global) monitor, so category statistics and
+        # allocation estimates see the full sample stream regardless of
+        # which shard completed a task.
+        shard = Master(
+            stack.engine,
+            stack.link,
+            config=stack.dispatch_config,
+            estimator=stack._make_estimator("monitor"),
+            monitor=stack.monitor,
+            name=f"{stack.master.name}-{i}",
+            tracer=stack.tracer,
+            metrics=stack.metrics if stack.telemetry.enabled else None,
+        )
+        shards.append(shard)
+    foreman = Foreman(
+        stack.engine,
+        shards,
+        partitioner=TaskPartitioner(
+            n_shards, seed=cfg.seed, mode=partition_mode
+        ),
+    )
+    # A faults.max_retries override landed on shard 0 post-construction;
+    # replicate it everywhere through the foreman's broadcast setter.
+    foreman.max_retries = shards[0].max_retries
+    # From here on the whole runner flow — HTA, the accountant, result
+    # collection, stack teardown — sees the foreman as *the* master.
+    stack.master = foreman
+    stack.runtime.master_selector = foreman.master_for_pod
+    harness = _build_hta(stack, cfg, graph, options)
+    harness.name = f"HTA-sharded{n_shards}"
+    return harness
+
+
+register_policy(
+    PolicyDefinition(
+        key="sharded", build=_build_sharded, validate=_validate_sharded
+    )
+)
 
 
 # --------------------------------------------------------------- predictive

@@ -102,8 +102,27 @@ def ladder_scenarios() -> List[PerfScenario]:
     return scenarios
 
 
+def sharded_scenarios() -> List[PerfScenario]:
+    """The sharded-data-plane rung: the top ladder workload under the
+    ``sharded`` policy at 4 shards. One rung (not a full sweep) keeps
+    the ladder affordable; the ``shards`` experiment owns the 1-vs-4
+    scaling contrast on the million-task workload."""
+    tag, n_tasks, max_nodes, execute_s = RUNGS[-1]
+    return [
+        PerfScenario(
+            name=f"ladder-{tag}-sharded4",
+            n_tasks=n_tasks,
+            max_nodes=max_nodes,
+            policy="sharded",
+            execute_s=execute_s,
+            accounting_period_s=5.0,
+            options={"shards": 4},
+        )
+    ]
+
+
 #: Materialized once; ``scenario_by_name`` and the CLI index into this.
-LADDER: List[PerfScenario] = ladder_scenarios()
+LADDER: List[PerfScenario] = ladder_scenarios() + sharded_scenarios()
 
 #: The CI smoke rung: smallest workload, the paper's own policy.
 SMOKE_SCENARIO: str = "ladder-1k-100-hta"

@@ -11,9 +11,15 @@ exercises:
   cache for the shareable 1.4 GB BLAST input), run tasks concurrently
   within their resource capacity, and support graceful *drain* (finish
   running tasks, then exit — HTA's non-disruptive scale-down);
-* :mod:`~repro.wq.master` — the queue: dispatch policy (declared
-  resources → measured category estimate → conservative whole-worker),
-  completion callbacks, live queue statistics for HTA;
+* :mod:`~repro.wq.dispatch` — the pure queue/run-table/retry state
+  machine (:class:`DispatchCore`) behind the master's dispatch policy
+  (declared resources → measured category estimate → conservative
+  whole-worker), completion callbacks, live queue statistics for HTA;
+* :mod:`~repro.wq.master` — the session/connection shell over the core:
+  worker registration, partition liveness, outages, crash recovery;
+* :mod:`~repro.wq.sharding` — the sharded data plane: a seeded
+  :class:`TaskPartitioner` splitting a workflow across N masters and
+  the :class:`Foreman` tier aggregating them into one logical view;
 * :mod:`~repro.wq.monitor` — the resource monitor recording per-category
   runtime/consumption of completed tasks (paper ref. [25]);
 * :mod:`~repro.wq.runtime` — glue binding workers to Kubernetes pods;
@@ -36,7 +42,9 @@ from repro.wq.estimator import (
     MonitorEstimator,
 )
 from repro.wq.worker import Worker, WorkerState
+from repro.wq.dispatch import DispatchConfig, DispatchCore
 from repro.wq.master import Master, MasterStats
+from repro.wq.sharding import Foreman, TaskPartitioner, merge_journals
 from repro.wq.runtime import WorkerPodRuntime
 from repro.wq.factory import FactoryConfig, WorkerFactory
 
@@ -61,8 +69,13 @@ __all__ = [
     "MonitorEstimator",
     "Worker",
     "WorkerState",
+    "DispatchConfig",
+    "DispatchCore",
     "Master",
     "MasterStats",
+    "Foreman",
+    "TaskPartitioner",
+    "merge_journals",
     "WorkerPodRuntime",
     "FactoryConfig",
     "WorkerFactory",

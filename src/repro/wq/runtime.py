@@ -39,11 +39,16 @@ class WorkerPodRuntime:
         app_label: str = "wq-worker",
         on_worker_started: Optional[Callable[[Worker], None]] = None,
         resync_period_s: Optional[float] = None,
+        master_selector: Optional[Callable[[Pod], Master]] = None,
     ) -> None:
         self.engine = engine
         self.api = api
         self.kubelets = kubelets
         self.master = master
+        #: Sharded data plane hook: picks the master a new worker pod
+        #: connects to (e.g. ``Foreman.master_for_pod``). None — the
+        #: single-master default — uses :attr:`master` for every pod.
+        self.master_selector = master_selector
         self.app_label = app_label
         self.on_worker_started = on_worker_started
         self.workers: Dict[str, Worker] = {}  # pod name -> worker
@@ -118,9 +123,14 @@ class WorkerPodRuntime:
     # --------------------------------------------------------------- worker
     def _start_worker(self, pod: Pod) -> None:
         nic = pod.node.machine_type.nic_bandwidth_mbps if pod.node is not None else None
+        master = (
+            self.master_selector(pod)
+            if self.master_selector is not None
+            else self.master
+        )
         worker = Worker(
             self.engine,
-            self.master,
+            master,
             name=f"worker@{pod.name}",
             capacity=pod.spec.request,
             pod=pod,

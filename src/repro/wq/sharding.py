@@ -1,0 +1,533 @@
+"""Sharded data plane: task partitioning and the foreman tier.
+
+One :class:`~repro.wq.master.Master` serializes all dispatch. That is
+faithful to Work Queue and fine for the paper's hundreds of tasks, but
+a million-task workflow spends most of its wall clock in the master's
+dispatch passes (each completion re-scans the queue). This module
+splits the data plane the way glide-in / pool-of-pools systems do:
+
+* :class:`TaskPartitioner` — a seeded hash (or range) function mapping
+  every task id to one of N shards, so a workflow fans out across N
+  independent masters, each owning a disjoint slice of the queue;
+* :class:`Foreman` — the master-of-masters. Workers and tasks talk to
+  their own shard; the foreman aggregates per-shard queue status
+  (``cores_waiting``, category stats via the shared monitor, counters,
+  quarantine sets) *upward* so :class:`~repro.hta.operator.HtaOperator`
+  and the accounting layer consume one logical view unchanged.
+
+What stays per-shard: the queue, the run table, retry/backoff state,
+the transaction journal, worker sessions. What is global: the
+:class:`~repro.wq.monitor.ResourceMonitor` (all shards feed one
+category-statistics view, so allocation estimates see the full sample
+stream), the HTA control loop, and the foreman's aggregate accounting.
+
+Conservation accounting is defined on the *merged* journal
+(:func:`merge_journals`): a cross-shard transfer leaves a SUBMIT in the
+origin shard and a COMPLETE in the destination, so per-shard journals
+intentionally do not balance — the merged log, ordered by time with
+stable shard order, replays to the same task-conservation totals as
+the foreman's aggregate view (pinned by a Hypothesis property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Engine
+from repro.wq.dispatch import CompletionCallback, MasterStats
+from repro.wq.journal import TransactionJournal
+from repro.wq.master import Master
+from repro.wq.task import Task
+from repro.wq.worker import Worker
+
+#: Knuth's multiplicative constant — spreads sequential task ids
+#: uniformly across shards without the process-salted ``hash()``.
+_KNUTH = 2654435761
+
+
+@dataclass(frozen=True, slots=True)
+class TaskPartitioner:
+    """Deterministic task-id → shard mapping.
+
+    ``hash`` mode (default) scatters sequential ids uniformly — the
+    right choice when category mix correlates with submit order.
+    ``range`` mode keeps blocks of ``block`` consecutive ids on one
+    shard — the right choice when neighbouring tasks share cacheable
+    inputs and locality beats balance. Both are pure functions of
+    ``(task_id, n_shards, seed)``: two runs at the same seed partition
+    identically, which the fidelity harness depends on.
+    """
+
+    n_shards: int
+    seed: int = 0
+    mode: str = "hash"
+    #: ``range`` mode only: consecutive ids per shard-block.
+    block: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if self.mode not in ("hash", "range"):
+            raise ValueError(f"unknown partition mode {self.mode!r}")
+        if self.block < 1:
+            raise ValueError("block must be at least 1")
+
+    def shard_for(self, task_id: int) -> int:
+        if self.n_shards == 1:
+            return 0
+        if self.mode == "range":
+            return (task_id // self.block) % self.n_shards
+        return ((task_id * _KNUTH) ^ self.seed) % self.n_shards
+
+
+def merge_journals(
+    journals: Iterable[TransactionJournal],
+) -> TransactionJournal:
+    """Merge per-shard journals into one log ordered by record time.
+
+    Ties break by shard index then per-shard append order, so the merge
+    is a deterministic total order that preserves every shard's internal
+    sequence — the property replay depends on (a task's SUBMIT on shard
+    A folds before its MIGRATE_IN on shard B at the same timestamp only
+    if A precedes B, which the transfer protocol guarantees by writing
+    the MIGRATE_OUT before the destination dispatches)."""
+    keyed: List[Tuple[float, int, int, object]] = []
+    for shard_idx, journal in enumerate(journals):
+        for pos, rec in enumerate(journal.records):
+            keyed.append((rec.time, shard_idx, pos, rec))
+    keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+    merged = TransactionJournal()
+    merged.records = [rec for _, _, _, rec in keyed]  # type: ignore[misc]
+    merged.appends = len(merged.records)
+    return merged
+
+
+class Foreman:
+    """Master-of-masters: N dispatch shards behind one logical master.
+
+    The foreman implements the read side of the master surface (stats,
+    counters, accounting gauges, task/worker listings) by aggregation,
+    and the write side (submit, callbacks, pause/resume, evacuation) by
+    routing — submits through the partitioner, worker-scoped operations
+    to the shard that owns the worker. Workers themselves never see the
+    foreman: each is constructed against its shard master and speaks
+    the ordinary worker↔master protocol.
+
+    Degraded mode: a crashed or paused shard drops out of
+    :meth:`stats` and the accounting gauges (its numbers are
+    unreachable, exactly as a partitioned sub-pool's would be), while
+    :attr:`available` stays True as long as *any* shard accepts work —
+    one lost shard must not look like total master loss to HTA.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        shards: Sequence[Master],
+        partitioner: Optional[TaskPartitioner] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("Foreman needs at least one shard")
+        self.engine = engine
+        self.shards: List[Master] = list(shards)
+        self.partitioner = (
+            partitioner
+            if partitioner is not None
+            else TaskPartitioner(len(self.shards))
+        )
+        if self.partitioner.n_shards != len(self.shards):
+            raise ValueError(
+                f"partitioner fans out to {self.partitioner.n_shards} shards "
+                f"but {len(self.shards)} were supplied"
+            )
+        self.name = "wq-foreman"
+        #: All shards run under one DispatchConfig; shard 0 is the
+        #: reference copy for config-derived reads (verify, health, …).
+        self._reference = self.shards[0]
+        #: Worker placement cursor for :meth:`master_for_pod`.
+        self._next_worker_shard = 0
+        #: Tasks moved between shards by :meth:`transfer_queued`.
+        self.transfers = 0
+        self._journal_cache: Optional[TransactionJournal] = None
+        self._journal_cache_len = -1
+
+    # ------------------------------------------------------------- routing
+    def shard_for(self, task: Task) -> Master:
+        return self.shards[self.partitioner.shard_for(task.id)]
+
+    def submit(self, task: Task) -> None:
+        self.shard_for(task).submit(task)
+
+    def submit_many(self, tasks: List[Task]) -> None:
+        for task in tasks:
+            self.submit(task)
+
+    def master_for_pod(self, pod) -> Master:
+        """Shard assignment for a freshly started worker pod: straight
+        round-robin, so supply spreads evenly across shards no matter
+        which nodes the scheduler picked. Deterministic because pod
+        start order is (the simulation is)."""
+        shard = self.shards[self._next_worker_shard]
+        self._next_worker_shard = (self._next_worker_shard + 1) % len(self.shards)
+        return shard
+
+    def transfer_queued(self, task: Task, dst: Master) -> bool:
+        """Rebalance: move a *queued* task to another shard's queue
+        front. The task must not be running — in-flight work crosses
+        shards through the checkpoint path (migrate out of the source
+        worker, transfer, resume on a destination worker), never by
+        teleporting an execution. Returns False if the task is not
+        waiting in any shard's queue."""
+        src = None
+        for shard in self.shards:
+            if task.id in shard._queued_ids:
+                src = shard
+                break
+        if src is None or src is dst:
+            return False
+        src._dequeue(task)
+        dst._enqueue_front(task)
+        dst._schedule_dispatch()
+        self.transfers += 1
+        return True
+
+    # ----------------------------------------------------------- callbacks
+    def on_complete(self, fn: CompletionCallback) -> None:
+        for shard in self.shards:
+            shard.on_complete(fn)
+
+    def on_abandoned(self, fn: Callable[[Task], None]) -> None:
+        for shard in self.shards:
+            shard.on_abandoned(fn)
+
+    def add_migration_listener(self, fn: Callable) -> None:
+        for shard in self.shards:
+            shard.add_migration_listener(fn)
+
+    def add_worker_lost_listener(self, fn: Callable[[Worker], None]) -> None:
+        for shard in self.shards:
+            shard.add_worker_lost_listener(fn)
+
+    # ------------------------------------------------- worker-scoped routing
+    def evacuate_worker(
+        self, worker: Worker, tasks: Optional[List[Task]] = None
+    ) -> List[Task]:
+        return worker.master.evacuate_worker(worker, tasks)
+
+    def evacuate(self, pairs: List[Tuple[Worker, Task]]) -> List[Task]:
+        """Route each (worker, task) run to the shard owning the worker;
+        shard iteration order keeps the requeue deterministic."""
+        requeued: List[Task] = []
+        for shard in self.shards:
+            mine = [(w, t) for w, t in pairs if w.master is shard]
+            if mine:
+                requeued.extend(shard.evacuate(mine))
+        return requeued
+
+    def migration_arrived(
+        self,
+        worker: Worker,
+        task: Task,
+        new_progress: float,
+        lost_s: float,
+        started_at: Optional[float] = None,
+    ) -> bool:
+        return worker.master.migration_arrived(
+            worker, task, new_progress, lost_s, started_at
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def pause(self) -> None:
+        for shard in self.shards:
+            shard.pause()
+
+    def resume(self) -> None:
+        for shard in self.shards:
+            shard.resume()
+
+    def crash(self, *, restart_delay_s: Optional[float] = None) -> None:
+        for shard in self.shards:
+            shard.crash(restart_delay_s=restart_delay_s)
+
+    def recover(self, *, replay: Optional[bool] = None) -> None:
+        for shard in self.shards:
+            shard.recover(replay=replay)
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "Foreman":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------ aggregate state
+    @property
+    def available(self) -> bool:
+        """One reachable shard keeps the logical master available —
+        a single crashed shard is degraded capacity, not total loss."""
+        return any(s.available for s in self.shards)
+
+    @property
+    def degraded(self) -> bool:
+        return not all(s.available for s in self.shards)
+
+    @property
+    def crashed(self) -> bool:
+        return any(s.crashed for s in self.shards)
+
+    @property
+    def all_done(self) -> bool:
+        return all(s.all_done for s in self.shards)
+
+    @property
+    def monitor(self):
+        """The shared (global) resource monitor all shards feed."""
+        return self._reference.monitor
+
+    @property
+    def link(self):
+        return self._reference.link
+
+    @property
+    def health(self):
+        return self._reference.health
+
+    @property
+    def verify(self) -> bool:
+        return self._reference.verify
+
+    @property
+    def value_faults(self):
+        return self._reference.value_faults
+
+    @property
+    def max_retries(self) -> int:
+        return self._reference.max_retries
+
+    @max_retries.setter
+    def max_retries(self, value: int) -> None:
+        for shard in self.shards:
+            shard.max_retries = value
+
+    @property
+    def journal(self) -> TransactionJournal:
+        """The merged shard journals (recomputed only when a shard has
+        appended since the last read)."""
+        total = sum(len(s.journal) for s in self.shards)
+        if self._journal_cache is None or self._journal_cache_len != total:
+            self._journal_cache = merge_journals(s.journal for s in self.shards)
+            self._journal_cache_len = total
+        return self._journal_cache
+
+    def stats(self) -> MasterStats:
+        """The degraded-mode aggregate: reachable shards only. A paused
+        or crashed shard's numbers are unreachable (its queue may even
+        have been wiped), exactly as a partitioned sub-pool's would be;
+        summing what answers matches per-shard ground truth."""
+        live = [s.stats() for s in self.shards if s.available]
+        return MasterStats(
+            time=self.engine.now,
+            waiting=sum(s.waiting for s in live),
+            running=sum(s.running for s in live),
+            done=sum(s.done for s in live),
+            workers_connected=sum(s.workers_connected for s in live),
+            workers_idle=sum(s.workers_idle for s in live),
+            workers_busy=sum(s.workers_busy for s in live),
+            workers_draining=sum(s.workers_draining for s in live),
+        )
+
+    # ------------------------------------------------------- task listings
+    @property
+    def queue(self) -> List[Task]:
+        return [t for s in self.shards for t in s.queue]
+
+    @property
+    def running(self) -> Dict[int, Task]:
+        merged: Dict[int, Task] = {}
+        for shard in self.shards:
+            merged.update(shard.running)
+        return merged
+
+    @property
+    def done(self) -> List[Task]:
+        return [t for s in self.shards for t in s.done]
+
+    @property
+    def abandoned(self) -> List[Task]:
+        return [t for s in self.shards for t in s.abandoned]
+
+    @property
+    def workers(self) -> Dict[str, Worker]:
+        merged: Dict[str, Worker] = {}
+        for shard in self.shards:
+            merged.update(shard.workers)
+        return merged
+
+    @property
+    def _unclaimed(self) -> Dict[int, Task]:
+        merged: Dict[int, Task] = {}
+        for shard in self.shards:
+            merged.update(shard._unclaimed)
+        return merged
+
+    def waiting_tasks(self) -> List[Task]:
+        return [t for s in self.shards for t in s.waiting_tasks()]
+
+    def running_tasks(self) -> List[Task]:
+        return [t for s in self.shards for t in s.running_tasks()]
+
+    def connected_workers(self) -> List[Worker]:
+        return [w for s in self.shards for w in s.connected_workers()]
+
+    def idle_workers(self) -> List[Worker]:
+        return [w for s in self.shards for w in s.idle_workers()]
+
+    # --------------------------------------------------- aggregate counters
+    def _sum(self, attr: str) -> float:
+        return sum(getattr(s, attr) for s in self.shards)
+
+    @property
+    def tasks_submitted(self) -> int:
+        return int(self._sum("tasks_submitted"))
+
+    @property
+    def tasks_requeued(self) -> int:
+        return int(self._sum("tasks_requeued"))
+
+    @property
+    def tasks_failed(self) -> int:
+        return int(self._sum("tasks_failed"))
+
+    @property
+    def tasks_exhausted(self) -> int:
+        return int(self._sum("tasks_exhausted"))
+
+    @property
+    def escalations(self) -> int:
+        return int(self._sum("escalations"))
+
+    @property
+    def tasks_speculated(self) -> int:
+        return int(self._sum("tasks_speculated"))
+
+    @property
+    def speculation_wins(self) -> int:
+        return int(self._sum("speculation_wins"))
+
+    @property
+    def speculation_losses(self) -> int:
+        return int(self._sum("speculation_losses"))
+
+    @property
+    def verify_fails(self) -> int:
+        return int(self._sum("verify_fails"))
+
+    @property
+    def checkpoint_verify_fails(self) -> int:
+        return int(self._sum("checkpoint_verify_fails"))
+
+    @property
+    def corrupted_completes(self) -> int:
+        return int(self._sum("corrupted_completes"))
+
+    @property
+    def corrupted_goodput_core_s(self) -> float:
+        return self._sum("corrupted_goodput_core_s")
+
+    @property
+    def quarantines(self) -> int:
+        return int(self._sum("quarantines"))
+
+    @property
+    def unquarantines(self) -> int:
+        return int(self._sum("unquarantines"))
+
+    @property
+    def tasks_poisoned(self) -> int:
+        return int(self._sum("tasks_poisoned"))
+
+    @property
+    def quarantined_rejected(self) -> int:
+        return int(self._sum("quarantined_rejected"))
+
+    @property
+    def wasted_core_s(self) -> float:
+        return self._sum("wasted_core_s")
+
+    @property
+    def outages(self) -> int:
+        return int(self._sum("outages"))
+
+    @property
+    def crashes(self) -> int:
+        return int(self._sum("crashes"))
+
+    @property
+    def tasks_rerun(self) -> int:
+        return int(self._sum("tasks_rerun"))
+
+    @property
+    def duplicate_results(self) -> int:
+        return int(self._sum("duplicate_results"))
+
+    @property
+    def partitions_detected(self) -> int:
+        return int(self._sum("partitions_detected"))
+
+    @property
+    def workers_declared_lost(self) -> int:
+        return int(self._sum("workers_declared_lost"))
+
+    @property
+    def tasks_evacuated(self) -> int:
+        return int(self._sum("tasks_evacuated"))
+
+    @property
+    def migrations_accepted(self) -> int:
+        return int(self._sum("migrations_accepted"))
+
+    @property
+    def migrations_stale(self) -> int:
+        return int(self._sum("migrations_stale"))
+
+    # ---------------------------------------------------- recovery markers
+    @property
+    def last_crash_at(self) -> Optional[float]:
+        stamps = [s.last_crash_at for s in self.shards if s.last_crash_at is not None]
+        return max(stamps) if stamps else None
+
+    @property
+    def last_recovered_at(self) -> Optional[float]:
+        stamps = [
+            s.last_recovered_at for s in self.shards if s.last_recovered_at is not None
+        ]
+        return max(stamps) if stamps else None
+
+    @property
+    def first_completion_after_recovery_at(self) -> Optional[float]:
+        stamps = [
+            s.first_completion_after_recovery_at
+            for s in self.shards
+            if s.first_completion_after_recovery_at is not None
+        ]
+        return min(stamps) if stamps else None
+
+    # ----------------------------------------------------------- accounting
+    def goodput_core_s(self) -> float:
+        return sum(s.goodput_core_s() for s in self.shards)
+
+    def clean_goodput_core_s(self) -> float:
+        return sum(s.clean_goodput_core_s() for s in self.shards)
+
+    def cores_in_use(self) -> float:
+        return sum(s.cores_in_use() for s in self.shards if s.available)
+
+    def cores_waiting(self) -> float:
+        return sum(s.cores_waiting() for s in self.shards if s.available)
+
+    def supplied_cores(self) -> float:
+        return sum(s.supplied_cores() for s in self.shards if s.available)

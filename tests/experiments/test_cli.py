@@ -12,7 +12,7 @@ class TestCli:
         assert set(FIGURES) == {
             "fig2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "forecast",
             "integrity", "migration", "perf", "resilience", "recovery",
-            "preemption", "soak",
+            "preemption", "shards", "soak",
         }
 
     def test_smoke_flag_runs_resilience(self, capsys):

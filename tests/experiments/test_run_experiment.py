@@ -101,6 +101,38 @@ class TestRunExperiment:
         )
         assert_same_result(r1, r2)
 
+    def test_sharded_policy_runs_and_completes(self):
+        r = run_experiment(
+            ExperimentSpec(
+                workload(),
+                policy="sharded",
+                stack=small_stack(),
+                options={"shards": 2},
+            )
+        )
+        assert r.tasks_completed == 8
+        assert r.name == "HTA-sharded2"
+
+    def test_sharded_validates_shard_count_and_mode(self):
+        with pytest.raises(ValueError, match="shards must be a positive"):
+            run_experiment(
+                ExperimentSpec(
+                    workload(),
+                    policy="sharded",
+                    stack=small_stack(),
+                    options={"shards": 0},
+                )
+            )
+        with pytest.raises(ValueError, match="unknown partition mode"):
+            run_experiment(
+                ExperimentSpec(
+                    workload(),
+                    policy="sharded",
+                    stack=small_stack(),
+                    options={"partition_mode": "nope"},
+                )
+            )
+
     def test_registry_is_extensible(self):
         base = POLICIES["static"]
         register_policy(

@@ -16,7 +16,8 @@ from repro.perf.scenarios import (
 
 
 def test_ladder_covers_every_rung_and_policy():
-    assert len(LADDER) == len(RUNGS) * len(POLICY_KEYS) == 9
+    # 3 rungs x 3 policies, plus the sharded top rung.
+    assert len(LADDER) == len(RUNGS) * len(POLICY_KEYS) + 1 == 10
     names = {s.name for s in LADDER}
     assert len(names) == len(LADDER)
     for tag, n_tasks, max_nodes, _ in RUNGS:
@@ -25,6 +26,16 @@ def test_ladder_covers_every_rung_and_policy():
             assert (s.n_tasks, s.max_nodes, s.policy) == (
                 n_tasks, max_nodes, policy,
             )
+
+
+def test_sharded_rung_mirrors_the_top_rung():
+    sharded = scenario_by_name("ladder-100k-10k-sharded4")
+    top = largest_scenario()
+    assert sharded.policy == "sharded"
+    assert sharded.options == {"shards": 4}
+    assert (sharded.n_tasks, sharded.max_nodes, sharded.execute_s) == (
+        top.n_tasks, top.max_nodes, top.execute_s,
+    )
 
 
 def test_policies_resolve_through_the_experiment_registry():

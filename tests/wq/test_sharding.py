@@ -1,0 +1,242 @@
+"""The sharded data plane: partitioner, foreman aggregation, transfers.
+
+DESIGN.md §15: a :class:`TaskPartitioner` splits a workflow across N
+:class:`Master` shards deterministically; a :class:`Foreman` aggregates
+the shards into the one logical view the autoscaler consumes. These
+tests pin the shard-boundary protocols — deterministic routing, the
+cross-shard checkpoint transfer resuming exactly once, degraded-mode
+aggregation with a crashed shard — and the merged-journal semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.wq.estimator import DeclaredResourceEstimator
+from repro.wq.link import Link
+from repro.wq.master import Master
+from repro.wq.migration import CheckpointSpec
+from repro.wq.sharding import Foreman, TaskPartitioner, merge_journals
+from repro.wq.task import Task, TaskState
+from repro.wq.worker import Worker
+
+FOOT = ResourceVector(1, 512, 128)
+CAP = ResourceVector(4, 4096, 4096)
+SPEC = CheckpointSpec(interval_s=10.0, cost_s=1.0, size_mb=10.0)
+
+
+def make_task(execute_s=10.0, checkpoint=None):
+    return Task(
+        "c",
+        execute_s=execute_s,
+        footprint=FOOT,
+        declared=FOOT,
+        checkpoint=checkpoint,
+    )
+
+
+def make_foreman(engine, n=2, seed=1, mode="hash"):
+    link = Link(engine, 100.0)
+    shards = [
+        Master(
+            engine,
+            link,
+            estimator=DeclaredResourceEstimator(),
+            name=f"m{i}",
+        )
+        for i in range(n)
+    ]
+    foreman = Foreman(
+        engine, shards, partitioner=TaskPartitioner(n, seed=seed, mode=mode)
+    )
+    return foreman, shards
+
+
+class TestTaskPartitioner:
+    def test_hash_routing_is_deterministic(self):
+        p = TaskPartitioner(4, seed=7)
+        q = TaskPartitioner(4, seed=7)
+        assert [p.shard_for(i) for i in range(100)] == [
+            q.shard_for(i) for i in range(100)
+        ]
+
+    def test_seed_reshuffles_the_assignment(self):
+        a = TaskPartitioner(4, seed=1)
+        b = TaskPartitioner(4, seed=2)
+        assert [a.shard_for(i) for i in range(100)] != [
+            b.shard_for(i) for i in range(100)
+        ]
+
+    def test_hash_mode_balances(self):
+        p = TaskPartitioner(4, seed=0)
+        counts = [0, 0, 0, 0]
+        for task_id in range(10_000):
+            counts[p.shard_for(task_id)] += 1
+        for count in counts:
+            assert 0.15 * 10_000 <= count <= 0.35 * 10_000
+
+    def test_range_mode_assigns_contiguous_blocks(self):
+        p = TaskPartitioner(2, mode="range", block=4)
+        assert [p.shard_for(i) for i in range(12)] == [
+            0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0,
+        ]
+
+    def test_single_shard_takes_everything(self):
+        p = TaskPartitioner(1, seed=99)
+        assert {p.shard_for(i) for i in range(50)} == {0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskPartitioner(0)
+        with pytest.raises(ValueError):
+            TaskPartitioner(2, mode="nope")
+        with pytest.raises(ValueError):
+            TaskPartitioner(2, mode="range", block=0)
+
+
+class TestForemanConstruction:
+    def test_rejects_empty_shard_list(self, engine):
+        with pytest.raises(ValueError):
+            Foreman(engine, [])
+
+    def test_rejects_partitioner_shard_count_mismatch(self, engine):
+        link = Link(engine, 100.0)
+        shards = [Master(engine, link, name=f"m{i}") for i in range(2)]
+        with pytest.raises(ValueError):
+            Foreman(engine, shards, partitioner=TaskPartitioner(3))
+
+
+class TestAggregation:
+    def test_counters_and_stats_sum_over_shards(self, engine):
+        foreman, (a, b) = make_foreman(engine, 2)
+        for shard in (a, b):
+            Worker(engine, shard, f"w-{shard.name}", CAP, connect_latency=1.0)
+        tasks = [make_task(execute_s=5.0) for _ in range(16)]
+        foreman.submit_many(tasks)
+        engine.run(until=9.0)  # mid-flight: some done, some queued/running
+        assert a.tasks_submitted > 0 and b.tasks_submitted > 0  # both used
+        stats = foreman.stats()
+        sa, sb = a.stats(), b.stats()
+        assert stats.done == sa.done + sb.done
+        assert stats.waiting == sa.waiting + sb.waiting
+        assert stats.running == sa.running + sb.running
+        assert stats.workers_connected == 2
+        assert foreman.tasks_submitted == len(tasks)
+        assert len(foreman.queue) == len(a.queue) + len(b.queue)
+        assert len(foreman.done) == len(a.done) + len(b.done)
+        engine.run(until=200.0)
+        assert foreman.all_done
+        assert foreman.stats().done == len(tasks)
+
+    def test_merged_journal_orders_by_time_and_conserves_records(self, engine):
+        foreman, (a, b) = make_foreman(engine, 2)
+        for shard in (a, b):
+            Worker(engine, shard, f"w-{shard.name}", CAP, connect_latency=1.0)
+        foreman.submit_many([make_task(execute_s=3.0) for _ in range(10)])
+        engine.run(until=100.0)
+        assert foreman.all_done
+        merged = merge_journals([a.journal, b.journal])
+        assert len(merged) == len(a.journal) + len(b.journal)
+        times = [rec.time for rec in merged.records]
+        assert times == sorted(times)
+        # Per-shard record order survives the merge.
+        for shard in (a, b):
+            own = [r for r in merged.records if r in shard.journal.records]
+            assert own == list(shard.journal.records)
+        # The foreman's journal property is the same merged view.
+        assert foreman.journal.digest() == merged.digest()
+
+
+class TestCrossShardTransfer:
+    def test_checkpoint_transfer_resumes_exactly_once(self, engine):
+        """Satellite protocol: a task submitted to shard A, checkpointed
+        there (PR 7 migration path), handed to shard B via the foreman,
+        and finished by a B-owned worker — exactly one completion, with
+        the banked progress resumed on B and the merged journal folding
+        back clean."""
+        foreman, (a, b) = make_foreman(engine, 2)
+        wa = Worker(engine, a, "wa", CAP, connect_latency=1.0)
+        Worker(engine, b, "wb", CAP, connect_latency=1.0)
+        task = make_task(execute_s=100.0, checkpoint=SPEC)
+        a.submit(task)
+        engine.run(until=2.0)
+        assert task.state is TaskState.RUNNING
+        start = task.start_time
+        engine.run(until=start + 35.0)
+        banked = SPEC.banked_progress(engine.now - start)
+        assert banked == 30.0
+        assert wa.migrate_out(task)
+        wa.drain()  # the PR 7 drain flow: checkpoint out, then leave —
+        # with A's only worker gone the requeued task cannot bounce back
+        # onto shard A before the foreman moves it.
+        engine.run(until=engine.now + SPEC.cost_s + 1.0)  # cut + ship
+        assert a.migrations_accepted == 1
+        assert task.progress_s == banked
+        # The foreman moves the checkpointed task across the boundary.
+        assert foreman.transfer_queued(task, b)
+        assert foreman.transfers == 1
+        assert task.id not in {t.id for t in a.queue}
+        engine.run(until=engine.now + 90.0)
+        assert task.state is TaskState.DONE
+        # Exactly once, and on the other side of the boundary.
+        assert [t.id for t in b.done] == [task.id]
+        assert [t.id for t in a.done] == []
+        # B journaled the resume with A's banked progress.
+        b_migrate_in = [
+            r for r in b.journal.records if r.op == "migrate_in"
+        ]
+        assert [r.progress for r in b_migrate_in] == [banked]
+        # The merged journal replays to one completion, no residue. (The
+        # per-shard journals individually do NOT balance — submit lives
+        # on A, complete on B — which is why the merged view is the
+        # canonical one.)
+        state = foreman.journal.replay()
+        assert [t.id for t, _ in state.completions] == [task.id]
+        assert not state.ready and not state.unclaimed
+        assert state.progress[task.id] == banked
+
+    def test_transfer_of_unqueued_task_is_refused(self, engine):
+        foreman, (a, b) = make_foreman(engine, 2)
+        Worker(engine, a, "wa", CAP, connect_latency=1.0)
+        task = make_task(execute_s=50.0)
+        a.submit(task)
+        engine.run(until=5.0)
+        assert task.state is TaskState.RUNNING  # not queued: refuse
+        assert not foreman.transfer_queued(task, b)
+        assert foreman.transfers == 0
+
+
+class TestDegradedMode:
+    def test_one_crashed_shard_degrades_but_keeps_the_plane_available(
+        self, engine
+    ):
+        foreman, (a, b) = make_foreman(engine, 2)
+        for shard in (a, b):
+            Worker(engine, shard, f"w-{shard.name}", CAP, connect_latency=1.0)
+        foreman.submit_many([make_task(execute_s=20.0) for _ in range(12)])
+        engine.run(until=10.0)
+        b.crash()
+        assert foreman.available  # one live shard keeps the plane up
+        assert foreman.degraded and foreman.crashed
+        # The aggregated view now equals the live shard's ground truth —
+        # the operator sizes from what is actually reachable.
+        assert foreman.stats() == a.stats()
+        assert foreman.cores_in_use() == a.cores_in_use()
+        assert foreman.cores_waiting() == a.cores_waiting()
+        assert foreman.supplied_cores() == a.supplied_cores()
+        # Completion history still spans all shards (B's finished work
+        # is not forgotten, it is just not schedulable state).
+        assert len(foreman.done) == len(a.done) + len(b.done)
+        b.recover()
+        engine.run(until=400.0)
+        assert not foreman.degraded
+        assert foreman.all_done
+
+    def test_all_shards_crashed_means_unavailable(self, engine):
+        foreman, (a, b) = make_foreman(engine, 2)
+        a.crash()
+        b.crash()
+        assert not foreman.available
+        stats = foreman.stats()
+        assert stats.done == 0 and stats.waiting == 0
