@@ -58,6 +58,8 @@ __all__ = [
     # -- the sharded data plane (see repro.wq for the full substrate)
     "DispatchConfig",
     "DispatchCore",
+    "FailoverConfig",
+    "FailoverCoordinator",
     "Foreman",
     "TaskPartitioner",
     # -- telemetry
@@ -94,6 +96,8 @@ _RUNNER_EXPORTS = {
 _WQ_EXPORTS = {
     "DispatchConfig",
     "DispatchCore",
+    "FailoverConfig",
+    "FailoverCoordinator",
     "Foreman",
     "TaskPartitioner",
 }

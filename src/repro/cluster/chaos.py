@@ -115,6 +115,11 @@ class ChaosInjector:
         """Workers turned into black holes (fast-fail / fast-fake)."""
         return int(self._c_injections.value(kind="black_hole"))
 
+    @property
+    def shard_crashes(self) -> int:
+        """Single dispatch shards killed behind a foreman."""
+        return int(self._c_injections.value(kind="shard_crash"))
+
     # ------------------------------------------------------------- directed
     def kill_node(self, node: Node) -> List[Pod]:
         """Crash a node: every pod on it fails, then the node vanishes."""
@@ -410,6 +415,37 @@ class ChaosInjector:
         self.engine.call_at(
             at_s, lambda: self.crash_master(master, restart_delay_s=restart_delay_s)
         )
+
+    def crash_shard(
+        self, foreman, i: int, *, restart_delay_s: Optional[float] = None
+    ) -> None:
+        """Kill one dispatch shard behind the foreman. With
+        ``restart_delay_s`` the shard's replacement pod comes back (the
+        transient case the failover grace must tolerate); without it
+        the shard is permanently lost and only the failover coordinator
+        can un-strand its work."""
+        self._c_injections.inc(kind="shard_crash")
+        self.tracer.emit(
+            "cluster", "chaos.shard_crash", "chaos",
+            shard=i, restart_delay_s=restart_delay_s,
+        )
+        foreman.crash_shard(i, restart_delay_s=restart_delay_s)
+
+    def crash_random_shard(
+        self, foreman, *, restart_delay_s: Optional[float] = None
+    ) -> Optional[int]:
+        """Crash a seeded-random live shard; returns its index, or None
+        when every shard is already down (nothing left to kill)."""
+        candidates = [
+            i for i, s in enumerate(foreman.shards) if not s.crashed
+        ]
+        if not candidates:
+            return None
+        idx = candidates[
+            int(self.rng.stream("chaos.shard").integers(0, len(candidates)))
+        ]
+        self.crash_shard(foreman, idx, restart_delay_s=restart_delay_s)
+        return idx
 
     def begin_api_outage(self, *, duration_s: Optional[float] = None) -> None:
         """Take the API server's notification plane down; with

@@ -19,6 +19,7 @@ import time
 from typing import Callable, Dict
 
 from repro.experiments import (
+    failover,
     fig2,
     fig4,
     fig5,
@@ -38,6 +39,7 @@ from repro.experiments import (
 )
 
 _MODULES = {
+    "failover": failover,
     "fig2": fig2,
     "fig4": fig4,
     "fig5": fig5,
@@ -58,6 +60,7 @@ _MODULES = {
 
 #: Experiments whose ``main`` accepts a ``smoke=`` reduced-scale mode.
 _SMOKE_CAPABLE = {
+    "failover",
     "perf",
     "recovery",
     "resilience",
@@ -191,6 +194,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--shard-crash",
+        action="store_true",
+        help=(
+            "soak only: run the dispatch plane as 4 shards behind a "
+            "foreman with a failover coordinator, and let the "
+            "'shard_crash' chaos primitive (transient or permanent "
+            "loss of one shard) join the schedule pool"
+        ),
+    )
+    parser.add_argument(
         "--restart-delay",
         type=float,
         default=60.0,
@@ -222,8 +235,8 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         default=None,
         help=(
-            "perf/shards only: result directory "
-            "(default: benchmarks/results[/shards])"
+            "perf/shards/failover only: result directory "
+            "(default: benchmarks/results[/<name>])"
         ),
     )
     parser.add_argument(
@@ -273,6 +286,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["migrate"] = True
         if name == "soak" and args.integrity:
             kwargs["integrity"] = True
+        if name == "soak" and args.shard_crash:
+            kwargs["shard_crash"] = True
         if name == "recovery":
             kwargs.update(
                 crash_at_s=args.crash_at,
@@ -284,7 +299,7 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["gate"] = args.gate
             if args.bench_out is not None:
                 kwargs["out_dir"] = args.bench_out
-        if name == "shards" and args.bench_out is not None:
+        if name in ("shards", "failover") and args.bench_out is not None:
             kwargs["out_dir"] = args.bench_out
         if args.profile is not None:
             _run_profiled(name, args.profile, lambda: FIGURES[name](args.seed, **kwargs))

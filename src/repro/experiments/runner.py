@@ -91,7 +91,12 @@ from repro.wq.master import Master
 from repro.wq.migration import MigrationConfig, MigrationCoordinator
 from repro.wq.monitor import ResourceMonitor
 from repro.wq.runtime import WorkerPodRuntime
-from repro.wq.sharding import Foreman, TaskPartitioner
+from repro.wq.sharding import (
+    FailoverConfig,
+    FailoverCoordinator,
+    Foreman,
+    TaskPartitioner,
+)
 from repro.wq.task import Task
 from repro.wq.worker import WorkerState
 
@@ -320,6 +325,9 @@ class _Stack:
         )
         self.worker_request = config.resolved_worker_request()
         self.chaos: Optional[ChaosInjector] = None
+        #: Set by the sharded policy when ``failover=True`` — the shard
+        #: failover coordinator, exposed for result collection.
+        self.failover: Optional[FailoverCoordinator] = None
         if faults is not None:
             self.chaos = ChaosInjector(
                 self.engine,
@@ -890,6 +898,17 @@ def _validate_sharded(options: Dict) -> None:
     mode = options.get("partition_mode", "hash")
     if mode not in ("hash", "range"):
         raise ValueError(f"unknown partition mode {mode!r}")
+    crash_at = options.get("shard_crash_at_s")
+    if crash_at is not None:
+        if not isinstance(crash_at, (int, float)) or crash_at < 0:
+            raise ValueError("shard_crash_at_s must be a non-negative number")
+        if shards < 2:
+            raise ValueError("shard_crash_at_s needs shards >= 2")
+    index = options.get("shard_crash_index", 0)
+    if isinstance(index, bool) or not isinstance(index, int) or index < 0:
+        raise ValueError("shard_crash_index must be a non-negative integer")
+    if isinstance(shards, int) and index >= shards:
+        raise ValueError("shard_crash_index out of range")
 
 
 def _build_sharded(
@@ -900,6 +919,11 @@ def _build_sharded(
     foreman's aggregate view exactly as it would one master."""
     n_shards = int(_take(options, "shards", 4))
     partition_mode = str(_take(options, "partition_mode", "hash"))
+    failover = bool(_take(options, "failover", False))
+    failover_grace_s = _take(options, "failover_grace_s")
+    shard_crash_at_s = _take(options, "shard_crash_at_s")
+    shard_crash_index = int(_take(options, "shard_crash_index", 0))
+    shard_crash_restart_s = _take(options, "shard_crash_restart_s")
     shards = [stack.master]
     for i in range(1, n_shards):
         # Every shard is stamped from the same DispatchConfig and feeds
@@ -931,8 +955,48 @@ def _build_sharded(
     # collection, stack teardown — sees the foreman as *the* master.
     stack.master = foreman
     stack.runtime.master_selector = foreman.master_for_pod
+    coordinator: Optional[FailoverCoordinator] = None
+    if failover:
+        fo_cfg = (
+            FailoverConfig()
+            if failover_grace_s is None
+            else FailoverConfig(grace_s=float(failover_grace_s))
+        )
+        coordinator = FailoverCoordinator(
+            stack.engine,
+            foreman,
+            fo_cfg,
+            tracer=stack.tracer,
+            metrics=stack.metrics if stack.telemetry.enabled else None,
+        )
+        stack.failover = coordinator
+    if shard_crash_at_s is not None:
+        restart = (
+            None if shard_crash_restart_s is None else float(shard_crash_restart_s)
+        )
+
+        def _strike() -> None:
+            if stack.chaos is not None:
+                stack.chaos.crash_shard(
+                    foreman, shard_crash_index, restart_delay_s=restart
+                )
+            else:
+                foreman.crash_shard(shard_crash_index, restart_delay_s=restart)
+
+        stack.engine.call_at(float(shard_crash_at_s), _strike)
     harness = _build_hta(stack, cfg, graph, options)
     harness.name = f"HTA-sharded{n_shards}"
+    if coordinator is not None:
+        base_extras = harness.extras
+
+        def sharded_extras(acc) -> Dict[str, float]:
+            extras = base_extras(acc) if base_extras is not None else {}
+            extras["shard_failovers"] = float(coordinator.failovers)
+            extras["tasks_rehomed"] = float(coordinator.tasks_rehomed)
+            extras["workers_reattached"] = float(coordinator.workers_reattached)
+            return extras
+
+        harness.extras = sharded_extras
     return harness
 
 

@@ -21,7 +21,11 @@ machinery on every other strike (preemptions drain via checkpoint).
 ``--integrity`` opts into value faults: the ``corrupt`` and
 ``black_hole`` primitives join the pool, seeded result/checkpoint
 corruption arms, verification polices deliveries, and the health
-ledger quarantines sick workers.
+ledger quarantines sick workers. ``--shard-crash`` runs the dispatch
+plane as four masters behind a foreman with a failover coordinator,
+and the ``shard_crash`` primitive (transient *or permanent* loss of
+one shard) joins the pool — the failover-protocol invariant then
+audits the merged journal for double-resumed or stranded work.
 """
 
 from __future__ import annotations
@@ -36,10 +40,16 @@ def main(
     runs: int = 1,
     migrate: bool = False,
     integrity: bool = False,
+    shard_crash: bool = False,
 ) -> str:
     if runs < 1:
         raise ValueError("runs must be >= 1")
-    config = SoakConfig(migrate=migrate, integrity=integrity)
+    config = SoakConfig(
+        migrate=migrate,
+        integrity=integrity,
+        shards=4 if shard_crash else 1,
+        shard_crash=shard_crash,
+    )
     if smoke:
         config = config.smoke()
     seeds = list(range(seed, seed + runs))
@@ -52,7 +62,8 @@ def main(
             f"soak failed: seed {failing.seed} violated "
             f"{len(failing.violations)} invariant(s); reproduce with "
             f"`python -m repro.experiments soak --seed {failing.seed}"
-            f"{' --smoke' if smoke else ''}`"
+            f"{' --smoke' if smoke else ''}"
+            f"{' --shard-crash' if shard_crash else ''}`"
         )
     return out
 

@@ -32,6 +32,7 @@ from repro.sim.rng import RngRegistry
 from repro.soak.invariants import (
     VersionProbe,
     Violation,
+    check_failover_protocol,
     check_integrity_protocol,
     check_journal_replay,
     check_migration_protocol,
@@ -45,7 +46,9 @@ from repro.telemetry.session import TelemetryConfig
 from repro.workloads.synthetic import uniform_bag
 from repro.wq.faults import BLACK_HOLE_MODES, BlackHoleProfile
 from repro.wq.health import HealthConfig
+from repro.wq.master import Master
 from repro.wq.migration import CheckpointSpec, MigrationCoordinator
+from repro.wq.sharding import FailoverCoordinator, Foreman, TaskPartitioner
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +84,15 @@ class SoakConfig:
     integrity: bool = False
     result_corruption_prob: float = 0.02
     checkpoint_corruption_prob: float = 0.05
+    #: Run the dispatch plane as this many shards behind a Foreman
+    #: (1 = the classic single master). HTA consumes the foreman's
+    #: aggregate view, so the autoscaling loop is unchanged.
+    shards: int = 1
+    #: Opt-in shard chaos: a FailoverCoordinator joins the sharded stack
+    #: and the ``shard_crash`` primitive (transient or permanent loss of
+    #: one shard) enters the schedule's sampling pool. Requires
+    #: ``shards >= 2``. Off by default for the bit-identity reason.
+    shard_crash: bool = False
 
     def smoke(self) -> "SoakConfig":
         """A shrunk copy for CI: fewer tasks, fewer strikes."""
@@ -102,11 +114,14 @@ class SoakConfig:
                 max_events=6,
                 migrate=self.migrate,
                 integrity=self.integrity,
+                shard_crash=self.shard_crash,
             ),
             migrate=self.migrate,
             integrity=self.integrity,
             result_corruption_prob=self.result_corruption_prob,
             checkpoint_corruption_prob=self.checkpoint_corruption_prob,
+            shards=self.shards,
+            shard_crash=self.shard_crash,
         )
 
 
@@ -183,6 +198,16 @@ def _apply_event(
         chaos.crash_master(
             stack.master, restart_delay_s=event.param("restart_delay_s", 60.0)
         )
+    elif event.kind == "shard_crash":
+        assert isinstance(stack.master, Foreman), "shard_crash needs shards >= 2"
+        chaos.crash_random_shard(
+            stack.master,
+            restart_delay_s=(
+                None
+                if event.param("permanent", 0.0) >= 1.0
+                else event.param("restart_delay_s", 60.0)
+            ),
+        )
     elif event.kind == "api_outage":
         chaos.begin_api_outage(duration_s=event.param("duration_s", 120.0))
     elif event.kind == "boot_failures":
@@ -199,11 +224,15 @@ def _apply_event(
 
 def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
     """One seeded soak run; see the module docstring."""
+    if config.shard_crash and config.shards < 2:
+        raise ValueError("shard_crash needs a sharded plane (shards >= 2)")
     schedule_cfg = config.schedule
     if config.migrate and not schedule_cfg.migrate:
         schedule_cfg = replace(schedule_cfg, migrate=True)
     if config.integrity and not schedule_cfg.integrity:
         schedule_cfg = replace(schedule_cfg, integrity=True)
+    if config.shard_crash and not schedule_cfg.shard_crash:
+        schedule_cfg = replace(schedule_cfg, shard_crash=True)
     events = generate_schedule(seed, schedule_cfg)
     fault_profile = FaultProfile(max_retries=config.max_retries)
     if config.integrity:
@@ -225,6 +254,42 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
         faults=fault_profile,
     )
     with _Stack(stack_cfg, telemetry=TelemetryConfig(enabled=True)) as stack:
+        failover: Optional[FailoverCoordinator] = None
+        if config.shards > 1:
+            # Mirror the runner's sharded policy: stamp the extra shards
+            # from the same DispatchConfig, feed the shared monitor, and
+            # put the Foreman where the rest of the harness expects the
+            # master. A FailoverCoordinator rides along so shard_crash
+            # strikes (permanent ones included) are survivable.
+            shard_list = [stack.master]
+            for i in range(1, config.shards):
+                shard_list.append(
+                    Master(
+                        stack.engine,
+                        stack.link,
+                        config=stack.dispatch_config,
+                        estimator=stack._make_estimator("monitor"),
+                        monitor=stack.monitor,
+                        name=f"{stack.master.name}-{i}",
+                        tracer=stack.tracer,
+                        metrics=stack.metrics,
+                    )
+                )
+            foreman = Foreman(
+                stack.engine,
+                shard_list,
+                partitioner=TaskPartitioner(config.shards, seed=seed),
+            )
+            foreman.max_retries = shard_list[0].max_retries
+            stack.master = foreman
+            stack.runtime.master_selector = foreman.master_for_pod
+            failover = FailoverCoordinator(
+                stack.engine,
+                foreman,
+                tracer=stack.tracer,
+                metrics=stack.metrics,
+            )
+            stack.failover = failover
         probe = VersionProbe(stack.cluster.api)
         graph_tasks = uniform_bag(
             config.n_tasks,
@@ -334,6 +399,8 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
             violations.extend(check_journal_replay(master))
         violations.extend(check_migration_protocol(master))
         violations.extend(check_integrity_protocol(master))
+        if config.shards > 1:
+            violations.extend(check_failover_protocol(master))
         violations.extend(check_version_monotonic(probe))
         violations.extend(check_trace_consistency(master, stack.chaos, stack.tracer))
         probe.close()
@@ -361,6 +428,15 @@ def run_soak(seed: int, config: SoakConfig = SoakConfig()) -> SoakReport:
             stats["migrations_injected"] = float(
                 stack.chaos.migrations_injected if stack.chaos else 0
             )
+        if failover is not None:
+            stats["shard_crashes"] = float(
+                stack.chaos.shard_crashes if stack.chaos else 0
+            )
+            stats["shard_failovers"] = float(failover.failovers)
+            stats["failovers_aborted"] = float(failover.failovers_aborted)
+            stats["tasks_rehomed"] = float(failover.tasks_rehomed)
+            stats["tasks_rebalanced"] = float(failover.tasks_rebalanced)
+            stats["workers_reattached"] = float(failover.workers_reattached)
         if config.integrity:
             stats["verify_fails"] = float(master.verify_fails)
             stats["checkpoint_verify_fails"] = float(

@@ -272,6 +272,84 @@ def check_migration_protocol(master) -> List[Violation]:
     return violations
 
 
+def check_failover_protocol(master) -> List[Violation]:
+    """Shard failover obeyed its safety contract.
+
+    Read off the *merged* journal (``master`` is the foreman): every
+    re-home is a FAILOVER_OUT/FAILOVER_IN pair — task conservation
+    across shard loss, the same count on both sides per task; re-homed
+    tasks resume at most once — a task is never dispatched
+    (``dispatch``/``migrate_in``) while a prior attempt is still
+    outstanding, counting failover moves as the *same* execution
+    (an ``unclaimed`` placement keeps the original attempt outstanding
+    on its new shard; a ``ready`` placement parks it); and no task
+    completes twice. The OUT/IN walk uses per-task counters, not a
+    flag, because a merged log may fold a destination's IN before the
+    dead shard's OUT at the same timestamp. "No task stranded after
+    grace + failover" is covered by :func:`check_journal_replay` on the
+    same merged journal (nothing left ready or unclaimed at
+    quiescence) plus task conservation.
+    """
+    violations: List[Violation] = []
+    outs: Dict[int, int] = {}
+    ins: Dict[int, int] = {}
+    completes: Dict[int, int] = {}
+    outstanding: Dict[int, str] = {}
+    for rec in master.journal.records:
+        if rec.task is None:
+            continue  # worker-scoped record (quarantine/unquarantine)
+        tid = rec.task.id
+        if rec.op == "failover_out":
+            outs[tid] = outs.get(tid, 0) + 1
+            if outs[tid] > ins.get(tid, 0):
+                outstanding.pop(tid, None)
+        elif rec.op == "failover_in":
+            ins[tid] = ins.get(tid, 0) + 1
+            if rec.placement == "unclaimed":
+                # The original execution survives the move: its worker
+                # may reattach and finish it on the new shard.
+                outstanding[tid] = "failover_in"
+            else:
+                outstanding.pop(tid, None)
+        elif rec.op in ("dispatch", "migrate_in"):
+            prior = outstanding.get(tid)
+            if prior is not None:
+                violations.append(
+                    Violation(
+                        "failover-protocol",
+                        f"task {tid} dispatched ({rec.op}) while a prior "
+                        f"attempt ({prior}) was still outstanding — a "
+                        f"re-homed task resumed twice",
+                    )
+                )
+            outstanding[tid] = rec.op
+        elif rec.op in ("retry", "migrate_out", "abandon"):
+            outstanding.pop(tid, None)
+        elif rec.op == "complete":
+            completes[tid] = completes.get(tid, 0) + 1
+            outstanding.pop(tid, None)
+    for tid in sorted(set(outs) | set(ins)):
+        if outs.get(tid, 0) != ins.get(tid, 0):
+            violations.append(
+                Violation(
+                    "failover-protocol",
+                    f"task {tid} has {outs.get(tid, 0)} FAILOVER_OUT but "
+                    f"{ins.get(tid, 0)} FAILOVER_IN record(s) — a re-home "
+                    f"lost or duplicated the task",
+                )
+            )
+    doubled = sorted(tid for tid, n in completes.items() if n > 1)
+    if doubled:
+        violations.append(
+            Violation(
+                "failover-protocol",
+                f"task(s) completed more than once in the merged journal: "
+                f"{doubled[:10]}",
+            )
+        )
+    return violations
+
+
 def check_integrity_protocol(master) -> List[Violation]:
     """Result verification and quarantine obeyed their safety contract.
 
@@ -425,6 +503,17 @@ def check_trace_consistency(master, chaos, tracer) -> List[Violation]:
                     "trace-consistency",
                     f"black-hole counter {chaos.black_holes_injected} != "
                     f"{traced_black_holes} chaos.black_hole trace events",
+                )
+            )
+        traced_shard_crashes = sum(
+            1 for e in events if e.name == "chaos.shard_crash"
+        )
+        if chaos.shard_crashes != traced_shard_crashes:
+            violations.append(
+                Violation(
+                    "trace-consistency",
+                    f"shard-crash counter {chaos.shard_crashes} != "
+                    f"{traced_shard_crashes} chaos.shard_crash trace events",
                 )
             )
     return violations

@@ -44,6 +44,11 @@ MIGRATE_WEIGHT: float = 1.5
 CORRUPT_WEIGHT: float = 1.5
 BLACK_HOLE_WEIGHT: float = 0.75
 
+#: Sampling weight of the ``shard_crash`` primitive (kill one dispatch
+#: shard behind the foreman) when a sharded schedule opts in
+#: (:attr:`SoakScheduleConfig.shard_crash`); same bit-identity rule.
+SHARD_CRASH_WEIGHT: float = 1.0
+
 
 @dataclass(frozen=True, slots=True)
 class FaultEvent:
@@ -89,6 +94,15 @@ class SoakScheduleConfig:
     #: worker into a fast-fail/fast-fake sink) — to the sampling pool.
     #: Off by default for the same bit-identity reason.
     integrity: bool = False
+    #: Opt-in: add the ``shard_crash`` primitive (kill one random
+    #: dispatch shard; roughly half the strikes are permanent — no
+    #: restart — so the failover path is actually exercised) to the
+    #: sampling pool. Only meaningful on a sharded soak stack. Off by
+    #: default for the same bit-identity reason.
+    shard_crash: bool = False
+    #: At most this many shard crashes per schedule (each permanent one
+    #: costs a failover grace worth of stranded work).
+    max_shard_crashes: int = 2
 
     def __post_init__(self) -> None:
         if self.horizon_s <= self.start_after_s:
@@ -126,6 +140,14 @@ def _sample_params(
             ("mode", float(int(s.integers(0, 2)))),
             ("latency_s", float(s.uniform(0.5, 3.0))),
         )
+    if kind == "shard_crash":
+        # permanent: 1 = the shard never restarts (failover must
+        # re-home its work); 0 = transient, restart_delay applies.
+        permanent = float(int(s.integers(0, 2)))
+        return (
+            ("permanent", permanent),
+            ("restart_delay_s", float(s.uniform(30.0, 120.0))),
+        )
     return ()  # node_kill / pod_eviction / corrupt need no parameters
 
 
@@ -151,10 +173,13 @@ def generate_schedule(
         weights.append(CORRUPT_WEIGHT)
         kinds.append("black_hole")
         weights.append(BLACK_HOLE_WEIGHT)
+    if config.shard_crash:
+        kinds.append("shard_crash")
+        weights.append(SHARD_CRASH_WEIGHT)
     total = sum(weights)
     probs = [w / total for w in weights]
     events: List[FaultEvent] = []
-    crashes = outages = 0
+    crashes = outages = shard_crashes = 0
     for _ in range(n):
         kind = kinds[int(s.choice(len(kinds), p=probs))]
         # Budget the control-plane strikes; overflow degrades to a
@@ -169,6 +194,11 @@ def generate_schedule(
                 kind = "pod_eviction"
             else:
                 outages += 1
+        if kind == "shard_crash":
+            if shard_crashes >= config.max_shard_crashes:
+                kind = "node_kill"
+            else:
+                shard_crashes += 1
         at = float(s.uniform(config.start_after_s, config.horizon_s))
         events.append(FaultEvent(at_s=at, kind=kind, params=_sample_params(kind, rng, config)))
     events.sort(key=lambda e: (e.at_s, e.kind))

@@ -44,7 +44,13 @@ from repro.wq.estimator import (
 from repro.wq.worker import Worker, WorkerState
 from repro.wq.dispatch import DispatchConfig, DispatchCore
 from repro.wq.master import Master, MasterStats
-from repro.wq.sharding import Foreman, TaskPartitioner, merge_journals
+from repro.wq.sharding import (
+    FailoverConfig,
+    FailoverCoordinator,
+    Foreman,
+    TaskPartitioner,
+    merge_journals,
+)
 from repro.wq.runtime import WorkerPodRuntime
 from repro.wq.factory import FactoryConfig, WorkerFactory
 
@@ -73,6 +79,8 @@ __all__ = [
     "DispatchCore",
     "Master",
     "MasterStats",
+    "FailoverConfig",
+    "FailoverCoordinator",
     "Foreman",
     "TaskPartitioner",
     "merge_journals",

@@ -336,6 +336,9 @@ class DispatchCore:
         #: and dropped as stale (attempt superseded while shipping).
         self.migrations_accepted = 0
         self.migrations_stale = 0
+        #: Tasks adopted from a dead shard by the failover coordinator
+        #: (queued and unclaimed both count; zero on unsharded masters).
+        self.tasks_rehomed_in = 0
         #: Called on every checkpoint delivery with
         #: ``(worker, task, accepted, ship_s)`` — the migration
         #: coordinator paces its fluid policies off this.
@@ -528,6 +531,50 @@ class DispatchCore:
         if requeued:
             self._schedule_dispatch()
         return requeued
+
+    # -------------------------------------------------------------- failover
+    def failover_out(self, task: Task) -> None:
+        """Journal-only marker on a *dead* shard's PV: the foreman's
+        failover coordinator re-homed ``task`` to a survivor. The live
+        tables were already wiped by the crash, so nothing folds here —
+        the record exists so that a post-failover restart replays to a
+        state without the task (see journal replay's OUT/IN pairing)."""
+        self.journal.record_failover_out(self.engine.now, task)
+
+    def failover_in(
+        self, task: Task, *, placement: str = "ready"
+    ) -> None:
+        """Adopt a task re-homed from a dead shard.
+
+        ``placement="ready"`` re-enters the queue front (the task was
+        waiting on the dead shard; front insertion mirrors the
+        ``insert(0)`` this shard's own replay would reconstruct).
+        ``placement="unclaimed"`` parks it in the unclaimed set: its
+        worker may still be running it and will be adopted on reconnect
+        by the ordinary :meth:`worker_reconnected` rules — the caller
+        schedules a :meth:`_requeue_unclaimed` grace sweep so nothing
+        stays stranded if the worker never returns. Banked checkpoint
+        progress rides on the task object and is journaled so a crash
+        of *this* shard replays the resume point."""
+        progress = task.progress_s if task.progress_s > 0 else None
+        self.journal.record_failover_in(
+            self.engine.now, task, placement=placement, progress=progress
+        )
+        self.tasks_rehomed_in += 1
+        if placement == "unclaimed":
+            self._unclaimed[task.id] = task
+        else:
+            self._enqueue_front(task)
+            self._schedule_dispatch()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "task.failover_in",
+                task.category,
+                task_id=task.id,
+                placement=placement,
+                progress_s=task.progress_s,
+            )
 
     # ------------------------------------------------------------- migration
     def migration_arrived(

@@ -39,6 +39,7 @@ OPS = (
     "submit", "dispatch", "retry", "complete", "abandon", "escalate",
     "checkpoint", "migrate_out", "migrate_in",
     "verify_fail", "quarantine", "unquarantine",
+    "failover_out", "failover_in",
 )
 
 
@@ -68,6 +69,10 @@ class JournalRecord:
     #: worker whose delivery failed content-digest verification;
     #: quarantine/unquarantine — the worker changing health state.
     worker: Optional[str] = None
+    #: Failover-in records carry where the re-homed task landed on the
+    #: surviving shard: ``"ready"`` (was queued on the dead shard) or
+    #: ``"unclaimed"`` (was in flight; its worker may reattach).
+    placement: Optional[str] = None
 
 
 @dataclass
@@ -189,6 +194,39 @@ class TransactionJournal:
         """A quarantined worker entered probation and may take work again."""
         self._append(JournalRecord("unquarantine", time, None, worker=worker))
 
+    def record_failover_out(self, time: float, task: Task) -> None:
+        """The foreman's failover coordinator re-homed this task away
+        from this (dead) shard. Written to the dead shard's PV log so a
+        later restart replays to a state *without* the task — a shard
+        that recovers after failover must not double-dispatch work that
+        now lives on a survivor."""
+        self._append(JournalRecord("failover_out", time, task, attempt=task.attempts))
+
+    def record_failover_in(
+        self,
+        time: float,
+        task: Task,
+        *,
+        placement: str,
+        progress: Optional[float] = None,
+    ) -> None:
+        """A survivor shard adopted a task re-homed from a dead shard.
+        ``placement`` records whether it re-entered the ready queue or
+        the unclaimed set (its worker may still reattach); ``progress``
+        carries any banked checkpoint so the move preserves it."""
+        if placement not in ("ready", "unclaimed"):
+            raise ValueError(f"unknown failover placement {placement!r}")
+        self._append(
+            JournalRecord(
+                "failover_in",
+                time,
+                task,
+                attempt=task.attempts,
+                progress=progress,
+                placement=placement,
+            )
+        )
+
     # --------------------------------------------------------------- digest
     def digest(self) -> str:
         """SHA-256 over a canonical serialization of every record.
@@ -233,6 +271,8 @@ class TransactionJournal:
                 parts.append(repr(rec.progress))
             if rec.worker is not None:
                 parts.append(rec.worker)
+            if rec.placement is not None:
+                parts.append(rec.placement)
             h.update("|".join(parts).encode())
             h.update(b"\n")
         return h.hexdigest()
@@ -253,6 +293,14 @@ class TransactionJournal:
                     state.submitted += 1
                     state.ready.append(rec.task)
             return state
+        # Failover records may interleave across shards in a merged log:
+        # the destination's FAILOVER_IN can fold before the dead shard's
+        # FAILOVER_OUT when both carry the same timestamp and the
+        # destination's shard index sorts first. Counting OUT/IN pairs
+        # per task makes the fold commute — an OUT only removes the task
+        # when it has not already been superseded by a matching IN.
+        failed_out: Dict[int, int] = {}
+        failed_in: Dict[int, int] = {}
         for rec in self.records:
             task = rec.task
             if rec.op == "submit":
@@ -296,6 +344,28 @@ class TransactionJournal:
                 state.unclaimed[task.id] = task
                 state.attempts[task.id] = rec.attempt
                 state.progress[task.id] = rec.progress
+            elif rec.op == "failover_out":
+                outs = failed_out.get(task.id, 0) + 1
+                failed_out[task.id] = outs
+                if outs > failed_in.get(task.id, 0):
+                    # Not (yet) re-adopted elsewhere in this log: the
+                    # task left this shard's recoverable state. On the
+                    # dead shard's own journal there is never a matching
+                    # IN, so replay after a post-failover restart drops
+                    # the re-homed entry instead of double-dispatching.
+                    state.unclaimed.pop(task.id, None)
+                    self._remove(state.ready, task)
+            elif rec.op == "failover_in":
+                failed_in[task.id] = failed_in.get(task.id, 0) + 1
+                state.unclaimed.pop(task.id, None)
+                self._remove(state.ready, task)
+                if rec.placement == "unclaimed":
+                    state.unclaimed[task.id] = task
+                else:
+                    state.ready.insert(0, task)
+                state.attempts[task.id] = rec.attempt
+                if rec.progress is not None:
+                    state.progress[task.id] = rec.progress
             elif rec.op == "verify_fail":
                 # The voided attempt's queue motion is carried by the
                 # retry/abandon record that follows; nothing folds here.

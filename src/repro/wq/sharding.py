@@ -26,20 +26,33 @@ Conservation accounting is defined on the *merged* journal
 origin shard and a COMPLETE in the destination, so per-shard journals
 intentionally do not balance — the merged log, ordered by time with
 stable shard order, replays to the same task-conservation totals as
-the foreman's aggregate view (pinned by a Hypothesis property).
+the foreman's aggregate view (pinned by a Hypothesis property). Every
+cross-shard move (a :meth:`Foreman.transfer_queued` rebalance or a
+:class:`FailoverCoordinator` re-home off a dead shard) is journaled as
+a FAILOVER_OUT/FAILOVER_IN pair, so each shard's own log still replays
+to exactly the work that shard currently owes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.sim.engine import Engine
 from repro.wq.dispatch import CompletionCallback, MasterStats
 from repro.wq.journal import TransactionJournal
 from repro.wq.master import Master
 from repro.wq.task import Task
-from repro.wq.worker import Worker
+from repro.wq.worker import Worker, WorkerState
 
 #: Knuth's multiplicative constant — spreads sequential task ids
 #: uniformly across shards without the process-salted ``hash()``.
@@ -151,10 +164,37 @@ class Foreman:
         self.transfers = 0
         self._journal_cache: Optional[TransactionJournal] = None
         self._journal_cache_len = -1
+        #: Shard indices whose work was re-homed by failover: they no
+        #: longer gate :attr:`all_done` (their recoverable state lives
+        #: on survivors) and new submits routed to them are redirected.
+        self._retired: Set[int] = set()
+        #: Retired shard index -> survivor index for submit redirects.
+        self._redirects: Dict[int, int] = {}
+        #: Called with ``(shard_index, stranded_workers)`` right after a
+        #: single-shard crash — the snapshot is taken *before* the crash
+        #: wipes the shard's worker table, so the failover coordinator
+        #: knows exactly which workers went dark with the shard.
+        self._shard_crash_listeners: Tuple[
+            Callable[[int, List[Worker]], None], ...
+        ] = ()
+        #: Called with the shard index after :meth:`recover_shard`.
+        self._shard_recover_listeners: Tuple[Callable[[int], None], ...] = ()
 
     # ------------------------------------------------------------- routing
+    def shard_index_for(self, task: Task) -> int:
+        """The partition assignment, with failover redirects applied: a
+        submit routed to a retired shard lands on the survivor that
+        adopted its work instead (chains resolve — a survivor that later
+        retired forwards again)."""
+        idx = self.partitioner.shard_for(task.id)
+        seen: Set[int] = set()
+        while idx in self._redirects and idx not in seen:
+            seen.add(idx)
+            idx = self._redirects[idx]
+        return idx
+
     def shard_for(self, task: Task) -> Master:
-        return self.shards[self.partitioner.shard_for(task.id)]
+        return self.shards[self.shard_index_for(task)]
 
     def submit(self, task: Task) -> None:
         self.shard_for(task).submit(task)
@@ -165,11 +205,19 @@ class Foreman:
 
     def master_for_pod(self, pod) -> Master:
         """Shard assignment for a freshly started worker pod: straight
-        round-robin, so supply spreads evenly across shards no matter
-        which nodes the scheduler picked. Deterministic because pod
-        start order is (the simulation is)."""
-        shard = self.shards[self._next_worker_shard]
-        self._next_worker_shard = (self._next_worker_shard + 1) % len(self.shards)
+        round-robin over the *available* shards, so supply spreads
+        evenly no matter which nodes the scheduler picked and a crashed
+        shard stops receiving fresh workers. Deterministic because pod
+        start order is (the simulation is). Falls back to plain
+        round-robin when no shard is available (the pod's worker polls
+        until its assigned master comes back)."""
+        for _ in range(len(self.shards)):
+            shard = self.shards[self._next_worker_shard]
+            self._next_worker_shard = (
+                self._next_worker_shard + 1
+            ) % len(self.shards)
+            if shard.available:
+                return shard
         return shard
 
     def transfer_queued(self, task: Task, dst: Master) -> bool:
@@ -178,7 +226,14 @@ class Foreman:
         shards through the checkpoint path (migrate out of the source
         worker, transfer, resume on a destination worker), never by
         teleporting an execution. Returns False if the task is not
-        waiting in any shard's queue."""
+        waiting in any shard's queue.
+
+        The hand-off is journaled as FAILOVER_OUT on the source and
+        FAILOVER_IN on the destination — the same re-home records the
+        failover coordinator writes — so a crash on *either* side
+        replays to the post-transfer truth: the source forgets the task
+        it gave away, and a destination that dies mid-flight carries
+        the task in its own log for the next failover to re-home."""
         src = None
         for shard in self.shards:
             if task.id in shard._queued_ids:
@@ -187,6 +242,11 @@ class Foreman:
         if src is None or src is dst:
             return False
         src._dequeue(task)
+        src.journal.record_failover_out(self.engine.now, task)
+        progress = task.progress_s if task.progress_s > 0 else None
+        dst.journal.record_failover_in(
+            self.engine.now, task, placement="ready", progress=progress
+        )
         dst._enqueue_front(task)
         dst._schedule_dispatch()
         self.transfers += 1
@@ -208,6 +268,17 @@ class Foreman:
     def add_worker_lost_listener(self, fn: Callable[[Worker], None]) -> None:
         for shard in self.shards:
             shard.add_worker_lost_listener(fn)
+
+    def add_shard_crash_listener(
+        self, fn: Callable[[int, List[Worker]], None]
+    ) -> None:
+        """Register for single-shard crashes: called with
+        ``(shard_index, stranded_workers)`` after :meth:`crash_shard`."""
+        self._shard_crash_listeners = self._shard_crash_listeners + (fn,)
+
+    def add_shard_recover_listener(self, fn: Callable[[int], None]) -> None:
+        """Register for single-shard recoveries (:meth:`recover_shard`)."""
+        self._shard_recover_listeners = self._shard_recover_listeners + (fn,)
 
     # ------------------------------------------------- worker-scoped routing
     def evacuate_worker(
@@ -237,6 +308,10 @@ class Foreman:
             worker, task, new_progress, lost_s, started_at
         )
 
+    def worker_unreachable(self, worker: Worker) -> None:
+        """Partition notice routed to the shard that owns the worker."""
+        worker.master.worker_unreachable(worker)
+
     # ------------------------------------------------------------ lifecycle
     def pause(self) -> None:
         for shard in self.shards:
@@ -253,6 +328,49 @@ class Foreman:
     def recover(self, *, replay: Optional[bool] = None) -> None:
         for shard in self.shards:
             shard.recover(replay=replay)
+
+    def crash_shard(
+        self, i: int, *, restart_delay_s: Optional[float] = None
+    ) -> None:
+        """Take down one shard (the single-shard fault the chaos layer
+        injects). The shard's worker list is snapshotted *before* the
+        crash wipes it and handed to the shard-crash listeners — the
+        failover coordinator needs to know which workers are stranded.
+        Unlike :meth:`Master.crash`, the optional restart is scheduled
+        through :meth:`recover_shard` so the foreman's failover
+        bookkeeping (retire/redirect state, recover listeners) stays
+        consistent whichever way the shard comes back."""
+        shard = self.shards[i]
+        if shard.crashed:
+            return
+        stranded = list(shard.workers.values())
+        shard.crash()
+        for fn in self._shard_crash_listeners:
+            fn(i, stranded)
+        if restart_delay_s is not None:
+            self.engine.call_in(restart_delay_s, self.recover_shard, i)
+
+    def recover_shard(self, i: int, *, replay: Optional[bool] = None) -> None:
+        """Bring one shard back. A shard that was failed over meanwhile
+        un-retires: its journal replay already discarded the re-homed
+        entries (FAILOVER_OUT records), so it rejoins empty-handed and
+        new submits route to it again."""
+        shard = self.shards[i]
+        if not shard.crashed:
+            return
+        shard.recover(replay=replay)
+        self._retired.discard(i)
+        self._redirects.pop(i, None)
+        for fn in self._shard_recover_listeners:
+            fn(i)
+
+    def retire_shard(self, i: int, survivor: int) -> None:
+        """Mark a dead shard's recoverable state as moved to survivors:
+        it stops gating :attr:`all_done` (nothing of it is coming back)
+        and new submits hashed to it land on ``survivor`` instead.
+        Reversed by :meth:`recover_shard` if the shard ever returns."""
+        self._retired.add(i)
+        self._redirects[i] = survivor
 
     def close(self) -> None:
         for shard in self.shards:
@@ -276,12 +394,37 @@ class Foreman:
         return not all(s.available for s in self.shards)
 
     @property
-    def crashed(self) -> bool:
+    def any_crashed(self) -> bool:
+        """At least one shard is down — the plane is degraded (some
+        partition of the queue is unreachable) but not necessarily lost."""
         return any(s.crashed for s in self.shards)
 
     @property
+    def all_crashed(self) -> bool:
+        """Every shard is down — the logical master is actually gone."""
+        return all(s.crashed for s in self.shards)
+
+    @property
+    def crashed(self) -> bool:
+        """Documented alias for the *conservative* reading,
+        :attr:`any_crashed`: callers that treat "crashed" as "stop
+        trusting the books" (the single-master contract) must keep doing
+        so while any partition of the queue is dark. Code that needs the
+        distinction reads :attr:`any_crashed` / :attr:`all_crashed`
+        explicitly."""
+        return self.any_crashed
+
+    @property
     def all_done(self) -> bool:
-        return all(s.all_done for s in self.shards)
+        """Every live shard drained. Retired shards (dead, failed over)
+        are skipped: their recoverable work was re-homed onto survivors,
+        so an empty plane must not wait forever on a master that is
+        never coming back."""
+        return all(
+            s.all_done
+            for i, s in enumerate(self.shards)
+            if i not in self._retired
+        )
 
     @property
     def monitor(self):
@@ -354,7 +497,36 @@ class Foreman:
 
     @property
     def done(self) -> List[Task]:
-        return [t for s in self.shards for t in s.done]
+        """Completions across all shards in *merged-journal* order
+        (complete-record time, ties by shard index): replaying
+        :attr:`journal` yields completions in exactly this sequence, so
+        the aggregate view and the merged log agree record for record —
+        the property the journal-replay invariant checks. Each shard's
+        ``done[i]`` aligns with its i-th complete record counted from
+        the journal's tail (a cold restart rebuilds ``done`` from
+        scratch while the log keeps the forgotten prefix). A *crashed*
+        shard's in-memory ledger was wiped with the rest of its tables,
+        but its completions are durable — they were delivered upstream
+        before the crash — so while it is down (or retired for good)
+        the ledger is read straight off its journal instead."""
+        keyed: List[Tuple[float, int, int, Task]] = []
+        for idx, shard in enumerate(self.shards):
+            completes = [
+                rec for rec in shard.journal.records if rec.op == "complete"
+            ]
+            if shard.crashed:
+                for pos, rec in enumerate(completes):
+                    keyed.append((rec.time, idx, pos, rec.task))
+                continue
+            offset = len(completes) - len(shard.done)
+            for pos, task in enumerate(shard.done):
+                at = offset + pos
+                when = (
+                    completes[at].time if 0 <= at < len(completes) else float("inf")
+                )
+                keyed.append((when, idx, pos, task))
+        keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [task for _, _, _, task in keyed]
 
     @property
     def abandoned(self) -> List[Task]:
@@ -494,6 +666,12 @@ class Foreman:
     def migrations_stale(self) -> int:
         return int(self._sum("migrations_stale"))
 
+    @property
+    def tasks_rehomed(self) -> int:
+        """Tasks adopted from dead shards by failover (sum of the
+        per-shard ``tasks_rehomed_in`` intake counters)."""
+        return int(self._sum("tasks_rehomed_in"))
+
     # ---------------------------------------------------- recovery markers
     @property
     def last_crash_at(self) -> Optional[float]:
@@ -531,3 +709,284 @@ class Foreman:
 
     def supplied_cores(self) -> float:
         return sum(s.supplied_cores() for s in self.shards if s.available)
+
+
+@dataclass(frozen=True, slots=True)
+class FailoverConfig:
+    """Knobs of the shard-failover protocol.
+
+    ``grace_s`` separates a transient crash (the shard's pod restarts
+    and replays its own journal — the PR 3 story, no foreman action
+    needed) from permanent loss: only a shard still dark when the grace
+    expires is failed over. The default clears the chaos layer's
+    standard 60 s crash-restart delay, so an ordinarily-restarting
+    shard never triggers a spurious re-home.
+
+    ``rebalance_interval_s`` arms the starvation-repair tick: static
+    partitioning can strand a live shard with queued work and *zero*
+    workers while another shard holds idle supply (chaos kills workers
+    shard-asymmetrically), and shard-local dispatch would deadlock
+    there forever. The tick moves the starved queue to shards that have
+    idle workers, through the journaled :meth:`Foreman.transfer_queued`
+    path. ``None`` disables it."""
+
+    grace_s: float = 90.0
+    rebalance_interval_s: Optional[float] = 15.0
+
+
+class FailoverCoordinator:
+    """Re-homes a dead shard's stranded work onto the survivors.
+
+    Subscribes to the foreman's shard-crash/recover notifications. On a
+    crash it arms a one-shot grace timer; if the shard is still down
+    when the timer fires, the coordinator
+
+    1. replays the dead shard's journal (its PV outlives the process)
+       to reconstruct exactly what is recoverable: the queued tasks in
+       pre-crash order and the unclaimed in-flight set, with banked
+       checkpoint progress;
+    2. re-homes both onto surviving shards round-robin — queued tasks
+       re-enter a survivor's queue, in-flight tasks park in a
+       survivor's unclaimed set so their (still running) workers can be
+       adopted on reconnect, with a grace sweep requeueing whatever
+       never reports back;
+    3. journals the move as FAILOVER_OUT on the dead shard's log and
+       FAILOVER_IN on the destination's, so the merged journal folds to
+       the post-failover truth and a later restart of the dead shard
+       replays to a state *without* the moved entries (no
+       double-dispatch);
+    4. re-points the stranded workers' master references at survivors
+       and nudges their reconnect poll, so the dead shard's supply —
+       and any results or checkpoints it is still holding — lands on
+       the masters that now own the tasks. Stale deliveries are
+       rejected by the ordinary at-most-once canonical-attempt guards.
+
+    Finally the shard is *retired*: it stops gating the foreman's
+    ``all_done`` and new submits hashed to it redirect to a survivor.
+    A retired shard that recovers anyway un-retires empty-handed.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        foreman: Foreman,
+        config: Optional[FailoverConfig] = None,
+        *,
+        tracer=None,
+        metrics=None,
+    ) -> None:
+        self.engine = engine
+        self.foreman = foreman
+        self.config = config if config is not None else FailoverConfig()
+        self.tracer = tracer
+        #: Dead shards actually failed over (grace expired, work moved).
+        self.failovers = 0
+        #: Tasks re-homed across all failovers (queued + in-flight).
+        self.tasks_rehomed = 0
+        #: Stranded workers re-pointed at survivor shards.
+        self.workers_reattached = 0
+        #: Grace expiries that found no survivor to re-home onto.
+        self.failovers_aborted = 0
+        #: Queued tasks moved off starved shards by the rebalance tick.
+        self.tasks_rebalanced = 0
+        self._stopped = False
+        #: Per-shard crash token; recovery or a fresh crash bumps it so
+        #: a stale grace timer no-ops (the transient-crash distinction).
+        self._tokens: Dict[int, int] = {}
+        #: Worker snapshot per crashed shard (taken pre-wipe).
+        self._stranded: Dict[int, List[Worker]] = {}
+        self._c_failovers = None
+        self._c_rehomed = None
+        if metrics is not None:
+            self._c_failovers = metrics.counter(
+                "shard_failovers_total",
+                "Dead shards whose recoverable work was re-homed",
+            )
+            self._c_rehomed = metrics.counter(
+                "tasks_rehomed_total",
+                "Tasks moved off dead shards onto survivors",
+            )
+        foreman.add_shard_crash_listener(self._shard_crashed)
+        foreman.add_shard_recover_listener(self._shard_recovered)
+        if self.config.rebalance_interval_s is not None:
+            self.engine.call_in(
+                self.config.rebalance_interval_s, self._rebalance_tick
+            )
+
+    def stop(self) -> None:
+        """Disarm the rebalance tick (armed timers no-op)."""
+        self._stopped = True
+
+    # ----------------------------------------------------------- detection
+    def _shard_crashed(self, i: int, stranded: List[Worker]) -> None:
+        token = self._tokens.get(i, 0) + 1
+        self._tokens[i] = token
+        self._stranded[i] = stranded
+        self.engine.call_in(self.config.grace_s, self._grace_expired, i, token)
+
+    def _shard_recovered(self, i: int) -> None:
+        # Invalidate any armed grace timer: the shard came back on its
+        # own, so this was a transient crash and replay owns recovery.
+        self._tokens[i] = self._tokens.get(i, 0) + 1
+        self._stranded.pop(i, None)
+
+    def _owned_elsewhere(self, task: Task, dead_idx: int) -> bool:
+        """A live shard other than the dead one already holds the task
+        (queued, running, or unclaimed): the dead shard's journal view
+        is stale and the task must not be re-homed."""
+        for j, other in enumerate(self.foreman.shards):
+            if j == dead_idx:
+                continue
+            if (
+                task.id in other._queued_ids
+                or task.id in other.running
+                or task.id in other._unclaimed
+            ):
+                return True
+        return False
+
+    # ----------------------------------------------------------- rebalance
+    def _rebalance_tick(self) -> None:
+        if self._stopped:
+            return
+        self._rebalance()
+        self.engine.call_in(
+            self.config.rebalance_interval_s, self._rebalance_tick
+        )
+
+    def _rebalance(self) -> None:
+        """Starvation repair: a live shard with queued work but no
+        workers at all can never dispatch (supply is shard-local), so
+        its queue moves — through the journaled transfer path — to the
+        live shards that do hold idle workers, round-robin. Deliberately
+        narrow: shards with *any* worker are left alone, so ordinary
+        skew keeps draining locally and fidelity is untouched."""
+        shards = self.foreman.shards
+        starved = [
+            s
+            for s in shards
+            if s.available and s.queue and not s.connected_workers()
+        ]
+        if not starved:
+            return
+        targets = [
+            s for s in shards if s.available and s.idle_workers()
+        ]
+        if not targets:
+            return
+        cursor = 0
+        for src in starved:
+            for task in list(src.queue):
+                dst = targets[cursor % len(targets)]
+                cursor += 1
+                if self.foreman.transfer_queued(task, dst):
+                    self.tasks_rebalanced += 1
+        if self.tracer is not None and self.tracer.enabled and cursor:
+            self.tracer.emit(
+                "wq",
+                "shard.rebalance",
+                moved=cursor,
+                starved=len(starved),
+                targets=len(targets),
+            )
+
+    # ------------------------------------------------------------ failover
+    def _grace_expired(self, i: int, token: int) -> None:
+        if self._tokens.get(i) != token:
+            return  # recovered meanwhile, or a fresh crash re-armed
+        shard = self.foreman.shards[i]
+        if not shard.crashed:
+            return  # recovered without the foreman noticing (defensive)
+        survivors = [
+            (j, s)
+            for j, s in enumerate(self.foreman.shards)
+            if j != i and s.available
+        ]
+        if not survivors:
+            # Nowhere to re-home; the shard stays crashed and a later
+            # crash/recover cycle gets another chance.
+            self.failovers_aborted += 1
+            return
+        state = shard.journal.replay()
+        stranded = self._stranded.pop(i, [])
+        # Assign surviving workers to survivor shards first, and note
+        # which tasks each one is still bound to (live runs, held
+        # results, held checkpoints). A task and the worker holding it
+        # MUST land on the same survivor: if the worker's held result
+        # arrived at shard A while shard B owned the re-homed entry, B
+        # would requeue — and re-run — an already-completed task.
+        reattach: List[Tuple[Worker, int]] = []
+        affinity: Dict[int, int] = {}
+        for offset, worker in enumerate(stranded):
+            if worker.state not in (WorkerState.READY, WorkerState.DRAINING):
+                continue  # died while the shard was dark
+            slot = offset % len(survivors)
+            reattach.append((worker, slot))
+            for tid in worker.unfinished_task_ids():
+                affinity.setdefault(tid, slot)
+        cursor = 0
+        rehomed = 0
+
+        def pick(task: Task) -> Tuple[int, Master]:
+            nonlocal cursor
+            slot = affinity.get(task.id)
+            if slot is None:
+                slot = cursor % len(survivors)
+                cursor += 1
+            return survivors[slot]
+
+        # Queued work first, in the dead shard's pre-crash queue order;
+        # in-flight (unclaimed) work after, so its workers can still be
+        # adopted by the destination on reconnect. Anything the replay
+        # surfaces that another shard already owns (or that completed)
+        # is the dead shard's stale view of history, not strandable
+        # work — re-homing it would double-dispatch.
+        for task in state.ready:
+            if task.result is not None or self._owned_elsewhere(task, i):
+                continue
+            _, dst = pick(task)
+            shard.failover_out(task)
+            dst.failover_in(task, placement="ready")
+            rehomed += 1
+        sweep: Set[int] = set()
+        for task in state.unclaimed.values():
+            if task.result is not None or self._owned_elsewhere(task, i):
+                continue
+            j, dst = pick(task)
+            shard.failover_out(task)
+            dst.failover_in(task, placement="unclaimed")
+            sweep.add(j)
+            rehomed += 1
+        for j in sorted(sweep):
+            # Same contract as post-recovery adoption: whatever no
+            # worker reclaims inside the grace window requeues.
+            dst = self.foreman.shards[j]
+            self.engine.call_in(
+                dst.recovery_grace_s, dst._requeue_unclaimed, dst._incarnation
+            )
+        for worker, slot in reattach:
+            _, dst = survivors[slot]
+            worker.master = dst
+            self.workers_reattached += 1
+            # The worker's own backoff poll would find the new master
+            # within RECONNECT_MAX_S; the nudge just reconnects it now.
+            # A concurrent stale poll sees ``_detached`` False and drops.
+            self.engine.call_in(0.0, worker._try_reconnect)
+        self.foreman.retire_shard(i, survivors[0][0])
+        self.failovers += 1
+        self.tasks_rehomed += rehomed
+        if self._c_failovers is not None:
+            self._c_failovers.inc()
+        if self._c_rehomed is not None and rehomed:
+            self._c_rehomed.inc(rehomed)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                "wq",
+                "shard.failover",
+                shard=shard.name,
+                rehomed=rehomed,
+                queued=len(state.ready),
+                unclaimed=len(state.unclaimed),
+                workers=len(stranded),
+                survivors=len(survivors),
+            )

@@ -10,9 +10,9 @@ from repro.experiments.__main__ import DESCRIPTIONS, FIGURES, main
 class TestCli:
     def test_all_figures_registered(self):
         assert set(FIGURES) == {
-            "fig2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "forecast",
-            "integrity", "migration", "perf", "resilience", "recovery",
-            "preemption", "shards", "soak",
+            "failover", "fig2", "fig4", "fig5", "fig6", "fig9", "fig10",
+            "fig11", "forecast", "integrity", "migration", "perf",
+            "resilience", "recovery", "preemption", "shards", "soak",
         }
 
     def test_smoke_flag_runs_resilience(self, capsys):

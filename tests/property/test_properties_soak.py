@@ -19,6 +19,7 @@ from repro.soak.schedule import SoakScheduleConfig
 FAST = SoakConfig().smoke()
 FAST_MIGRATE = SoakConfig(migrate=True).smoke()
 FAST_INTEGRITY = SoakConfig(integrity=True).smoke()
+FAST_SHARDED = SoakConfig(shards=4, shard_crash=True).smoke()
 
 
 @settings(max_examples=15, deadline=None)
@@ -78,6 +79,33 @@ def test_migrate_flag_leaves_other_draws_bit_identical(seed):
     non-migrate subsequence of a migrate-enabled schedule never loses
     determinism guarantees — generation stays pure under the flag."""
     cfg = SoakScheduleConfig(migrate=True)
+    assert generate_schedule(seed, cfg) == generate_schedule(seed, cfg)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_every_invariant_holds_with_shard_crashes_enabled(seed):
+    """Satellite (PR 10): for any seeded chaos schedule *including
+    shard crashes* (the plane runs as 4 masters behind a foreman with a
+    failover coordinator, the ``shard_crash`` primitive in the pool),
+    every invariant holds — in particular the failover-protocol audit
+    on the merged journal: no task resumed twice, every
+    FAILOVER_OUT/IN pair balanced, nothing stranded on a dead shard."""
+    report = run_soak(seed, FAST_SHARDED)
+    assert report.quiesced, report.describe()
+    assert report.ok, report.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_shard_crash_flag_is_opt_in_only(seed):
+    """The ``shard_crash`` kind is strictly additive: a default
+    schedule is bit-identical whether or not the flag exists, and a
+    shard-crash-enabled schedule is itself pure."""
+    assert generate_schedule(seed, SoakScheduleConfig()) == generate_schedule(
+        seed, SoakScheduleConfig(shard_crash=False)
+    )
+    cfg = SoakScheduleConfig(shard_crash=True)
     assert generate_schedule(seed, cfg) == generate_schedule(seed, cfg)
 
 

@@ -13,11 +13,18 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.resources import ResourceVector
+from repro.soak.invariants import check_failover_protocol
 from repro.wq.estimator import DeclaredResourceEstimator
 from repro.wq.link import Link
 from repro.wq.master import Master
 from repro.wq.migration import CheckpointSpec
-from repro.wq.sharding import Foreman, TaskPartitioner, merge_journals
+from repro.wq.sharding import (
+    FailoverConfig,
+    FailoverCoordinator,
+    Foreman,
+    TaskPartitioner,
+    merge_journals,
+)
 from repro.wq.task import Task, TaskState
 from repro.wq.worker import Worker
 
@@ -240,3 +247,134 @@ class TestDegradedMode:
         assert not foreman.available
         stats = foreman.stats()
         assert stats.done == 0 and stats.waiting == 0
+
+    def test_any_all_crashed_split_and_conservative_alias(self, engine):
+        """The PR 10 split: ``any_crashed`` (degraded, some partition
+        dark) vs ``all_crashed`` (logical master gone), with ``crashed``
+        pinned as the documented alias for the conservative reading —
+        single-master callers that gate on "crashed" must keep gating
+        while *any* shard is dark."""
+        foreman, (a, b) = make_foreman(engine, 2)
+        assert not foreman.any_crashed
+        assert not foreman.all_crashed
+        assert not foreman.crashed
+        a.crash()
+        assert foreman.any_crashed
+        assert not foreman.all_crashed
+        assert foreman.crashed  # alias follows the conservative reading
+        b.crash()
+        assert foreman.any_crashed and foreman.all_crashed
+        assert foreman.crashed
+        a.recover()
+        assert foreman.any_crashed  # b is still down
+        assert not foreman.all_crashed
+        assert foreman.crashed
+        b.recover()
+        assert not foreman.any_crashed and not foreman.crashed
+
+
+def make_coordinator(engine, foreman, grace_s=10.0):
+    """A failover coordinator with the rebalance tick disarmed — these
+    tests pin the crash/grace/re-home protocol itself, not the
+    starvation-repair sweep."""
+    return FailoverCoordinator(
+        engine,
+        foreman,
+        FailoverConfig(grace_s=grace_s, rebalance_interval_s=None),
+    )
+
+
+class TestFailoverEdges:
+    """Satellite (PR 10): cross-shard transfer failure edges and the
+    recovery-after-failover replay semantics."""
+
+    def test_transfer_destination_crash_rehomes_from_its_journal(
+        self, engine
+    ):
+        """A transfer lands a task on shard B via FAILOVER_IN; B then
+        crashes before dispatching it. The task now lives *only* in B's
+        journal — the coordinator's replay must re-home it onto the
+        survivor, where it runs exactly once, with the merged journal's
+        OUT/IN chains balanced (transfer pair + failover pair)."""
+        foreman, (a, b) = make_foreman(engine, 2)
+        coordinator = make_coordinator(engine, foreman, grace_s=30.0)
+        Worker(engine, a, "wa", CAP, connect_latency=1.0)
+        task = make_task(execute_s=5.0)
+        a.submit(task)
+        assert foreman.transfer_queued(task, b)  # before wa connects
+        engine.run(until=5.0)
+        assert task.id not in {t.id for t in a.queue}
+        foreman.crash_shard(1)  # permanent: no restart scheduled
+        # The crash wiped B's in-memory queue; only its journal knows.
+        assert len(b.queue) == 0
+        assert task.state is not TaskState.DONE
+        engine.run(until=5.0 + 30.0 + 1.0)  # grace expires -> failover
+        assert coordinator.failovers == 1
+        assert coordinator.tasks_rehomed == 1
+        engine.run(until=120.0)
+        assert task.state is TaskState.DONE
+        assert [t.id for t in foreman.done] == [task.id]
+        assert check_failover_protocol(foreman) == []
+
+    def test_double_failover_of_the_same_shard(self, engine):
+        """Crash -> failover -> recover -> crash -> failover again on
+        one shard: both generations of re-homes fold clean (every
+        FAILOVER_OUT/IN pair balanced, no task resumed twice) and all
+        work completes."""
+        foreman, (a, b) = make_foreman(engine, 2)
+        coordinator = make_coordinator(engine, foreman, grace_s=10.0)
+        Worker(engine, a, "wa", CAP, connect_latency=1.0)
+        first = [make_task(execute_s=2.0) for _ in range(8)]
+        for task in first:
+            b.submit(task)  # B has no workers: all 8 stay queued
+        foreman.crash_shard(1)
+        engine.run(until=11.0)
+        assert coordinator.failovers == 1
+        assert coordinator.tasks_rehomed == 8
+        foreman.recover_shard(1)
+        # Replay folded the FAILOVER_OUT records: B rejoins empty.
+        assert len(b.queue) == 0 and not b._unclaimed
+        second = [make_task(execute_s=2.0) for _ in range(4)]
+        for task in second:
+            b.submit(task)
+        foreman.crash_shard(1)
+        engine.run(until=engine.now + 11.0)
+        assert coordinator.failovers == 2
+        # Second replay surfaced only the second generation's tasks.
+        assert coordinator.tasks_rehomed == 12
+        engine.run(until=engine.now + 120.0)
+        assert foreman.all_done
+        assert all(t.state is TaskState.DONE for t in first + second)
+        done_ids = [t.id for t in foreman.done]
+        assert len(done_ids) == len(set(done_ids)) == 12
+        assert check_failover_protocol(foreman) == []
+
+    def test_recovered_shard_replay_discards_rehomed_entries(self, engine):
+        """A shard that comes back *after* its work was failed over
+        un-retires empty-handed: its journal replay discards the
+        re-homed entries, so nothing double-dispatches, and fresh
+        submits route to it again."""
+        foreman, (a, b) = make_foreman(engine, 2)
+        coordinator = make_coordinator(engine, foreman, grace_s=10.0)
+        Worker(engine, a, "wa", CAP, connect_latency=1.0)
+        tasks = [make_task(execute_s=2.0) for _ in range(6)]
+        for task in tasks:
+            b.submit(task)
+        foreman.crash_shard(1)
+        engine.run(until=12.0)
+        assert coordinator.failovers == 1
+        assert coordinator.tasks_rehomed == 6
+        foreman.recover_shard(1)
+        assert len(b.queue) == 0 and not b._unclaimed
+        assert not foreman.degraded
+        # The un-retired shard accepts and finishes new work normally.
+        Worker(engine, b, "wb", CAP, connect_latency=1.0)
+        late = make_task(execute_s=2.0)
+        b.submit(late)
+        engine.run(until=120.0)
+        assert foreman.all_done
+        assert all(t.state is TaskState.DONE for t in tasks + [late])
+        done_ids = [t.id for t in foreman.done]
+        assert len(done_ids) == len(set(done_ids)) == 7
+        assert late.id in {t.id for t in b.done}
+        assert check_failover_protocol(foreman) == []
